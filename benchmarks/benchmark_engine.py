@@ -1,0 +1,100 @@
+"""Micro-benchmarks of the simulation engine's hot paths.
+
+These measure raw throughput (proper pytest-benchmark timing loops, unlike
+the one-shot experiment benchmarks): the exact Zipf sampler, the uniform
+ring-destination sampler, the direct-path ring-marginal sampler, and the
+end-to-end walk/flight hitting-time engines.
+"""
+
+import numpy as np
+
+from repro.distributions.zeta import ZetaJumpDistribution
+from repro.distributions.zipf_sampler import rejection_conditional_zipf
+from repro.engine.samplers import HeterogeneousZetaSampler
+from repro.engine.vectorized import flight_hitting_times, walk_hitting_times
+from repro.lattice.direct_path import sample_direct_path_nodes
+from repro.lattice.rings import sample_ring_offsets
+
+_N = 100_000
+
+
+def test_zipf_rejection_sampler(benchmark):
+    rng = np.random.default_rng(0)
+    alphas = np.full(_N, 2.5)
+    benchmark(rejection_conditional_zipf, alphas, rng, _N)
+
+
+def test_zipf_heterogeneous_sampler(benchmark):
+    rng = np.random.default_rng(0)
+    sampler = HeterogeneousZetaSampler(rng.uniform(2.0, 3.0, _N))
+    indices = np.arange(_N)
+    benchmark(sampler.sample, rng, indices)
+
+
+def test_zeta_distribution_sample(benchmark):
+    rng = np.random.default_rng(0)
+    law = ZetaJumpDistribution(2.5)
+    benchmark(law.sample, rng, _N)
+
+
+def test_ring_offset_sampler(benchmark):
+    rng = np.random.default_rng(0)
+    distances = np.random.default_rng(1).integers(0, 1000, _N)
+    benchmark(sample_ring_offsets, distances, rng)
+
+
+def test_direct_path_marginal_sampler(benchmark):
+    rng = np.random.default_rng(0)
+    starts = np.zeros((_N, 2), dtype=np.int64)
+    ends = sample_ring_offsets(np.full(_N, 500, dtype=np.int64), rng)
+    rings = np.random.default_rng(2).integers(0, 501, _N)
+    benchmark(sample_direct_path_nodes, starts, ends, rings, rng)
+
+
+def test_walk_engine_end_to_end(benchmark):
+    law = ZetaJumpDistribution(2.5)
+
+    def run():
+        rng = np.random.default_rng(3)
+        return walk_hitting_times(law, (24, 12), 1_000, 2_000, rng)
+
+    sample = benchmark(run)
+    assert sample.n == 2_000
+
+
+def test_flight_engine_end_to_end(benchmark):
+    law = ZetaJumpDistribution(2.5)
+
+    def run():
+        rng = np.random.default_rng(4)
+        return flight_hitting_times(law, (8, 4), 200, 2_000, rng)
+
+    sample = benchmark(run)
+    assert sample.n == 2_000
+
+
+def test_ball_target_engine(benchmark):
+    from repro.engine.ball_targets import ball_hitting_times
+
+    law = ZetaJumpDistribution(2.5)
+
+    def run():
+        rng = np.random.default_rng(5)
+        return ball_hitting_times(law, (24, 12), 4, 1_000, 2_000, rng)
+
+    sample = benchmark(run)
+    assert sample.n == 2_000
+
+
+def test_multi_target_engine(benchmark):
+    from repro.engine.multi_target import multi_target_search, scatter_poisson_field
+
+    law = ZetaJumpDistribution(2.5)
+    field = scatter_poisson_field(0.01, 40, np.random.default_rng(6))
+
+    def run():
+        rng = np.random.default_rng(7)
+        return multi_target_search(law, field, 2_000, 32, rng)
+
+    result = benchmark(run)
+    assert result.n_items == field.shape[0]

@@ -1,0 +1,7 @@
+"""Benchmark + regression harness for EXT-DET (see DESIGN.md)."""
+
+from conftest import run_once
+
+
+def test_ablation_detection(benchmark, scale, seed):
+    run_once(benchmark, "EXT-DET", scale, seed)

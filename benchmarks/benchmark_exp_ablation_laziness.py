@@ -1,0 +1,7 @@
+"""Benchmark + regression harness for EXT-LAZY (see DESIGN.md)."""
+
+from conftest import run_once
+
+
+def test_ablation_laziness(benchmark, scale, seed):
+    run_once(benchmark, "EXT-LAZY", scale, seed)

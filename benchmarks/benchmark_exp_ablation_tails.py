@@ -1,0 +1,7 @@
+"""Benchmark + regression harness for EXT-TAIL (see DESIGN.md)."""
+
+from conftest import run_once
+
+
+def test_ablation_tails(benchmark, scale, seed):
+    run_once(benchmark, "EXT-TAIL", scale, seed)

@@ -1,0 +1,7 @@
+"""Benchmark + regression harness for EXT-CCRW (see DESIGN.md)."""
+
+from conftest import run_once
+
+
+def test_ccrw(benchmark, scale, seed):
+    run_once(benchmark, "EXT-CCRW", scale, seed)

@@ -1,0 +1,7 @@
+"""Benchmark + regression harness for EXP-L3.2 (see DESIGN.md)."""
+
+from conftest import run_once
+
+
+def test_direct_path(benchmark, scale, seed):
+    run_once(benchmark, "EXP-L3.2", scale, seed)

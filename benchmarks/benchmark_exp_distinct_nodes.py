@@ -1,0 +1,7 @@
+"""Benchmark + regression harness for EXT-COVER (see DESIGN.md)."""
+
+from conftest import run_once
+
+
+def test_distinct_nodes(benchmark, scale, seed):
+    run_once(benchmark, "EXT-COVER", scale, seed)

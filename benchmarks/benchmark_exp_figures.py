@@ -1,0 +1,7 @@
+"""Benchmark + regression harness for FIG-1..6 (see DESIGN.md)."""
+
+from conftest import run_once
+
+
+def test_figures(benchmark, scale, seed):
+    run_once(benchmark, "FIG-1..6", scale, seed)

@@ -1,0 +1,7 @@
+"""Benchmark + regression harness for EXT-FORAGE (see DESIGN.md)."""
+
+from conftest import run_once
+
+
+def test_foraging_field(benchmark, scale, seed):
+    run_once(benchmark, "EXT-FORAGE", scale, seed)

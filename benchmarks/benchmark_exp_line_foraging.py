@@ -1,0 +1,7 @@
+"""Benchmark + regression harness for EXT-1D (see DESIGN.md)."""
+
+from conftest import run_once
+
+
+def test_line_foraging(benchmark, scale, seed):
+    run_once(benchmark, "EXT-1D", scale, seed)

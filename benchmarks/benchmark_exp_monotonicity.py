@@ -1,0 +1,7 @@
+"""Benchmark + regression harness for EXP-L3.9 (see DESIGN.md)."""
+
+from conftest import run_once
+
+
+def test_monotonicity(benchmark, scale, seed):
+    run_once(benchmark, "EXP-L3.9", scale, seed)

@@ -1,0 +1,7 @@
+"""Benchmark + regression harness for EXP-MSD (see DESIGN.md)."""
+
+from conftest import run_once
+
+
+def test_msd_regimes(benchmark, scale, seed):
+    run_once(benchmark, "EXP-MSD", scale, seed)

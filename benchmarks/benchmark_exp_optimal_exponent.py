@@ -1,0 +1,7 @@
+"""Benchmark + regression harness for EXP-T1.5 (see DESIGN.md)."""
+
+from conftest import run_once
+
+
+def test_optimal_exponent(benchmark, scale, seed):
+    run_once(benchmark, "EXP-T1.5", scale, seed)

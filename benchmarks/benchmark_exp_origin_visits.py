@@ -1,0 +1,7 @@
+"""Benchmark + regression harness for EXP-L4.13 (see DESIGN.md)."""
+
+from conftest import run_once
+
+
+def test_origin_visits(benchmark, scale, seed):
+    run_once(benchmark, "EXP-L4.13", scale, seed)

@@ -1,0 +1,7 @@
+"""Benchmark + regression harness for EXP-C1.4 (see DESIGN.md)."""
+
+from conftest import run_once
+
+
+def test_parallel_speedup(benchmark, scale, seed):
+    run_once(benchmark, "EXP-C1.4", scale, seed)

@@ -1,0 +1,7 @@
+"""Benchmark + regression harness for EXP-LC1 (see DESIGN.md)."""
+
+from conftest import run_once
+
+
+def test_projection(benchmark, scale, seed):
+    run_once(benchmark, "EXP-LC1", scale, seed)

@@ -1,0 +1,7 @@
+"""Benchmark + regression harness for EXT-QUANT (see DESIGN.md)."""
+
+from conftest import run_once
+
+
+def test_quantized_levels(benchmark, scale, seed):
+    run_once(benchmark, "EXT-QUANT", scale, seed)

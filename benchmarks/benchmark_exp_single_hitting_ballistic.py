@@ -1,0 +1,7 @@
+"""Benchmark + regression harness for EXP-T1.3 (see DESIGN.md)."""
+
+from conftest import run_once
+
+
+def test_single_hitting_ballistic(benchmark, scale, seed):
+    run_once(benchmark, "EXP-T1.3", scale, seed)

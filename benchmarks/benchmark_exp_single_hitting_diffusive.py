@@ -1,0 +1,7 @@
+"""Benchmark + regression harness for EXP-T1.2 (see DESIGN.md)."""
+
+from conftest import run_once
+
+
+def test_single_hitting_diffusive(benchmark, scale, seed):
+    run_once(benchmark, "EXP-T1.2", scale, seed)

@@ -1,0 +1,7 @@
+"""Benchmark + regression harness for EXT-SW (see DESIGN.md)."""
+
+from conftest import run_once
+
+
+def test_smallworld(benchmark, scale, seed):
+    run_once(benchmark, "EXT-SW", scale, seed)

@@ -1,0 +1,7 @@
+"""Benchmark + regression harness for EXP-CMP (see DESIGN.md)."""
+
+from conftest import run_once
+
+
+def test_strategy_comparison(benchmark, scale, seed):
+    run_once(benchmark, "EXP-CMP", scale, seed)

@@ -1,0 +1,7 @@
+"""Benchmark + regression harness for EXP-E4 (see DESIGN.md)."""
+
+from conftest import run_once
+
+
+def test_tail_eq4(benchmark, scale, seed):
+    run_once(benchmark, "EXP-E4", scale, seed)

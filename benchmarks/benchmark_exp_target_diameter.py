@@ -1,0 +1,7 @@
+"""Benchmark + regression harness for EXT-DIAM (see DESIGN.md)."""
+
+from conftest import run_once
+
+
+def test_target_diameter(benchmark, scale, seed):
+    run_once(benchmark, "EXT-DIAM", scale, seed)

@@ -1,0 +1,38 @@
+"""Benchmark configuration.
+
+Each experiment benchmark runs its harness exactly once (pedantic mode) at
+the scale given by the REPRO_BENCH_SCALE environment variable (default
+"smoke", so the whole suite stays laptop-friendly; export
+REPRO_BENCH_SCALE=small or =full to regenerate EXPERIMENTS.md numbers).
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture
+def scale():
+    return os.environ.get("REPRO_BENCH_SCALE", "smoke")
+
+
+@pytest.fixture
+def seed():
+    return int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+def run_once(benchmark, experiment_id, scale, seed):
+    """Run one experiment once under the benchmark timer and report it."""
+    from repro.experiments.registry import run_experiment
+
+    result = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id,),
+        kwargs={"scale": scale, "seed": seed},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    assert result.passed, f"{experiment_id} checks failed:\n{result.render()}"
+    return result

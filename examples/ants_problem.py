@@ -1,0 +1,72 @@
+"""The ANTS problem, solved uniformly with zero advice.
+
+Feinerman and Korman's Ants-Nearby-Treasure-Search problem [14]: k
+non-communicating agents leave a nest to find an adversarial target at
+unknown distance l.  With zero bits of advice, agents know neither k nor
+l.  The paper's Section 1.2.4 observes that its randomized Levy strategy
+is exactly such a zero-advice algorithm, and is within polylog factors of
+the Omega(l^2/k + l) lower bound.
+
+This example pits the uniform Levy algorithm against the
+Feinerman-Korman-style doubling spiral searcher (which cheats: it knows
+k) across several target distances, reporting times as multiples of the
+universal lower bound.
+
+Run:  python examples/ants_problem.py
+"""
+
+import numpy as np
+
+from repro.baselines.spiral_search import SpiralSearch
+from repro.core.ants import UniformANTSAlgorithm, universal_lower_bound
+from repro.experiments.common import default_target
+from repro.reporting.table import Table
+from repro.rng import as_generator
+
+K = 32
+DISTANCES = (16, 32, 64, 128)
+N_RUNS = 20
+
+
+def main() -> None:
+    rng = as_generator(5)
+    ants = UniformANTSAlgorithm(k=K)
+    spiral = SpiralSearch(k=K)
+    print(
+        f"ANTS problem with k={K} agents, zero advice.\n"
+        f"'uniform-levy' = every agent draws alpha ~ U(2,3) (the paper);\n"
+        f"'spiral(FK)'   = doubling spiral probes, and it KNOWS k.\n"
+    )
+    table = Table(
+        [
+            "l",
+            "lower bound l^2/k + l",
+            "uniform-levy median",
+            "levy / LB",
+            "spiral median",
+            "spiral / LB",
+        ],
+        title=f"median parallel search time over {N_RUNS} runs",
+    )
+    for l in DISTANCES:
+        target = default_target(l)
+        horizon = 2 * l * l
+        lb = universal_lower_bound(K, l) + l
+        levy = ants.sample_search_times(target, n_runs=N_RUNS, horizon=horizon, rng=rng)
+        fk = spiral.sample_parallel_hitting_times(
+            target, n_runs=N_RUNS, horizon=horizon, rng=rng
+        )
+        levy_median = float(np.median(levy.hit_times())) if levy.n_hits else float("inf")
+        fk_median = float(np.median(fk.hit_times())) if fk.n_hits else float("inf")
+        table.add_row(l, lb, levy_median, levy_median / lb, fk_median, fk_median / lb)
+    print(table.render())
+    print(
+        "\nThe uniform Levy algorithm tracks the known-k spiral reference "
+        "within small factors at every distance -- without knowing k or l, "
+        "with zero coordination, and as a plain random walk an ant could "
+        "plausibly execute."
+    )
+
+
+if __name__ == "__main__":
+    main()

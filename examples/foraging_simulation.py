@@ -1,0 +1,139 @@
+"""Central-place foraging: a colony of ants searching for scattered food.
+
+The paper motivates its model with "natural cooperative foraging behavior,
+such as the behavior of ants around their nest" (Section 1.1): k
+independent non-communicating foragers (like Cataglyphis desert ants,
+which lack pheromone trails) leave the same nest and search Z^2.
+
+This example scatters food items at several distance scales and compares
+three colonies over the same food field:
+
+* a colony whose ants all use the classical Cauchy exponent alpha = 2;
+* a colony whose ants all use a diffusive exponent alpha = 3;
+* a colony following the paper's strategy -- every ant draws its own
+  exponent uniformly from (2, 3).
+
+Food is *destructive* (an item is consumed by the first ant to step on
+it), and we count items retrieved within a fixed time budget.  The
+random-exponent colony retrieves items across ALL distance bands, while
+each fixed-exponent colony is systematically weak at some band -- the
+paper's "no universally optimal exponent" message as an ecology story.
+
+Run:  python examples/foraging_simulation.py
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.strategies import (
+    ExponentStrategy,
+    FixedExponentStrategy,
+    UniformRandomExponentStrategy,
+)
+from repro.lattice.rings import ring_index_to_offset, ring_size
+from repro.reporting.table import Table
+from repro.rng import as_generator, spawn
+from repro.walks import LevyWalk
+
+IntPoint = Tuple[int, int]
+
+N_ANTS = 24
+TIME_BUDGET = 3_000
+DISTANCE_BANDS = (8, 16, 32, 64)
+ITEMS_PER_BAND = 3
+
+
+@dataclass
+class ForagingOutcome:
+    """What one colony retrieved within the time budget."""
+
+    strategy: str
+    retrieved_by_band: Dict[int, int]
+    first_retrieval_step: int | None
+
+    @property
+    def total(self) -> int:
+        return sum(self.retrieved_by_band.values())
+
+
+def scatter_food(rng: np.random.Generator) -> Dict[IntPoint, int]:
+    """Place ITEMS_PER_BAND food items on each distance band's ring."""
+    food: Dict[IntPoint, int] = {}
+    for band in DISTANCE_BANDS:
+        for _ in range(ITEMS_PER_BAND):
+            index = int(rng.integers(0, ring_size(band)))
+            food[ring_index_to_offset(band, index)] = band
+    return food
+
+
+def run_colony(
+    strategy: ExponentStrategy,
+    food: Dict[IntPoint, int],
+    rng: np.random.Generator,
+) -> ForagingOutcome:
+    """Step every ant in lockstep; food vanishes when first stepped on."""
+    exponents = strategy.sample_exponents(N_ANTS, rng)
+    ants: List[LevyWalk] = [
+        LevyWalk(float(alpha), rng=child)
+        for alpha, child in zip(exponents, spawn(rng, N_ANTS))
+    ]
+    remaining = dict(food)
+    retrieved = {band: 0 for band in DISTANCE_BANDS}
+    first_step = None
+    for step in range(1, TIME_BUDGET + 1):
+        if not remaining:
+            break
+        for ant in ants:
+            position = ant.advance()
+            band = remaining.pop(position, None)
+            if band is not None:
+                retrieved[band] += 1
+                if first_step is None:
+                    first_step = step
+    return ForagingOutcome(
+        strategy=strategy.describe(),
+        retrieved_by_band=retrieved,
+        first_retrieval_step=first_step,
+    )
+
+
+def main() -> None:
+    rng = as_generator(7)
+    food = scatter_food(rng)
+    print(
+        f"Nest at the origin; {len(food)} food items on rings "
+        f"{DISTANCE_BANDS} ({ITEMS_PER_BAND} per ring)."
+    )
+    print(f"{N_ANTS} ants per colony, {TIME_BUDGET} steps of foraging.\n")
+
+    colonies = [
+        FixedExponentStrategy(2.0),
+        FixedExponentStrategy(3.0),
+        UniformRandomExponentStrategy(),
+    ]
+    table = Table(
+        ["colony"]
+        + [f"ring {band}" for band in DISTANCE_BANDS]
+        + ["total", "first find (step)"],
+        title="Food retrieved per distance band",
+    )
+    for strategy in colonies:
+        outcome = run_colony(strategy, food, as_generator(11))
+        table.add_row(
+            outcome.strategy,
+            *[outcome.retrieved_by_band[band] for band in DISTANCE_BANDS],
+            outcome.total,
+            outcome.first_retrieval_step,
+        )
+    print(table.render())
+    print(
+        "\nThe mixed-exponent colony forages every band: its ballistic-ish "
+        "members sweep the far rings while its diffusive-ish members mop up "
+        "near the nest (Theorem 1.6's mechanism)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Occupation heatmaps: watching the monotonicity property.
+
+Renders the exact occupation law of a capped Lévy flight (computed by FFT
+convolution -- no Monte-Carlo noise) and the empirical occupation of an
+uncapped flight, side by side, for exponents from each regime.  The
+diamond-ish level sets illustrate the monotonicity property (Lemma 3.9):
+probability never increases when moving from a node ``u`` to any node
+``v`` with ``‖v‖∞ ≥ ‖u‖₁``.
+
+Run:  python examples/occupation_heatmap.py
+"""
+
+import numpy as np
+
+from repro.distributions.zeta import ZetaJumpDistribution
+from repro.engine.exact_occupation import flight_occupation_exact
+from repro.engine.visits import flight_occupation_grid
+from repro.reporting.heatmap import ascii_heatmap
+
+WINDOW = 18
+
+
+def crop(grid: np.ndarray, radius: int) -> np.ndarray:
+    center = (grid.shape[0] - 1) // 2
+    return grid[
+        center - radius : center + radius + 1, center - radius : center + radius + 1
+    ]
+
+
+def main() -> None:
+    for alpha in (1.5, 2.5, 3.5):
+        law = ZetaJumpDistribution(alpha, cap=6)
+        exact = flight_occupation_exact(law, n_jumps=6)
+        print(
+            ascii_heatmap(
+                crop(exact.grid, WINDOW),
+                title=(
+                    f"--- EXACT law of J_6, capped flight, alpha={alpha} "
+                    "(log density; 'O' = origin) ---"
+                ),
+            )
+        )
+        slack = exact.check_monotonicity(max_radius=WINDOW)
+        print(f"Lemma 3.9 exact check: worst slack {slack:.2e} (>= -1e-12: holds)\n")
+
+    rng = np.random.default_rng(0)
+    empirical = flight_occupation_grid(
+        ZetaJumpDistribution(2.5),
+        n_jumps=12,
+        n_flights=300_000,
+        radius=WINDOW,
+        rng=rng,
+        at_time_only=True,
+    )
+    print(
+        ascii_heatmap(
+            empirical,
+            title=(
+                "--- EMPIRICAL law of J_12, uncapped alpha=2.5 flight "
+                "(300k samples) ---"
+            ),
+        )
+    )
+    print(
+        "\nThe level sets interpolate between the L1 diamond (near the "
+        "origin) and fuzziness from rare huge jumps -- the geometry behind "
+        "Lemma 3.9's 'L1 ball dominates Linf complement' comparison."
+    )
+
+
+if __name__ == "__main__":
+    main()

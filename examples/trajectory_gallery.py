@@ -1,0 +1,45 @@
+"""Trajectory gallery: what the three Levy regimes look like, plus the
+paper's geometric figures.
+
+Renders (as ASCII) sample trajectories of a ballistic (alpha = 1.5),
+super-diffusive (alpha = 2.5) and diffusive (alpha = 3.5) Levy walk and a
+simple random walk, all for the same number of steps -- the qualitative
+difference in spatial coverage is the whole story of the paper -- and
+then reprints Figures 1-6.
+
+Run:  python examples/trajectory_gallery.py
+"""
+
+from repro.lattice.ascii_art import all_figures, render_trajectory
+from repro.rng import as_generator
+from repro.walks import LevyWalk, SimpleRandomWalk
+
+STEPS = 400
+WINDOW = 24
+
+
+def main() -> None:
+    walkers = [
+        ("ballistic Levy walk, alpha=1.5", LevyWalk(1.5, rng=as_generator(2))),
+        ("super-diffusive Levy walk, alpha=2.5", LevyWalk(2.5, rng=as_generator(2))),
+        ("diffusive Levy walk, alpha=3.5", LevyWalk(3.5, rng=as_generator(2))),
+        ("lazy simple random walk", SimpleRandomWalk(rng=as_generator(2))),
+    ]
+    for label, walker in walkers:
+        trajectory = walker.run(STEPS)
+        distance = abs(walker.position[0]) + abs(walker.position[1])
+        print(f"--- {label}: {STEPS} steps, final distance {distance} ---")
+        print(render_trajectory(trajectory, radius=WINDOW))
+        print(
+            "(window radius "
+            f"{WINDOW}; '*' visited, 'S' start, 'E' end{' -- escaped the window' if distance > WINDOW else ''})\n"
+        )
+    print("=== The paper's figures, regenerated ===\n")
+    for name, rendering in all_figures():
+        print(f"--- {name} ---")
+        print(rendering)
+        print()
+
+
+if __name__ == "__main__":
+    main()

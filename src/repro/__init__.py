@@ -1,0 +1,61 @@
+"""repro -- reproduction of *Search via Parallel Levy Walks on Z^2*.
+
+(Clementi, d'Amore, Giakkoupis, Natale; PODC 2021 / HAL hal-02530253v4.)
+
+The package implements, from scratch:
+
+* the discrete lattice geometry and *direct paths* of the paper's model
+  (:mod:`repro.lattice`);
+* the exact power-law jump distribution of Eq. (3)
+  (:mod:`repro.distributions`);
+* Levy flights, Levy walks, and the baseline processes
+  (:mod:`repro.walks`), with exact vectorized Monte-Carlo engines
+  (:mod:`repro.engine`);
+* the paper's contribution -- parallel Levy walk search, the optimal
+  exponent ``alpha* = 3 - log k / log l``, and the uniform-random-exponent
+  strategy of Theorem 1.6 (:mod:`repro.core`);
+* comparison baselines (spiral search, parallel SRW, ballistic spray;
+  :mod:`repro.baselines`), executable theorem predictions
+  (:mod:`repro.theory`), statistics (:mod:`repro.analysis`), and one
+  experiment harness per paper statement (:mod:`repro.experiments`).
+
+Quick start::
+
+    from repro import ParallelLevySearch
+
+    search = ParallelLevySearch(k=64)     # random exponents (Theorem 1.6)
+    result = search.find(target=(40, 30), rng=0)
+    print(result.found, result.time, result.finder_exponent)
+"""
+
+from repro.core import (
+    FixedExponentStrategy,
+    OracleExponentStrategy,
+    ParallelLevySearch,
+    SearchResult,
+    UniformANTSAlgorithm,
+    UniformRandomExponentStrategy,
+    optimal_exponent,
+    universal_lower_bound,
+)
+from repro.distributions import ZetaJumpDistribution
+from repro.walks import BallisticWalk, LevyFlight, LevyWalk, SimpleRandomWalk
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ParallelLevySearch",
+    "SearchResult",
+    "UniformANTSAlgorithm",
+    "UniformRandomExponentStrategy",
+    "OracleExponentStrategy",
+    "FixedExponentStrategy",
+    "optimal_exponent",
+    "universal_lower_bound",
+    "ZetaJumpDistribution",
+    "LevyWalk",
+    "LevyFlight",
+    "SimpleRandomWalk",
+    "BallisticWalk",
+]

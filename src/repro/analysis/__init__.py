@@ -1,0 +1,53 @@
+"""Statistical estimation utilities for the Monte-Carlo experiments."""
+
+from repro.analysis.comparisons import (
+    ComparisonResult,
+    mann_whitney_u,
+    two_proportion_z,
+)
+from repro.analysis.estimators import (
+    ProportionEstimate,
+    bootstrap_interval,
+    censored_median,
+    censored_quantile,
+    wilson_interval,
+)
+from repro.analysis.msd import DisplacementProfile, displacement_profile
+from repro.analysis.powerlaw import (
+    PowerLawMLE,
+    fit_discrete_power_law,
+    ks_distance_to_zipf,
+    tail_exponent_from_survival,
+)
+from repro.analysis.scaling import PowerLawFit, fit_power_law, geometric_grid
+from repro.analysis.sequential import (
+    SequentialEstimate,
+    estimate_probability_sequential,
+    required_trials,
+)
+from repro.analysis.survival import SurvivalCurve, hitting_cdf
+
+__all__ = [
+    "ComparisonResult",
+    "two_proportion_z",
+    "mann_whitney_u",
+    "ProportionEstimate",
+    "wilson_interval",
+    "bootstrap_interval",
+    "censored_median",
+    "censored_quantile",
+    "PowerLawFit",
+    "fit_power_law",
+    "geometric_grid",
+    "PowerLawMLE",
+    "fit_discrete_power_law",
+    "ks_distance_to_zipf",
+    "tail_exponent_from_survival",
+    "SurvivalCurve",
+    "hitting_cdf",
+    "DisplacementProfile",
+    "displacement_profile",
+    "SequentialEstimate",
+    "required_trials",
+    "estimate_probability_sequential",
+]

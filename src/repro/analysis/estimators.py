@@ -1,0 +1,125 @@
+"""Point estimates and confidence intervals for Monte-Carlo quantities.
+
+The experiments estimate small probabilities (hitting probabilities decay
+polynomially in ``l``), so interval quality at small counts matters: we
+use the Wilson score interval for proportions, which behaves sensibly at
+0 and n successes, and basic-percentile bootstrap for statistics of
+censored hitting-time samples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.rng import SeedLike, as_generator
+
+#: Two-sided z value for the default 95% confidence level.
+_Z95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class ProportionEstimate:
+    """A binomial proportion with a Wilson score interval."""
+
+    successes: int
+    trials: int
+    low: float
+    high: float
+
+    @property
+    def point(self) -> float:
+        """The plain empirical proportion."""
+        return self.successes / self.trials if self.trials else float("nan")
+
+    def __str__(self) -> str:
+        return f"{self.point:.4g} [{self.low:.4g}, {self.high:.4g}]"
+
+
+def wilson_interval(successes: int, trials: int, z: float = _Z95) -> ProportionEstimate:
+    """Wilson score interval for a binomial proportion.
+
+    Unlike the normal-approximation ("Wald") interval, the Wilson interval
+    never leaves ``[0, 1]`` and stays informative when ``successes`` is 0
+    or ``trials`` -- the typical situation when estimating the paper's
+    ``1/poly(l)`` hitting probabilities.
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes {successes} out of range [0, {trials}]")
+    p_hat = successes / trials
+    z2 = z * z
+    denominator = 1.0 + z2 / trials
+    center = (p_hat + z2 / (2 * trials)) / denominator
+    spread = (
+        z
+        * math.sqrt(p_hat * (1.0 - p_hat) / trials + z2 / (4.0 * trials * trials))
+        / denominator
+    )
+    return ProportionEstimate(
+        successes=successes,
+        trials=trials,
+        low=max(0.0, center - spread),
+        high=min(1.0, center + spread),
+    )
+
+
+def bootstrap_interval(
+    values: np.ndarray,
+    statistic: Callable[[np.ndarray], float],
+    n_resamples: int = 1000,
+    confidence: float = 0.95,
+    rng: SeedLike = None,
+) -> tuple[float, float, float]:
+    """Percentile bootstrap ``(point, low, high)`` for ``statistic(values)``."""
+    values = np.asarray(values)
+    if values.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    rng = as_generator(rng)
+    point = float(statistic(values))
+    stats = np.empty(n_resamples)
+    for i in range(n_resamples):
+        resample = values[rng.integers(0, values.size, size=values.size)]
+        stats[i] = statistic(resample)
+    tail = (1.0 - confidence) / 2.0
+    low, high = np.quantile(stats, [tail, 1.0 - tail])
+    return point, float(low), float(high)
+
+
+def censored_median(times: np.ndarray, horizon: int) -> float:
+    """Median hitting time of a censored sample (``-1`` marks censoring).
+
+    Censored entries are treated as ``> horizon``; the returned value is
+    ``inf`` when fewer than half the walks hit.  (The median, unlike the
+    mean, is well defined as long as the hit fraction exceeds 1/2 --
+    convenient because the paper's ``tau`` has infinite mean in most
+    regimes.)
+    """
+    times = np.asarray(times)
+    n = times.size
+    if n == 0:
+        raise ValueError("empty sample")
+    hits = np.sort(times[times >= 0])
+    median_rank = n // 2
+    if hits.size <= median_rank:
+        return float("inf")
+    return float(hits[median_rank])
+
+
+def censored_quantile(times: np.ndarray, q: float) -> float:
+    """Quantile ``q`` of a censored sample (``inf`` when inside the censored mass)."""
+    if not 0.0 < q < 1.0:
+        raise ValueError(f"q must be in (0, 1), got {q}")
+    times = np.asarray(times)
+    n = times.size
+    if n == 0:
+        raise ValueError("empty sample")
+    hits = np.sort(times[times >= 0])
+    rank = int(math.floor(q * n))
+    if hits.size <= rank:
+        return float("inf")
+    return float(hits[rank])

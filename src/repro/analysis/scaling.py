@@ -1,0 +1,115 @@
+"""Log-log scaling fits -- the tool that turns theorems into checks.
+
+The paper's bounds are polynomial laws with polylog corrections:
+``P(hit) ~ l^(-(3-alpha))``, ``P(tau <= t) ~ t^2``, displacement
+``~ t^(1/(alpha-1))``, parallel time ``~ l^2/k``.  Each experiment fits a
+line to ``(log x, log y)`` pairs and compares the slope (with its
+standard error) against the predicted exponent; polylog corrections bend
+these plots only slightly at our scales and are absorbed into the stated
+tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Result of an OLS fit of ``log y = slope * log x + intercept``."""
+
+    slope: float
+    intercept: float
+    stderr: float
+    r_squared: float
+    n_points: int
+
+    @property
+    def prefactor(self) -> float:
+        """``exp(intercept)``: the fitted constant of ``y = C x^slope``."""
+        return math.exp(self.intercept)
+
+    def slope_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation confidence interval for the slope."""
+        return (self.slope - z * self.stderr, self.slope + z * self.stderr)
+
+    def compatible_with(self, exponent: float, tolerance: float, z: float = 1.96) -> bool:
+        """True if ``exponent`` is within tolerance of the slope interval.
+
+        ``tolerance`` is additive slack for polylog corrections on top of
+        the statistical interval.
+        """
+        low, high = self.slope_interval(z)
+        return low - tolerance <= exponent <= high + tolerance
+
+    def __str__(self) -> str:
+        return (
+            f"slope {self.slope:.3f} +- {self.stderr:.3f} "
+            f"(R^2 {self.r_squared:.3f}, n={self.n_points})"
+        )
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """OLS fit of ``y = C x^s`` on log-log axes.
+
+    Points with non-positive ``x`` or ``y`` are rejected (they indicate an
+    estimation failure upstream, e.g. a zero-hit cell that should have
+    been dropped or re-run with more trials).
+    """
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("xs and ys must be 1-d arrays of equal length")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("power-law fits need strictly positive data")
+    if x.size < 2:
+        raise ValueError("need at least two points to fit a slope")
+    lx = np.log(x)
+    ly = np.log(y)
+    n = x.size
+    mean_x = lx.mean()
+    mean_y = ly.mean()
+    sxx = float(np.sum((lx - mean_x) ** 2))
+    if sxx == 0.0:
+        raise ValueError("xs are all equal; slope is undefined")
+    sxy = float(np.sum((lx - mean_x) * (ly - mean_y)))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    residuals = ly - (slope * lx + intercept)
+    ss_res = float(np.sum(residuals**2))
+    ss_tot = float(np.sum((ly - mean_y) ** 2))
+    r_squared = 1.0 if ss_tot == 0.0 else 1.0 - ss_res / ss_tot
+    if n > 2:
+        stderr = math.sqrt(ss_res / (n - 2) / sxx)
+    else:
+        stderr = 0.0
+    return PowerLawFit(
+        slope=slope,
+        intercept=intercept,
+        stderr=stderr,
+        r_squared=r_squared,
+        n_points=n,
+    )
+
+
+def geometric_grid(low: int, high: int, n_points: int) -> list[int]:
+    """Distinct integers, geometrically spaced in ``[low, high]``.
+
+    The standard x-grid for scaling experiments (log-log fits want evenly
+    spaced points in log space).
+    """
+    if low < 1 or high < low:
+        raise ValueError(f"need 1 <= low <= high, got [{low}, {high}]")
+    if n_points < 1:
+        raise ValueError(f"n_points must be positive, got {n_points}")
+    if n_points == 1 or low == high:
+        return [low]
+    ratio = (high / low) ** (1.0 / (n_points - 1))
+    values = sorted({int(round(low * ratio**j)) for j in range(n_points)})
+    values[0] = low
+    values[-1] = high
+    return sorted(set(values))

@@ -1,0 +1,102 @@
+"""Sample-size planning and sequential estimation for Monte-Carlo runs.
+
+The paper's quantities are probabilities that decay polynomially in the
+target distance, so fixed sample counts either waste work at small ``l``
+or starve the estimates at large ``l``.  This module provides:
+
+* :func:`required_trials` -- how many Bernoulli trials are needed so that
+  the Wilson interval around an anticipated probability ``p`` has the
+  requested *relative* half-width;
+* :func:`estimate_probability_sequential` -- draw batches from a Bernoulli
+  oracle until the Wilson interval is relatively tight (or a budget is
+  exhausted), returning the estimate with its interval.
+
+Both are used by full-scale experiment drivers; the bundled experiment
+configs use pre-sized counts for reproducibility of the recorded tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.estimators import ProportionEstimate, wilson_interval
+
+_Z95 = 1.959963984540054
+
+
+def required_trials(
+    anticipated_p: float, relative_half_width: float, z: float = _Z95
+) -> int:
+    """Trials needed for a CI half-width of ``relative_half_width * p``.
+
+    Uses the normal approximation ``half_width ~ z sqrt(p(1-p)/n)``, i.e.
+    ``n ~ z^2 (1-p) / (p eps^2)`` -- the familiar rule that estimating a
+    small probability to fixed relative precision costs ``~ 1/p`` trials.
+    """
+    if not 0.0 < anticipated_p < 1.0:
+        raise ValueError(f"anticipated p must be in (0, 1), got {anticipated_p}")
+    if relative_half_width <= 0.0:
+        raise ValueError(f"relative half-width must be positive, got {relative_half_width}")
+    n = (z * z * (1.0 - anticipated_p)) / (
+        anticipated_p * relative_half_width * relative_half_width
+    )
+    return max(1, int(math.ceil(n)))
+
+
+@dataclass(frozen=True)
+class SequentialEstimate:
+    """Result of a sequential probability estimation."""
+
+    estimate: ProportionEstimate
+    trials_used: int
+    converged: bool
+
+
+def estimate_probability_sequential(
+    run_batch: Callable[[int], int],
+    batch_size: int,
+    relative_half_width: float,
+    max_trials: int,
+    min_successes: int = 20,
+) -> SequentialEstimate:
+    """Sample until the Wilson interval is relatively tight.
+
+    Parameters
+    ----------
+    run_batch:
+        Callable mapping a batch size to the number of successes observed
+        in that many fresh trials (e.g. a wrapper around the hitting
+        engine).
+    batch_size:
+        Trials per round.
+    relative_half_width:
+        Stop once ``(high - low) / 2 <= relative_half_width * point`` and
+        at least ``min_successes`` successes have been seen.
+    max_trials:
+        Hard budget; the returned flag says whether the precision target
+        was met within it.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch size must be positive, got {batch_size}")
+    if max_trials < batch_size:
+        raise ValueError("max_trials must be at least one batch")
+    successes = 0
+    trials = 0
+    while trials < max_trials:
+        this_batch = min(batch_size, max_trials - trials)
+        successes += int(run_batch(this_batch))
+        trials += this_batch
+        if successes >= min_successes:
+            estimate = wilson_interval(successes, trials)
+            half_width = (estimate.high - estimate.low) / 2.0
+            if estimate.point > 0 and half_width <= relative_half_width * estimate.point:
+                return SequentialEstimate(
+                    estimate=estimate, trials_used=trials, converged=True
+                )
+    return SequentialEstimate(
+        estimate=wilson_interval(successes, trials),
+        trials_used=trials,
+        converged=False,
+    )

@@ -1,0 +1,24 @@
+"""Baseline search strategies the paper is compared against.
+
+* :class:`~repro.baselines.spiral_search.SpiralSearch` -- the
+  Feinerman-Korman style doubling spiral probes (knows ``k``); near the
+  universal lower bound, the "centralized reference".
+* :class:`~repro.baselines.srw_search.SRWSearch` -- parallel lazy simple
+  random walks (the ``alpha -> inf`` / Brownian extreme).
+* :class:`~repro.baselines.ballistic_search.BallisticSpraySearch` --
+  straight walkers in random directions (the ``alpha -> 1`` extreme).
+
+The universal ``Omega(l^2/k + l)`` lower bound lives in
+:func:`repro.core.ants.universal_lower_bound`.
+"""
+
+from repro.baselines.ballistic_search import BallisticSpraySearch, ray_ring_nodes
+from repro.baselines.spiral_search import SpiralSearch
+from repro.baselines.srw_search import SRWSearch
+
+__all__ = [
+    "SpiralSearch",
+    "SRWSearch",
+    "BallisticSpraySearch",
+    "ray_ring_nodes",
+]

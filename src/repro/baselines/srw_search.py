@@ -1,0 +1,67 @@
+"""Parallel simple-random-walk search -- the diffusive baseline.
+
+``k`` lazy simple random walks from the origin.  This is the ``alpha ->
+inf`` limit of the Levy strategies (Section 2) and the natural "Brownian"
+comparison of the Levy foraging hypothesis.  A single SRW needs
+``Theta(l^2 log l)``-scale time to find a target at distance ``l`` and
+even then only succeeds with ``1/polylog`` probability per attempt;
+parallelism helps, but each walk keeps re-covering the same
+neighbourhood, so SRW search loses polynomially to tuned Levy walks for
+most ``(k, l)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.distributions.unit import UnitJumpDistribution
+from repro.engine.results import HittingTimeSample, group_minimum
+from repro.engine.vectorized import walk_hitting_times
+from repro.rng import SeedLike, as_generator
+
+IntPoint = Tuple[int, int]
+
+
+class SRWSearch:
+    """``k`` parallel lazy simple random walks."""
+
+    def __init__(self, k: int, laziness: float = 0.5) -> None:
+        if k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = int(k)
+        self.distribution = UnitJumpDistribution(lazy_probability=laziness)
+
+    def agent_hitting_times(
+        self,
+        target: IntPoint,
+        horizon: int,
+        n_agents: int,
+        rng: SeedLike = None,
+    ) -> HittingTimeSample:
+        """Censored hitting times of independent single walks."""
+        return walk_hitting_times(
+            self.distribution,
+            target=target,
+            horizon=horizon,
+            n_walks=n_agents,
+            rng=rng,
+        )
+
+    def sample_parallel_hitting_times(
+        self,
+        target: IntPoint,
+        n_runs: int,
+        horizon: Optional[int] = None,
+        rng: SeedLike = None,
+    ) -> HittingTimeSample:
+        """Parallel (min over ``k``) hitting times for ``n_runs`` runs."""
+        rng = as_generator(rng)
+        if horizon is None:
+            l = abs(int(target[0])) + abs(int(target[1]))
+            horizon = 4 * (l * l + l)
+        sample = self.agent_hitting_times(
+            target, horizon, n_agents=n_runs * self.k, rng=rng
+        )
+        return HittingTimeSample(
+            times=group_minimum(sample.times, self.k), horizon=horizon
+        )

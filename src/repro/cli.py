@@ -1,0 +1,70 @@
+"""Command-line entry point: run paper experiments from a terminal.
+
+Installed as ``repro-experiment`` (see pyproject.toml)::
+
+    repro-experiment list
+    repro-experiment run EXP-T1.6 --scale small --seed 1
+    repro-experiment run all --scale smoke --csv-dir results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.experiments.common import SCALES
+from repro.experiments.registry import experiment_ids, run_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description=(
+            "Reproduction experiments for 'Search via Parallel Levy Walks "
+            "on Z^2' (PODC 2021)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list experiment ids")
+    runner = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    runner.add_argument("experiment", help="experiment id from 'list', or 'all'")
+    runner.add_argument("--scale", choices=SCALES, default="small")
+    runner.add_argument("--seed", type=int, default=0)
+    runner.add_argument(
+        "--csv-dir",
+        type=Path,
+        default=None,
+        help="also dump every result table as CSV into this directory",
+    )
+    return parser
+
+
+def _dump_csv(result, csv_dir: Path) -> None:
+    csv_dir.mkdir(parents=True, exist_ok=True)
+    safe_id = result.experiment_id.replace("/", "_").replace(".", "_")
+    for index, table in enumerate(result.tables):
+        table.to_csv(csv_dir / f"{safe_id}_table{index}.csv")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in experiment_ids():
+            print(experiment_id)
+        return 0
+    targets = experiment_ids() if args.experiment == "all" else [args.experiment]
+    all_passed = True
+    for experiment_id in targets:
+        result = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
+        print(result.render())
+        print()
+        if args.csv_dir is not None:
+            _dump_csv(result, args.csv_dir)
+        all_passed = all_passed and result.passed
+    return 0 if all_passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

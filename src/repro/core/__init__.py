@@ -1,0 +1,54 @@
+"""The paper's primary contribution: parallel Levy walk search on Z^2.
+
+* :mod:`repro.core.exponents` -- the optimal exponent ``alpha*(k, l)``,
+  regime classification, and the polylog correction factors;
+* :mod:`repro.core.strategies` -- exponent-selection strategies, including
+  the randomized uniform-(2,3) strategy of Theorem 1.6;
+* :mod:`repro.core.search` -- :class:`ParallelLevySearch`, the public
+  search API;
+* :mod:`repro.core.ants` -- the uniform, advice-free ANTS algorithm.
+"""
+
+from repro.core.ants import UniformANTSAlgorithm, universal_lower_bound
+from repro.core.exponents import (
+    Regime,
+    characteristic_time,
+    clamp_to_superdiffusive,
+    gamma_factor,
+    mu_factor,
+    nu_factor,
+    optimal_exponent,
+    regime,
+    theorem_1_5_exponent,
+)
+from repro.core.search import ParallelLevySearch, SearchResult
+from repro.core.strategies import (
+    ExponentStrategy,
+    FixedExponentStrategy,
+    OracleExponentStrategy,
+    UniformRandomExponentStrategy,
+    cauchy_strategy,
+    diffusive_strategy,
+)
+
+__all__ = [
+    "Regime",
+    "regime",
+    "optimal_exponent",
+    "theorem_1_5_exponent",
+    "clamp_to_superdiffusive",
+    "characteristic_time",
+    "mu_factor",
+    "nu_factor",
+    "gamma_factor",
+    "ExponentStrategy",
+    "FixedExponentStrategy",
+    "UniformRandomExponentStrategy",
+    "OracleExponentStrategy",
+    "cauchy_strategy",
+    "diffusive_strategy",
+    "ParallelLevySearch",
+    "SearchResult",
+    "UniformANTSAlgorithm",
+    "universal_lower_bound",
+]

@@ -1,0 +1,94 @@
+"""The ANTS problem and the paper's uniform solution (Sections 1.1, 1.2.4).
+
+In the Ants-Nearby-Treasure-Search (ANTS) problem of Feinerman and Korman
+[14], ``k`` identical probabilistic agents start at the same nest on Z^2
+and search for an adversarially placed target at (unknown) distance ``l``.
+Agents do not know ``k``, cannot communicate, and may receive ``b`` bits
+of advice before the search starts; [14] shows the optimal expected search
+time is ``Theta(l^2/k + l)`` with sufficient advice, and that *no* advice
+(``b = 0``) forces a super-constant slowdown for deterministic-advice
+schemes.
+
+The paper's contribution to this problem (Section 1.2.4) is a *uniform*
+algorithm -- independent of both ``k`` and ``l``, using zero advice:
+
+    every agent performs a Levy walk whose exponent is sampled
+    independently and uniformly at random from (2, 3).
+
+By Theorem 1.6 the algorithm is Monte Carlo and finds the target w.h.p.
+within ``O((l^2/k) log^7 l + l log^3 l)`` steps, i.e. within polylog
+factors of the universal lower bound.  :class:`UniformANTSAlgorithm`
+packages exactly that algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.search import ParallelLevySearch, SearchResult
+from repro.core.strategies import UniformRandomExponentStrategy
+from repro.engine.results import HittingTimeSample
+from repro.rng import SeedLike
+
+IntPoint = Tuple[int, int]
+
+
+def universal_lower_bound(k: int, l: int) -> float:
+    """The ``Omega(l^2/k + l)`` lower bound of [14] (paper Section 1.2.3).
+
+    Any search strategy -- deterministic or randomized, centralized or not
+    -- that does not know ``l`` within a constant factor needs
+    ``Omega(l^2/k + l)`` steps with constant probability to find a target
+    at distance ``l`` with ``k`` agents.
+    """
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    if l < 1:
+        raise ValueError(f"l must be positive, got {l}")
+    return max(float(l), float(l) * float(l) / float(k))
+
+
+class UniformANTSAlgorithm:
+    """Advice-free uniform ANTS search via random-exponent Levy walks.
+
+    The agents are oblivious to ``k`` and ``l``; each one independently
+    draws ``alpha ~ Uniform(2, 3)`` and runs a Levy walk until some agent
+    steps on the target.  This is a thin, problem-framed wrapper around
+    :class:`~repro.core.search.ParallelLevySearch` with the
+    :class:`~repro.core.strategies.UniformRandomExponentStrategy`.
+    """
+
+    def __init__(self, k: int) -> None:
+        self._search = ParallelLevySearch(
+            k=k, strategy=UniformRandomExponentStrategy()
+        )
+
+    @property
+    def k(self) -> int:
+        """Number of agents."""
+        return self._search.k
+
+    def search(
+        self,
+        target: IntPoint,
+        horizon: Optional[int] = None,
+        rng: SeedLike = None,
+    ) -> SearchResult:
+        """Run the agents once against ``target``."""
+        return self._search.find(target, horizon=horizon, rng=rng)
+
+    def sample_search_times(
+        self,
+        target: IntPoint,
+        n_runs: int,
+        horizon: Optional[int] = None,
+        rng: SeedLike = None,
+    ) -> HittingTimeSample:
+        """Monte-Carlo sample of the algorithm's parallel hitting time."""
+        return self._search.sample_parallel_hitting_times(
+            target, n_runs=n_runs, horizon=horizon, rng=rng
+        )
+
+    def competitive_ratio(self, observed_time: float, target_distance: int) -> float:
+        """Observed time divided by the universal lower bound."""
+        return observed_time / universal_lower_bound(self.k, target_distance)

@@ -1,0 +1,129 @@
+"""Exponent regimes and the optimal exponent ``alpha*`` (paper Section 1.2).
+
+The paper's central quantitative finding is that for ``k`` parallel Levy
+walks searching a target at distance ``l`` there is a *unique* optimal
+exponent
+
+    ``alpha*(k, l) = 3 - log k / log l``            (Theorem 1.5)
+
+(up to an additive ``O(log log l / log l)`` term), lying strictly inside
+the super-diffusive range ``(2, 3)`` whenever ``polylog l <= k <=
+l polylog l``.  Deviating from ``alpha*`` by any constant ``eps`` costs a
+``poly(l)`` factor (Corollary 4.2(b)) or leaves the target unfound forever
+with probability ``1 - o(1)`` (Corollary 4.2(c)).
+
+This module also defines the three qualitative regimes of a single walk
+(Section 1.2.1) and the polylogarithmic correction factors ``mu``, ``nu``
+and ``gamma`` that appear throughout Section 4's bounds.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+
+class Regime(enum.Enum):
+    """Qualitative behavior of a Levy walk by exponent (Section 1.2.1)."""
+
+    #: ``alpha in (1, 2]``: unbounded mean jump length; the walk behaves
+    #: like a straight walk in a random direction.
+    BALLISTIC = "ballistic"
+    #: ``alpha in (2, 3)``: bounded mean, unbounded variance; the regime
+    #: containing every optimal exponent.
+    SUPERDIFFUSIVE = "superdiffusive"
+    #: ``alpha in [3, inf)``: bounded mean and (for ``alpha > 3``)
+    #: variance; the walk behaves like a simple random walk.
+    DIFFUSIVE = "diffusive"
+
+
+def regime(alpha: float) -> Regime:
+    """Classify exponent ``alpha`` into its regime.
+
+    The threshold case ``alpha = 3`` is grouped with the diffusive regime,
+    matching Theorem 1.2 which covers ``alpha in [3, inf)``.
+    """
+    if alpha <= 1.0:
+        raise ValueError(f"alpha must exceed 1 (Remark 3.5), got {alpha}")
+    if alpha <= 2.0:
+        return Regime.BALLISTIC
+    if alpha < 3.0:
+        return Regime.SUPERDIFFUSIVE
+    return Regime.DIFFUSIVE
+
+
+def optimal_exponent(k: int, l: int) -> float:
+    """The optimal common exponent ``alpha* = 3 - log k / log l``.
+
+    Valid (and inside ``(2, 3)``) for ``1 < k < l``; outside that window
+    the formula still returns the paper's expression, whose clamped value
+    reflects Theorem 1.5(b, c): every ``alpha >= 3`` is optimal when ``k``
+    is polylogarithmic, and every ``alpha in (1, 2]`` is optimal when
+    ``k >= l polylog l``.
+    """
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    if l < 2:
+        raise ValueError(f"target distance must be at least 2, got {l}")
+    return 3.0 - math.log(k) / math.log(l)
+
+
+def theorem_1_5_exponent(k: int, l: int) -> float:
+    """The exponent used by Theorem 1.5(a): ``alpha* + 5 log log l / log l``.
+
+    The small positive shift keeps the parallel walks on the
+    "finite-hitting-time" side of the threshold (compare Corollary 4.2(a)
+    with 4.2(c): exponents *below* ``alpha*`` leave the target unfound
+    almost surely).
+    """
+    log_l = math.log(l)
+    shift = 5.0 * math.log(max(log_l, math.e)) / log_l
+    return optimal_exponent(k, l) + shift
+
+
+def clamp_to_superdiffusive(alpha: float, margin: float = 1e-3) -> float:
+    """Clamp an exponent into the open interval ``(2, 3)``."""
+    return min(max(alpha, 2.0 + margin), 3.0 - margin)
+
+
+def mu_factor(alpha: float, l: int) -> float:
+    """``mu = min(log l, 1/(alpha - 2))`` (Theorem 4.1 and Lemma 3.10)."""
+    log_l = math.log(l)
+    if alpha == 2.0:
+        return log_l
+    return min(log_l, abs(1.0 / (2.0 - alpha)))
+
+
+def nu_factor(alpha: float, l: int) -> float:
+    """``nu = min(log l, 1/(3 - alpha))`` (Theorem 4.1 and Lemma 4.7)."""
+    log_l = math.log(l)
+    if alpha == 3.0:
+        return log_l
+    return min(log_l, abs(1.0 / (3.0 - alpha)))
+
+
+def gamma_factor(alpha: float, l: int) -> float:
+    """``gamma = (log l)^(2/(alpha-1)) / (3 - alpha)^2`` (Theorem 4.1(a))."""
+    if not 2.0 < alpha < 3.0:
+        raise ValueError(f"gamma is defined for alpha in (2, 3), got {alpha}")
+    log_l = math.log(l)
+    return log_l ** (2.0 / (alpha - 1.0)) / (3.0 - alpha) ** 2
+
+
+def characteristic_time(alpha: float, l: int) -> float:
+    """``t_l = l^(alpha - 1)``: the time scale of Theorem 1.1(a).
+
+    In the super-diffusive regime, ``Theta(l^(alpha-1))`` steps maximize
+    the hitting probability (within polylog factors); fewer steps reduce
+    it super-linearly, and more steps gain at most a polylog factor.
+    Outside ``(2, 3)`` the relevant scales are ``l^2`` (diffusive) and
+    ``l`` (ballistic); this function returns those when applicable.
+    """
+    if l < 2:
+        raise ValueError(f"target distance must be at least 2, got {l}")
+    reg = regime(alpha)
+    if reg is Regime.BALLISTIC:
+        return float(l)
+    if reg is Regime.DIFFUSIVE:
+        return float(l) ** 2
+    return float(l) ** (alpha - 1.0)

@@ -1,0 +1,182 @@
+"""Parallel Levy walk search -- the package's headline public API.
+
+``k`` independent Levy walks start simultaneously at the origin; the
+*parallel hitting time* for a target ``u*`` is the first step at which
+some walk visits it (Definition 3.7).  :class:`ParallelLevySearch` wires
+an :class:`~repro.core.strategies.ExponentStrategy` to the vectorized
+engine and returns censored parallel hitting-time samples.
+
+Typical use::
+
+    from repro.core import ParallelLevySearch, UniformRandomExponentStrategy
+
+    search = ParallelLevySearch(k=64, strategy=UniformRandomExponentStrategy())
+    result = search.find(target=(40, 30), rng=0)
+    if result.found:
+        print(f"target found at step {result.time} by a walk "
+              f"with exponent {result.finder_exponent:.3f}")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.strategies import ExponentStrategy, UniformRandomExponentStrategy
+from repro.engine.results import HittingTimeSample, group_minimum
+from repro.engine.samplers import HeterogeneousZetaSampler
+from repro.engine.vectorized import walk_hitting_times
+from repro.lattice.points import l1_norm
+from repro.rng import SeedLike, as_generator
+
+IntPoint = Tuple[int, int]
+
+#: Default horizon multiplier: simulate until ``c * (l^2 + l)`` steps.  The
+#: universal lower bound is ``Omega(l^2/k + l)`` and every strategy the
+#: paper considers succeeds w.h.p. within ``l^2 polylog(l)`` steps, so a
+#: small multiple of ``l^2`` is a generous default deadline for ``k >= 1``.
+DEFAULT_HORIZON_FACTOR = 4
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one parallel search run.
+
+    Attributes
+    ----------
+    found:
+        Whether some walk visited the target by the deadline.
+    time:
+        The parallel hitting time (None when not found).
+    finder_index:
+        Index of the earliest-hitting walk (None when not found).
+    finder_exponent:
+        That walk's Levy exponent (None when not found).
+    k:
+        Number of walks.
+    horizon:
+        The step deadline used.
+    exponents:
+        The full per-walk exponent vector the strategy produced.
+    """
+
+    found: bool
+    time: Optional[int]
+    finder_index: Optional[int]
+    finder_exponent: Optional[float]
+    k: int
+    horizon: int
+    exponents: np.ndarray
+
+
+class ParallelLevySearch:
+    """``k`` parallel Levy walks searching Z^2 from the origin.
+
+    Parameters
+    ----------
+    k:
+        Number of walks ("ants").
+    strategy:
+        Exponent-selection strategy; defaults to the paper's randomized
+        uniform-(2,3) strategy (Theorem 1.6), which needs no knowledge of
+        ``k`` or of the target distance.
+    detect_during_jump:
+        The paper's walks detect the target at every lattice step,
+        mid-jump included (True).  False gives the intermittent model of
+        [18], where the target is only noticed at jump endpoints.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        strategy: Optional[ExponentStrategy] = None,
+        detect_during_jump: bool = True,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = int(k)
+        self.strategy = strategy or UniformRandomExponentStrategy()
+        self.detect_during_jump = bool(detect_during_jump)
+
+    def default_horizon(self, target: IntPoint) -> int:
+        """A generous default deadline for a given target."""
+        distance = max(int(l1_norm(target)), 1)
+        return DEFAULT_HORIZON_FACTOR * (distance * distance + distance)
+
+    def find(
+        self,
+        target: IntPoint,
+        horizon: Optional[int] = None,
+        rng: SeedLike = None,
+    ) -> SearchResult:
+        """Run one parallel search and report the earliest hit."""
+        rng = as_generator(rng)
+        if horizon is None:
+            horizon = self.default_horizon(target)
+        exponents = np.asarray(self.strategy.sample_exponents(self.k, rng), dtype=float)
+        sample = walk_hitting_times(
+            HeterogeneousZetaSampler(exponents),
+            target=target,
+            horizon=horizon,
+            n_walks=self.k,
+            rng=rng,
+            detect_during_jump=self.detect_during_jump,
+        )
+        if sample.n_hits == 0:
+            return SearchResult(
+                found=False,
+                time=None,
+                finder_index=None,
+                finder_exponent=None,
+                k=self.k,
+                horizon=horizon,
+                exponents=exponents,
+            )
+        masked = np.where(sample.hit_mask, sample.times, np.iinfo(np.int64).max)
+        finder = int(np.argmin(masked))
+        return SearchResult(
+            found=True,
+            time=int(sample.times[finder]),
+            finder_index=finder,
+            finder_exponent=float(exponents[finder]),
+            k=self.k,
+            horizon=horizon,
+            exponents=exponents,
+        )
+
+    def sample_parallel_hitting_times(
+        self,
+        target: IntPoint,
+        n_runs: int,
+        horizon: Optional[int] = None,
+        rng: SeedLike = None,
+    ) -> HittingTimeSample:
+        """Censored sample of ``n_runs`` i.i.d. parallel hitting times.
+
+        Simulates ``n_runs * k`` walks in one vectorized batch (fresh
+        exponents per run, as the strategy dictates) and reduces each
+        consecutive block of ``k`` walks to its minimum.
+        """
+        rng = as_generator(rng)
+        if horizon is None:
+            horizon = self.default_horizon(target)
+        total = n_runs * self.k
+        exponents = np.concatenate(
+            [
+                np.asarray(self.strategy.sample_exponents(self.k, rng), dtype=float)
+                for _ in range(n_runs)
+            ]
+        )
+        sample = walk_hitting_times(
+            HeterogeneousZetaSampler(exponents),
+            target=target,
+            horizon=horizon,
+            n_walks=total,
+            rng=rng,
+            detect_during_jump=self.detect_during_jump,
+        )
+        return HittingTimeSample(
+            times=group_minimum(sample.times, self.k), horizon=horizon
+        )

@@ -1,0 +1,22 @@
+"""Jump-length distributions for Levy flights and walks.
+
+The central object is :class:`~repro.distributions.zeta.ZetaJumpDistribution`,
+the exact discrete power law of the paper's Eq. (3); the other laws plug
+into the same engines to produce baselines and ablations.
+"""
+
+from repro.distributions.base import JumpDistribution
+from repro.distributions.geometric import GeometricJumpDistribution
+from repro.distributions.quantized import QuantizedZetaJumpDistribution
+from repro.distributions.unit import ConstantJumpDistribution, UnitJumpDistribution
+from repro.distributions.zeta import ZetaJumpDistribution, cauchy_jump_distribution
+
+__all__ = [
+    "JumpDistribution",
+    "ZetaJumpDistribution",
+    "cauchy_jump_distribution",
+    "UnitJumpDistribution",
+    "ConstantJumpDistribution",
+    "GeometricJumpDistribution",
+    "QuantizedZetaJumpDistribution",
+]

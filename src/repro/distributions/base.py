@@ -1,0 +1,80 @@
+"""Abstract interface for jump-length distributions.
+
+Both the Levy flight (Definition 3.3) and the Levy walk (Definition 3.4)
+are parameterized by the law of the jump distance ``d``:
+
+    P(d = 0) = 1/2,    P(d = i) = c_alpha / i^alpha  for i >= 1.   (Eq. 3)
+
+This module defines the :class:`JumpDistribution` contract that every
+concrete law implements, so that walk processes and simulation engines are
+generic in the jump law.  Besides the paper's power law
+(:class:`repro.distributions.zeta.ZetaJumpDistribution`) the package ships
+a unit-jump law (recovering the lazy simple random walk baseline) and a
+geometric law (an exponential-tail ablation).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+
+class JumpDistribution(abc.ABC):
+    """Law of a single jump distance ``d`` on the non-negative integers."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` i.i.d. jump distances as an int64 array."""
+
+    @abc.abstractmethod
+    def pmf(self, i) -> np.ndarray:
+        """Return ``P(d = i)`` (vectorized over ``i``)."""
+
+    @abc.abstractmethod
+    def tail(self, i) -> np.ndarray:
+        """Return ``P(d >= i)`` (vectorized over ``i``).
+
+        For the paper's power law this is the quantity of Eq. (4):
+        ``P(d >= i) = Theta(1 / i^(alpha - 1))``.
+        """
+
+    def cdf(self, i) -> np.ndarray:
+        """Return ``P(d <= i)`` (vectorized over ``i``)."""
+        i = np.asarray(i)
+        return 1.0 - self.tail(i + 1)
+
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """``E[d]``; ``inf`` when the mean diverges (alpha <= 2)."""
+
+    @property
+    @abc.abstractmethod
+    def second_moment(self) -> float:
+        """``E[d^2]``; ``inf`` when it diverges (alpha <= 3)."""
+
+    @property
+    def variance(self) -> float:
+        """``Var(d)``; ``inf`` when the second moment diverges."""
+        second = self.second_moment
+        if np.isinf(second):
+            return float("inf")
+        return second - self.mean**2
+
+    @property
+    @abc.abstractmethod
+    def support_max(self) -> Optional[int]:
+        """Largest attainable distance, or ``None`` if unbounded."""
+
+    def expected_steps_per_jump(self) -> float:
+        """``E[max(d, 1)]``: the Levy-walk time cost of one jump phase.
+
+        A jump phase of length ``d >= 1`` takes ``d`` steps; a phase with
+        ``d = 0`` takes one step (the walk stays put, Definition 3.4).
+        """
+        mean = self.mean
+        if np.isinf(mean):
+            return float("inf")
+        return float(mean + self.pmf(0))

@@ -1,0 +1,99 @@
+"""Degenerate jump laws: unit jumps and constant jumps.
+
+A Levy walk whose jump distance is 0 with probability 1/2 and 1 otherwise
+is exactly the *lazy simple random walk* on Z^2 -- the classical baseline
+the paper compares against (Section 2: "When alpha in (3, inf), a Levy walk
+on Z^d behaves similarly to a simple random walk", and as alpha -> inf the
+jump converges in distribution to that of a simple random walk).  Plugging
+:class:`UnitJumpDistribution` into the generic engines yields that baseline
+with zero extra code.
+
+:class:`ConstantJumpDistribution` (all mass on one distance) is used in
+tests and in ablations that isolate the effect of the jump-length mix.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.distributions.base import JumpDistribution
+
+
+class UnitJumpDistribution(JumpDistribution):
+    """``P(d = 0) = lazy_probability``, ``P(d = 1)`` the rest."""
+
+    def __init__(self, lazy_probability: float = 0.5) -> None:
+        if not 0.0 <= lazy_probability < 1.0:
+            raise ValueError(f"lazy probability must be in [0, 1), got {lazy_probability}")
+        self.lazy_probability = float(lazy_probability)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return (rng.random(size) >= self.lazy_probability).astype(np.int64)
+
+    def pmf(self, i) -> np.ndarray:
+        i = np.asarray(i)
+        out = np.where(
+            i == 0,
+            self.lazy_probability,
+            np.where(i == 1, 1.0 - self.lazy_probability, 0.0),
+        )
+        return out if out.shape else float(out)
+
+    def tail(self, i) -> np.ndarray:
+        i = np.asarray(i)
+        out = np.where(i <= 0, 1.0, np.where(i == 1, 1.0 - self.lazy_probability, 0.0))
+        return out if out.shape else float(out)
+
+    @property
+    def mean(self) -> float:
+        return 1.0 - self.lazy_probability
+
+    @property
+    def second_moment(self) -> float:
+        return 1.0 - self.lazy_probability
+
+    @property
+    def support_max(self) -> Optional[int]:
+        return 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UnitJumpDistribution(lazy_probability={self.lazy_probability})"
+
+
+class ConstantJumpDistribution(JumpDistribution):
+    """All probability mass on a single distance ``value >= 1``."""
+
+    def __init__(self, value: int) -> None:
+        if value < 1:
+            raise ValueError(f"constant jump must be at least 1, got {value}")
+        self.value = int(value)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return np.full(size, self.value, dtype=np.int64)
+
+    def pmf(self, i) -> np.ndarray:
+        i = np.asarray(i)
+        out = np.where(i == self.value, 1.0, 0.0)
+        return out if out.shape else float(out)
+
+    def tail(self, i) -> np.ndarray:
+        i = np.asarray(i)
+        out = np.where(i <= self.value, 1.0, 0.0)
+        return out if out.shape else float(out)
+
+    @property
+    def mean(self) -> float:
+        return float(self.value)
+
+    @property
+    def second_moment(self) -> float:
+        return float(self.value) ** 2
+
+    @property
+    def support_max(self) -> Optional[int]:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ConstantJumpDistribution(value={self.value})"

@@ -1,0 +1,68 @@
+"""High-throughput Monte-Carlo engines (exact, vectorized).
+
+The engines reproduce the laws of the object-level processes in
+:mod:`repro.walks` with O(1) work per jump phase; see
+:mod:`repro.engine.vectorized` for the hit-detection trick.
+"""
+
+from repro.engine.ball_targets import ball_hitting_times
+from repro.engine.exact_occupation import (
+    ExactOccupation,
+    flight_hitting_probability_exact,
+    flight_occupation_exact,
+    jump_kernel,
+)
+from repro.engine.multi_target import (
+    ForagingResult,
+    multi_target_search,
+    scatter_poisson_field,
+)
+from repro.engine.results import (
+    CENSORED,
+    HittingTimeSample,
+    bootstrap_parallel,
+    group_minimum,
+)
+from repro.engine.reference import reference_hitting_times
+from repro.engine.trajectories import distinct_nodes_visited, walk_trajectories
+from repro.engine.samplers import (
+    BatchJumpSampler,
+    HeterogeneousZetaSampler,
+    HomogeneousSampler,
+)
+from repro.engine.vectorized import flight_hitting_times, walk_hitting_times
+from repro.engine.visits import (
+    flight_occupation_grid,
+    flight_positions_after,
+    flight_region_visits,
+    flight_visit_counts,
+    walk_displacement_snapshots,
+)
+
+__all__ = [
+    "CENSORED",
+    "HittingTimeSample",
+    "group_minimum",
+    "bootstrap_parallel",
+    "walk_hitting_times",
+    "flight_hitting_times",
+    "reference_hitting_times",
+    "BatchJumpSampler",
+    "HomogeneousSampler",
+    "HeterogeneousZetaSampler",
+    "flight_visit_counts",
+    "flight_occupation_grid",
+    "flight_positions_after",
+    "flight_region_visits",
+    "walk_displacement_snapshots",
+    "ball_hitting_times",
+    "multi_target_search",
+    "scatter_poisson_field",
+    "ForagingResult",
+    "flight_occupation_exact",
+    "flight_hitting_probability_exact",
+    "jump_kernel",
+    "ExactOccupation",
+    "walk_trajectories",
+    "distinct_nodes_visited",
+]

@@ -1,0 +1,81 @@
+"""Batch jump-length samplers for the vectorized engines.
+
+The engines simulate many walks at once and need, at every round, one jump
+distance per *active* walk.  Two situations arise:
+
+* every walk uses the same jump law (fixed-exponent strategies, baselines):
+  :class:`HomogeneousSampler` simply delegates to the law's vectorized
+  ``sample``;
+* every walk has its *own* exponent (the paper's randomized strategy of
+  Theorem 1.6 draws each walk's ``alpha`` uniformly from ``(2, 3)``):
+  :class:`HeterogeneousZetaSampler` runs the exact inverse-CDF bisection
+  of :class:`~repro.distributions.zeta.ZetaJumpDistribution` with a
+  *per-element* exponent, which the Hurwitz zeta implementation
+  vectorizes natively.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+from scipy import special
+
+from repro.distributions.base import JumpDistribution
+from repro.distributions.zipf_sampler import rejection_conditional_zipf
+
+
+class BatchJumpSampler(abc.ABC):
+    """Produces one jump distance per requested walk index."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, walk_indices: np.ndarray) -> np.ndarray:
+        """Return an int64 array of jump distances, one per index."""
+
+
+class HomogeneousSampler(BatchJumpSampler):
+    """All walks share one :class:`JumpDistribution`."""
+
+    def __init__(self, distribution: JumpDistribution) -> None:
+        self.distribution = distribution
+
+    def sample(self, rng: np.random.Generator, walk_indices: np.ndarray) -> np.ndarray:
+        return self.distribution.sample(rng, int(walk_indices.shape[0]))
+
+
+class HeterogeneousZetaSampler(BatchJumpSampler):
+    """Each walk has its own power-law exponent (Eq. 3 law per walk).
+
+    Parameters
+    ----------
+    alphas:
+        Array of shape ``(n_walks,)``; entry ``i`` is walk ``i``'s
+        exponent.  Exponents must exceed 1 (Remark 3.5).
+    lazy_probability:
+        Common ``P(d = 0)`` (the paper fixes 1/2).
+    """
+
+    def __init__(self, alphas: np.ndarray, lazy_probability: float = 0.5) -> None:
+        alphas = np.asarray(alphas, dtype=float)
+        if alphas.ndim != 1:
+            raise ValueError("alphas must be one-dimensional")
+        if np.any(alphas <= 1.0):
+            raise ValueError("every exponent must exceed 1 (Remark 3.5)")
+        if not 0.0 <= lazy_probability < 1.0:
+            raise ValueError(f"lazy probability must be in [0, 1), got {lazy_probability}")
+        self.alphas = alphas
+        self.lazy_probability = float(lazy_probability)
+        # zeta(alpha) per walk: the conditional tail is zeta(a, i)/zeta(a, 1).
+        self._series_mass = special.zeta(alphas, 1.0)
+
+    def sample(self, rng: np.random.Generator, walk_indices: np.ndarray) -> np.ndarray:
+        n = int(walk_indices.shape[0])
+        out = np.zeros(n, dtype=np.int64)
+        lazy = rng.random(n) < self.lazy_probability
+        moving = ~lazy
+        n_moving = int(moving.sum())
+        if n_moving == 0:
+            return out
+        a = self.alphas[walk_indices[moving]]
+        out[moving] = rejection_conditional_zipf(a, rng, n_moving)
+        return out

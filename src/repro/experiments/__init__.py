@@ -1,0 +1,25 @@
+"""Experiment harnesses: one module per paper statement (see DESIGN.md).
+
+Use the registry to run any experiment::
+
+    from repro.experiments import run_experiment
+    result = run_experiment("EXP-T1.6", scale="small", seed=0)
+    print(result.render())
+
+or from the command line::
+
+    repro-experiment run EXP-T1.6 --scale small
+    repro-experiment run all --scale smoke
+"""
+
+from repro.experiments.common import Check, ExperimentResult, default_target
+from repro.experiments.registry import experiment_ids, get_experiment, run_experiment
+
+__all__ = [
+    "Check",
+    "ExperimentResult",
+    "default_target",
+    "experiment_ids",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,111 @@
+"""Shared scaffolding for the experiment harnesses.
+
+Every experiment module exposes::
+
+    EXPERIMENT_ID  -- short id matching DESIGN.md's per-experiment index
+    TITLE          -- one-line description
+    run(scale="small", seed=0) -> ExperimentResult
+    main(argv=None)            -- CLI entry point
+
+``scale`` selects a preset size: ``smoke`` (seconds; used by the pytest
+benchmarks and CI), ``small`` (tens of seconds; the default), ``full``
+(minutes; the numbers recorded in EXPERIMENTS.md).  Every run is seeded
+and prints its seed, so any figure in EXPERIMENTS.md can be regenerated
+exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.reporting.table import Table
+
+SCALES = ("smoke", "small", "full")
+
+
+def default_target(l: int) -> tuple[int, int]:
+    """A generic target node at Manhattan distance ``l`` from the origin.
+
+    The theorems hold for *any* node of ``R_l(0)``; we pick an off-axis,
+    off-diagonal direction (roughly one third of the way around the ring)
+    so results are not accidentally flattered by the extra symmetry of
+    axis or diagonal targets.
+    """
+    if l < 1:
+        raise ValueError(f"target distance must be positive, got {l}")
+    x = l - l // 3
+    return (x, l - x)
+
+
+@dataclass(frozen=True)
+class Check:
+    """One pass/fail comparison between measurement and theory."""
+
+    description: str
+    passed: bool
+    detail: str = ""
+
+    def render(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"[{status}] {self.description}{suffix}"
+
+
+@dataclass
+class ExperimentResult:
+    """Everything an experiment produced."""
+
+    experiment_id: str
+    title: str
+    scale: str
+    seed: int
+    tables: List[Table] = field(default_factory=list)
+    checks: List[Check] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    plots: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when every check passed (vacuously true with no checks)."""
+        return all(check.passed for check in self.checks)
+
+    def render(self) -> str:
+        lines = [
+            f"=== {self.experiment_id}: {self.title} ===",
+            f"scale={self.scale} seed={self.seed}",
+            "",
+        ]
+        for table in self.tables:
+            lines.append(table.render())
+            lines.append("")
+        for plot in self.plots:
+            lines.append(plot)
+            lines.append("")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        if self.checks:
+            lines.append("")
+            for check in self.checks:
+                lines.append(check.render())
+            verdict = "ALL CHECKS PASSED" if self.passed else "SOME CHECKS FAILED"
+            lines.append(verdict)
+        return "\n".join(lines)
+
+
+def validate_scale(scale: str) -> str:
+    if scale not in SCALES:
+        raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
+    return scale
+
+
+def experiment_main(run, argv: Optional[Sequence[str]] = None) -> int:
+    """Standard CLI wrapper used by every experiment's ``main``."""
+    parser = argparse.ArgumentParser(description=run.__doc__)
+    parser.add_argument("--scale", choices=SCALES, default="small")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    result = run(scale=args.scale, seed=args.seed)
+    print(result.render())
+    return 0 if result.passed else 1

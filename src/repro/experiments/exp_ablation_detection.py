@@ -1,0 +1,123 @@
+"""EXT-DET: ablation -- detection during jumps vs only at jump endpoints.
+
+The paper's Levy walk notices the target the instant it steps on it,
+mid-jump included; the related "intermittent" model of [18] (Section 2)
+only inspects jump endpoints, and that modelling choice changes which
+exponents are optimal (in [18], alpha = 2 wins *because* detection is
+intermittent and targets have diameter D).
+
+This ablation quantifies the gap on our unit target: for each exponent,
+the hit probability within the characteristic time under both detection
+semantics.  Expected shape: during-jump detection strictly dominates,
+and its advantage grows as alpha decreases (longer jumps fly over the
+target more often, so endpoint-only detection forfeits more hits).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.comparisons import two_proportion_z
+from repro.core.exponents import mu_factor
+from repro.distributions.zeta import ZetaJumpDistribution
+from repro.engine.vectorized import walk_hitting_times
+from repro.experiments.common import (
+    Check,
+    ExperimentResult,
+    default_target,
+    experiment_main,
+    validate_scale,
+)
+from repro.reporting.table import Table
+from repro.rng import as_generator
+
+EXPERIMENT_ID = "EXT-DET"
+TITLE = "Ablation: mid-jump vs endpoint-only (intermittent) target detection  [vs [18]]"
+
+_CONFIG = {
+    # (l, n_walks)
+    "smoke": (24, 8_000),
+    "small": (32, 30_000),
+    "full": (48, 120_000),
+}
+_ALPHAS = (2.1, 2.5, 2.9)
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Hit probability under both detection semantics, per exponent."""
+    scale = validate_scale(scale)
+    rng = as_generator(seed)
+    l, n_walks = _CONFIG[scale]
+    target = default_target(l)
+    table = Table(
+        [
+            "alpha",
+            "horizon",
+            "P(hit), mid-jump detection",
+            "P(hit), endpoint-only",
+            "advantage ratio",
+        ],
+        title=f"detection ablation at l={l}",
+    )
+    ratios = {}
+    checks = []
+    for alpha in _ALPHAS:
+        law = ZetaJumpDistribution(alpha)
+        horizon = max(l, int(math.ceil(4 * mu_factor(alpha, l) * l ** (alpha - 1.0))))
+        full = walk_hitting_times(
+            law, target, horizon, n_walks, rng, detect_during_jump=True
+        )
+        endpoint = walk_hitting_times(
+            law, target, horizon, n_walks, rng, detect_during_jump=False
+        )
+        ratio = (
+            full.hit_fraction / endpoint.hit_fraction
+            if endpoint.hit_fraction > 0
+            else float("inf")
+        )
+        ratios[alpha] = ratio
+        table.add_row(alpha, horizon, full.hit_fraction, endpoint.hit_fraction, ratio)
+        test = two_proportion_z(
+            full.n_hits, full.n, endpoint.n_hits, endpoint.n
+        )
+        checks.append(
+            Check(
+                f"alpha={alpha}: mid-jump detection finds significantly more "
+                "(two-proportion z, p < 0.01)",
+                test.direction > 0 and test.significant(0.01),
+                detail=(
+                    f"{full.hit_fraction:.4f} vs {endpoint.hit_fraction:.4f}, "
+                    f"p={test.p_value:.2e}"
+                ),
+            )
+        )
+    checks.append(
+        Check(
+            "the mid-jump advantage grows as alpha decreases (longer jumps "
+            "fly over the target more often)",
+            ratios[_ALPHAS[0]] > ratios[_ALPHAS[-1]],
+            detail=" > ".join(f"{ratios[a]:.2f}" for a in _ALPHAS),
+        )
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        scale=scale,
+        seed=seed,
+        tables=[table],
+        checks=checks,
+        notes=[
+            "This is why the paper's model and [18]'s reach different "
+            "optimal exponents: with endpoint-only (intermittent) detection "
+            "and unit targets, long jumps waste their traversal, shifting "
+            "the balance toward shorter-jump (larger alpha) walks.",
+        ],
+    )
+
+
+def main(argv=None) -> int:
+    return experiment_main(run, argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

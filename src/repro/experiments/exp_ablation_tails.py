@@ -1,0 +1,133 @@
+"""EXT-TAIL: ablation -- the heavy tail itself, not the jumping, does the work.
+
+A skeptic's question about the Levy foraging hypothesis: is the search
+advantage due to the *power-law* tail, or merely to taking long jumps
+now and then?  This ablation keeps everything about the Levy walk
+(lazy step, uniform ring destination, direct-path traversal) and swaps
+only the jump-length law: the paper's ``alpha = 2.5`` power law vs a
+geometric law with the *same conditional mean jump length*.
+
+Expected shape: within the super-diffusive characteristic budget
+``~ 2 l^(alpha-1)``, the exponential-tail walk -- whose displacement is
+diffusive, ``~ sqrt(t)`` -- is actually (slightly) better at *short*
+range, where its reliable medium jumps beat the power law's wasted long
+ones; but its hit probability decays much steeper in ``l``, so the
+power-law walk takes over at long range and the gap keeps widening --
+precisely the Levy-foraging trade-off the paper formalizes in
+Theorem 1.1(a) (Section 1.2.1).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.scaling import fit_power_law, geometric_grid
+from repro.distributions.geometric import GeometricJumpDistribution
+from repro.distributions.zeta import ZetaJumpDistribution
+from repro.engine.vectorized import walk_hitting_times
+from repro.experiments.common import (
+    Check,
+    ExperimentResult,
+    default_target,
+    experiment_main,
+    validate_scale,
+)
+from repro.reporting.table import Table
+from repro.rng import as_generator
+
+EXPERIMENT_ID = "EXT-TAIL"
+TITLE = "Ablation: power-law vs exponential jump tail at matched mean"
+
+_ALPHA = 2.5
+_CONFIG = {
+    # (l grid, n_walks, required long-range advantage)
+    # The budget 2 l^(alpha-1) sits well below l^2, so the crossover from
+    # geometric-favored (small l) to power-law-favored lands around l ~ 32.
+    "smoke": (geometric_grid(16, 64, 3), 10_000, 1.3),
+    "small": (geometric_grid(16, 96, 4), 25_000, 1.7),
+    "full": (geometric_grid(16, 192, 5), 80_000, 2.5),
+}
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Hit probability vs distance for matched power-law/geometric walks."""
+    scale = validate_scale(scale)
+    rng = as_generator(seed)
+    l_grid, n_walks, required_advantage = _CONFIG[scale]
+    levy = ZetaJumpDistribution(_ALPHA)
+    conditional_mean = levy.mean / (1.0 - levy.lazy_probability)
+    geometric = GeometricJumpDistribution.with_mean(conditional_mean)
+    table = Table(
+        ["l", "horizon", "P(hit), power law", "P(hit), geometric", "ratio"],
+        title=(
+            f"alpha={_ALPHA} power law vs geometric with the same conditional "
+            f"mean jump ({conditional_mean:.3f})"
+        ),
+    )
+    levy_points = []
+    geometric_points = []
+    ratios = []
+    for l in l_grid:
+        horizon = max(l, int(math.ceil(2.0 * l ** (_ALPHA - 1.0))))
+        target = default_target(l)
+        p_levy = walk_hitting_times(levy, target, horizon, n_walks, rng).hit_fraction
+        p_geom = walk_hitting_times(geometric, target, horizon, n_walks, rng).hit_fraction
+        ratio = p_levy / p_geom if p_geom > 0 else float("inf")
+        ratios.append(ratio)
+        table.add_row(l, horizon, p_levy, p_geom, ratio)
+        if p_levy > 0:
+            levy_points.append((float(l), p_levy))
+        if p_geom > 0:
+            geometric_points.append((float(l), p_geom))
+    checks = [
+        Check(
+            f"the power-law walk wins at long range "
+            f"(ratio >= {required_advantage} at l={l_grid[-1]})",
+            ratios[-1] >= required_advantage,
+            detail=f"ratio {ratios[-1]:.2f}",
+        ),
+        Check(
+            "the power-law advantage widens with distance",
+            ratios[-1] > ratios[0],
+            detail=" -> ".join(f"{r:.2f}" for r in ratios),
+        ),
+    ]
+    if len(levy_points) >= 3 and len(geometric_points) >= 3:
+        fit_levy = fit_power_law(*zip(*levy_points))
+        fit_geom = fit_power_law(*zip(*geometric_points))
+        checks.append(
+            Check(
+                "the geometric tail's hit probability decays steeper in l "
+                "(slope gap >= 0.3)",
+                fit_levy.slope - fit_geom.slope >= 0.3,
+                detail=(
+                    f"slope(power)={fit_levy.slope:.2f}, "
+                    f"slope(geometric)={fit_geom.slope:.2f}"
+                ),
+            )
+        )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        scale=scale,
+        seed=seed,
+        tables=[table],
+        checks=checks,
+        notes=[
+            "Both walks take jumps of the same average length; only the "
+            "tail differs.  The exponential-tail walk diffuses (~sqrt(t) "
+            "displacement) and cannot reach distance l within the "
+            "super-diffusive budget ~l^(alpha-1) once l is large, so the "
+            "long-range advantage is attributable to the heavy tail itself "
+            "(it may even lose slightly at short range, where reliable "
+            "medium jumps beat occasional huge ones).",
+        ],
+    )
+
+
+def main(argv=None) -> int:
+    return experiment_main(run, argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

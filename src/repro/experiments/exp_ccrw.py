@@ -1,0 +1,136 @@
+"""EXT-CCRW: composite correlated walks have a sweet spot; Levy walks don't.
+
+The empirical Levy-walk literature's standing rival (see the [39] debate
+cited in Section 2) is the composite correlated random walk: a two-mode
+walk alternating local tortuous search with straight relocation bouts.
+A CCRW's bout-length distribution is exponential, so it carries a
+*characteristic relocation scale*; per target distance there is a best
+bout length, and it moves with the distance -- whereas a power-law walk
+(and a fortiori the paper's randomized-exponent ensemble) holds its own
+at every scale without retuning.
+
+The harness sweeps the CCRW's mean bout length per target distance to
+find the *oracle CCRW*, then checks:
+
+1. the oracle bout length grows with the target distance (the CCRW is
+   scale-bound);
+2. a CCRW tuned for the nearest band loses a constant factor at the
+   farthest band;
+3. an untuned ``alpha = 2.5`` Levy walk stays within a modest factor of
+   the per-distance oracle CCRW everywhere.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.distributions.zeta import ZetaJumpDistribution
+from repro.engine.vectorized import walk_hitting_times
+from repro.experiments.common import (
+    Check,
+    ExperimentResult,
+    default_target,
+    experiment_main,
+    validate_scale,
+)
+from repro.reporting.table import Table
+from repro.rng import as_generator
+from repro.walks.composite import ccrw_hitting_times
+
+EXPERIMENT_ID = "EXT-CCRW"
+TITLE = "Composite correlated walks are scale-bound; Levy walks are not  [cf. [39]]"
+
+_ALPHA = 2.5
+_CONFIG = {
+    # (l grid, bout grid, n_walks, required mistuning penalty)
+    # The penalty factor is noise-limited at small sample counts (the
+    # oracle is a max over noisy cells), hence the per-scale values.
+    "smoke": ((12, 128), (2, 8, 32, 128), 6_000, 1.15),
+    "small": ((12, 48, 128), (2, 4, 8, 16, 32, 64, 128), 10_000, 1.3),
+    "full": ((12, 48, 128, 256), (2, 4, 8, 16, 32, 64, 128, 256), 30_000, 1.4),
+}
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Sweep CCRW bout lengths per distance; compare to an untuned Levy walk."""
+    scale = validate_scale(scale)
+    rng = as_generator(seed)
+    l_grid, bout_grid, n_walks, penalty = _CONFIG[scale]
+    levy = ZetaJumpDistribution(_ALPHA)
+    table = Table(
+        ["l", "budget"]
+        + [f"CCRW bout={b}" for b in bout_grid]
+        + ["oracle bout", f"Levy alpha={_ALPHA}"],
+        title="P(hit within ~2 l^1.5 steps) per mean relocation-bout length",
+    )
+    oracle_bout = {}
+    oracle_p = {}
+    ccrw_p = {}
+    levy_p = {}
+    for l in l_grid:
+        target = default_target(l)
+        budget = max(4 * l, int(math.ceil(2.0 * l**1.5)))
+        row = []
+        for bout in bout_grid:
+            times = ccrw_hitting_times(
+                target, budget, n_walks, rng, extensive_bout_mean=float(bout)
+            )
+            p = float((times >= 0).mean())
+            ccrw_p[(l, bout)] = p
+            row.append(p)
+        best_index = max(range(len(row)), key=row.__getitem__)
+        oracle_bout[l] = bout_grid[best_index]
+        oracle_p[l] = row[best_index]
+        levy_p[l] = walk_hitting_times(levy, target, budget, n_walks, rng).hit_fraction
+        table.add_row(l, budget, *row, oracle_bout[l], levy_p[l])
+    near, far = l_grid[0], l_grid[-1]
+    checks = [
+        Check(
+            "the oracle bout length grows with the target distance "
+            "(the CCRW is scale-bound)",
+            oracle_bout[near] < oracle_bout[far],
+            detail=" -> ".join(f"l={l}: bout {oracle_bout[l]}" for l in l_grid),
+        ),
+        Check(
+            f"the CCRW tuned for l={near} loses >= {penalty}x at l={far} "
+            "against the oracle CCRW",
+            oracle_p[far] >= penalty * ccrw_p[(far, oracle_bout[near])],
+            detail=(
+                f"oracle {oracle_p[far]:.4f} vs near-tuned "
+                f"{ccrw_p[(far, oracle_bout[near])]:.4f}"
+            ),
+        ),
+        Check(
+            "the untuned Levy walk stays within 4x of the oracle CCRW at "
+            "EVERY distance (no retuning)",
+            all(levy_p[l] >= 0.25 * oracle_p[l] for l in l_grid),
+            detail=", ".join(
+                f"l={l}: {levy_p[l] / oracle_p[l]:.2f}" for l in l_grid
+            ),
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        scale=scale,
+        seed=seed,
+        tables=[table],
+        checks=checks,
+        notes=[
+            "This is the functional version of the Levy-vs-CCRW model "
+            "identification debate [39]: over one distance band the two "
+            "are hard to tell apart, but the CCRW's exponential bouts tie "
+            "it to a scale -- its optimum must be re-tuned as the distance "
+            "changes, while the power-law walk is not, and the paper's "
+            "randomized ensemble extends that scale-freeness to the "
+            "parallel setting.",
+        ],
+    )
+
+
+def main(argv=None) -> int:
+    return experiment_main(run, argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

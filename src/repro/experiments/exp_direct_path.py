@@ -1,0 +1,100 @@
+"""EXP-L3.2: ring marginals of uniform direct paths obey Lemma 3.2.
+
+Lemma 3.2: sample ``v`` uniformly on ``R_d(u)`` and a uniform direct path
+``u .. v``; then for every ``1 <= i < d`` and every ``w`` on ``R_i(u)``,
+
+    ``(i/d) floor(d/i) / (4 i) <= P(u_i = w) <= (i/d) ceil(d/i) / (4 i)``.
+
+The check here is *exact*, not Monte-Carlo: the marginal is computed in
+closed form from the tie-break structure (see
+:func:`repro.lattice.direct_path.ring_marginal_exact`), then every node of
+the inner ring is compared against both bounds.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import Check, ExperimentResult, experiment_main, validate_scale
+from repro.lattice.direct_path import ring_marginal_exact
+from repro.reporting.table import Table
+
+EXPERIMENT_ID = "EXP-L3.2"
+TITLE = "Direct-path ring marginals within Lemma 3.2 bounds (exact check)"
+
+_PAIRS = {
+    "smoke": [(8, 3), (12, 5), (16, 7)],
+    "small": [(8, 3), (12, 5), (16, 7), (24, 11), (32, 13), (48, 17), (64, 31)],
+    "full": [
+        (8, 3),
+        (12, 5),
+        (16, 7),
+        (24, 11),
+        (32, 13),
+        (48, 17),
+        (64, 31),
+        (96, 37),
+        (128, 63),
+        (192, 5),
+        (256, 200),
+    ],
+}
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Exact verification of Lemma 3.2 on a grid of (d, i) pairs."""
+    scale = validate_scale(scale)
+    table = Table(
+        [
+            "d",
+            "i",
+            "lemma lower",
+            "min P(u_i = w)",
+            "max P(u_i = w)",
+            "lemma upper",
+            "ring mass",
+        ],
+        title="Lemma 3.2 exact ring marginals",
+    )
+    checks = []
+    for d, i in _PAIRS[scale]:
+        marginal = ring_marginal_exact(d, i)
+        lower = (i / d) * (d // i) / (4 * i)
+        upper = (i / d) * (-(-d // i)) / (4 * i)  # ceil via negative floor
+        probabilities = list(marginal.values())
+        observed_min = min(probabilities)
+        observed_max = max(probabilities)
+        mass = sum(probabilities)
+        table.add_row(d, i, lower, observed_min, observed_max, upper, mass)
+        ok = (
+            observed_min >= lower - 1e-12
+            and observed_max <= upper + 1e-12
+            and abs(mass - 1.0) < 1e-9
+            and len(marginal) == 4 * i
+        )
+        checks.append(
+            Check(
+                f"(d={d}, i={i}): all 4i marginals inside Lemma 3.2 bounds",
+                ok,
+                detail=f"[{observed_min:.3e}, {observed_max:.3e}] in [{lower:.3e}, {upper:.3e}]",
+            )
+        )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        scale=scale,
+        seed=seed,
+        tables=[table],
+        checks=checks,
+        notes=[
+            "The marginal support is the full inner ring and the bounds hold "
+            "node-by-node; this is the structural fact behind the O(1) hit "
+            "detection of the vectorized engine."
+        ],
+    )
+
+
+def main(argv=None) -> int:
+    return experiment_main(run, argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

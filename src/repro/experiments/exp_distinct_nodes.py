@@ -1,0 +1,109 @@
+"""EXT-COVER: Levy walks barely re-visit -- the efficiency mechanism.
+
+Why is a super-diffusive walk a good searcher per step?  Because almost
+every step lands on a *new* node: Lemma 4.13 bounds the expected number
+of returns to the origin by a constant (for ``alpha < 3``), and the same
+geometry keeps the whole trajectory nearly self-avoiding.  A diffusive
+walk, in contrast, re-covers its neighbourhood relentlessly (the classic
+``t / log t`` distinct-sites law of 2D random walks), wasting most steps.
+
+The harness records full exact trajectories and measures the fraction of
+steps that discover a new node, per exponent and time budget:
+
+* ballistic and super-diffusive walks keep the fraction near a constant;
+* diffusive walks' fraction is lower and keeps *decaying* with the budget
+  (the ``1 / log t`` signature);
+* the ordering ballistic > super-diffusive > diffusive > SRW holds at
+  every budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.unit import UnitJumpDistribution
+from repro.distributions.zeta import ZetaJumpDistribution
+from repro.engine.trajectories import distinct_nodes_visited, walk_trajectories
+from repro.experiments.common import Check, ExperimentResult, experiment_main, validate_scale
+from repro.reporting.table import Table
+from repro.rng import as_generator
+
+EXPERIMENT_ID = "EXT-COVER"
+TITLE = "Distinct nodes per step: Levy walks barely re-visit  [mechanism of Lemma 4.13]"
+
+_CONFIG = {
+    # (step budgets, n_walks)
+    "smoke": ((256, 1024), 300),
+    "small": ((256, 1024, 4096), 600),
+    "full": ((256, 1024, 4096, 16384), 2_000),
+}
+_LAWS = (
+    ("alpha=1.5 (ballistic)", ZetaJumpDistribution(1.5)),
+    ("alpha=2.5 (super-diffusive)", ZetaJumpDistribution(2.5)),
+    ("alpha=3.5 (diffusive)", ZetaJumpDistribution(3.5)),
+    ("lazy SRW", UnitJumpDistribution()),
+)
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Measure mean distinct-nodes-per-step across laws and budgets."""
+    scale = validate_scale(scale)
+    rng = as_generator(seed)
+    budgets, n_walks = _CONFIG[scale]
+    table = Table(
+        ["law"] + [f"new-node fraction, t={t}" for t in budgets],
+        title="mean (distinct nodes - 1) / steps",
+    )
+    fractions = {}
+    for label, law in _LAWS:
+        row = []
+        for t in budgets:
+            trajectories = walk_trajectories(law, t, n_walks, rng)
+            distinct = distinct_nodes_visited(trajectories)
+            row.append(float(np.mean((distinct - 1) / t)))
+        fractions[label] = row
+        table.add_row(label, *row)
+    labels = [label for label, _ in _LAWS]
+    last = {label: fractions[label][-1] for label in labels}
+    checks = [
+        Check(
+            "ordering at the largest budget: ballistic > super-diffusive > "
+            "diffusive > SRW",
+            last[labels[0]] > last[labels[1]] > last[labels[2]] > last[labels[3]],
+            detail=" > ".join(f"{last[label]:.3f}" for label in labels),
+        ),
+        Check(
+            "the super-diffusive walk keeps a near-constant new-node "
+            "fraction as the budget grows (drop <= 25%)",
+            fractions[labels[1]][-1] >= 0.75 * fractions[labels[1]][0],
+            detail=" -> ".join(f"{v:.3f}" for v in fractions[labels[1]]),
+        ),
+        Check(
+            "the SRW's new-node fraction keeps decaying with the budget "
+            "(the 2D t/log t law)",
+            fractions[labels[3]][-1] <= 0.9 * fractions[labels[3]][0],
+            detail=" -> ".join(f"{v:.3f}" for v in fractions[labels[3]]),
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        scale=scale,
+        seed=seed,
+        tables=[table],
+        checks=checks,
+        notes=[
+            "This is the per-trajectory face of Lemma 4.13: bounded "
+            "re-visiting means visits spread over Theta(t) distinct nodes, "
+            "which is exactly what the A2-annulus accounting of Lemma 4.12 "
+            "converts into a hitting-probability lower bound.",
+        ],
+    )
+
+
+def main(argv=None) -> int:
+    return experiment_main(run, argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,68 @@
+"""FIG-1..6: regenerate every illustrative figure of the paper.
+
+The paper's six figures are geometric illustrations (rings/balls/boxes,
+a direct path, the disjoint-boxes argument, ring projections, and the
+target-ball-vs-far-region comparison).  This harness renders each one as
+ASCII (deterministically) and checks the underlying geometric facts the
+figure illustrates.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import Check, ExperimentResult, experiment_main, validate_scale
+from repro.lattice.ascii_art import all_figures
+from repro.lattice.direct_path import sample_direct_path
+from repro.lattice.points import l1_distance
+from repro.lattice.rings import ball_size, box_size, ring_size
+from repro.reporting.table import Table
+from repro.rng import as_generator
+
+EXPERIMENT_ID = "FIG-1..6"
+TITLE = "Deterministic re-renderings of the paper's Figures 1-6"
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Render the figures and verify the facts they illustrate."""
+    scale = validate_scale(scale)
+    rng = as_generator(seed)
+    plots = []
+    for name, rendering in all_figures():
+        plots.append(f"--- {name} ---\n{rendering}")
+    table = Table(
+        ["figure", "fact", "value"],
+        title="Geometric facts behind the figures",
+    )
+    d = 4
+    table.add_row("Fig 1", f"|R_{d}(u)| = 4d", ring_size(d))
+    table.add_row("Fig 1", f"|B_{d}(u)| = 2d^2+2d+1", ball_size(d))
+    table.add_row("Fig 1", f"|Q_{d}(u)| = (2d+1)^2", box_size(d))
+    path = sample_direct_path((0, 0), (7, 4), rng)
+    table.add_row("Fig 2", "direct path length = ||u-v||_1", len(path) - 1)
+    checks = [
+        Check("Figure 1 cardinalities", ring_size(d) == 16 and ball_size(d) == 41
+              and box_size(d) == 81),
+        Check(
+            "Figure 2 path is a shortest path of adjacent nodes",
+            len(path) - 1 == 11
+            and all(l1_distance(path[i], path[i + 1]) == 1 for i in range(len(path) - 1))
+            and all(l1_distance((0, 0), node) == i for i, node in enumerate(path)),
+        ),
+        Check("every figure rendered non-trivially", all(len(p) > 80 for p in plots)),
+    ]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        scale=scale,
+        seed=seed,
+        tables=[table],
+        checks=checks,
+        plots=plots,
+    )
+
+
+def main(argv=None) -> int:
+    return experiment_main(run, argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

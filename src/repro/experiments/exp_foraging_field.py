@@ -1,0 +1,164 @@
+"""EXT-FORAGE: collective foraging over a scattered food field.
+
+The Levy foraging hypothesis literature ([38], Section 2) studies sparse,
+uniformly distributed targets; the paper's contribution is the parallel,
+central-place version.  This extension runs full multi-target foraging:
+food items are scattered uniformly over a ball (a Bernoulli field), ``k``
+walks leave the nest, and every item's first discovery -- mid-jump
+included -- is recorded exactly.
+
+Measured claims:
+
+* the mixed-exponent colony (Theorem 1.6's strategy) collects close to
+  the best fixed-exponent colony *overall* while no fixed colony is
+  strong on every distance band;
+* robustness check: the mixed colony is never far behind the best
+  fixed colony on EITHER distance band, while each fixed colony has a
+  weak band -- the multi-target face of Theorem 1.6.
+
+The per-item discoverer exponents are also reported (the paper's closing
+prediction is exponent variation *within* a group), but at laptop field
+radii the near/far discoverer-exponent gap sits below sampling noise --
+the optimal exponents for l = R/2 and l = R differ only by
+``O(log log / log)`` -- so it is an observation here, not a pass/fail
+check; distances spanning several orders of magnitude would be needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.multi_target import multi_target_search, scatter_poisson_field
+from repro.engine.samplers import HeterogeneousZetaSampler
+from repro.experiments.common import Check, ExperimentResult, experiment_main, validate_scale
+from repro.reporting.table import Table
+from repro.rng import as_generator
+
+EXPERIMENT_ID = "EXT-FORAGE"
+TITLE = "Collective foraging over a uniform food field  [Section 1.2.4, cf. [38]]"
+
+_CONFIG = {
+    # (k walks, field radius, item density, horizon factor, n fields)
+    "smoke": (24, 64, 0.004, 1.0, 4),
+    "small": (32, 96, 0.003, 1.0, 6),
+    "full": (48, 160, 0.002, 1.5, 10),
+}
+_FIXED = (2.1, 2.9)
+
+
+def _collect(alphas: np.ndarray, field, horizon, rng):
+    sampler = HeterogeneousZetaSampler(alphas)
+    return multi_target_search(
+        sampler, field, horizon=horizon, n_walks=alphas.shape[0], rng=rng
+    )
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Compare colonies over one shared food field."""
+    scale = validate_scale(scale)
+    rng = as_generator(seed)
+    k, radius, density, horizon_factor, n_fields = _CONFIG[scale]
+    horizon = int(horizon_factor * 2 * radius * radius)
+    near_limit = radius // 2
+    # Aggregate everything over n_fields independent fields (and fresh
+    # colonies); single fields are far too noisy to rank strategies.
+    totals = {name: 0 for name in [f"fixed({a})" for a in _FIXED] + ["random(2,3)"]}
+    near_counts = dict(totals)
+    far_counts = dict(totals)
+    n_items_total = 0
+    far_exponents: list[float] = []
+    near_exponents: list[float] = []
+    for _ in range(n_fields):
+        field = scatter_poisson_field(density, radius, rng)
+        if field.shape[0] == 0:
+            continue
+        n_items_total += field.shape[0]
+        distances = np.abs(field[:, 0]) + np.abs(field[:, 1])
+        near = distances <= near_limit
+        for alpha in _FIXED:
+            outcome = _collect(np.full(k, alpha), field, horizon, rng)
+            found = outcome.discovery_times >= 0
+            name = f"fixed({alpha})"
+            totals[name] += int(found.sum())
+            near_counts[name] += int((found & near).sum())
+            far_counts[name] += int((found & ~near).sum())
+        random_alphas = rng.uniform(2.0, 3.0, size=k)
+        outcome = _collect(random_alphas, field, horizon, rng)
+        found = outcome.discovery_times >= 0
+        totals["random(2,3)"] += int(found.sum())
+        near_counts["random(2,3)"] += int((found & near).sum())
+        far_counts["random(2,3)"] += int((found & ~near).sum())
+        far_exponents.extend(random_alphas[outcome.discoverer[found & ~near]])
+        near_exponents.extend(random_alphas[outcome.discoverer[found & near]])
+    table = Table(
+        [
+            "colony",
+            "items collected",
+            f"near (<= {near_limit})",
+            f"far (> {near_limit})",
+        ],
+        title=(
+            f"{n_items_total} items over {n_fields} fields in B_{radius}(0), "
+            f"k={k} walks, horizon {horizon}"
+        ),
+    )
+    for name, total in totals.items():
+        table.add_row(name, total, near_counts[name], far_counts[name])
+    best_fixed = max(totals[f"fixed({a})"] for a in _FIXED)
+    checks = [
+        Check(
+            "every colony collects something",
+            all(v > 0 for v in totals.values()),
+            detail=str(totals),
+        ),
+        Check(
+            "the mixed colony collects >= 75% of the best fixed colony",
+            totals["random(2,3)"] >= 0.75 * best_fixed,
+            detail=f"random {totals['random(2,3)']} vs best fixed {best_fixed}",
+        ),
+    ]
+    best_fixed_near = max(near_counts[f"fixed({a})"] for a in _FIXED)
+    best_fixed_far = max(far_counts[f"fixed({a})"] for a in _FIXED)
+    checks.append(
+        Check(
+            "the mixed colony holds >= 60% of the best fixed colony on "
+            "BOTH distance bands (no weak band)",
+            near_counts["random(2,3)"] >= 0.6 * best_fixed_near
+            and far_counts["random(2,3)"] >= 0.6 * best_fixed_far,
+            detail=(
+                f"near {near_counts['random(2,3)']}/{best_fixed_near}, "
+                f"far {far_counts['random(2,3)']}/{best_fixed_far}"
+            ),
+        )
+    )
+    notes = [
+        "Trajectories do not react to pickups, so each item's first "
+        "discovery is exact for both destructive and revisitable "
+        "semantics (see repro.engine.multi_target).",
+    ]
+    if far_exponents and near_exponents:
+        notes.append(
+            "observed discoverer exponents in the mixed colony: far items "
+            f"mean alpha {float(np.mean(far_exponents)):.3f} "
+            f"(n={len(far_exponents)}), near items mean alpha "
+            f"{float(np.mean(near_exponents)):.3f} (n={len(near_exponents)}) "
+            "-- the within-group division of labour the paper predicts is "
+            "below noise at this field radius (see module docstring)."
+        )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        scale=scale,
+        seed=seed,
+        tables=[table],
+        checks=checks,
+        notes=notes,
+    )
+
+
+def main(argv=None) -> int:
+    return experiment_main(run, argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

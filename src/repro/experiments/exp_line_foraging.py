@@ -1,0 +1,141 @@
+"""EXT-1D: on the line, the Cauchy exponent wins -- unlike on Z^2.
+
+Section 1.1: "Levy walks with exponent parameter alpha = 2 are optimal
+for searching sparse randomly distributed revisitable targets [38].
+However, these results were formally shown just for one-dimensional
+spaces [4], and do not carry over to higher dimensions."
+
+This extension reproduces the classical 1D result with the paper's exact
+jump law: searchers forage over sparse revisitable target sites on Z
+(flights truncate at targets, [38]'s non-destructive model) and the
+efficiency (encounters per step) is measured across exponents and target
+spacings.  Expected shape, straight from [4]:
+
+* at large spacing the efficiency peaks at ``alpha ~ 2``;
+* the peak location drifts *toward* 2 from the ballistic side as the
+  field gets sparser, and does not move past it;
+* both extremes (strongly ballistic, strongly diffusive) lose by a
+  constant factor at every sparse spacing.
+
+The contrast with EXP-T1.5 is the paper's starting point: the same jump
+law on Z^2, searched in parallel, has an optimal exponent that moves with
+``(k, l)`` across the whole super-diffusive range -- the 1D scale-free
+argument does not survive the extra dimension.
+"""
+
+from __future__ import annotations
+
+from repro.distributions.zeta import ZetaJumpDistribution
+from repro.experiments.common import Check, ExperimentResult, experiment_main, validate_scale
+from repro.line.foraging_1d import line_encounter_rate
+from repro.reporting.table import Table
+from repro.rng import as_generator
+
+EXPERIMENT_ID = "EXT-1D"
+TITLE = "1D revisitable-target foraging peaks at alpha ~ 2  [Section 1.1, [4], [38]]"
+
+_CONFIG = {
+    # (spacings, alpha grid, total steps, n walkers)
+    "smoke": (
+        (50, 400),
+        (1.25, 1.5, 2.0, 2.5, 3.0),
+        25_000,
+        250,
+    ),
+    "small": (
+        (50, 200, 1000),
+        (1.25, 1.5, 1.75, 2.0, 2.25, 2.5, 3.0, 3.5),
+        40_000,
+        400,
+    ),
+    "full": (
+        (50, 200, 1000, 4000),
+        (1.25, 1.5, 1.75, 2.0, 2.25, 2.5, 3.0, 3.5),
+        150_000,
+        1_000,
+    ),
+}
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Efficiency vs exponent across target spacings on Z."""
+    scale = validate_scale(scale)
+    rng = as_generator(seed)
+    spacings, alpha_grid, total_steps, n_walkers = _CONFIG[scale]
+    table = Table(
+        ["spacing L"] + [f"eta*L (alpha={a})" for a in alpha_grid],
+        title="normalized efficiency (encounters per step, scaled by L)",
+    )
+    argmax = {}
+    efficiency = {}
+    for spacing in spacings:
+        row = []
+        for alpha in alpha_grid:
+            stats = line_encounter_rate(
+                ZetaJumpDistribution(alpha), spacing, total_steps, n_walkers, rng
+            )
+            value = stats.efficiency * spacing
+            efficiency[(spacing, alpha)] = value
+            row.append(value)
+        argmax[spacing] = alpha_grid[int(max(range(len(row)), key=row.__getitem__))]
+        table.add_row(spacing, *row)
+    sparsest = spacings[-1]
+    checks = [
+        Check(
+            f"at the sparsest spacing (L={sparsest}) the efficiency peaks "
+            "near the Cauchy exponent (argmax within [1.75, 2.5])",
+            1.75 <= argmax[sparsest] <= 2.5,
+            detail=f"argmax alpha = {argmax[sparsest]}",
+        ),
+        Check(
+            "the peak drifts toward alpha = 2 (never away) as the field "
+            "gets sparser",
+            all(
+                argmax[a] <= argmax[b] + 0.26
+                for a, b in zip(spacings, spacings[1:])
+            )
+            and argmax[sparsest] >= argmax[spacings[0]] - 0.26,
+            detail=" -> ".join(f"L={s}: {argmax[s]}" for s in spacings),
+        ),
+        Check(
+            f"both extremes lose at L={sparsest} (>= 20% below the peak)",
+            efficiency[(sparsest, alpha_grid[0])]
+            <= 0.8 * efficiency[(sparsest, argmax[sparsest])]
+            and efficiency[(sparsest, alpha_grid[-1])]
+            <= 0.8 * efficiency[(sparsest, argmax[sparsest])],
+            detail=(
+                f"eta*L: {efficiency[(sparsest, alpha_grid[0])]:.2f} "
+                f"(alpha={alpha_grid[0]}) vs peak "
+                f"{efficiency[(sparsest, argmax[sparsest])]:.2f} vs "
+                f"{efficiency[(sparsest, alpha_grid[-1])]:.2f} "
+                f"(alpha={alpha_grid[-1]})"
+            ),
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        scale=scale,
+        seed=seed,
+        tables=[table],
+        checks=checks,
+        notes=[
+            "Contrast with EXP-T1.5: identical jump law on Z^2, searched "
+            "by k parallel walks for a single target, has its optimum at "
+            "alpha*(k, l) = 3 - log k / log l -- there is no distance-free "
+            "optimal exponent in the plane, which is what motivates the "
+            "paper's randomized strategy.",
+            "The 1D model here is [38]'s: revisitable targets, flights "
+            "truncated at the first target met, searcher restarting from "
+            "the found target.  Both ingredients matter; see [26] and "
+            "footnote 3 for how dropping them changes the optimum.",
+        ],
+    )
+
+
+def main(argv=None) -> int:
+    return experiment_main(run, argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,169 @@
+"""EXP-C1.4: how parallelism speeds up the search, regime by regime.
+
+Three corollaries quantify the value of adding walks:
+
+* Corollary 1.4 (fixed ``alpha`` in (2,3)): within the characteristic
+  time ``O(l^(alpha-1))``, the parallel success probability is
+  ``1 - exp(-Theta(k / l^(3-alpha) log^2 l))`` -- i.e. it matches the
+  independent-trials formula ``1 - (1-p)^k`` built from the single-walk
+  probability ``p``;
+* Theorem 1.5 / Eq. (1) (tuned ``alpha`` per ``k``): the parallel time
+  scales as ``~ l^2 / k`` until the distance floor ``l`` bites;
+* Corollary 5.3 (ballistic): ``k = omega(l log^2 l)`` walks make the
+  spray strategy succeed w.h.p., fewer leave it failing -- the threshold
+  is linear in ``l``.
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+from repro.analysis.scaling import fit_power_law
+from repro.baselines.ballistic_search import BallisticSpraySearch
+from repro.core.exponents import mu_factor
+from repro.core.search import ParallelLevySearch
+from repro.core.strategies import OracleExponentStrategy
+from repro.distributions.zeta import ZetaJumpDistribution
+from repro.engine.results import bootstrap_parallel
+from repro.engine.vectorized import walk_hitting_times
+from repro.experiments.common import (
+    Check,
+    ExperimentResult,
+    default_target,
+    experiment_main,
+    validate_scale,
+)
+from repro.reporting.table import Table
+from repro.rng import as_generator
+
+EXPERIMENT_ID = "EXP-C1.4"
+TITLE = "Parallel speedup: fixed, tuned and ballistic exponents  [Cor 1.4 / Eq.(1) / Cor 5.3]"
+
+_CONFIG = {
+    # (l, k grid, n_single pool, n_groups, n_runs oracle, n ballistic agents)
+    "smoke": (32, (4, 8, 16, 32), 4_000, 500, 15, 40_000),
+    "small": (64, (4, 8, 16, 32, 64, 256), 8_000, 800, 25, 100_000),
+    "full": (96, (4, 8, 16, 32, 96, 384, 1024), 20_000, 2_000, 60, 400_000),
+}
+_FIXED_ALPHA = 2.5
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Measure success-vs-k (fixed alpha), time-vs-k (oracle), and the
+    ballistic k threshold."""
+    scale = validate_scale(scale)
+    rng = as_generator(seed)
+    l, k_grid, n_single, n_groups, n_runs, n_ballistic = _CONFIG[scale]
+    target = default_target(l)
+    checks = []
+
+    # ------------------------- part 1: fixed alpha, success prob vs k
+    deadline = max(l, int(4 * mu_factor(_FIXED_ALPHA, l) * l ** (_FIXED_ALPHA - 1.0)))
+    pool = walk_hitting_times(
+        ZetaJumpDistribution(_FIXED_ALPHA), target, deadline, n_single, rng
+    )
+    p_single = pool.hit_fraction
+    table1 = Table(
+        ["k", "measured success", "1-(1-p)^k from single p"],
+        title=(
+            f"(1) fixed alpha={_FIXED_ALPHA}, l={l}: parallel success within "
+            f"t_l={deadline} (single-walk p={p_single:.4f})"
+        ),
+    )
+    max_err = 0.0
+    for k in k_grid:
+        parallel = bootstrap_parallel(pool.times, k, n_groups, rng)
+        measured = float((parallel >= 0).mean())
+        predicted = 1.0 - (1.0 - p_single) ** k
+        max_err = max(max_err, abs(measured - predicted))
+        table1.add_row(k, measured, predicted)
+    checks.append(
+        Check(
+            "fixed alpha: success matches the independent-trials formula "
+            "1-(1-p)^k (Cor 1.4 mechanism)",
+            max_err < 0.08,
+            detail=f"max |measured - predicted| = {max_err:.3f}",
+        )
+    )
+
+    # ------------------------- part 2: oracle alpha per k, time vs k
+    table2 = Table(
+        ["k", "oracle alpha", "success", "penalized mean parallel time"],
+        title=f"(2) tuned exponent per k (Theorem 1.5), l={l}, horizon l^2={l*l}",
+    )
+    points = []
+    for k in k_grid:
+        strategy = OracleExponentStrategy(l)
+        search = ParallelLevySearch(k, strategy)
+        sample = search.sample_parallel_hitting_times(
+            target, n_runs=n_runs, horizon=l * l, rng=rng
+        )
+        mean_capped = float(
+            np.where(sample.times < 0, sample.horizon, sample.times).mean()
+        )
+        table2.add_row(k, strategy.exponent_for(k), sample.hit_fraction, mean_capped)
+        points.append((float(k), mean_capped))
+    # Fit only where l^2/k still dominates the distance floor l (k <= l):
+    # beyond that Eq. (1) predicts the flat l-floor, not a -1 slope.
+    fit_points = [p for p in points if p[0] <= l]
+    fit = fit_power_law([p[0] for p in fit_points], [p[1] for p in fit_points])
+    checks.append(
+        Check(
+            "tuned exponent: parallel time decays polynomially in k for "
+            "k <= l (slope in [-1.3, -0.4]; -1 pure, bent by polylogs)",
+            -1.3 <= fit.slope <= -0.4,
+            detail=str(fit),
+        )
+    )
+
+    # ------------------------- part 3: ballistic threshold in k (Cor 5.3)
+    spray = BallisticSpraySearch(k=1)
+    agents = spray.agent_hitting_times(target, horizon=4 * l, n_agents=n_ballistic, rng=rng)
+    p_ray = agents.hit_fraction
+    table3 = Table(
+        ["k", "success = 1-(1-p)^k"],
+        title=f"(3) ballistic spray, l={l}: per-ray p={p_ray:.5f} (~ {p_ray * l:.2f}/l)",
+    )
+    k_small = max(1, l // 4)
+    k_large = 16 * l  # per-ray p ~ 1/(4l), so 16l rays give 1 - e^-4
+    for k in sorted({k_small, l, 4 * l, k_large}):
+        table3.add_row(k, 1.0 - (1.0 - p_ray) ** k)
+    success_small = 1.0 - (1.0 - p_ray) ** k_small
+    success_large = 1.0 - (1.0 - p_ray) ** k_large
+    checks.append(
+        Check(
+            "ballistic spray: k ~ l/4 fails often, k ~ 16l succeeds w.h.p. "
+            "(Cor 5.3's linear-in-l threshold)",
+            success_small < 0.6 and success_large > 0.9,
+            detail=f"success(k={k_small})={success_small:.3f}, success(k={k_large})={success_large:.3f}",
+        )
+    )
+    checks.append(
+        Check(
+            "ballistic per-ray hit probability is Theta(1/l)",
+            0.2 < p_ray * l < 3.0,
+            detail=f"p * l = {p_ray * l:.2f}",
+        )
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        scale=scale,
+        seed=seed,
+        tables=[table1, table2, table3],
+        checks=checks,
+        notes=[
+            "Part (2)'s slope flattens toward the right once l^2/k drops "
+            "below the universal distance floor l -- exactly Eq. (1)'s "
+            "l^2/k + l shape.",
+        ],
+    )
+
+
+def main(argv=None) -> int:
+    return experiment_main(run, argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

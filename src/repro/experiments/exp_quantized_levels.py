@@ -1,0 +1,115 @@
+"""EXT-QUANT: how many jump scales does the Levy advantage need?
+
+Section 2 cites [2, 19]: the cover-time-optimal ``m``-length walk on the
+cycle approximates a Levy walk with ``m`` geometric levels.  This
+extension asks the analogous question for our hitting problem: restrict
+the walk's jump lengths to ``m`` dyadic levels ``1, 2, ..., 2^(m-1)``
+(band-mass-matched to the true ``alpha = 2.5`` law) and measure the hit
+probability within the super-diffusive budget as ``m`` grows.
+
+Expected shape: ``m = 1`` (a simple random walk) is far below the true
+walk; the probability climbs as levels are added and converges once
+``2^(m-1)`` reaches the target scale ``l`` -- a walker only needs jump
+scales up to its search radius, log2(l) levels in total.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.distributions.quantized import QuantizedZetaJumpDistribution
+from repro.distributions.zeta import ZetaJumpDistribution
+from repro.engine.vectorized import walk_hitting_times
+from repro.experiments.common import (
+    Check,
+    ExperimentResult,
+    default_target,
+    experiment_main,
+    validate_scale,
+)
+from repro.reporting.table import Table
+from repro.rng import as_generator
+
+EXPERIMENT_ID = "EXT-QUANT"
+TITLE = "Quantized jump scales: log2(l) dyadic levels recover the Levy advantage  [cf. [2,19]]"
+
+_ALPHA = 2.5
+_CONFIG = {
+    # (l, n_walks, levels grid)
+    "smoke": (48, 15_000, (1, 2, 4, 7, 9)),
+    "small": (64, 40_000, (1, 2, 3, 4, 6, 8, 10)),
+    "full": (128, 120_000, (1, 2, 3, 4, 5, 6, 8, 10, 12)),
+}
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Hit probability of the m-level walk vs the true Levy walk."""
+    scale = validate_scale(scale)
+    rng = as_generator(seed)
+    l, n_walks, levels_grid = _CONFIG[scale]
+    target = default_target(l)
+    # Tight super-diffusive budget (well below l^2), so that walks with
+    # no long scales cannot compensate by diffusing.
+    horizon = max(l, int(math.ceil(2.0 * l ** (_ALPHA - 1.0))))
+    truth = walk_hitting_times(
+        ZetaJumpDistribution(_ALPHA), target, horizon, n_walks, rng
+    ).hit_fraction
+    table = Table(
+        ["levels m", "max jump 2^(m-1)", "P(hit)", "fraction of true walk"],
+        title=f"alpha={_ALPHA}, l={l}, budget {horizon}; true Levy walk: {truth:.4f}",
+    )
+    fractions = {}
+    for m in levels_grid:
+        law = QuantizedZetaJumpDistribution(_ALPHA, m)
+        p = walk_hitting_times(law, target, horizon, n_walks, rng).hit_fraction
+        fractions[m] = p / truth if truth > 0 else float("nan")
+        table.add_row(m, 2 ** (m - 1), p, fractions[m])
+    enough = [m for m in levels_grid if 2 ** (m - 1) >= l]
+    checks = [
+        Check(
+            "one level (an SRW-like walk) loses most of the advantage "
+            "(< 50% of the true hit probability)",
+            fractions[levels_grid[0]] < 0.5,
+            detail=f"fraction {fractions[levels_grid[0]]:.2f}",
+        ),
+        Check(
+            "hit probability grows with the number of levels",
+            fractions[levels_grid[-1]] > fractions[levels_grid[0]],
+            detail=" -> ".join(f"{fractions[m]:.2f}" for m in levels_grid),
+        ),
+    ]
+    if enough:
+        checks.append(
+            Check(
+                f"~log2(l) levels recover the true walk (>= 75% once "
+                f"2^(m-1) >= l, i.e. m >= {enough[0]})",
+                all(fractions[m] >= 0.75 for m in enough),
+                detail=", ".join(f"m={m}: {fractions[m]:.2f}" for m in enough),
+            )
+        )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        scale=scale,
+        seed=seed,
+        tables=[table],
+        checks=checks,
+        notes=[
+            "Practical reading: a forager that can only produce a handful "
+            "of distinct step lengths still collects nearly the full Levy "
+            "search advantage, provided its largest step reaches its "
+            "search radius -- the hitting-time analogue of [2,19]'s "
+            "cover-time result.",
+            "Fractions slightly above 1 are real: truncating the tail at "
+            "the search radius removes overshoot waste, so a well-chosen "
+            "finite level set can even edge out the pure power law.",
+        ],
+    )
+
+
+def main(argv=None) -> int:
+    return experiment_main(run, argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,153 @@
+"""EXP-T1.6: random exponents match the oracle at every distance at once.
+
+Theorem 1.6 (the paper's headline): give each of the ``k`` walks an
+exponent drawn independently and uniformly from ``(2, 3)``.  Then for
+*every* target distance ``l`` (with ``k >= polylog l``), the parallel
+hitting time is ``O((l^2/k) log^7 l + l log^3 l)`` w.h.p. -- within
+polylog factors of the oracle that knows ``k`` and ``l``, and of the
+universal lower bound ``Omega(l^2/k + l)``.
+
+The harness runs the randomized strategy and the per-``(k, l)``-tuned
+oracle across a geometric grid of distances (same ``k``), then across a
+grid of ``k`` (same distance), and checks that the randomized strategy's
+penalized mean time stays within a constant-ish factor of the oracle's
+*everywhere* -- no retuning, no knowledge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ants import universal_lower_bound
+from repro.core.search import ParallelLevySearch
+from repro.core.strategies import OracleExponentStrategy, UniformRandomExponentStrategy
+from repro.experiments.common import (
+    Check,
+    ExperimentResult,
+    default_target,
+    experiment_main,
+    validate_scale,
+)
+from repro.reporting.table import Table
+from repro.rng import as_generator
+
+EXPERIMENT_ID = "EXP-T1.6"
+TITLE = "Uniform-random exponents are near-optimal for all l simultaneously  [Theorem 1.6]"
+
+_CONFIG = {
+    # (k, l grid, n_runs, k grid for the k-sweep, l for the k-sweep,
+    #  allowed ratio to oracle)
+    "smoke": (32, (16, 48), 12, (8, 64), 32, 5.0),
+    "small": (48, (16, 32, 64, 128), 20, (12, 48, 192), 64, 4.0),
+    "full": (64, (16, 32, 64, 128, 256), 60, (16, 64, 256, 1024), 96, 4.0),
+}
+
+
+def _penalized_mean(sample) -> float:
+    return float(np.where(sample.times < 0, sample.horizon, sample.times).mean())
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Randomized vs oracle strategy across l (fixed k) and across k."""
+    scale = validate_scale(scale)
+    rng = as_generator(seed)
+    k, l_grid, n_runs, k_grid, l_for_k, max_ratio = _CONFIG[scale]
+    checks = []
+
+    table_l = Table(
+        [
+            "l",
+            "oracle alpha",
+            "oracle mean time",
+            "random mean time",
+            "ratio",
+            "LB l^2/k + l",
+            "random / LB",
+        ],
+        title=f"(1) distance sweep at k={k} (penalized mean, horizon l^2)",
+    )
+    worst_ratio = 0.0
+    for l in l_grid:
+        target = default_target(l)
+        horizon = l * l
+        oracle_strategy = OracleExponentStrategy(l)
+        oracle = ParallelLevySearch(k, oracle_strategy).sample_parallel_hitting_times(
+            target, n_runs=n_runs, horizon=horizon, rng=rng
+        )
+        random = ParallelLevySearch(
+            k, UniformRandomExponentStrategy()
+        ).sample_parallel_hitting_times(target, n_runs=n_runs, horizon=horizon, rng=rng)
+        oracle_mean = _penalized_mean(oracle)
+        random_mean = _penalized_mean(random)
+        ratio = random_mean / oracle_mean
+        worst_ratio = max(worst_ratio, ratio)
+        lb = universal_lower_bound(k, l) + l
+        table_l.add_row(
+            l,
+            oracle_strategy.exponent_for(k),
+            oracle_mean,
+            random_mean,
+            ratio,
+            lb,
+            random_mean / lb,
+        )
+    checks.append(
+        Check(
+            f"random exponents stay within {max_ratio}x of the oracle for "
+            "EVERY distance in the sweep (no knowledge of l)",
+            worst_ratio <= max_ratio,
+            detail=f"worst ratio {worst_ratio:.2f}",
+        )
+    )
+
+    table_k = Table(
+        ["k", "oracle mean time", "random mean time", "ratio"],
+        title=f"(2) k sweep at l={l_for_k} (penalized mean, horizon l^2)",
+    )
+    worst_ratio_k = 0.0
+    target = default_target(l_for_k)
+    horizon = l_for_k * l_for_k
+    for k_value in k_grid:
+        oracle_strategy = OracleExponentStrategy(l_for_k)
+        oracle = ParallelLevySearch(
+            k_value, oracle_strategy
+        ).sample_parallel_hitting_times(target, n_runs=n_runs, horizon=horizon, rng=rng)
+        random = ParallelLevySearch(
+            k_value, UniformRandomExponentStrategy()
+        ).sample_parallel_hitting_times(target, n_runs=n_runs, horizon=horizon, rng=rng)
+        oracle_mean = _penalized_mean(oracle)
+        random_mean = _penalized_mean(random)
+        ratio = random_mean / oracle_mean
+        worst_ratio_k = max(worst_ratio_k, ratio)
+        table_k.add_row(k_value, oracle_mean, random_mean, ratio)
+    checks.append(
+        Check(
+            f"random exponents stay within {max_ratio}x of the oracle for "
+            "EVERY k in the sweep (no knowledge of k)",
+            worst_ratio_k <= max_ratio,
+            detail=f"worst ratio {worst_ratio_k:.2f}",
+        )
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        scale=scale,
+        seed=seed,
+        tables=[table_l, table_k],
+        checks=checks,
+        notes=[
+            "The oracle retunes its exponent per cell; the randomized "
+            "strategy never changes.  Theorem 1.6's polylog gap shows up "
+            "here as a small constant ratio at laptop scales.",
+            "'penalized mean': groups that miss within the horizon pay the "
+            "full horizon.",
+        ],
+    )
+
+
+def main(argv=None) -> int:
+    return experiment_main(run, argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

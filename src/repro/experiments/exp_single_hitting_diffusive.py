@@ -1,0 +1,133 @@
+"""EXP-T1.2: single-walk hitting bounds, diffusive regime (alpha >= 3).
+
+Theorem 1.2: for ``alpha >= 3`` a single Levy walk behaves like a simple
+random walk:
+
+(a) ``P(tau = O(l^2 log^2 l)) = Omega(1/log^4 l)`` -- on a budget of
+    ``~ l^2 polylog``, the hit probability decays only polylogarithmically
+    in ``l`` (log-log slope ~ 0, in stark contrast to the polynomial decay
+    of the other regimes);
+(b) ``P(tau <= t) = O(t^2 log l / l^4)`` for ``l <= t = O(l^2)`` --
+    quadratic early growth, as in the super-diffusive regime.
+
+The harness measures both, for the threshold ``alpha = 3`` and a strictly
+diffusive ``alpha``, plus the lazy SRW as the ``alpha -> inf`` limit.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.scaling import fit_power_law, geometric_grid
+from repro.distributions.unit import UnitJumpDistribution
+from repro.distributions.zeta import ZetaJumpDistribution
+from repro.engine.vectorized import walk_hitting_times
+from repro.experiments.common import (
+    Check,
+    ExperimentResult,
+    default_target,
+    experiment_main,
+    validate_scale,
+)
+from repro.reporting.table import Table
+from repro.rng import as_generator
+from repro.theory.horizons import early_time_grid
+
+EXPERIMENT_ID = "EXP-T1.2"
+TITLE = "Single-walk hitting probability, alpha >= 3  [Theorem 1.2 / 4.3]"
+
+_CONFIG = {
+    # (alphas, l grid, n_walks, n_walks part (b), l part (b))
+    "smoke": ((3.0,), geometric_grid(6, 16, 3), 1_200, 6_000, 10),
+    "small": ((3.0, 3.5), geometric_grid(8, 32, 4), 3_000, 20_000, 16),
+    "full": ((3.0, 3.5, 4.0), geometric_grid(8, 64, 5), 10_000, 60_000, 24),
+}
+#: Diffusive budgets: c * l^2 * log(l)^2 steps (Theorem 1.2(a)).
+_HORIZON_FACTOR = 1.0
+
+
+def _diffusive_horizon(l: int) -> int:
+    return max(4 * l, int(math.ceil(_HORIZON_FACTOR * l * l * math.log(l) ** 2)))
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Measure Theorem 1.2's flat-in-l plateau and quadratic early growth."""
+    scale = validate_scale(scale)
+    rng = as_generator(seed)
+    alphas, l_grid, n_walks, n_walks_b, l_for_b = _CONFIG[scale]
+
+    table_a = Table(
+        ["law", "l", "horizon", "P(tau <= horizon)", "hits"],
+        title="(a) hit probability within l^2 log^2 l steps",
+    )
+    checks = []
+    laws = [(f"alpha={a}", ZetaJumpDistribution(a)) for a in alphas]
+    laws.append(("lazy SRW", UnitJumpDistribution()))
+    for label, law in laws:
+        points = []
+        for l in l_grid:
+            horizon = _diffusive_horizon(l)
+            sample = walk_hitting_times(law, default_target(l), horizon, n_walks, rng)
+            table_a.add_row(label, l, horizon, sample.hit_fraction, sample.n_hits)
+            if sample.n_hits:
+                points.append((float(l), sample.hit_fraction))
+        if len(points) >= 3:
+            fit = fit_power_law([p[0] for p in points], [p[1] for p in points])
+            checks.append(
+                Check(
+                    f"{label}: hit probability is flat in l up to polylogs "
+                    "(|slope| well below the super-diffusive decay)",
+                    fit.compatible_with(0.0, tolerance=0.6),
+                    detail=str(fit),
+                )
+            )
+
+    # Part (b): early-time quadratic growth at the threshold alpha = 3.
+    law_b = ZetaJumpDistribution(3.0)
+    horizon_b = _diffusive_horizon(l_for_b)
+    sample_b = walk_hitting_times(
+        law_b, default_target(l_for_b), horizon_b, n_walks_b, rng
+    )
+    t_grid = early_time_grid(3.0, l_for_b, n_points=5)
+    table_b = Table(
+        ["t", "P(tau <= t)", "hits"],
+        title=f"(b) early-deadline probability, alpha=3, l={l_for_b}",
+    )
+    early_points = []
+    for t in t_grid:
+        p = sample_b.probability_by(min(t, horizon_b))
+        hits = int(round(p * sample_b.n))
+        table_b.add_row(t, p, hits)
+        if hits >= 5:
+            early_points.append((float(t), p))
+    if len(early_points) >= 3:
+        fit_b = fit_power_law(
+            [p[0] for p in early_points], [p[1] for p in early_points]
+        )
+        checks.append(
+            Check(
+                "alpha=3: early P(tau <= t) grows ~ t^2",
+                fit_b.compatible_with(2.0, tolerance=0.75),
+                detail=str(fit_b),
+            )
+        )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        scale=scale,
+        seed=seed,
+        tables=[table_a, table_b],
+        checks=checks,
+        notes=[
+            "The lazy simple random walk row is the alpha -> infinity limit; "
+            "its numbers should bracket the large-alpha Levy rows."
+        ],
+    )
+
+
+def main(argv=None) -> int:
+    return experiment_main(run, argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,169 @@
+"""EXP-T1.1: single-walk hitting bounds, super-diffusive regime (2 < alpha < 3).
+
+Theorem 1.1 (and its refined form, Theorem 4.1) makes three claims about a
+single Levy walk and a target at distance ``l``:
+
+(a) within the characteristic time ``t_l ~ mu l^(alpha-1)`` the target is
+    hit with probability ``~ 1/l^(3-alpha)`` (up to polylogs) -- so the
+    log-log slope of the hit probability against ``l`` is ``-(3-alpha)``;
+(b) for early deadlines ``l <= t << t_l``, ``P(tau <= t) = O(t^2 /
+    l^(alpha+1))`` -- quadratic growth in ``t``;
+(c) running past ``t_l`` gains at most a polylog factor -- the hit
+    probability plateaus.
+
+The harness measures all three shapes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.scaling import fit_power_law, geometric_grid
+from repro.core.exponents import mu_factor
+from repro.distributions.zeta import ZetaJumpDistribution
+from repro.engine.vectorized import walk_hitting_times
+from repro.experiments.common import (
+    Check,
+    ExperimentResult,
+    default_target,
+    experiment_main,
+    validate_scale,
+)
+from repro.reporting.table import Table
+from repro.reporting.text_plots import ascii_loglog
+from repro.rng import as_generator
+from repro.theory.horizons import early_time_grid
+from repro.theory.predictions import predicted_hit_probability_slope
+
+EXPERIMENT_ID = "EXP-T1.1"
+TITLE = "Single-walk hitting probability, alpha in (2,3)  [Theorem 1.1 / 4.1]"
+
+_CONFIG = {
+    # (alphas, l grid, n_walks, n_walks for part (b), l for part (b))
+    "smoke": ((2.3, 2.7), geometric_grid(8, 20, 3), 1_500, 8_000, 16),
+    "small": ((2.2, 2.5, 2.8), geometric_grid(8, 40, 5), 5_000, 30_000, 24),
+    "full": ((2.2, 2.4, 2.6, 2.8), geometric_grid(12, 96, 6), 20_000, 120_000, 48),
+}
+_SLOPE_TOLERANCE = 0.45  # absorbs the gamma/mu polylog corrections
+_HORIZON_FACTOR = 4.0
+_PLATEAU_FACTOR = 4  # part (c): extend the horizon by this much
+
+
+def _characteristic_horizon(alpha: float, l: int) -> int:
+    return max(l, int(math.ceil(_HORIZON_FACTOR * mu_factor(alpha, l) * l ** (alpha - 1.0))))
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Measure Theorem 1.1's three shapes for a grid of (alpha, l)."""
+    scale = validate_scale(scale)
+    rng = as_generator(seed)
+    alphas, l_grid, n_walks, n_walks_b, l_for_b = _CONFIG[scale]
+
+    # -------------------------------------------------- part (a): slope in l
+    table_a = Table(
+        ["alpha", "l", "horizon", "P(tau <= horizon)", "hits"],
+        title="(a) hit probability within the characteristic time",
+    )
+    checks = []
+    series = {}
+    for alpha in alphas:
+        law = ZetaJumpDistribution(alpha)
+        points = []
+        for l in l_grid:
+            horizon = _characteristic_horizon(alpha, l)
+            sample = walk_hitting_times(
+                law, default_target(l), horizon, n_walks, rng
+            )
+            table_a.add_row(alpha, l, horizon, sample.hit_fraction, sample.n_hits)
+            if sample.n_hits:
+                points.append((float(l), sample.hit_fraction))
+        series[f"alpha={alpha}"] = points
+        if len(points) >= 3:
+            fit = fit_power_law([p[0] for p in points], [p[1] for p in points])
+            predicted = predicted_hit_probability_slope(alpha)
+            checks.append(
+                Check(
+                    f"alpha={alpha}: P(hit) ~ l^-(3-alpha) "
+                    f"(slope ~ {predicted:.2f})",
+                    fit.compatible_with(predicted, tolerance=_SLOPE_TOLERANCE),
+                    detail=str(fit),
+                )
+            )
+
+    # ------------------------------------------- part (b): early-time growth
+    alpha_b = alphas[len(alphas) // 2]
+    law_b = ZetaJumpDistribution(alpha_b)
+    horizon_b = _characteristic_horizon(alpha_b, l_for_b)
+    sample_b = walk_hitting_times(
+        law_b, default_target(l_for_b), horizon_b, n_walks_b, rng
+    )
+    t_grid = early_time_grid(alpha_b, l_for_b, n_points=5)
+    table_b = Table(
+        ["t", "P(tau <= t)", "hits"],
+        title=f"(b) early-deadline probability, alpha={alpha_b}, l={l_for_b}",
+    )
+    early_points = []
+    for t in t_grid:
+        p = sample_b.probability_by(min(t, horizon_b))
+        hits = int(round(p * sample_b.n))
+        table_b.add_row(t, p, hits)
+        if hits >= 5:
+            early_points.append((float(t), p))
+    if len(early_points) >= 3:
+        fit_b = fit_power_law(
+            [p[0] for p in early_points], [p[1] for p in early_points]
+        )
+        checks.append(
+            Check(
+                f"alpha={alpha_b}: early P(tau <= t) grows ~ t^2",
+                fit_b.compatible_with(2.0, tolerance=0.75),
+                detail=str(fit_b),
+            )
+        )
+
+    # --------------------------------------------------- part (c): plateau
+    l_c = l_grid[len(l_grid) // 2]
+    alpha_c = alphas[len(alphas) // 2]
+    law_c = ZetaJumpDistribution(alpha_c)
+    horizon_short = _characteristic_horizon(alpha_c, l_c)
+    horizon_long = _PLATEAU_FACTOR * horizon_short
+    sample_c = walk_hitting_times(
+        law_c, default_target(l_c), horizon_long, n_walks, rng
+    )
+    p_short = sample_c.probability_by(horizon_short)
+    p_long = sample_c.hit_fraction
+    table_c = Table(
+        ["horizon", "P(tau <= horizon)"],
+        title=f"(c) plateau beyond the characteristic time, alpha={alpha_c}, l={l_c}",
+    )
+    table_c.add_row(horizon_short, p_short)
+    table_c.add_row(horizon_long, p_long)
+    if p_short > 0:
+        ratio = p_long / p_short
+        checks.append(
+            Check(
+                f"alpha={alpha_c}, l={l_c}: {_PLATEAU_FACTOR}x more time gains "
+                "only a small factor (Theorem 1.1(c) plateau)",
+                ratio < 2.5,
+                detail=f"p({horizon_long})/p({horizon_short}) = {ratio:.2f}",
+            )
+        )
+
+    plot = ascii_loglog(series, title="P(hit within t_l) vs l (log-log)")
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        scale=scale,
+        seed=seed,
+        tables=[table_a, table_b, table_c],
+        checks=checks,
+        plots=[plot],
+    )
+
+
+def main(argv=None) -> int:
+    return experiment_main(run, argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,121 @@
+"""EXT-SW: Kleinberg greedy routing -- the Section 2 cousin of alpha*.
+
+Extension experiment (paper Section 2, [24]): on Kleinberg's small-world
+torus, greedy routing is ``O(log^2 n)`` only when long-range link lengths
+obey ``P(d) ∝ 1/d`` (length exponent ``alpha = 1``, node exponent
+``beta = alpha + 1 = 2``); other exponents are polynomially slower.  The
+paper cites this as "of similar nature as our result ... exactly one
+exponent is optimal".
+
+What is observable at laptop ``n``: the *steep* side's polynomial penalty
+(exponent ``(beta - 2)/(beta - 1)``, large) shows up immediately, while
+the *flat* side's penalty (exponent ``(2 - beta)/3``, tiny for ``beta``
+slightly below 2) needs astronomically large ``n`` -- a well-documented
+phenomenon in replications of Kleinberg's experiment, where the empirical
+optimum drifts toward ``beta = 2`` from below as ``n`` grows.  The checks
+therefore target (i) the steep-side blow-up at fixed ``n``, (ii) the
+growth-rate contrast in ``n`` (near-polylog at ``alpha = 1`` vs clearly
+polynomial at ``alpha = 2``), and (iii) the flat side's drift: its
+*advantage* over ``alpha = 1`` must shrink as ``n`` grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.scaling import fit_power_law
+from repro.experiments.common import Check, ExperimentResult, experiment_main, validate_scale
+from repro.reporting.table import Table
+from repro.rng import as_generator
+from repro.smallworld.kleinberg import greedy_routing_trial
+
+EXPERIMENT_ID = "EXT-SW"
+TITLE = "Kleinberg greedy routing: one exponent wins  [Section 2, [24]]"
+
+_CONFIG = {
+    # (n grid, routes per cell)
+    "smoke": ((128, 256, 512), 60),
+    "small": ((128, 256, 512, 1024), 150),
+    "full": ((256, 512, 1024, 2048, 4096), 300),
+}
+_EXPONENTS = (0.5, 1.0, 2.0)
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Median greedy-routing steps across (alpha, n)."""
+    scale = validate_scale(scale)
+    rng = as_generator(seed)
+    n_grid, n_routes = _CONFIG[scale]
+    table = Table(
+        ["length exponent alpha", "node exponent beta"]
+        + [f"median steps (n={n})" for n in n_grid],
+        title=f"greedy routing medians ({n_routes} routes per cell)",
+    )
+    medians = {}
+    for alpha in _EXPONENTS:
+        row = []
+        for n in n_grid:
+            steps = greedy_routing_trial(n, alpha, n_routes, rng)
+            row.append(float(np.median(steps)))
+        medians[alpha] = row
+        table.add_row(alpha, alpha + 1.0, *row)
+    largest = n_grid[-1]
+    checks = []
+    # (i) Steep side blows up at fixed n.
+    checks.append(
+        Check(
+            f"n={largest}: alpha=2 routes >= 2.5x slower than alpha=1 "
+            "(steep tails lose long-range shortcuts)",
+            medians[2.0][-1] >= 2.5 * medians[1.0][-1],
+            detail=f"{medians[2.0][-1]:.0f} vs {medians[1.0][-1]:.0f}",
+        )
+    )
+    # (ii) Growth-rate contrast in n.
+    fit_opt = fit_power_law([float(n) for n in n_grid], medians[1.0])
+    fit_steep = fit_power_law([float(n) for n in n_grid], medians[2.0])
+    checks.append(
+        Check(
+            "routing time grows much faster in n at alpha=2 than at alpha=1 "
+            "(polynomial vs polylog; slope gap >= 0.2)",
+            fit_steep.slope - fit_opt.slope >= 0.2,
+            detail=f"slope(alpha=2)={fit_steep.slope:.2f}, slope(alpha=1)={fit_opt.slope:.2f}",
+        )
+    )
+    # (iii) Flat side: its advantage over alpha=1 shrinks with n.
+    first_ratio = medians[0.5][0] / medians[1.0][0]
+    last_ratio = medians[0.5][-1] / medians[1.0][-1]
+    checks.append(
+        Check(
+            "the flat tail's (alpha=0.5) edge over alpha=1 does not grow "
+            "with n (the documented slow drift toward Kleinberg's optimum)",
+            last_ratio >= first_ratio - 0.25,
+            detail=f"ratio at n={n_grid[0]}: {first_ratio:.2f}, at n={largest}: {last_ratio:.2f}",
+        )
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        scale=scale,
+        seed=seed,
+        tables=[table],
+        checks=checks,
+        notes=[
+            "Kleinberg's flat-side lower bound ~ n^((2-beta)/3) is far too "
+            "small to bite at simulateable n (for beta=1.5 and n=4096 it is "
+            "~4), so alpha slightly below 1 still looks good here; the "
+            "steep side and the growth-rate contrast are the observable "
+            "signatures, as in published replications.",
+            "Unlike parallel search, routing cannot be rescued by a random "
+            "exponent per query: one route chains many links and needs most "
+            "of them at the right scale -- the paper's randomization trick "
+            "works because each *walk* is an independent trial.",
+        ],
+    )
+
+
+def main(argv=None) -> int:
+    return experiment_main(run, argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

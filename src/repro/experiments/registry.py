@@ -1,0 +1,63 @@
+"""Registry mapping experiment ids to their modules.
+
+Matches DESIGN.md's per-experiment index; the CLI
+(:mod:`repro.cli`) and the benchmark suite both dispatch through it.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Dict, List
+
+#: experiment id -> module path
+_REGISTRY: Dict[str, str] = {
+    "EXP-E4": "repro.experiments.exp_tail_eq4",
+    "EXP-L3.2": "repro.experiments.exp_direct_path",
+    "EXP-L3.9": "repro.experiments.exp_monotonicity",
+    "EXP-L4.13": "repro.experiments.exp_origin_visits",
+    "EXP-T1.1": "repro.experiments.exp_single_hitting_super",
+    "EXP-T1.2": "repro.experiments.exp_single_hitting_diffusive",
+    "EXP-T1.3": "repro.experiments.exp_single_hitting_ballistic",
+    "EXP-T1.5": "repro.experiments.exp_optimal_exponent",
+    "EXP-C1.4": "repro.experiments.exp_parallel_speedup",
+    "EXP-T1.6": "repro.experiments.exp_random_exponent",
+    "EXP-CMP": "repro.experiments.exp_strategy_comparison",
+    "EXP-L4.12": "repro.experiments.exp_region_visits",
+    "EXP-LC1": "repro.experiments.exp_projection",
+    "EXP-MSD": "repro.experiments.exp_msd_regimes",
+    "FIG-1..6": "repro.experiments.exp_figures",
+    # Extensions beyond the paper (DESIGN.md Section 6):
+    "EXT-SW": "repro.experiments.exp_smallworld",
+    "EXT-DET": "repro.experiments.exp_ablation_detection",
+    "EXT-TAIL": "repro.experiments.exp_ablation_tails",
+    "EXT-LAZY": "repro.experiments.exp_ablation_laziness",
+    "EXT-QUANT": "repro.experiments.exp_quantized_levels",
+    "EXT-FORAGE": "repro.experiments.exp_foraging_field",
+    "EXT-DIAM": "repro.experiments.exp_target_diameter",
+    "EXT-1D": "repro.experiments.exp_line_foraging",
+    "EXT-CCRW": "repro.experiments.exp_ccrw",
+    "EXT-COVER": "repro.experiments.exp_distinct_nodes",
+}
+
+
+def experiment_ids() -> List[str]:
+    """All registered experiment ids, in DESIGN.md order."""
+    return list(_REGISTRY)
+
+
+def get_experiment(experiment_id: str):
+    """Import and return the experiment module for ``experiment_id``."""
+    try:
+        module_path = _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(_REGISTRY)
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known ids: {known}"
+        ) from None
+    return importlib.import_module(module_path)
+
+
+def run_experiment(experiment_id: str, scale: str = "small", seed: int = 0):
+    """Run one experiment and return its :class:`ExperimentResult`."""
+    module = get_experiment(experiment_id)
+    return module.run(scale=scale, seed=seed)

@@ -1,0 +1,91 @@
+"""Persistence for Monte-Carlo results (npz + JSON sidecars).
+
+Full-scale runs are expensive; this module lets experiment drivers save
+raw censored samples and reload them for re-analysis without re-running
+the simulation.  Formats:
+
+* :class:`~repro.engine.results.HittingTimeSample` -> a single ``.npz``
+  with the times array and horizon;
+* :class:`~repro.engine.multi_target.ForagingResult` -> a single ``.npz``
+  with targets, discovery times, discoverers and horizon;
+* arbitrary experiment metadata -> JSON (seeds, parameters, scale), kept
+  next to the arrays so a directory of results is self-describing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.engine.multi_target import ForagingResult
+from repro.engine.results import HittingTimeSample
+
+_SAMPLE_KIND = "repro.HittingTimeSample.v1"
+_FORAGING_KIND = "repro.ForagingResult.v1"
+
+
+def save_hitting_sample(sample: HittingTimeSample, path) -> Path:
+    """Write a censored hitting-time sample to ``path`` (``.npz``)."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        kind=np.array(_SAMPLE_KIND),
+        times=sample.times,
+        horizon=np.array(sample.horizon, dtype=np.int64),
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_hitting_sample(path) -> HittingTimeSample:
+    """Load a sample written by :func:`save_hitting_sample`."""
+    with np.load(Path(path)) as data:
+        kind = str(data["kind"])
+        if kind != _SAMPLE_KIND:
+            raise ValueError(f"not a hitting-time sample file (kind={kind!r})")
+        return HittingTimeSample(
+            times=data["times"].astype(np.int64),
+            horizon=int(data["horizon"]),
+        )
+
+
+def save_foraging_result(result: ForagingResult, path) -> Path:
+    """Write a multi-target foraging result to ``path`` (``.npz``)."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        kind=np.array(_FORAGING_KIND),
+        targets=result.targets,
+        discovery_times=result.discovery_times,
+        discoverer=result.discoverer,
+        horizon=np.array(result.horizon, dtype=np.int64),
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_foraging_result(path) -> ForagingResult:
+    """Load a result written by :func:`save_foraging_result`."""
+    with np.load(Path(path)) as data:
+        kind = str(data["kind"])
+        if kind != _FORAGING_KIND:
+            raise ValueError(f"not a foraging result file (kind={kind!r})")
+        return ForagingResult(
+            targets=data["targets"].astype(np.int64),
+            discovery_times=data["discovery_times"].astype(np.int64),
+            discoverer=data["discoverer"].astype(np.int64),
+            horizon=int(data["horizon"]),
+        )
+
+
+def save_metadata(metadata: Dict[str, Any], path) -> Path:
+    """Write a JSON metadata sidecar (seeds, parameters, provenance)."""
+    path = Path(path)
+    path.write_text(json.dumps(metadata, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_metadata(path) -> Dict[str, Any]:
+    """Read a JSON metadata sidecar."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,74 @@
+"""Discrete geometry of the infinite grid Z^2 under the Manhattan metric.
+
+This subpackage implements the lattice substrate of the paper *Search via
+Parallel Levy Walks on Z^2* (Clementi, d'Amore, Giakkoupis, Natale, PODC
+2021):
+
+* :mod:`repro.lattice.points` -- p-norms and distances on Z^2 (Section 3.1);
+* :mod:`repro.lattice.rings` -- the rings ``R_d(u)``, balls ``B_d(u)`` and
+  boxes ``Q_d(u)`` of Figure 1, with exact uniform sampling on rings;
+* :mod:`repro.lattice.direct_path` -- *direct paths* (Definition 3.1), the
+  shortest lattice paths that hug the straight segment between two nodes,
+  including an O(1) exact sampler for the node a direct path occupies at a
+  given intermediate ring (the workhorse of the fast simulation engine);
+* :mod:`repro.lattice.spiral` -- the square-spiral space-filling order used
+  by the Feinerman-Korman style baseline of the ANTS problem;
+* :mod:`repro.lattice.ascii_art` -- deterministic renderings of the paper's
+  illustrative figures.
+"""
+
+from repro.lattice.points import (
+    ORIGIN,
+    l1_distance,
+    l1_norm,
+    l2_distance,
+    l2_norm,
+    linf_distance,
+    linf_norm,
+)
+from repro.lattice.rings import (
+    ball_nodes,
+    ball_size,
+    box_nodes,
+    box_size,
+    offset_to_ring_index,
+    ring_index_to_offset,
+    ring_nodes,
+    ring_size,
+    sample_ring_offsets,
+)
+from repro.lattice.direct_path import (
+    direct_path_node_candidates,
+    enumerate_direct_paths,
+    ring_marginal_exact,
+    sample_direct_path,
+    sample_direct_path_nodes,
+)
+from repro.lattice.spiral import spiral_index, spiral_offset, spiral_path
+
+__all__ = [
+    "ORIGIN",
+    "l1_norm",
+    "l1_distance",
+    "l2_norm",
+    "l2_distance",
+    "linf_norm",
+    "linf_distance",
+    "ring_size",
+    "ring_nodes",
+    "ball_size",
+    "ball_nodes",
+    "box_size",
+    "box_nodes",
+    "ring_index_to_offset",
+    "offset_to_ring_index",
+    "sample_ring_offsets",
+    "direct_path_node_candidates",
+    "sample_direct_path",
+    "sample_direct_path_nodes",
+    "enumerate_direct_paths",
+    "ring_marginal_exact",
+    "spiral_index",
+    "spiral_offset",
+    "spiral_path",
+]

@@ -1,0 +1,200 @@
+"""Deterministic ASCII renderings of the paper's illustrative figures.
+
+The paper contains six figures, all of which are geometric illustrations
+used by the proofs rather than experimental plots.  This module regenerates
+each of them as text so that the reproduction covers every figure:
+
+* Figure 1 -- the ring ``R_d(u)``, ball ``B_d(u)`` and box ``Q_d(u)``
+  (:func:`render_ring`, :func:`render_ball`, :func:`render_box`,
+  :func:`figure_1`);
+* Figure 2 -- a segment ``uv`` and a direct path between ``u`` and ``v``
+  (:func:`figure_2`);
+* Figure 3 -- the four disjoint boxes, each at least as likely to be
+  visited as ``Q_l(0)`` once the walk has reached distance ``5l/2``
+  (:func:`figure_3`);
+* Figure 4 -- the projection from ``R_d(u)`` to ``R_i(u)`` used by Lemma
+  3.2 (:func:`figure_4`);
+* Figure 6 -- the region of endpoints more likely than a node of
+  ``B_{l/4}(u*)`` used in the proof of Lemma 4.7 (:func:`figure_6`).
+
+(The paper's Figure 5 is part of the same appendix geometry as Figure 4
+and is rendered by :func:`figure_4` with a different ring pair.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.lattice.direct_path import sample_direct_path
+from repro.lattice.points import linf_norm
+from repro.lattice.rings import iter_ring_offsets
+
+IntPoint = Tuple[int, int]
+
+
+def render_grid(
+    marks: Dict[IntPoint, str],
+    radius: int,
+    background: str = ".",
+) -> str:
+    """Render the square window ``[-radius, radius]^2`` as text.
+
+    ``marks`` maps lattice offsets to single characters; unmarked nodes get
+    ``background``.  The y axis points up (row 0 is ``y = radius``).
+    """
+    rows = []
+    for y in range(radius, -radius - 1, -1):
+        row = [marks.get((x, y), background) for x in range(-radius, radius + 1)]
+        rows.append(" ".join(row))
+    return "\n".join(rows)
+
+
+def _marks_for(nodes: Iterable[IntPoint], char: str) -> Dict[IntPoint, str]:
+    return {node: char for node in nodes}
+
+
+def render_ring(d: int) -> str:
+    """ASCII picture of the ring ``R_d(0)`` (left panel of Figure 1)."""
+    marks = _marks_for(iter_ring_offsets(d), "o")
+    marks[(0, 0)] = "u"
+    return render_grid(marks, d + 1)
+
+
+def render_ball(d: int) -> str:
+    """ASCII picture of the ball ``B_d(0)`` (middle panel of Figure 1)."""
+    marks = {}
+    for radius in range(d + 1):
+        marks.update(_marks_for(iter_ring_offsets(radius), "o"))
+    marks[(0, 0)] = "u"
+    return render_grid(marks, d + 1)
+
+
+def render_box(d: int) -> str:
+    """ASCII picture of the box ``Q_d(0)`` (right panel of Figure 1)."""
+    marks = {
+        (x, y): "o"
+        for x in range(-d, d + 1)
+        for y in range(-d, d + 1)
+    }
+    marks[(0, 0)] = "u"
+    return render_grid(marks, d + 1)
+
+
+def figure_1(d: int = 4) -> str:
+    """Reproduce Figure 1: ``R_d(u)``, ``B_d(u)`` and ``Q_d(u)`` side by side."""
+    panels = [render_ring(d), render_ball(d), render_box(d)]
+    labels = [f"R_{d}(u)", f"B_{d}(u)", f"Q_{d}(u)"]
+    blocks = []
+    for label, panel in zip(labels, panels):
+        blocks.append(f"{label}:\n{panel}")
+    return "\n\n".join(blocks)
+
+
+def figure_2(u: IntPoint = (0, 0), v: IntPoint = (7, 4), seed: int = 0) -> str:
+    """Reproduce Figure 2: a segment ``uv`` and one direct path between them."""
+    rng = np.random.default_rng(seed)
+    path = sample_direct_path(u, v, rng)
+    radius = max(linf_norm(u), linf_norm(v)) + 1
+    marks: Dict[IntPoint, str] = {node: "o" for node in path}
+    marks[u] = "u"
+    marks[v] = "v"
+    header = " -> ".join(str(node) for node in path)
+    return f"direct path: {header}\n\n{render_grid(marks, radius)}"
+
+
+def figure_3(l: int = 2) -> str:
+    """Reproduce Figure 3: four boxes as likely to be visited as ``Q_l(0)``.
+
+    Once a walk has reached distance ``5l/2`` from the origin, the proof of
+    Lemma 4.8 exhibits three boxes, disjoint from ``Q_l(0)``, that are each
+    at least as likely to be visited afterwards; together with ``Q_l(0)``
+    they tile a neighborhood of the walk's position.  We render ``Q_l(0)``
+    (marked ``Q``) and three translates (marked ``1``, ``2``, ``3``).
+    """
+    radius = 4 * l + 2
+    marks: Dict[IntPoint, str] = {}
+    boxes = {
+        "Q": (0, 0),
+        "1": (2 * l + 1, 0),
+        "2": (0, 2 * l + 1),
+        "3": (2 * l + 1, 2 * l + 1),
+    }
+    for char, (cx, cy) in boxes.items():
+        for x in range(-l, l + 1):
+            for y in range(-l, l + 1):
+                marks[(cx + x, cy + y)] = char
+    return render_grid(marks, radius)
+
+
+def figure_4(d: int = 5, i: int = 3) -> str:
+    """Reproduce Figure 4: projecting ``R_d(u)`` onto ``R_i(u)``.
+
+    Lemma 3.2's proof maps each node of the outer ring to the direct-path
+    node of the inner ring; we render the two rings (outer ``O``, inner
+    ``i``) with the origin marked ``u``.
+    """
+    marks: Dict[IntPoint, str] = {}
+    marks.update(_marks_for(iter_ring_offsets(d), "O"))
+    marks.update(_marks_for(iter_ring_offsets(i), "i"))
+    marks[(0, 0)] = "u"
+    return render_grid(marks, d + 1)
+
+
+def figure_6(l: int = 8) -> str:
+    """Reproduce Figure 6: the ball ``B_{l/4}(u*)`` and the far region.
+
+    The proof of Lemma 4.7 compares, for every node ``v`` in
+    ``B_{l/4}(u*)``, the probability that a jump ends at ``v`` with the
+    probability that it ends at any of ``Theta(l^2)`` nodes at distance at
+    least ``l/2`` from the origin.  We render the origin (``0``), the
+    target ``u*`` (at ``(l, 0)``, marked ``T``), the ball around the target
+    (``b``), and the boundary of ``B_{l/2}(0)`` (``#``).
+    """
+    quarter = max(1, l // 4)
+    half = max(1, l // 2)
+    marks: Dict[IntPoint, str] = {}
+    for radius in range(quarter + 1):
+        for ox, oy in iter_ring_offsets(radius):
+            marks[(l + ox, oy)] = "b"
+    marks.update(_marks_for(iter_ring_offsets(half), "#"))
+    marks[(0, 0)] = "0"
+    marks[(l, 0)] = "T"
+    return render_grid(marks, l + quarter + 1)
+
+
+def render_trajectory(
+    path: Sequence[IntPoint],
+    radius: int | None = None,
+    target: IntPoint | None = None,
+) -> str:
+    """Render a walk trajectory (start ``S``, end ``E``, target ``T``)."""
+    if not path:
+        raise ValueError("path must contain at least one node")
+    if radius is None:
+        radius = max(max(linf_norm(node) for node in path), 1)
+    marks: Dict[IntPoint, str] = {}
+    for node in path:
+        if linf_norm(node) <= radius:
+            marks[node] = "*"
+    start, end = path[0], path[-1]
+    if linf_norm(start) <= radius:
+        marks[start] = "S"
+    if linf_norm(end) <= radius:
+        marks[end] = "E"
+    if target is not None and linf_norm(target) <= radius:
+        marks[target] = "T"
+    return render_grid(marks, radius)
+
+
+def all_figures() -> List[Tuple[str, str]]:
+    """Return ``(name, rendering)`` for every paper figure."""
+    return [
+        ("Figure 1 (rings, balls, boxes)", figure_1()),
+        ("Figure 2 (direct path)", figure_2()),
+        ("Figure 3 (disjoint boxes)", figure_3()),
+        ("Figure 4 (ring projection)", figure_4()),
+        ("Figure 5 (ring projection, coarse)", figure_4(d=6, i=2)),
+        ("Figure 6 (target ball vs far region)", figure_6()),
+    ]

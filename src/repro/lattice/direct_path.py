@@ -1,0 +1,208 @@
+"""Direct paths between lattice nodes (paper Definition 3.1, Figure 2).
+
+A *direct path* from ``u`` to ``v`` is a shortest lattice path
+``u = u_0, u_1, ..., u_d = v`` (``d = ||u - v||_1``) such that ``u_i`` lies
+on the ring ``R_i(u)`` and is the node of that ring closest in Euclidean
+distance to the point ``w_i`` of the real segment ``uv`` with
+``||u - w_i||_1 = i``.  A Levy walk (Definition 3.4) traverses a direct
+path chosen uniformly at random among all direct paths from ``u`` to ``v``.
+
+Structure exploited throughout this package
+-------------------------------------------
+
+Write ``delta = v - u`` and ``d = |delta_x| + |delta_y|``.  Because the
+Manhattan norm is linear along the segment, ``w_i = u + (i/d) * delta``
+satisfies ``||w_i - u||_1 = i`` exactly.  In the (closed) quadrant of
+``delta``, the ring nodes are ``{(x, i - x) : 0 <= x <= i}`` (in
+quadrant-absolute coordinates), and the squared Euclidean distance from
+``w_i`` to such a node is ``2 (x - i*|delta_x|/d)^2``.  Hence:
+
+* the closest ring node is obtained by rounding ``i * |delta_x| / d`` to
+  the nearest integer;
+* a *tie* (two equidistant closest nodes) occurs iff the fractional part
+  of ``i * |delta_x| / d`` equals exactly 1/2;
+* ties at two consecutive rings are impossible: subtracting the tie
+  conditions ``2 i |delta_x| = d (mod 2d)`` and
+  ``2 (i+1) |delta_x| = d (mod 2d)`` forces ``|delta_x|`` to be ``0`` or
+  ``d`` modulo ``d``, i.e. an axis-aligned jump, which has no ties at all;
+* consequently every combination of per-ring tie choices forms a valid
+  lattice path (adjacent consecutive nodes), so the uniform distribution
+  over direct paths factorizes into independent fair coin flips, one per
+  tie ring, and the *marginal* of ``u_i`` is "closest node, uniform over
+  the (at most 2) ties".
+
+The last point is what allows exact hit detection in O(1) per jump: a walk
+jumping from ``u`` to ``v`` visits the target ``w`` iff
+``m = ||w - u||_1 <= d`` and the ring-``m`` marginal sample equals ``w``,
+in which case the visit happens exactly ``m`` steps into the jump phase.
+These facts are verified by exhaustive enumeration in the test suite.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.lattice.points import l1_distance
+from repro.lattice.rings import iter_ring_offsets, ring_size
+
+IntPoint = Tuple[int, int]
+
+
+def _sign(value: int) -> int:
+    if value > 0:
+        return 1
+    if value < 0:
+        return -1
+    return 0
+
+
+def direct_path_node_candidates(u: IntPoint, v: IntPoint, i: int) -> List[IntPoint]:
+    """Return the nodes a direct path from ``u`` to ``v`` may occupy at ring ``i``.
+
+    The result has one element (no tie) or two elements (tie); a uniformly
+    random direct path occupies each candidate with equal probability
+    (see the module docstring).  ``i`` must satisfy ``0 <= i <= d`` where
+    ``d = ||u - v||_1``.
+    """
+    dx = v[0] - u[0]
+    dy = v[1] - u[1]
+    d = abs(dx) + abs(dy)
+    if not 0 <= i <= d:
+        raise ValueError(f"ring index {i} out of range [0, {d}]")
+    if i == 0:
+        return [u]
+    if i == d:
+        return [v]
+    sx, sy = _sign(dx), _sign(dy)
+    a = i * abs(dx)
+    q, r = divmod(a, d)
+    if 2 * r == d:
+        xs = [q, q + 1]
+    elif 2 * r > d:
+        xs = [q + 1]
+    else:
+        xs = [q]
+    return [(u[0] + sx * x, u[1] + sy * (i - x)) for x in xs]
+
+
+def sample_direct_path(
+    u: IntPoint, v: IntPoint, rng: np.random.Generator
+) -> List[IntPoint]:
+    """Sample a uniformly random direct path from ``u`` to ``v``.
+
+    Returns the full node sequence ``[u, u_1, ..., u_d = v]``; consecutive
+    nodes are lattice neighbors.  Runs in O(d).
+    """
+    d = l1_distance(u, v)
+    path = [u]
+    for i in range(1, d + 1):
+        candidates = direct_path_node_candidates(u, v, i)
+        if len(candidates) == 1:
+            path.append(candidates[0])
+        else:
+            path.append(candidates[int(rng.integers(0, 2))])
+    return path
+
+
+def enumerate_direct_paths(
+    u: IntPoint, v: IntPoint, max_paths: int = 1 << 20
+) -> List[List[IntPoint]]:
+    """Enumerate every direct path from ``u`` to ``v``.
+
+    The number of direct paths is ``2^T`` where ``T`` is the number of tie
+    rings; a :class:`ValueError` is raised if it would exceed ``max_paths``.
+    Intended for exhaustive verification on small instances.
+    """
+    d = l1_distance(u, v)
+    per_ring = [direct_path_node_candidates(u, v, i) for i in range(d + 1)]
+    count = 1
+    for candidates in per_ring:
+        count *= len(candidates)
+        if count > max_paths:
+            raise ValueError(f"more than {max_paths} direct paths")
+    paths = []
+    for combo in product(*per_ring):
+        path = list(combo)
+        if all(l1_distance(path[j], path[j + 1]) == 1 for j in range(d)):
+            paths.append(path)
+    return paths
+
+
+def ring_marginal_exact(d: int, i: int) -> Dict[IntPoint, float]:
+    """Exact law of ``u_i`` for a jump of length ``d`` from the origin.
+
+    This is the distribution analysed in Lemma 3.2: the endpoint ``v`` is
+    uniform on ``R_d(0)`` and the direct path to it is uniform, and the
+    returned dict maps each node ``w`` of ``R_i(0)`` to ``P(u_i = w)``.
+    Runs in O(d) time; used to validate the Lemma 3.2 bounds
+
+    ``(i/d) floor(d/i) / (4 i)  <=  P(u_i = w)  <=  (i/d) ceil(d/i) / (4 i)``.
+    """
+    if not 1 <= i <= d:
+        raise ValueError("require 1 <= i <= d")
+    marginal: Dict[IntPoint, float] = {}
+    weight = 1.0 / ring_size(d)
+    for offset in iter_ring_offsets(d):
+        candidates = direct_path_node_candidates((0, 0), offset, i)
+        share = weight / len(candidates)
+        for node in candidates:
+            marginal[node] = marginal.get(node, 0.0) + share
+    return marginal
+
+
+def sample_direct_path_nodes(
+    starts: np.ndarray,
+    ends: np.ndarray,
+    rings: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Vectorized ring-marginal sampler (the fast engine's hit detector).
+
+    For each row ``j``, returns the node occupied at ring ``rings[j]`` by a
+    uniformly random direct path from ``starts[j]`` to ``ends[j]``.  Exact:
+    the output follows precisely the marginal distribution of Definition
+    3.1 (see the module docstring for why the marginal is "nearest node,
+    fair coin on ties").
+
+    Parameters
+    ----------
+    starts, ends:
+        Integer arrays of shape ``(n, 2)``.
+    rings:
+        Integer array of shape ``(n,)``; entry ``j`` must lie in
+        ``[0, ||ends[j] - starts[j]||_1]``.
+    rng:
+        Source of randomness for tie-breaking.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    ends = np.asarray(ends, dtype=np.int64)
+    m = np.asarray(rings, dtype=np.int64)
+    delta = ends - starts
+    adx = np.abs(delta[:, 0])
+    d = adx + np.abs(delta[:, 1])
+    if np.any(m < 0) or np.any(m > d):
+        raise ValueError("ring index out of range")
+    out = np.empty_like(starts)
+    zero_jump = d == 0
+    out[zero_jump] = starts[zero_jump]
+    moving = ~zero_jump
+    if not np.any(moving):
+        return out
+    dm = d[moving]
+    mm = m[moving]
+    a = mm * adx[moving]
+    q, r = np.divmod(a, dm)
+    two_r = 2 * r
+    x_abs = q + (two_r > dm)
+    tie = two_r == dm
+    if np.any(tie):
+        x_abs[tie] = q[tie] + rng.integers(0, 2, size=int(tie.sum()))
+    y_abs = mm - x_abs
+    sx = np.sign(delta[moving, 0])
+    sy = np.sign(delta[moving, 1])
+    out[moving, 0] = starts[moving, 0] + sx * x_abs
+    out[moving, 1] = starts[moving, 1] + sy * y_abs
+    return out

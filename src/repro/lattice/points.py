@@ -1,0 +1,101 @@
+"""p-norms and distances on the lattice Z^2 (paper Section 3.1).
+
+Points are represented in one of two interchangeable ways:
+
+* *scalar form*: a pair ``(x, y)`` of Python ints (or a length-2 sequence);
+* *array form*: a numpy integer array of shape ``(..., 2)`` whose last axis
+  holds the ``(x, y)`` coordinates.
+
+All functions below accept both forms.  Scalar inputs produce Python
+scalars; array inputs produce numpy arrays with the leading shape of the
+input.  The paper measures distances with the 1-norm (shortest-path /
+Manhattan distance on the grid graph ``G = (Z^2, E)``), uses the 2-norm to
+define direct paths, and the infinity-norm for the boxes ``Q_d(u)`` and the
+monotonicity property (Lemma 3.9).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Union
+
+import numpy as np
+
+Point = Union[Sequence[int], np.ndarray]
+
+#: The origin ``0 = (0, 0)`` from which every walk starts (paper Section 3.1).
+ORIGIN = (0, 0)
+
+
+def _as_xy(point: Point):
+    """Split a point (scalar or array form) into its x and y components."""
+    if isinstance(point, np.ndarray):
+        return point[..., 0], point[..., 1]
+    x, y = point
+    return x, y
+
+
+def l1_norm(point: Point):
+    """Return ``|x| + |y|``, the Manhattan norm of ``point``.
+
+    On the grid graph this equals the shortest-path distance from the
+    origin, which is the notion of distance used throughout the paper.
+    """
+    x, y = _as_xy(point)
+    return abs(x) + abs(y)
+
+
+def l2_norm(point: Point):
+    """Return the Euclidean norm of ``point``.
+
+    Used only to define direct paths (Definition 3.1), where the lattice
+    node closest *in Euclidean distance* to a point of the real segment is
+    selected.
+    """
+    x, y = _as_xy(point)
+    if isinstance(point, np.ndarray):
+        return np.hypot(x, y)
+    return math.hypot(x, y)
+
+
+def linf_norm(point: Point):
+    """Return ``max(|x|, |y|)``, the Chebyshev norm of ``point``.
+
+    The boxes ``Q_d(u)`` of Figure 1 are balls of this norm, and the
+    monotonicity property (Lemma 3.9) compares ``||v||_inf`` with
+    ``||u||_1``.
+    """
+    x, y = _as_xy(point)
+    if isinstance(point, np.ndarray):
+        return np.maximum(np.abs(x), np.abs(y))
+    return max(abs(x), abs(y))
+
+
+def _difference(a: Point, b: Point):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.asarray(a) - np.asarray(b)
+    return (a[0] - b[0], a[1] - b[1])
+
+
+def l1_distance(a: Point, b: Point):
+    """Shortest-path (Manhattan) distance between nodes ``a`` and ``b``."""
+    return l1_norm(_difference(a, b))
+
+
+def l2_distance(a: Point, b: Point):
+    """Euclidean distance between ``a`` and ``b``."""
+    return l2_norm(_difference(a, b))
+
+
+def linf_distance(a: Point, b: Point):
+    """Chebyshev distance between ``a`` and ``b``."""
+    return linf_norm(_difference(a, b))
+
+
+def is_lattice_neighbor(a: Sequence[int], b: Sequence[int]) -> bool:
+    """Return True iff ``{a, b}`` is an edge of the grid graph.
+
+    Edges of ``G = (Z^2, E)`` connect nodes at Manhattan distance exactly 1
+    (paper Section 3.1).
+    """
+    return l1_distance(tuple(a), tuple(b)) == 1

@@ -1,0 +1,81 @@
+"""Square-spiral ordering of Z^2.
+
+The Feinerman-Korman style search algorithms that the paper uses as a
+reference point (Section 2, [14]) repeatedly "perform a spiral movement" of
+a given radius: a unit-step lattice path that starts at a center and covers
+every node of the Chebyshev box ``Q_r`` in Theta(r^2) steps.  This module
+implements the classic square (Ulam) spiral as an explicit bijection
+``index <-> offset`` with O(1) evaluation in both directions, so that a
+spiral searcher's hitting time on any target can be computed without
+simulating the spiral step by step.
+
+Layout: index 0 is the center ``(0, 0)``; the L-infinity ring of radius
+``r >= 1`` holds the ``8r`` indices ``[(2r-1)^2, (2r+1)^2)``, entered at
+``(r, -r+1)`` and walked counter-clockwise (up, left, down, right), ending
+at the corner ``(r, -r)``.  Consecutive indices are always lattice
+neighbors, across ring boundaries too.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+IntPoint = Tuple[int, int]
+
+
+def spiral_offset(index: int) -> IntPoint:
+    """Return the offset of spiral position ``index`` (O(1))."""
+    if index < 0:
+        raise ValueError(f"spiral index must be non-negative, got {index}")
+    if index == 0:
+        return (0, 0)
+    r = (math.isqrt(index) + 1) // 2
+    j = index - (2 * r - 1) ** 2
+    if j < 2 * r:  # up the right edge
+        return (r, -r + 1 + j)
+    if j < 4 * r:  # left along the top edge
+        return (r - 1 - (j - 2 * r), r)
+    if j < 6 * r:  # down the left edge
+        return (-r, r - 1 - (j - 4 * r))
+    return (-r + 1 + (j - 6 * r), -r)  # right along the bottom edge
+
+
+def spiral_index(offset: IntPoint) -> int:
+    """Return the spiral position of ``offset`` (O(1) inverse)."""
+    x, y = offset
+    r = max(abs(x), abs(y))
+    if r == 0:
+        return 0
+    base = (2 * r - 1) ** 2
+    if x == r and y >= -r + 1:
+        j = y + r - 1
+    elif y == r:
+        j = 2 * r + (r - 1 - x)
+    elif x == -r:
+        j = 4 * r + (r - 1 - y)
+    else:  # y == -r
+        j = 6 * r + (x + r - 1)
+    return base + j
+
+
+def spiral_path(n_nodes: int, center: IntPoint = (0, 0)) -> List[IntPoint]:
+    """Return the first ``n_nodes`` nodes of the spiral around ``center``."""
+    cx, cy = center
+    path = []
+    for index in range(n_nodes):
+        ox, oy = spiral_offset(index)
+        path.append((cx + ox, cy + oy))
+    return path
+
+
+def steps_to_cover_box(radius: int) -> int:
+    """Steps a spiral needs to cover every node of ``Q_radius``.
+
+    The spiral visits node ``i`` at time ``i``, so covering ``Q_radius``
+    (i.e. all indices below ``(2*radius + 1)^2``) takes
+    ``(2*radius + 1)^2 - 1`` steps.
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    return (2 * radius + 1) ** 2 - 1

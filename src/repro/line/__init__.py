@@ -1,0 +1,12 @@
+"""One-dimensional Levy walks on Z -- the classical comparison case.
+
+Section 1.1 of the paper: the optimality of the Cauchy exponent
+``alpha = 2`` for sparse-target search "was formally shown just for
+one-dimensional spaces [4], and does not carry over to higher
+dimensions".  This subpackage implements the 1D Levy walk so the
+repository can exhibit the contrast directly (experiment EXT-1D).
+"""
+
+from repro.line.walk_1d import line_walk_hitting_times
+
+__all__ = ["line_walk_hitting_times"]

@@ -1,0 +1,19 @@
+"""Plain-text reporting: tables, markdown, ASCII plots and heatmaps."""
+
+from repro.reporting.heatmap import ascii_heatmap
+from repro.reporting.markdown import (
+    result_to_markdown,
+    results_to_markdown,
+    table_to_markdown,
+)
+from repro.reporting.table import Table
+from repro.reporting.text_plots import ascii_loglog
+
+__all__ = [
+    "Table",
+    "ascii_loglog",
+    "ascii_heatmap",
+    "table_to_markdown",
+    "result_to_markdown",
+    "results_to_markdown",
+]

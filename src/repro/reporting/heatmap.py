@@ -1,0 +1,68 @@
+"""ASCII heatmaps for occupation grids.
+
+Renders a 2D probability/visit grid (as produced by
+:func:`repro.engine.visits.flight_occupation_grid` or
+:func:`repro.engine.exact_occupation.flight_occupation_exact`) as
+log-scaled density characters, terminal-friendly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: Density ramp from empty to dense.
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_heatmap(
+    grid: np.ndarray,
+    title: str | None = None,
+    log_scale: bool = True,
+    mark_center: bool = True,
+) -> str:
+    """Render a square occupancy grid as text.
+
+    Cells with zero mass render as spaces; positive cells are bucketed
+    into the density ramp, by default on a log scale (occupation laws
+    span many orders of magnitude).  The grid's center cell (the origin)
+    is marked ``O`` when ``mark_center`` is set.
+    """
+    grid = np.asarray(grid, dtype=float)
+    if grid.ndim != 2 or grid.shape[0] != grid.shape[1]:
+        raise ValueError("grid must be a square 2-d array")
+    if np.any(grid < 0):
+        raise ValueError("grid values must be non-negative")
+    positive = grid[grid > 0]
+    lines = []
+    if title:
+        lines.append(title)
+    if positive.size == 0:
+        lines.append("(empty grid)")
+        return "\n".join(lines)
+    if log_scale:
+        low = math.log(float(positive.min()))
+        high = math.log(float(positive.max()))
+    else:
+        low = float(positive.min())
+        high = float(positive.max())
+    span = (high - low) or 1.0
+    side = grid.shape[0]
+    center = (side - 1) // 2
+    # Row 0 of the output is the TOP of the window (largest y): the grid
+    # convention is grid[x + r, y + r], so we iterate y from high to low.
+    for y in range(side - 1, -1, -1):
+        row_chars = []
+        for x in range(side):
+            value = grid[x, y]
+            if mark_center and x == center and y == center:
+                row_chars.append("O")
+            elif value <= 0:
+                row_chars.append(" ")
+            else:
+                scaled = math.log(value) if log_scale else value
+                bucket = int((scaled - low) / span * (len(_RAMP) - 1))
+                row_chars.append(_RAMP[max(1, bucket)])
+        lines.append("".join(row_chars))
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Markdown rendering of experiment results (powers EXPERIMENTS.md).
+
+EXPERIMENTS.md is a generated artifact: ``scripts/generate_experiments_md.py``
+runs every registered experiment at a chosen scale and renders the results
+through this module, so the recorded paper-vs-measured numbers are always
+regenerable from one command.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.reporting.table import Table, _format_cell
+
+if TYPE_CHECKING:  # avoid a circular import: experiments.common uses Table
+    from repro.experiments.common import ExperimentResult
+
+
+def table_to_markdown(table: Table, float_format: str = ".4g") -> str:
+    """Render a :class:`Table` as a GitHub-flavored markdown table."""
+    lines = []
+    if table.title:
+        lines.append(f"**{table.title}**")
+        lines.append("")
+    header = "| " + " | ".join(table.columns) + " |"
+    separator = "|" + "|".join([" --- "] * len(table.columns)) + "|"
+    lines.append(header)
+    lines.append(separator)
+    for row in table.rows:
+        cells = [_format_cell(value, float_format) for value in row]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def result_to_markdown(result: ExperimentResult) -> str:
+    """Render one experiment's full result as a markdown section."""
+    lines: List[str] = [
+        f"## {result.experiment_id} — {result.title}",
+        "",
+        f"*scale:* `{result.scale}` · *seed:* `{result.seed}` · "
+        f"*verdict:* {'✅ all checks passed' if result.passed else '❌ some checks failed'}",
+        "",
+    ]
+    for table in result.tables:
+        lines.append(table_to_markdown(table))
+        lines.append("")
+    if result.checks:
+        lines.append("**Checks (paper-predicted shape vs measured):**")
+        lines.append("")
+        for check in result.checks:
+            status = "✅" if check.passed else "❌"
+            detail = f" — {check.detail}" if check.detail else ""
+            lines.append(f"- {status} {check.description}{detail}")
+        lines.append("")
+    for note in result.notes:
+        lines.append(f"> {note}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def results_to_markdown(results: List[ExperimentResult], preamble: str = "") -> str:
+    """Render a full EXPERIMENTS.md document."""
+    parts = []
+    if preamble:
+        parts.append(preamble.rstrip())
+        parts.append("")
+    passed = sum(1 for r in results if r.passed)
+    parts.append(
+        f"**Summary: {passed}/{len(results)} experiments passed all their "
+        "checks.**"
+    )
+    parts.append("")
+    parts.append("| experiment | title | checks |")
+    parts.append("| --- | --- | --- |")
+    for result in results:
+        n_pass = sum(1 for c in result.checks if c.passed)
+        parts.append(
+            f"| [{result.experiment_id}](#{_anchor(result)}) | {result.title} "
+            f"| {n_pass}/{len(result.checks)} |"
+        )
+    parts.append("")
+    for result in results:
+        parts.append(result_to_markdown(result))
+    return "\n".join(parts)
+
+
+def _anchor(result: ExperimentResult) -> str:
+    """GitHub-style anchor for the result's section heading."""
+    heading = f"{result.experiment_id} — {result.title}"
+    anchor = heading.lower()
+    keep = []
+    for char in anchor:
+        if char.isalnum():
+            keep.append(char)
+        elif char in (" ", "-"):
+            keep.append("-")
+    return "".join(keep).replace("--", "-").strip("-")

@@ -1,0 +1,77 @@
+"""Plain-text tables -- the output format of every experiment.
+
+The paper's "tables" are its theorem statements; our harnesses print one
+aligned text table per experiment with the measured and predicted
+quantities side by side, and can also dump CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+
+def _format_cell(value, float_format: str) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        return format(value, float_format)
+    return str(value)
+
+
+class Table:
+    """A titled, column-aligned text table."""
+
+    def __init__(self, columns: Sequence[str], title: Optional[str] = None) -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = list(columns)
+        self.title = title
+        self.rows: List[list] = []
+
+    def add_row(self, *values) -> None:
+        """Append one row; must match the column count."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append(list(values))
+
+    def render(self, float_format: str = ".4g") -> str:
+        """Return the aligned text rendering."""
+        cells = [self.columns] + [
+            [_format_cell(v, float_format) for v in row] for row in self.rows
+        ]
+        widths = [max(len(row[i]) for row in cells) for i in range(len(self.columns))]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(name.ljust(widths[i]) for i, name in enumerate(cells[0]))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells[1:]:
+            lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def to_csv(self, path) -> None:
+        """Write the table (with header) as CSV."""
+        path = Path(path)
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self.columns)
+            writer.writerows(self.rows)
+
+    def column(self, name: str) -> list:
+        """Extract one column by name."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def __str__(self) -> str:
+        return self.render()

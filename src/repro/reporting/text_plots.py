@@ -1,0 +1,55 @@
+"""ASCII log-log scatter plots for terminal-friendly experiment output."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_loglog(
+    series: Dict[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 20,
+    title: str | None = None,
+) -> str:
+    """Render named ``(x, y)`` series on log-log axes as text.
+
+    Non-positive coordinates are skipped (they have no log-log position).
+    Each series gets one marker character; overlapping points show the
+    later series' marker.
+    """
+    points = {
+        name: [(x, y) for x, y in pts if x > 0 and y > 0]
+        for name, pts in series.items()
+    }
+    flat = [p for pts in points.values() for p in pts]
+    if not flat:
+        raise ValueError("nothing to plot: no positive points")
+    log_x = [math.log10(x) for x, _ in flat]
+    log_y = [math.log10(y) for _, y in flat]
+    x_lo, x_hi = min(log_x), max(log_x)
+    y_lo, y_hi = min(log_y), max(log_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(points.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in pts:
+            col = int((math.log10(x) - x_lo) / x_span * (width - 1))
+            row = int((math.log10(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(points)
+    )
+    lines.append(legend)
+    lines.append(f"y: 1e{y_lo:.2f} .. 1e{y_hi:.2f} (log scale)")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f"x: 1e{x_lo:.2f} .. 1e{x_hi:.2f} (log scale)")
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Randomness plumbing shared by every stochastic component.
+
+All stochastic APIs in this package accept either an integer seed, ``None``
+(fresh OS entropy) or an existing :class:`numpy.random.Generator`; this
+module provides the single conversion point plus independent-stream
+spawning for parallel walkers, so that experiments are reproducible from a
+single printed seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Passing a generator returns it unchanged (no copy), so sequential calls
+    share one stream; passing an int always yields the same stream.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, n: int) -> List[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators from ``rng``.
+
+    Used to give each of the ``k`` parallel walks of the paper its own
+    stream: the walks are independent by construction (Section 1.1), and
+    independent streams keep them independent regardless of the order in
+    which the simulation advances them.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    return [np.random.Generator(bit_gen) for bit_gen in rng.bit_generator.spawn(n)]
+
+
+def random_seed(rng: Optional[np.random.Generator] = None) -> int:
+    """Draw a printable 63-bit seed (for experiment logging)."""
+    source = rng if rng is not None else np.random.default_rng()
+    return int(source.integers(0, 2**63 - 1))

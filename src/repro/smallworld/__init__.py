@@ -1,0 +1,12 @@
+"""Kleinberg's small-world lattice -- the paper's Section 2 cousin.
+
+Kleinberg [24] augments a finite lattice with one random long-range link
+per node, whose length follows the same power law as a Levy jump; greedy
+routing is fast only at one exponent, just as parallel Levy search is
+fast only at one exponent.  This subpackage reproduces that comparison
+point (see :mod:`repro.smallworld.kleinberg`).
+"""
+
+from repro.smallworld.kleinberg import KleinbergGrid, greedy_routing_trial
+
+__all__ = ["KleinbergGrid", "greedy_routing_trial"]

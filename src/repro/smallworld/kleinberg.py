@@ -1,0 +1,145 @@
+"""Greedy routing on Kleinberg's small-world lattice (paper Section 2).
+
+The model [24]: an ``n x n`` torus where every node keeps its four grid
+edges and one *long-range* link to a random node, chosen with probability
+proportional to ``dist^-beta``.  In the paper's parameterization (footnote
+4), the long-range link has the law of a Levy jump with *length* exponent
+``alpha = beta - 1``: a jump distance ``d`` is chosen with ``P(d) ∝
+d * d^-beta = d^-alpha`` (the factor ``d`` counts the ~4d nodes of the
+ring), then a uniform node of the ring at distance ``d``.
+
+Kleinberg's theorem: greedy routing (always move to the known contact
+closest to the target) takes ``O(log^2 n)`` steps iff ``beta = 2``
+(length exponent ``alpha = 1``); any other exponent costs ``poly(n)``.
+The paper cites this as "of similar nature as our result ... where
+exactly one exponent is optimal" -- and contrasts it with its own fix of
+*randomizing* the exponent.  The extension experiment EXT-SW measures the
+routing-time-vs-alpha curve and its minimum.
+
+Implementation note: each node's long-range contact is re-sampled on
+every visit ("independent copies" variant).  Greedy routes never revisit
+a node (the grid distance to the target strictly decreases), so the
+variant has exactly the same routing-time law as fixing links up front,
+while using O(1) memory instead of O(n^2).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.lattice.rings import ring_index_to_offset, ring_size
+from repro.rng import SeedLike, as_generator
+
+IntPoint = Tuple[int, int]
+
+
+class KleinbergGrid:
+    """``n x n`` torus with power-law long-range contacts.
+
+    Parameters
+    ----------
+    n:
+        Torus side length.
+    length_exponent:
+        The jump-length exponent ``alpha`` (> 0): ``P(d) ∝ d^-alpha`` for
+        ``d`` in ``[1, n/2]``.  Kleinberg-optimal at ``alpha = 1``
+        (node-choice exponent ``beta = alpha + 1 = 2``).
+    """
+
+    def __init__(self, n: int, length_exponent: float) -> None:
+        if n < 4:
+            raise ValueError(f"torus side must be at least 4, got {n}")
+        if length_exponent <= 0:
+            raise ValueError(
+                f"length exponent must be positive, got {length_exponent}"
+            )
+        self.n = int(n)
+        self.length_exponent = float(length_exponent)
+        self.max_distance = self.n // 2
+        distances = np.arange(1, self.max_distance + 1, dtype=float)
+        weights = distances**-self.length_exponent
+        self._distance_pmf = weights / weights.sum()
+
+    # ----------------------------------------------------------- geometry
+
+    def torus_distance(self, a: IntPoint, b: IntPoint) -> int:
+        """L1 distance on the torus."""
+        dx = abs(a[0] - b[0])
+        dy = abs(a[1] - b[1])
+        return min(dx, self.n - dx) + min(dy, self.n - dy)
+
+    def wrap(self, node: IntPoint) -> IntPoint:
+        return (node[0] % self.n, node[1] % self.n)
+
+    def grid_neighbors(self, node: IntPoint):
+        x, y = node
+        return [
+            self.wrap((x + 1, y)),
+            self.wrap((x - 1, y)),
+            self.wrap((x, y + 1)),
+            self.wrap((x, y - 1)),
+        ]
+
+    # ------------------------------------------------------------ contacts
+
+    def sample_long_range_contact(
+        self, node: IntPoint, rng: np.random.Generator
+    ) -> IntPoint:
+        """One long-range contact of ``node``: distance ``d ∝ d^-alpha``,
+        then uniform on the ring at distance ``d``."""
+        d = int(rng.choice(self.max_distance, p=self._distance_pmf)) + 1
+        index = int(rng.integers(0, ring_size(d)))
+        ox, oy = ring_index_to_offset(d, index)
+        return self.wrap((node[0] + ox, node[1] + oy))
+
+    # ------------------------------------------------------------- routing
+
+    def greedy_route_length(
+        self,
+        source: IntPoint,
+        target: IntPoint,
+        rng: SeedLike = None,
+        max_steps: int | None = None,
+    ) -> int:
+        """Steps greedy routing takes from ``source`` to ``target``.
+
+        At each node the router knows its four grid neighbors and its
+        long-range contact, and moves to whichever is closest to the
+        target (never increasing the distance: a grid neighbor always
+        decreases it by 1, so progress is guaranteed and ``max_steps``
+        only guards against misuse).
+        """
+        rng = as_generator(rng)
+        source = self.wrap(source)
+        target = self.wrap(target)
+        if max_steps is None:
+            max_steps = 4 * self.n * self.n
+        current = source
+        steps = 0
+        while current != target:
+            if steps >= max_steps:
+                raise RuntimeError("greedy routing exceeded max_steps")
+            candidates = self.grid_neighbors(current)
+            candidates.append(self.sample_long_range_contact(current, rng))
+            current = min(candidates, key=lambda c: self.torus_distance(c, target))
+            steps += 1
+        return steps
+
+
+def greedy_routing_trial(
+    n: int,
+    length_exponent: float,
+    n_routes: int,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Route between ``n_routes`` uniform source/target pairs; return steps."""
+    rng = as_generator(rng)
+    grid = KleinbergGrid(n, length_exponent)
+    out = np.empty(n_routes, dtype=np.int64)
+    for i in range(n_routes):
+        source = (int(rng.integers(0, n)), int(rng.integers(0, n)))
+        target = (int(rng.integers(0, n)), int(rng.integers(0, n)))
+        out[i] = grid.greedy_route_length(source, target, rng)
+    return out

@@ -1,0 +1,54 @@
+"""Executable forms of the paper's theorems and horizon policies."""
+
+from repro.theory.calibration import CalibratedPowerLaw, calibrate_power_law
+from repro.theory.horizons import (
+    characteristic_horizon,
+    early_time_grid,
+    parallel_horizon,
+)
+from repro.theory.predictions import (
+    cor_1_4_probability,
+    cor_4_2b_slowdown,
+    cor_4_2c_hit_probability,
+    cor_5_3_required_k,
+    msd_exponent,
+    predicted_early_time_slope,
+    predicted_hit_probability_slope,
+    thm_1_1a_probability,
+    thm_1_1a_time,
+    thm_1_1b_probability,
+    thm_1_1c_probability,
+    thm_1_2a_probability,
+    thm_1_2a_time,
+    thm_1_2b_probability,
+    thm_1_3a_probability,
+    thm_1_3b_probability,
+    thm_1_5_parallel_time,
+    thm_1_6_parallel_time,
+)
+
+__all__ = [
+    "CalibratedPowerLaw",
+    "calibrate_power_law",
+    "characteristic_horizon",
+    "early_time_grid",
+    "parallel_horizon",
+    "thm_1_1a_probability",
+    "thm_1_1a_time",
+    "thm_1_1b_probability",
+    "thm_1_1c_probability",
+    "thm_1_2a_probability",
+    "thm_1_2a_time",
+    "thm_1_2b_probability",
+    "thm_1_3a_probability",
+    "thm_1_3b_probability",
+    "cor_1_4_probability",
+    "cor_4_2b_slowdown",
+    "cor_4_2c_hit_probability",
+    "cor_5_3_required_k",
+    "thm_1_5_parallel_time",
+    "thm_1_6_parallel_time",
+    "predicted_hit_probability_slope",
+    "predicted_early_time_slope",
+    "msd_exponent",
+]

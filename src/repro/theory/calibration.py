@@ -1,0 +1,77 @@
+"""Calibrating the theorems' hidden constants from measurements.
+
+The paper's bounds are asymptotic: ``P(tau <= t_l) = Omega(1/(gamma
+l^(3-alpha)))`` says nothing about the constant in front.  A reproduction
+can do more: fit the constant.  :class:`CalibratedPowerLaw` pairs a
+theorem's predicted exponent with a prefactor estimated from measured
+``(l, probability)`` points, yielding a *quantitative* predictor usable
+for planning (e.g. sizing Monte-Carlo runs via
+:mod:`repro.analysis.sequential`) and for spotting drift when the code
+changes.
+
+Fitting with the exponent *pinned to the theorem's value* is deliberate:
+the free-slope fit (analysis.scaling) answers "is the exponent right?",
+while the pinned fit answers "given the theorem, what is the constant?"
+-- the residual spread of the pinned fit then quantifies how much of the
+measurement the theorem's polynomial part explains.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CalibratedPowerLaw:
+    """``y ~ C x^exponent`` with the exponent fixed by theory."""
+
+    exponent: float
+    prefactor: float
+    log_residual_std: float
+    n_points: int
+
+    def predict(self, x: float) -> float:
+        """Point prediction at ``x``."""
+        return self.prefactor * x**self.exponent
+
+    def prediction_interval(self, x: float, z: float = 1.96) -> tuple[float, float]:
+        """Multiplicative interval from the log-residual spread."""
+        center = self.predict(x)
+        spread = math.exp(z * self.log_residual_std)
+        return (center / spread, center * spread)
+
+    def explains(self, x: float, y: float, z: float = 2.576) -> bool:
+        """Does the calibrated law account for the observation ``(x, y)``?"""
+        low, high = self.prediction_interval(x, z)
+        return low <= y <= high
+
+
+def calibrate_power_law(
+    xs: Sequence[float], ys: Sequence[float], exponent: float
+) -> CalibratedPowerLaw:
+    """Fit only the prefactor of ``y = C x^exponent`` (exponent pinned).
+
+    The maximum-likelihood ``C`` under log-normal residuals is the
+    geometric mean of ``y / x^exponent``.
+    """
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("xs and ys must be 1-d arrays of equal length")
+    if x.size < 1:
+        raise ValueError("need at least one point")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("calibration needs strictly positive data")
+    log_ratio = np.log(y) - exponent * np.log(x)
+    log_prefactor = float(log_ratio.mean())
+    residual_std = float(log_ratio.std(ddof=1)) if x.size > 1 else 0.0
+    return CalibratedPowerLaw(
+        exponent=exponent,
+        prefactor=math.exp(log_prefactor),
+        log_residual_std=residual_std,
+        n_points=int(x.size),
+    )

@@ -1,0 +1,68 @@
+"""Finite-horizon choices for estimating the paper's asymptotic quantities.
+
+Statements like Theorem 1.1(c) ("the probability that ``tau < inf`` ...")
+cannot be observed directly in a finite simulation.  This module
+centralizes the horizon policy: for each regime it returns a step budget
+at which the *remaining* hit probability beyond the horizon is
+provably lower-order, so that censored estimates are faithful stand-ins.
+
+Rationale per regime (all from the paper):
+
+* super-diffusive (Theorem 1.1(a) vs (c)): the hitting probability is
+  essentially maximized within ``Theta(l^(alpha-1))`` steps -- running
+  longer gains at most a polylog factor.  We use
+  ``budget_factor * mu * l^(alpha-1)``.
+* diffusive (Theorem 1.2(a)): ``O(l^2 log^2 l)`` steps reach the
+  ``1/polylog`` plateau.
+* ballistic (Theorem 1.3(a) vs (b)): ``O(l)`` steps capture all but a
+  polylog factor of the total (finite-horizon = infinite-horizon shape).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.exponents import Regime, mu_factor, regime
+
+
+def characteristic_horizon(alpha: float, l: int, budget_factor: float = 4.0) -> int:
+    """Steps after which the hit probability has plateaued (per regime)."""
+    if l < 2:
+        raise ValueError(f"target distance must be at least 2, got {l}")
+    reg = regime(alpha)
+    if reg is Regime.BALLISTIC:
+        scale = float(l)
+    elif reg is Regime.SUPERDIFFUSIVE:
+        scale = mu_factor(alpha, l) * float(l) ** (alpha - 1.0)
+    else:
+        scale = float(l) ** 2 * math.log(l) ** 2
+    return max(l, int(math.ceil(budget_factor * scale)))
+
+
+def early_time_grid(alpha: float, l: int, n_points: int = 5) -> list[int]:
+    """Geometric grid of deadlines ``t`` inside Theorem (b)'s window.
+
+    Theorems 1.1(b)/1.2(b) hold for ``l <= t << characteristic time``; we
+    return ``n_points`` geometrically spaced deadlines spanning that
+    window (endpoints pulled in by a factor 2 for safety).
+    """
+    low = float(l)
+    high = characteristic_horizon(alpha, l, budget_factor=1.0) / 2.0
+    if high <= low:
+        return [int(low)]
+    ratio = (high / low) ** (1.0 / max(n_points - 1, 1))
+    return sorted({int(round(low * ratio**j)) for j in range(n_points)})
+
+
+def parallel_horizon(k: int, l: int, budget_factor: float = 8.0) -> int:
+    """Deadline for parallel-search experiments: ``~ budget * (l^2/k + l)``.
+
+    A small multiple of the universal lower bound ``l^2/k + l`` plus
+    polylog headroom; the tuned strategies of Theorems 1.5/1.6 finish
+    within it at our scales (their polylog factors are theoretical
+    worst-cases with constant 1 and are far above observed times).
+    """
+    if k < 1 or l < 2:
+        raise ValueError("need k >= 1 and l >= 2")
+    base = float(l) ** 2 / k + float(l)
+    return int(math.ceil(budget_factor * base * max(1.0, math.log(l))))

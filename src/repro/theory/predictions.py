@@ -1,0 +1,236 @@
+"""Closed-form predictions of every theorem, as executable formulas.
+
+Each function evaluates one side of one paper statement at concrete
+``(alpha, l, k, t)`` values.  The experiment harnesses compare Monte-Carlo
+estimates against these predictions; EXPERIMENTS.md records the outcomes.
+
+Conventions
+-----------
+* ``l`` is the target's Manhattan distance from the origin, ``k`` the
+  number of parallel walks, ``t`` a step count.
+* Asymptotic statements are evaluated with all hidden constants set to 1;
+  experiments therefore compare *shapes* (log-log slopes, argmins,
+  crossover locations), never raw constants.
+* Probability bounds are clipped into ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.exponents import (
+    Regime,
+    characteristic_time,
+    gamma_factor,
+    mu_factor,
+    nu_factor,
+    regime,
+)
+
+
+def _clip_probability(p: float) -> float:
+    return max(0.0, min(1.0, p))
+
+
+# --------------------------------------------------------------------------
+# Theorem 1.1 / 4.1 -- single walk, super-diffusive alpha in (2, 3)
+# --------------------------------------------------------------------------
+
+
+def thm_1_1a_probability(alpha: float, l: int) -> float:
+    """Theorem 4.1(a) lower bound: ``P(tau = O(mu l^(alpha-1))) >= 1/(gamma l^(3-alpha))``."""
+    if regime(alpha) is not Regime.SUPERDIFFUSIVE:
+        raise ValueError(f"Theorem 1.1 needs alpha in (2, 3), got {alpha}")
+    return _clip_probability(
+        1.0 / (gamma_factor(alpha, l) * float(l) ** (3.0 - alpha))
+    )
+
+
+def thm_1_1a_time(alpha: float, l: int) -> float:
+    """Theorem 4.1(a) time scale ``mu * l^(alpha - 1)``."""
+    return mu_factor(alpha, l) * characteristic_time(alpha, l)
+
+
+def thm_1_1b_probability(alpha: float, l: int, t: float) -> float:
+    """Theorem 4.1(b) upper bound ``P(tau <= t) = O(nu mu t^2 / l^(alpha+1))``.
+
+    Valid for ``l <= t = O(l^(alpha-1) / nu)``: early hits are
+    quadratically unlikely in ``t``.
+    """
+    if regime(alpha) is not Regime.SUPERDIFFUSIVE:
+        raise ValueError(f"Theorem 1.1 needs alpha in (2, 3), got {alpha}")
+    bound = (
+        nu_factor(alpha, l)
+        * mu_factor(alpha, l)
+        * t**2
+        / float(l) ** (alpha + 1.0)
+    )
+    return _clip_probability(bound)
+
+
+def thm_1_1c_probability(alpha: float, l: int) -> float:
+    """Theorem 4.1(c) upper bound ``P(tau < inf) = O(mu log l / l^(3-alpha))``."""
+    if regime(alpha) is not Regime.SUPERDIFFUSIVE:
+        raise ValueError(f"Theorem 1.1 needs alpha in (2, 3), got {alpha}")
+    return _clip_probability(
+        mu_factor(alpha, l) * math.log(l) / float(l) ** (3.0 - alpha)
+    )
+
+
+# --------------------------------------------------------------------------
+# Theorem 1.2 / 4.3 -- single walk, diffusive alpha in [3, inf)
+# --------------------------------------------------------------------------
+
+
+def thm_1_2a_probability(l: int) -> float:
+    """Theorem 1.2(a) lower bound ``P(tau = O(l^2 log^2 l)) >= 1/log^4 l``."""
+    return _clip_probability(1.0 / math.log(l) ** 4)
+
+
+def thm_1_2a_time(l: int) -> float:
+    """Theorem 1.2(a) time scale ``l^2 log^2 l``."""
+    return float(l) ** 2 * math.log(l) ** 2
+
+
+def thm_1_2b_probability(l: int, t: float) -> float:
+    """Theorem 1.2(b) upper bound ``P(tau <= t) = O(t^2 log l / l^4)``."""
+    return _clip_probability(t**2 * math.log(l) / float(l) ** 4)
+
+
+# --------------------------------------------------------------------------
+# Theorem 1.3 / 5.1 / 5.2 -- single walk, ballistic alpha in (1, 2]
+# --------------------------------------------------------------------------
+
+
+def thm_1_3a_probability(alpha: float, l: int) -> float:
+    """Theorem 1.3(a) lower bound ``P(tau = O(l)) >= 1/(mu l)``.
+
+    (Theorem 5.1 uses ``mu = min(log l, 1/(2 - alpha))``; Theorem 5.2,
+    the ``alpha = 2`` case, has ``mu = log l``.)
+    """
+    if regime(alpha) is not Regime.BALLISTIC:
+        raise ValueError(f"Theorem 1.3 needs alpha in (1, 2], got {alpha}")
+    return _clip_probability(1.0 / (_ballistic_mu(alpha, l) * float(l)))
+
+
+def thm_1_3b_probability(alpha: float, l: int) -> float:
+    """Theorem 1.3(b) upper bound ``P(tau < inf) = O(mu log l / l)``."""
+    if regime(alpha) is not Regime.BALLISTIC:
+        raise ValueError(f"Theorem 1.3 needs alpha in (1, 2], got {alpha}")
+    return _clip_probability(_ballistic_mu(alpha, l) * math.log(l) / float(l))
+
+
+def _ballistic_mu(alpha: float, l: int) -> float:
+    log_l = math.log(l)
+    if alpha == 2.0:
+        return log_l
+    return min(log_l, 1.0 / (2.0 - alpha))
+
+
+# --------------------------------------------------------------------------
+# Theorems 1.5 / 1.6 and corollaries -- parallel hitting times
+# --------------------------------------------------------------------------
+
+
+def cor_1_4_probability(alpha: float, l: int, k: int) -> float:
+    """Corollary 1.4: ``P(tau_k = O(l^(alpha-1))) >= 1 - exp(-k / (l^(3-alpha) log^2 l))``."""
+    if regime(alpha) is not Regime.SUPERDIFFUSIVE:
+        raise ValueError(f"Corollary 1.4 needs alpha in (2, 3), got {alpha}")
+    rate = k / (float(l) ** (3.0 - alpha) * math.log(l) ** 2)
+    return _clip_probability(1.0 - math.exp(-rate))
+
+
+def thm_1_5_parallel_time(k: int, l: int) -> float:
+    """Theorem 1.5(a) deadline ``(l^2 / k) log^6 l`` (plus the ``l`` floor).
+
+    Eq. (1) of the paper: with the tuned exponent,
+    ``tau_k = O((l^2/k) log^6 l + l)`` w.h.p.
+    """
+    return (float(l) ** 2 / k) * math.log(l) ** 6 + float(l)
+
+
+def thm_1_6_parallel_time(k: int, l: int) -> float:
+    """Theorem 1.6 deadline ``(l^2/k) log^7 l + l log^3 l`` (Eq. 2)."""
+    return (float(l) ** 2 / k) * math.log(l) ** 7 + float(l) * math.log(l) ** 3
+
+
+def cor_4_2b_slowdown(alpha: float, k: int, l: int) -> float:
+    """Corollary 4.2(b): lower bound scale for over-shooting the exponent.
+
+    For ``alpha* < alpha < 3``, with probability ``1 - o(1)`` the parallel
+    hitting time exceeds ``(l^2/k) l^((alpha - alpha*)/2) / log^4 l`` --
+    i.e. every constant over-shoot costs a polynomial factor.
+    """
+    alpha_star = 3.0 - math.log(k) / math.log(l)
+    if not alpha > alpha_star:
+        raise ValueError("Corollary 4.2(b) applies to alpha above alpha*")
+    return (
+        (float(l) ** 2 / k)
+        * float(l) ** ((alpha - alpha_star) / 2.0)
+        / math.log(l) ** 4
+    )
+
+
+def cor_4_2c_hit_probability(alpha: float, k: int, l: int) -> float:
+    """Corollary 4.2(c): ``P(tau_k < inf) = O(log^2 l / l^(alpha* - alpha))``.
+
+    Under-shooting the exponent (``alpha <= alpha*``) leaves the target
+    unfound *forever*, with probability ``1 - O(log^2 l / l^(alpha*-alpha))``.
+    """
+    alpha_star = 3.0 - math.log(k) / math.log(l)
+    if not alpha <= alpha_star:
+        raise ValueError("Corollary 4.2(c) applies to alpha at most alpha*")
+    return _clip_probability(
+        math.log(l) ** 2 / float(l) ** (alpha_star - alpha)
+    )
+
+
+def cor_5_3_required_k(l: int) -> float:
+    """Corollary 5.3(a): ballistic walks need ``k = omega(l log^2 l)``."""
+    return float(l) * math.log(l) ** 2
+
+
+# --------------------------------------------------------------------------
+# Scaling exponents (what log-log fits should recover)
+# --------------------------------------------------------------------------
+
+
+def predicted_hit_probability_slope(alpha: float) -> float:
+    """d log P(hit within the characteristic time) / d log l.
+
+    Super-diffusive: ``-(3 - alpha)`` (Theorem 1.1(a));
+    ballistic: ``-1`` (Theorem 1.3(a));
+    diffusive: ``0`` (Theorem 1.2(a) is flat up to polylogs).
+    """
+    reg = regime(alpha)
+    if reg is Regime.SUPERDIFFUSIVE:
+        return -(3.0 - alpha)
+    if reg is Regime.BALLISTIC:
+        return -1.0
+    return 0.0
+
+
+def predicted_early_time_slope() -> float:
+    """d log P(tau <= t) / d log t at early times: 2 in every regime.
+
+    Theorems 1.1(b), 1.2(b): the probability of hitting well before the
+    characteristic time decays quadratically with the deadline.
+    """
+    return 2.0
+
+
+def msd_exponent(alpha: float) -> float:
+    """Predicted growth exponent of the typical displacement of a walk.
+
+    After ``t`` steps a Levy walk's displacement scales as ``t`` in the
+    ballistic regime, ``t^(1/(alpha-1))`` in the super-diffusive regime
+    (the first ``Theta(l^(alpha-1))`` steps stay inside radius
+    ``~ l polylog``, Section 1.2.1), and ``t^(1/2)`` in the diffusive
+    regime.
+    """
+    reg = regime(alpha)
+    if reg is Regime.BALLISTIC:
+        return 1.0
+    if reg is Regime.SUPERDIFFUSIVE:
+        return 1.0 / (alpha - 1.0)
+    return 0.5

@@ -1,0 +1,26 @@
+"""Jump processes on Z^2: Levy flights/walks and baselines.
+
+Definitions 3.3 and 3.4 of the paper, plus the two classical comparison
+processes (lazy simple random walk and straight ballistic walk).  These
+are exact object-level implementations; the high-throughput Monte-Carlo
+counterparts live in :mod:`repro.engine`.
+"""
+
+from repro.walks.base import JumpProcess, displacement
+from repro.walks.composite import CompositeCorrelatedWalk, ccrw_hitting_times
+from repro.walks.ballistic import BallisticWalk, ray_node
+from repro.walks.levy_flight import LevyFlight
+from repro.walks.levy_walk import LevyWalk
+from repro.walks.simple_random_walk import SimpleRandomWalk
+
+__all__ = [
+    "JumpProcess",
+    "displacement",
+    "LevyFlight",
+    "LevyWalk",
+    "SimpleRandomWalk",
+    "BallisticWalk",
+    "ray_node",
+    "CompositeCorrelatedWalk",
+    "ccrw_hitting_times",
+]

@@ -1,0 +1,56 @@
+"""Straight walk along a random direction -- the ballistic extreme.
+
+The paper's ballistic regime ``alpha in (1, 2]`` "is similar to that of a
+straight walk along a random direction" (Section 1.2.1): jumps are so long
+that a single jump phase typically dwarfs the target distance.  This
+module implements the idealized limit: the walk picks a uniformly random
+real direction once and forever follows the direct-path discretization of
+that ray -- at step ``i`` it stands on the node of ``R_i(start)`` closest
+to the point at arc-parameter ``i`` of the ray (the same nearest-node rule
+as Definition 3.1, applied to an infinite segment).
+
+Such a walk reaches distance ``l`` in exactly ``l`` steps and hits a given
+target at distance ``l`` with probability ``Theta(1/l)`` (it crosses the
+ring ``R_l`` at a single node, roughly uniform over the ``4l`` ring
+nodes); it never returns, so a miss is forever -- matching Theorem 1.3's
+``P(tau < inf) = O(log^2 l / l)`` shape for the ballistic regime.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.rng import SeedLike
+from repro.walks.base import IntPoint, JumpProcess
+
+
+def ray_node(start: IntPoint, angle: float, i: int) -> IntPoint:
+    """Node of ``R_i(start)`` closest to the ray at L1 arc-length ``i``.
+
+    The ray direction is ``(cos(angle), sin(angle))``; the point of the ray
+    at Manhattan distance ``i`` from the start is ``i * (cx, cy) /
+    (|cx| + |cy|)``, and we return the nearest lattice node on the ring
+    (ties have probability zero for a continuous random angle).
+    """
+    if i == 0:
+        return start
+    cx, cy = math.cos(angle), math.sin(angle)
+    norm = abs(cx) + abs(cy)
+    x_abs = round(i * abs(cx) / norm)
+    y_abs = i - x_abs
+    sx = 1 if cx >= 0 else -1
+    sy = 1 if cy >= 0 else -1
+    return (start[0] + sx * x_abs, start[1] + sy * y_abs)
+
+
+class BallisticWalk(JumpProcess):
+    """Walk that follows one random ray at unit speed, forever."""
+
+    def __init__(self, start: IntPoint = (0, 0), rng: SeedLike = None) -> None:
+        super().__init__(start=start, rng=rng)
+        self.angle = float(self._rng.uniform(0.0, 2.0 * math.pi))
+
+    def advance(self) -> IntPoint:
+        self.time += 1
+        self.position = ray_node(self.start, self.angle, self.time)
+        return self.position

@@ -1,0 +1,81 @@
+"""Object-level jump processes (paper Section 3.1).
+
+A *(discrete-time) jump process on Z^2* is an infinite sequence of random
+positions ``(J_t), t >= 0`` with ``J_0`` the start node.  This module
+defines the common object-level interface: one call to
+:meth:`JumpProcess.advance` moves the process forward by exactly one time
+step (one lattice step for a Levy walk, one jump for a Levy flight) and
+returns the new position.
+
+The object-level processes favour clarity and exactness (Python integers,
+no overflow) over speed; the Monte-Carlo experiments use the vectorized
+engines of :mod:`repro.engine`, which are cross-validated against these
+reference implementations in the test suite.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Tuple
+
+from repro.lattice.points import l1_distance
+from repro.rng import SeedLike, as_generator
+
+IntPoint = Tuple[int, int]
+
+
+class JumpProcess(abc.ABC):
+    """A discrete-time random process on Z^2, advanced one step at a time.
+
+    Attributes
+    ----------
+    start:
+        The node ``J_0``; the paper's walks all start at the origin.
+    position:
+        Current node ``J_t``.
+    time:
+        Current step index ``t``.
+    """
+
+    def __init__(self, start: IntPoint = (0, 0), rng: SeedLike = None) -> None:
+        self.start: IntPoint = (int(start[0]), int(start[1]))
+        self.position: IntPoint = self.start
+        self.time: int = 0
+        self._rng = as_generator(rng)
+
+    @abc.abstractmethod
+    def advance(self) -> IntPoint:
+        """Advance the process by one time step and return ``J_{t+1}``."""
+
+    def reset(self) -> None:
+        """Return to the start node at time 0 (randomness is not rewound)."""
+        self.position = self.start
+        self.time = 0
+
+    def run(self, steps: int) -> List[IntPoint]:
+        """Advance ``steps`` times; return ``[J_0, J_1, ..., J_steps]``."""
+        trajectory = [self.position]
+        for _ in range(steps):
+            trajectory.append(self.advance())
+        return trajectory
+
+    def hitting_time(self, target: IntPoint, horizon: int) -> Optional[int]:
+        """First step ``t <= horizon`` at which the process visits ``target``.
+
+        Returns ``None`` if the target is not visited by the horizon.  The
+        paper's hitting time (Definition 3.7) is the first step ``t >= 0``
+        with ``J_t = u*``; in particular a process starting on the target
+        has hitting time 0.
+        """
+        target = (int(target[0]), int(target[1]))
+        if self.position == target:
+            return self.time
+        while self.time < horizon:
+            if self.advance() == target:
+                return self.time
+        return None
+
+
+def displacement(process: JumpProcess) -> int:
+    """Manhattan distance of the process from its start node."""
+    return l1_distance(process.position, process.start)

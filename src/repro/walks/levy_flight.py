@@ -1,0 +1,70 @@
+"""The Levy flight process (paper Definition 3.3).
+
+A Levy flight teleports: at every time step it samples a jump distance
+``d`` from Eq. (3) and moves directly to a uniformly random node of
+``R_d(u)``.  Unlike the Levy walk it does *not* traverse the intermediate
+nodes, so one time step equals one jump.  The flight restricted to jump
+endpoints is a Markov chain and is *monotone radial* (Definition 3.8):
+``P(J_{t+1} = v | J_t = u)`` depends only on ``||u - v||_1`` and is
+non-increasing in it -- the key to the monotonicity property of Lemma 3.9
+that drives the paper's upper bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.distributions.base import JumpDistribution
+from repro.distributions.zeta import ZetaJumpDistribution
+from repro.lattice.rings import ring_index_to_offset, ring_size
+from repro.rng import SeedLike
+from repro.walks.base import IntPoint, JumpProcess
+
+
+def _uniform_ring_offset(d: int, rng: np.random.Generator) -> Tuple[int, int]:
+    """Exact uniform offset on ``R_d(0)`` (scalar, overflow-free)."""
+    if d == 0:
+        return (0, 0)
+    index = int(rng.integers(0, ring_size(d)))
+    return ring_index_to_offset(d, index)
+
+
+class LevyFlight(JumpProcess):
+    """Levy flight with exponent ``alpha`` (or any custom jump law).
+
+    Parameters
+    ----------
+    alpha_or_distribution:
+        Either the exponent ``alpha`` of Eq. (3) or a ready-made
+        :class:`~repro.distributions.base.JumpDistribution`.
+    start:
+        Start node ``J_0`` (the origin by default, as in the paper).
+    rng:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        alpha_or_distribution: Union[float, JumpDistribution],
+        start: IntPoint = (0, 0),
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__(start=start, rng=rng)
+        if isinstance(alpha_or_distribution, JumpDistribution):
+            self.distribution = alpha_or_distribution
+        else:
+            self.distribution = ZetaJumpDistribution(float(alpha_or_distribution))
+
+    @property
+    def alpha(self) -> Optional[float]:
+        """The exponent, when the jump law is the paper's power law."""
+        return getattr(self.distribution, "alpha", None)
+
+    def advance(self) -> IntPoint:
+        d = int(self.distribution.sample(self._rng, 1)[0])
+        ox, oy = _uniform_ring_offset(d, self._rng)
+        self.position = (self.position[0] + ox, self.position[1] + oy)
+        self.time += 1
+        return self.position

@@ -1,0 +1,84 @@
+"""The Levy walk process (paper Definition 3.4).
+
+A Levy walk moves through *jump phases*.  At the start of a phase at node
+``u`` it samples a distance ``d`` from Eq. (3) and a uniformly random node
+``v`` of ``R_d(u)``; if ``d = 0`` the phase lasts one step and the walk
+stays put, otherwise the phase lasts ``d`` steps during which the walk
+traverses a uniformly random *direct path* from ``u`` to ``v`` (Definition
+3.1), one lattice step per time unit.  Unlike the Levy flight, the walk
+visits every node on the way -- hence it can find a target mid-jump -- and
+it is not a Markov chain (the position mid-phase does not determine the
+law of the next step).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.distributions.base import JumpDistribution
+from repro.distributions.zeta import ZetaJumpDistribution
+from repro.lattice.direct_path import sample_direct_path
+from repro.rng import SeedLike
+from repro.walks.base import IntPoint, JumpProcess
+from repro.walks.levy_flight import _uniform_ring_offset
+
+
+class LevyWalk(JumpProcess):
+    """Levy walk with exponent ``alpha`` (or any custom jump law).
+
+    Parameters
+    ----------
+    alpha_or_distribution:
+        Either the exponent ``alpha`` of Eq. (3) or a ready-made
+        :class:`~repro.distributions.base.JumpDistribution`.
+    start:
+        Start node (the origin by default).
+    rng:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        alpha_or_distribution: Union[float, JumpDistribution],
+        start: IntPoint = (0, 0),
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__(start=start, rng=rng)
+        if isinstance(alpha_or_distribution, JumpDistribution):
+            self.distribution = alpha_or_distribution
+        else:
+            self.distribution = ZetaJumpDistribution(float(alpha_or_distribution))
+        self._pending: List[IntPoint] = []  # remaining nodes of current phase
+
+    @property
+    def alpha(self) -> Optional[float]:
+        """The exponent, when the jump law is the paper's power law."""
+        return getattr(self.distribution, "alpha", None)
+
+    @property
+    def in_phase(self) -> bool:
+        """True while inside a jump phase (some steps of it remain)."""
+        return bool(self._pending)
+
+    def _begin_phase(self) -> None:
+        u = self.position
+        d = int(self.distribution.sample(self._rng, 1)[0])
+        if d == 0:
+            # A zero-length jump is a one-step phase that stays put.
+            self._pending = [u]
+            return
+        ox, oy = _uniform_ring_offset(d, self._rng)
+        v = (u[0] + ox, u[1] + oy)
+        path = sample_direct_path(u, v, self._rng)
+        self._pending = path[1:]  # the d steps of the phase
+
+    def advance(self) -> IntPoint:
+        if not self._pending:
+            self._begin_phase()
+        self.position = self._pending.pop(0)
+        self.time += 1
+        return self.position
+
+    def reset(self) -> None:
+        super().reset()
+        self._pending = []

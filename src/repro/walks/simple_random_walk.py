@@ -1,0 +1,41 @@
+"""Lazy simple random walk on Z^2 -- the classical baseline.
+
+At every step the walk stays put with probability 1/2 and otherwise moves
+to a uniformly random lattice neighbor.  This is exactly the Levy walk
+whose jump law puts mass 1/2 on distance 0 and 1/2 on distance 1
+(:class:`~repro.distributions.unit.UnitJumpDistribution`); the standalone
+implementation here is both a convenience and an independent cross-check
+used by the test suite.  The paper (Section 2) notes that Levy walks with
+``alpha -> inf`` converge to this process, and its hitting time for a
+target at distance ``l`` is ``Theta(l^2 log l)``-ish with polylog success
+probability -- the slow extreme the Levy strategies beat.
+"""
+
+from __future__ import annotations
+
+from repro.rng import SeedLike
+from repro.walks.base import IntPoint, JumpProcess
+
+_NEIGHBOR_OFFSETS = ((1, 0), (0, 1), (-1, 0), (0, -1))
+
+
+class SimpleRandomWalk(JumpProcess):
+    """Lazy simple random walk (stay with probability ``laziness``)."""
+
+    def __init__(
+        self,
+        start: IntPoint = (0, 0),
+        laziness: float = 0.5,
+        rng: SeedLike = None,
+    ) -> None:
+        if not 0.0 <= laziness < 1.0:
+            raise ValueError(f"laziness must be in [0, 1), got {laziness}")
+        super().__init__(start=start, rng=rng)
+        self.laziness = float(laziness)
+
+    def advance(self) -> IntPoint:
+        if self._rng.random() >= self.laziness:
+            ox, oy = _NEIGHBOR_OFFSETS[int(self._rng.integers(0, 4))]
+            self.position = (self.position[0] + ox, self.position[1] + oy)
+        self.time += 1
+        return self.position

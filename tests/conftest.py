@@ -1,0 +1,24 @@
+"""Shared fixtures: deterministic RNG per test.
+
+Seeds are derived from a stable digest of the test's node id (NOT Python's
+built-in ``hash``, which is salted per process), so every run of the suite
+sees identical random streams.
+"""
+
+import zlib
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng(request):
+    """A generator seeded deterministically from the test's node id."""
+    seed = zlib.crc32(request.node.nodeid.encode())
+    return np.random.default_rng(seed)
+
+
+@pytest.fixture
+def fixed_rng():
+    """A generator with a fixed global seed (for regression-style tests)."""
+    return np.random.default_rng(20210726)  # PODC 2021 conference date

@@ -1,0 +1,221 @@
+"""Tests for the statistics layer (estimators, fits, power laws, MSD)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.estimators import (
+    bootstrap_interval,
+    censored_median,
+    censored_quantile,
+    wilson_interval,
+)
+from repro.analysis.msd import displacement_profile
+from repro.analysis.powerlaw import (
+    fit_discrete_power_law,
+    ks_distance_to_zipf,
+    tail_exponent_from_survival,
+)
+from repro.analysis.scaling import fit_power_law, geometric_grid
+from repro.analysis.survival import hitting_cdf
+from repro.distributions.unit import ConstantJumpDistribution
+from repro.distributions.zeta import ZetaJumpDistribution
+from repro.engine.results import CENSORED, HittingTimeSample
+
+
+# ------------------------------------------------------------------ wilson
+
+
+def test_wilson_interval_contains_point():
+    est = wilson_interval(30, 100)
+    assert est.low < est.point < est.high
+    assert est.point == pytest.approx(0.3)
+
+
+def test_wilson_interval_extremes():
+    zero = wilson_interval(0, 50)
+    assert zero.low == pytest.approx(0.0, abs=1e-12) and zero.high > 0.0
+    full = wilson_interval(50, 50)
+    assert full.high == pytest.approx(1.0, abs=1e-12) and full.low < 1.0
+
+
+def test_wilson_interval_validation():
+    with pytest.raises(ValueError):
+        wilson_interval(5, 0)
+    with pytest.raises(ValueError):
+        wilson_interval(10, 5)
+
+
+def test_wilson_coverage(rng):
+    """~95% of intervals should contain the true p."""
+    p, n, trials = 0.2, 200, 400
+    covered = 0
+    for _ in range(trials):
+        successes = int(rng.binomial(n, p))
+        est = wilson_interval(successes, n)
+        covered += est.low <= p <= est.high
+    assert covered / trials > 0.90
+
+
+# --------------------------------------------------------------- bootstrap
+
+
+def test_bootstrap_interval_mean(rng):
+    values = rng.normal(10.0, 2.0, size=400)
+    point, low, high = bootstrap_interval(values, np.mean, rng=rng)
+    assert low < point < high
+    assert abs(point - 10.0) < 0.5
+    assert high - low < 1.5
+
+
+def test_bootstrap_empty_rejected(rng):
+    with pytest.raises(ValueError):
+        bootstrap_interval(np.array([]), np.mean, rng=rng)
+
+
+# ------------------------------------------------------- censored medians
+
+
+def test_censored_median_and_quantile():
+    # Censored entries count as +inf; with n=6 the (upper) median is the
+    # rank-3 order statistic of [3, 5, 7, 9, inf, inf] -> 9.
+    times = np.array([5, 7, CENSORED, 9, CENSORED, 3], dtype=np.int64)
+    assert censored_median(times, 100) == 9.0
+    assert censored_quantile(times, 0.25) == 5.0
+    assert math.isinf(censored_quantile(times, 0.9))
+
+
+def test_censored_median_mostly_censored():
+    times = np.array([5, CENSORED, CENSORED, CENSORED], dtype=np.int64)
+    assert math.isinf(censored_median(times, 100))
+
+
+def test_censored_quantile_validation():
+    with pytest.raises(ValueError):
+        censored_quantile(np.array([1]), 1.5)
+    with pytest.raises(ValueError):
+        censored_median(np.array([]), 10)
+
+
+# ------------------------------------------------------------ scaling fits
+
+
+def test_fit_power_law_exact():
+    xs = [1.0, 2.0, 4.0, 8.0]
+    ys = [3.0 * x**-1.5 for x in xs]
+    fit = fit_power_law(xs, ys)
+    assert fit.slope == pytest.approx(-1.5)
+    assert fit.prefactor == pytest.approx(3.0)
+    assert fit.r_squared == pytest.approx(1.0)
+    assert fit.stderr == pytest.approx(0.0, abs=1e-12)
+    assert fit.compatible_with(-1.5, tolerance=0.01)
+    assert not fit.compatible_with(-2.5, tolerance=0.1)
+
+
+def test_fit_power_law_noisy(rng):
+    xs = np.array(geometric_grid(4, 4096, 12), dtype=float)
+    ys = 2.0 * xs**0.7 * np.exp(rng.normal(0, 0.05, xs.size))
+    fit = fit_power_law(xs, ys)
+    assert fit.compatible_with(0.7, tolerance=0.05)
+    assert fit.n_points == xs.size
+
+
+def test_fit_power_law_validation():
+    with pytest.raises(ValueError):
+        fit_power_law([1.0, -2.0], [1.0, 1.0])
+    with pytest.raises(ValueError):
+        fit_power_law([1.0], [1.0])
+    with pytest.raises(ValueError):
+        fit_power_law([2.0, 2.0], [1.0, 3.0])
+
+
+def test_geometric_grid():
+    grid = geometric_grid(4, 4096, 6)
+    assert grid[0] == 4 and grid[-1] == 4096
+    assert grid == sorted(set(grid))
+    ratios = [b / a for a, b in zip(grid, grid[1:])]
+    assert max(ratios) / min(ratios) < 2.0
+    assert geometric_grid(5, 5, 3) == [5]
+    with pytest.raises(ValueError):
+        geometric_grid(0, 10, 3)
+
+
+# ------------------------------------------------------------- power laws
+
+
+def test_discrete_mle_recovers_alpha(rng):
+    law = ZetaJumpDistribution(2.5, lazy_probability=0.0)
+    samples = law.sample(rng, 100_000)
+    mle = fit_discrete_power_law(samples)
+    assert abs(mle.alpha - 2.5) < 0.03
+    assert mle.ks_distance < 0.01
+
+
+def test_discrete_mle_needs_samples():
+    with pytest.raises(ValueError):
+        fit_discrete_power_law(np.array([1, 2, 3]))
+
+
+def test_ks_distance_wrong_alpha_is_large(rng):
+    law = ZetaJumpDistribution(2.0, lazy_probability=0.0)
+    samples = law.sample(rng, 20_000)
+    assert ks_distance_to_zipf(samples, 2.0) < 0.02
+    assert ks_distance_to_zipf(samples, 3.5) > 0.1
+
+
+def test_tail_exponent_from_survival_drops_zeros(rng):
+    samples = np.array([1, 1, 2, 3, 10])
+    grid, survival = tail_exponent_from_survival(samples, np.array([1, 5, 100]))
+    np.testing.assert_array_equal(grid, [1, 5])
+    assert survival[0] == 1.0 and survival[1] == pytest.approx(0.2)
+
+
+# ---------------------------------------------------------------- survival
+
+
+def test_hitting_cdf_default_grid():
+    sample = HittingTimeSample(
+        times=np.array([3, 7, 7, CENSORED], dtype=np.int64), horizon=10
+    )
+    curve = hitting_cdf(sample)
+    np.testing.assert_array_equal(curve.steps, [3, 7])
+    np.testing.assert_allclose(curve.probability, [0.25, 0.75])
+    assert curve.at(2) == 0.0
+    assert curve.at(5) == 0.25
+    assert curve.at(10) == 0.75
+    with pytest.raises(ValueError):
+        curve.at(11)
+
+
+def test_hitting_cdf_explicit_grid():
+    sample = HittingTimeSample(
+        times=np.array([2, 4, 6], dtype=np.int64), horizon=8
+    )
+    curve = hitting_cdf(sample, grid=[1, 4, 8])
+    np.testing.assert_allclose(curve.probability, [0.0, 2 / 3, 1.0])
+    with pytest.raises(ValueError):
+        hitting_cdf(sample, grid=[20])
+
+
+# --------------------------------------------------------------------- MSD
+
+
+def test_displacement_profile_ballistic_exact(rng):
+    profile = displacement_profile(
+        ConstantJumpDistribution(10_000), steps=[8, 32], n_walks=300, rng=rng
+    )
+    np.testing.assert_array_equal(profile.median_l1, [8.0, 32.0])
+    np.testing.assert_allclose(profile.mean_l1_trimmed, [8.0, 32.0])
+
+
+def test_displacement_profile_monotone(rng):
+    profile = displacement_profile(
+        ZetaJumpDistribution(2.5), steps=[16, 256], n_walks=2_000, rng=rng
+    )
+    assert profile.median_l1[0] < profile.median_l1[1]
+
+
+def test_displacement_profile_trim_validation(rng):
+    with pytest.raises(ValueError):
+        displacement_profile(ZetaJumpDistribution(2.5), [8], 100, rng, trim=0.6)

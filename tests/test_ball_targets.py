@@ -1,0 +1,122 @@
+"""Tests for the ball-target hitting engine."""
+
+import numpy as np
+import pytest
+
+from repro.distributions.unit import ConstantJumpDistribution
+from repro.distributions.zeta import ZetaJumpDistribution
+from repro.engine.ball_targets import ball_hitting_times
+from repro.engine.vectorized import walk_hitting_times
+
+
+def test_start_inside_ball(rng):
+    sample = ball_hitting_times(
+        ZetaJumpDistribution(2.5), (2, 1), radius=3, horizon=50, n_walks=7, rng=rng
+    )
+    np.testing.assert_array_equal(sample.times, np.zeros(7))
+
+
+def test_validation(rng):
+    law = ZetaJumpDistribution(2.5)
+    with pytest.raises(ValueError):
+        ball_hitting_times(law, (5, 0), -1, 10, 5, rng)
+    with pytest.raises(ValueError):
+        ball_hitting_times(law, (5, 0), 1, -1, 5, rng)
+    with pytest.raises(ValueError):
+        ball_hitting_times(law, (5, 0), 1, 10, 0, rng)
+
+
+def test_radius_zero_matches_point_engine(rng):
+    """r = 0 must reproduce the point-target law (statistically)."""
+    law = ZetaJumpDistribution(2.4)
+    target, horizon, n = (5, 3), 150, 30_000
+    ball = ball_hitting_times(law, target, 0, horizon, n, rng)
+    point = walk_hitting_times(law, target, horizon, n, rng)
+    gap = 4.0 * (point.hit_fraction * (1 - point.hit_fraction) * 2 / n) ** 0.5 + 1e-3
+    assert abs(ball.hit_fraction - point.hit_fraction) < gap
+    if ball.n_hits > 100 and point.n_hits > 100:
+        assert abs(
+            np.median(ball.hit_times()) - np.median(point.hit_times())
+        ) <= max(4.0, 0.25 * np.median(point.hit_times()))
+
+
+def test_hit_time_lower_bound_is_distance_to_boundary(rng):
+    """A walk needs at least l - r steps to touch B_r at center distance l."""
+    sample = ball_hitting_times(
+        ZetaJumpDistribution(1.8), (10, 6), radius=3, horizon=200, n_walks=4_000, rng=rng
+    )
+    assert sample.hit_times().min() >= 16 - 3
+
+
+def test_larger_balls_hit_more(rng):
+    law = ZetaJumpDistribution(2.5)
+    target, horizon, n = (12, 8), 300, 8_000
+    small = ball_hitting_times(law, target, 0, horizon, n, rng).hit_fraction
+    large = ball_hitting_times(law, target, 4, horizon, n, rng).hit_fraction
+    assert large > small
+
+
+def test_midjump_dominates_endpoint(rng):
+    law = ZetaJumpDistribution(2.1)
+    target, horizon, n = (14, 6), 200, 12_000
+    seed_rng = np.random.default_rng(11)
+    mid = ball_hitting_times(
+        law, target, 2, horizon, n, np.random.default_rng(1), detect_during_jump=True
+    ).hit_fraction
+    end = ball_hitting_times(
+        law, target, 2, horizon, n, np.random.default_rng(1), detect_during_jump=False
+    ).hit_fraction
+    assert mid > end
+    del seed_rng
+
+
+def test_constant_jump_crossing_geometry(rng):
+    """A single length-20 jump from the origin crosses B_2((10, 0)) iff its
+    direct path passes within distance 2 of (10, 0); hits occur at steps
+    8..12 only."""
+    sample = ball_hitting_times(
+        ConstantJumpDistribution(20), (10, 0), radius=2, horizon=20, n_walks=30_000, rng=rng
+    )
+    hits = sample.hit_times()
+    assert hits.size > 0
+    assert hits.min() >= 8
+    assert hits.max() <= 12
+
+
+def test_first_entry_step_recorded(rng):
+    """Entering the ball records the FIRST inside ring: with a straight
+    horizontal jump through the center, entry is at l - r exactly."""
+    # Constant jump 30 from origin; ball B_1((15, 0)).  Conditioned on the
+    # path passing through (14..16, 0)-ish, the first entry is at ring 14.
+    sample = ball_hitting_times(
+        ConstantJumpDistribution(30), (15, 0), radius=1, horizon=30, n_walks=50_000, rng=rng
+    )
+    hits = sample.hit_times()
+    assert hits.size > 0
+    assert hits.min() == 14
+
+
+def test_ball_engine_matches_object_level(rng):
+    """Cross-validate the ball engine against step-by-step Levy walks."""
+    from repro.rng import spawn
+    from repro.walks import LevyWalk
+
+    alpha = 2.3
+    center, radius, horizon = (6, 4), 2, 80
+    fast = ball_hitting_times(
+        ZetaJumpDistribution(alpha), center, radius, horizon, 30_000, rng
+    )
+    hits = 0
+    n_ref = 2_500
+    for child in spawn(rng, n_ref):
+        walk = LevyWalk(alpha, rng=child)
+        found = False
+        for _ in range(horizon):
+            x, y = walk.advance()
+            if abs(x - center[0]) + abs(y - center[1]) <= radius:
+                found = True
+                break
+        hits += found
+    p_ref = hits / n_ref
+    se = (p_ref * (1 - p_ref) / n_ref + fast.hit_fraction * (1 - fast.hit_fraction) / 30_000) ** 0.5
+    assert abs(fast.hit_fraction - p_ref) < 4.5 * se + 1e-3

@@ -1,0 +1,165 @@
+"""Tests for the baseline search strategies."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.ballistic_search import BallisticSpraySearch, ray_ring_nodes
+from repro.baselines.spiral_search import SpiralSearch, _doubling_schedule, _sample_ball_radii
+from repro.baselines.srw_search import SRWSearch
+from repro.lattice.points import l1_norm
+
+
+# ----------------------------------------------------------------- spiral
+
+
+def test_doubling_schedule_prefix():
+    schedule = _doubling_schedule()
+    prefix = [next(schedule) for _ in range(6)]
+    assert prefix == [2, 2, 4, 2, 4, 8]
+
+
+def test_sample_ball_radii_distribution(rng):
+    d = 4
+    radii = _sample_ball_radii(d, 40_000, rng)
+    assert radii.min() >= 0 and radii.max() <= d
+    # P(r = 0) = 1/|B_4| = 1/41; P(r = 4) = 16/41.
+    assert abs(float((radii == 0).mean()) - 1 / 41) < 0.005
+    assert abs(float((radii == 4).mean()) - 16 / 41) < 0.01
+
+
+def test_spiral_search_finds_close_targets_quickly(rng):
+    spiral = SpiralSearch(k=4)
+    sample = spiral.sample_parallel_hitting_times(
+        (3, 1), n_runs=50, horizon=2_000, rng=rng
+    )
+    # Probes are randomized, so single probes can miss, but with a budget
+    # of many probe rounds the target at distance 4 is all but certain.
+    assert sample.hit_fraction >= 0.95
+    assert sample.hit_times().min() >= 4
+
+
+def test_spiral_search_scales_with_k(rng):
+    target = (30, 18)
+    horizon = 4 * 48 * 48
+    few = SpiralSearch(k=2).sample_parallel_hitting_times(
+        target, n_runs=40, horizon=horizon, rng=rng
+    )
+    many = SpiralSearch(k=64).sample_parallel_hitting_times(
+        target, n_runs=40, horizon=horizon, rng=rng
+    )
+    assert many.hit_fraction >= few.hit_fraction - 0.05
+    if few.n_hits > 10 and many.n_hits > 10:
+        assert np.median(many.hit_times()) <= np.median(few.hit_times())
+
+
+def test_spiral_search_target_at_origin(rng):
+    sample = SpiralSearch(k=3).agent_hitting_times((0, 0), 100, 5, rng)
+    np.testing.assert_array_equal(sample.times, np.zeros(5))
+
+
+def test_spiral_k_validation():
+    with pytest.raises(ValueError):
+        SpiralSearch(0)
+
+
+def test_spiral_hitting_time_at_least_distance(rng):
+    target = (9, 7)
+    sample = SpiralSearch(k=8).agent_hitting_times(target, 10_000, 200, rng)
+    assert sample.hit_times().min() >= 0  # probe walk + spiral can be fast,
+    # but never faster than the distance:
+    assert sample.hit_times().min() >= l1_norm(target) - 0  # exact walk+spiral lower bound
+    # NOTE: the agent walks to a center then spirals; reaching a node at
+    # distance 16 necessarily takes >= 16 steps.
+    assert sample.hit_times().min() >= 16
+
+
+# -------------------------------------------------------------------- SRW
+
+
+def test_srw_search_near_target(rng):
+    srw = SRWSearch(k=16)
+    sample = srw.sample_parallel_hitting_times((2, 1), n_runs=40, rng=rng)
+    assert sample.hit_fraction > 0.9
+    assert sample.hit_times().min() >= 3
+
+
+def test_srw_search_agent_level(rng):
+    srw = SRWSearch(k=1)
+    sample = srw.agent_hitting_times((1, 0), horizon=30, n_agents=3_000, rng=rng)
+    assert 0.4 < sample.hit_fraction < 0.95
+
+
+def test_srw_k_validation():
+    with pytest.raises(ValueError):
+        SRWSearch(-1)
+
+
+# -------------------------------------------------------------- ballistic
+
+
+def test_ray_ring_nodes_on_ring():
+    angles = np.linspace(0, 2 * math.pi, 100, endpoint=False)
+    nodes = ray_ring_nodes(angles, 13)
+    l1 = np.abs(nodes[:, 0]) + np.abs(nodes[:, 1])
+    np.testing.assert_array_equal(l1, np.full(100, 13))
+
+
+def test_ray_ring_nodes_axis_angles():
+    nodes = ray_ring_nodes(np.array([0.0, math.pi / 2, math.pi]), 5)
+    np.testing.assert_array_equal(nodes[0], [5, 0])
+    np.testing.assert_array_equal(nodes[1], [0, 5])
+    np.testing.assert_array_equal(nodes[2], [-5, 0])
+
+
+def test_ballistic_hit_probability_theta_one_over_l(rng):
+    l = 40
+    spray = BallisticSpraySearch(k=1)
+    sample = spray.agent_hitting_times((l, 0), horizon=4 * l, n_agents=100_000, rng=rng)
+    # Rough 1/(4l) per ray with an O(1) angular factor.
+    assert 0.1 / l < sample.hit_fraction < 4.0 / l
+    hits = sample.hit_times()
+    assert np.all(hits == l)
+
+
+def test_ballistic_horizon_shorter_than_distance(rng):
+    spray = BallisticSpraySearch(k=4)
+    sample = spray.agent_hitting_times((10, 0), horizon=5, n_agents=100, rng=rng)
+    assert sample.n_hits == 0
+
+
+def test_ballistic_parallel_grouping(rng):
+    spray = BallisticSpraySearch(k=200)
+    sample = spray.sample_parallel_hitting_times((8, 4), n_runs=50, rng=rng)
+    # 200 rays vs distance 12: success probability ~ 1 - (1-1/48)^200 ~ 0.98.
+    assert sample.hit_fraction > 0.8
+    assert np.all(sample.hit_times() == 12)
+
+
+def test_ballistic_k_validation():
+    with pytest.raises(ValueError):
+        BallisticSpraySearch(0)
+
+
+def test_spiral_parallel_beats_single_agent(rng):
+    """k agents' parallel spiral time is stochastically below one agent's."""
+    target = (20, 12)
+    horizon = 3 * 32 * 32
+    solo = SpiralSearch(k=1).sample_parallel_hitting_times(
+        target, n_runs=60, horizon=horizon, rng=rng
+    )
+    team = SpiralSearch(k=16).sample_parallel_hitting_times(
+        target, n_runs=60, horizon=horizon, rng=rng
+    )
+    assert team.hit_fraction >= solo.hit_fraction - 0.05
+    if solo.n_hits > 20 and team.n_hits > 20:
+        assert np.median(team.hit_times()) < np.median(solo.hit_times())
+
+
+def test_ballistic_spray_direction_coverage(rng):
+    """Across many rays the crossing nodes cover the whole ring."""
+    l = 10
+    nodes = ray_ring_nodes(rng.uniform(0, 2 * math.pi, 20_000), l)
+    distinct = {(int(x), int(y)) for x, y in nodes}
+    assert len(distinct) == 4 * l

@@ -1,0 +1,42 @@
+"""Tests for the repro-experiment command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "EXP-T1.6" in out
+    assert "FIG-1..6" in out
+
+
+def test_run_single_experiment(capsys):
+    assert main(["run", "EXP-L3.2", "--scale", "smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "Lemma 3.2" in out
+    assert "ALL CHECKS PASSED" in out
+
+
+def test_run_with_csv_dump(tmp_path, capsys):
+    code = main(
+        ["run", "FIG-1..6", "--scale", "smoke", "--csv-dir", str(tmp_path)]
+    )
+    assert code == 0
+    files = list(tmp_path.glob("*.csv"))
+    assert files, "expected CSV output"
+    capsys.readouterr()
+
+
+def test_run_unknown_experiment():
+    with pytest.raises(KeyError):
+        main(["run", "EXP-BOGUS"])
+
+
+def test_seed_changes_nothing_for_deterministic_experiment(capsys):
+    main(["run", "EXP-L3.2", "--scale", "smoke", "--seed", "1"])
+    first = capsys.readouterr().out
+    main(["run", "EXP-L3.2", "--scale", "smoke", "--seed", "2"])
+    second = capsys.readouterr().out
+    assert first.replace("seed=1", "seed=S") == second.replace("seed=2", "seed=S")

@@ -1,0 +1,70 @@
+"""Tests for the two-sample comparison helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.comparisons import mann_whitney_u, two_proportion_z
+from repro.engine.results import CENSORED
+
+
+def test_two_proportion_z_detects_difference():
+    result = two_proportion_z(500, 1000, 300, 1000)
+    assert result.significant(0.001)
+    assert result.direction > 0
+
+
+def test_two_proportion_z_null():
+    result = two_proportion_z(300, 1000, 310, 1000)
+    assert not result.significant(0.01)
+
+
+def test_two_proportion_z_degenerate():
+    result = two_proportion_z(0, 100, 0, 100)
+    assert result.p_value == 1.0
+
+
+def test_two_proportion_z_validation():
+    with pytest.raises(ValueError):
+        two_proportion_z(1, 0, 1, 10)
+    with pytest.raises(ValueError):
+        two_proportion_z(11, 10, 1, 10)
+
+
+def test_two_proportion_z_calibration(rng):
+    """Under the null, the test should reject ~ at the nominal rate."""
+    rejections = 0
+    trials = 300
+    for _ in range(trials):
+        a = int(rng.binomial(400, 0.3))
+        b = int(rng.binomial(400, 0.3))
+        if two_proportion_z(a, 400, b, 400).significant(0.05):
+            rejections += 1
+    assert rejections / trials < 0.12
+
+
+def test_mann_whitney_detects_shift(rng):
+    a = rng.integers(50, 100, 300)  # slower
+    b = rng.integers(1, 50, 300)  # faster
+    result = mann_whitney_u(a, b, horizon=200)
+    assert result.significant(0.001)
+    assert result.direction > 0  # A tends larger
+
+
+def test_mann_whitney_censoring_counts_as_slow(rng):
+    a = np.full(200, CENSORED, dtype=np.int64)  # all censored: slowest
+    b = rng.integers(1, 100, 200)
+    result = mann_whitney_u(a, b, horizon=100)
+    assert result.significant(0.001)
+    assert result.direction > 0
+
+
+def test_mann_whitney_null(rng):
+    a = rng.integers(1, 100, 200)
+    b = rng.integers(1, 100, 200)
+    result = mann_whitney_u(a, b, horizon=100)
+    assert not result.significant(0.001)
+
+
+def test_mann_whitney_validation():
+    with pytest.raises(ValueError):
+        mann_whitney_u(np.array([]), np.array([1]), horizon=10)

@@ -1,0 +1,114 @@
+"""Tests for the composite correlated random walk (CCRW)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.results import CENSORED
+from repro.lattice.points import l1_distance, l1_norm
+from repro.walks.composite import CompositeCorrelatedWalk, ccrw_hitting_times
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CompositeCorrelatedWalk(intensive_turn_probability=0.0)
+    with pytest.raises(ValueError):
+        CompositeCorrelatedWalk(extensive_bout_mean=0.5)
+    with pytest.raises(ValueError):
+        CompositeCorrelatedWalk(switch_to_extensive=0.0)
+    with pytest.raises(ValueError):
+        CompositeCorrelatedWalk(switch_to_extensive=1.0)
+
+
+def test_unit_speed(rng):
+    walk = CompositeCorrelatedWalk(rng=rng)
+    previous = walk.position
+    for _ in range(300):
+        current = walk.advance()
+        assert l1_distance(previous, current) == 1
+        previous = current
+    assert walk.time == 300
+
+
+def test_modes_alternate(rng):
+    walk = CompositeCorrelatedWalk(
+        switch_to_extensive=0.2, extensive_bout_mean=10.0, rng=rng
+    )
+    modes = set()
+    for _ in range(500):
+        walk.advance()
+        modes.add(walk.mode)
+    assert modes == {"intensive", "extensive"}
+
+
+def test_reset(rng):
+    walk = CompositeCorrelatedWalk(start=(5, -2), rng=rng)
+    walk.run(40)
+    walk.reset()
+    assert walk.position == (5, -2)
+    assert walk.time == 0
+    assert walk.mode == "intensive"
+
+
+def test_longer_bouts_travel_farther(rng):
+    """More persistence => larger typical displacement at fixed time."""
+
+    def median_displacement(bout_mean):
+        distances = []
+        for _ in range(200):
+            walk = CompositeCorrelatedWalk(
+                extensive_bout_mean=bout_mean, switch_to_extensive=0.1, rng=rng
+            )
+            walk.run(400)
+            distances.append(l1_norm(walk.position))
+        return float(np.median(distances))
+
+    assert median_displacement(64.0) > 1.5 * median_displacement(2.0)
+
+
+# ----------------------------------------------------------- vectorized
+
+
+def test_vectorized_validation(rng):
+    with pytest.raises(ValueError):
+        ccrw_hitting_times((3, 0), -1, 10, rng)
+    with pytest.raises(ValueError):
+        ccrw_hitting_times((3, 0), 10, 0, rng)
+
+
+def test_vectorized_target_at_origin(rng):
+    times = ccrw_hitting_times((0, 0), 10, 5, rng)
+    np.testing.assert_array_equal(times, np.zeros(5))
+
+
+def test_vectorized_hit_times_valid(rng):
+    times = ccrw_hitting_times((4, 2), 200, 3_000, rng)
+    hits = times[times != CENSORED]
+    assert hits.size > 0
+    assert hits.min() >= 6  # L1 distance, unit steps
+    assert hits.max() <= 200
+
+
+def test_vectorized_matches_object_level(rng):
+    """Statistical agreement between the vectorized and object CCRWs."""
+    target, horizon = (3, 1), 80
+    times = ccrw_hitting_times(
+        target, horizon, 20_000, rng,
+        intensive_turn_probability=0.5,
+        extensive_bout_mean=8.0,
+        switch_to_extensive=0.05,
+    )
+    p_vec = float((times != CENSORED).mean())
+    hits = 0
+    n_ref = 2_000
+    for _ in range(n_ref):
+        walk = CompositeCorrelatedWalk(
+            intensive_turn_probability=0.5,
+            extensive_bout_mean=8.0,
+            switch_to_extensive=0.05,
+            rng=rng,
+        )
+        if walk.hitting_time(target, horizon) is not None:
+            hits += 1
+    p_ref = hits / n_ref
+    se = (p_ref * (1 - p_ref) / n_ref + p_vec * (1 - p_vec) / 20_000) ** 0.5
+    assert abs(p_vec - p_ref) < 4.5 * se + 1e-3

@@ -1,0 +1,107 @@
+"""Tests for regimes, alpha*, and the polylog correction factors."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.exponents import (
+    Regime,
+    characteristic_time,
+    clamp_to_superdiffusive,
+    gamma_factor,
+    mu_factor,
+    nu_factor,
+    optimal_exponent,
+    regime,
+    theorem_1_5_exponent,
+)
+
+
+def test_regime_boundaries():
+    assert regime(1.5) is Regime.BALLISTIC
+    assert regime(2.0) is Regime.BALLISTIC
+    assert regime(2.0001) is Regime.SUPERDIFFUSIVE
+    assert regime(2.9999) is Regime.SUPERDIFFUSIVE
+    assert regime(3.0) is Regime.DIFFUSIVE
+    assert regime(7.0) is Regime.DIFFUSIVE
+
+
+def test_regime_rejects_invalid():
+    with pytest.raises(ValueError):
+        regime(1.0)
+    with pytest.raises(ValueError):
+        regime(0.0)
+
+
+def test_optimal_exponent_examples():
+    # k = l gives alpha* = 2; k = 1 gives 3; k = sqrt(l) gives 2.5.
+    assert optimal_exponent(64, 64) == pytest.approx(2.0)
+    assert optimal_exponent(1, 100) == pytest.approx(3.0)
+    assert optimal_exponent(8, 64) == pytest.approx(2.5)
+
+
+def test_optimal_exponent_validation():
+    with pytest.raises(ValueError):
+        optimal_exponent(0, 10)
+    with pytest.raises(ValueError):
+        optimal_exponent(5, 1)
+
+
+@given(st.integers(2, 10**6), st.integers(2, 10**6))
+def test_optimal_exponent_monotone(k, l):
+    """alpha* decreases in k and increases in l."""
+    base = optimal_exponent(k, l)
+    assert optimal_exponent(k * 2, l) < base
+    if l >= 2 and k >= 2:
+        assert optimal_exponent(k, l * 4) > base
+
+
+def test_theorem_1_5_exponent_above_star():
+    assert theorem_1_5_exponent(16, 256) > optimal_exponent(16, 256)
+
+
+def test_clamp():
+    assert clamp_to_superdiffusive(5.0) == pytest.approx(3.0 - 1e-3)
+    assert clamp_to_superdiffusive(1.0) == pytest.approx(2.0 + 1e-3)
+    assert clamp_to_superdiffusive(2.5) == 2.5
+
+
+def test_mu_nu_factors():
+    l = 1000
+    assert mu_factor(2.0, l) == pytest.approx(math.log(l))
+    assert mu_factor(2.5, l) == pytest.approx(2.0)
+    assert nu_factor(3.0, l) == pytest.approx(math.log(l))
+    assert nu_factor(2.5, l) == pytest.approx(2.0)
+    # Near the endpoints mu/nu saturate at log l.
+    assert mu_factor(2.0001, l) == pytest.approx(math.log(l))
+
+
+def test_gamma_factor():
+    l = 100
+    value = gamma_factor(2.5, l)
+    assert value == pytest.approx(math.log(l) ** (2.0 / 1.5) / 0.25)
+    with pytest.raises(ValueError):
+        gamma_factor(3.0, l)
+    with pytest.raises(ValueError):
+        gamma_factor(2.0, l)
+
+
+def test_characteristic_time_per_regime():
+    l = 64
+    assert characteristic_time(1.5, l) == pytest.approx(64.0)
+    assert characteristic_time(2.5, l) == pytest.approx(64.0**1.5)
+    assert characteristic_time(3.0, l) == pytest.approx(4096.0)
+    assert characteristic_time(4.2, l) == pytest.approx(4096.0)
+
+
+def test_characteristic_time_validation():
+    with pytest.raises(ValueError):
+        characteristic_time(2.5, 1)
+
+
+@given(st.floats(2.01, 2.99), st.integers(4, 10**5))
+def test_characteristic_time_between_l_and_l_squared(alpha, l):
+    t = characteristic_time(alpha, l)
+    assert l ** 1.0 <= t <= l ** 2.0 + 1e-6

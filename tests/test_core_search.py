@@ -1,0 +1,114 @@
+"""Tests for ParallelLevySearch and the ANTS wrapper."""
+
+import pytest
+
+from repro.core.ants import UniformANTSAlgorithm, universal_lower_bound
+from repro.core.search import ParallelLevySearch
+from repro.core.strategies import FixedExponentStrategy, UniformRandomExponentStrategy
+from repro.lattice.points import l1_norm
+
+
+def test_find_reports_consistent_result(rng):
+    search = ParallelLevySearch(k=32, strategy=FixedExponentStrategy(2.5))
+    result = search.find((6, 4), rng=rng)
+    assert result.k == 32
+    assert result.exponents.shape == (32,)
+    if result.found:
+        assert result.time >= l1_norm((6, 4))
+        assert 0 <= result.finder_index < 32
+        assert result.finder_exponent == pytest.approx(2.5)
+    else:
+        assert result.time is None and result.finder_index is None
+
+
+def test_find_nearby_target_succeeds(rng):
+    search = ParallelLevySearch(k=64)
+    result = search.find((3, 2), rng=rng)
+    assert result.found
+    assert result.time >= 5
+
+
+def test_find_with_random_strategy_reports_finder_exponent(rng):
+    search = ParallelLevySearch(k=64, strategy=UniformRandomExponentStrategy())
+    result = search.find((5, 5), rng=rng)
+    assert result.found
+    assert 2.0 < result.finder_exponent < 3.0
+    assert result.finder_exponent == pytest.approx(
+        float(result.exponents[result.finder_index])
+    )
+
+
+def test_default_horizon_scales_with_distance():
+    search = ParallelLevySearch(k=4)
+    assert search.default_horizon((10, 0)) == 4 * (100 + 10)
+    assert search.default_horizon((0, 0)) == 4 * 2
+
+
+def test_k_validation():
+    with pytest.raises(ValueError):
+        ParallelLevySearch(k=0)
+
+
+def test_sample_parallel_hitting_times(rng):
+    search = ParallelLevySearch(k=16, strategy=FixedExponentStrategy(2.4))
+    sample = search.sample_parallel_hitting_times((8, 4), n_runs=20, rng=rng)
+    assert sample.n == 20
+    assert sample.hit_fraction > 0.3
+    if sample.n_hits:
+        assert sample.hit_times().min() >= 12
+
+
+def test_parallel_k_dominates_single(rng):
+    """More walks can only help: P(tau_64 <= H) >= P(tau_8 <= H)."""
+    target, horizon = (10, 6), 500
+    small = ParallelLevySearch(8, FixedExponentStrategy(2.5)).sample_parallel_hitting_times(
+        target, n_runs=60, horizon=horizon, rng=rng
+    )
+    large = ParallelLevySearch(64, FixedExponentStrategy(2.5)).sample_parallel_hitting_times(
+        target, n_runs=60, horizon=horizon, rng=rng
+    )
+    assert large.hit_fraction >= small.hit_fraction - 0.1
+
+
+def test_intermittent_detection_flag(rng):
+    full = ParallelLevySearch(32, FixedExponentStrategy(2.2), detect_during_jump=True)
+    weak = ParallelLevySearch(32, FixedExponentStrategy(2.2), detect_during_jump=False)
+    target, horizon = (12, 8), 800
+    p_full = full.sample_parallel_hitting_times(target, 40, horizon, rng).hit_fraction
+    p_weak = weak.sample_parallel_hitting_times(target, 40, horizon, rng).hit_fraction
+    assert p_full >= p_weak - 0.05
+
+
+# ------------------------------------------------------------------- ANTS
+
+
+def test_universal_lower_bound_values():
+    assert universal_lower_bound(1, 10) == pytest.approx(100.0)
+    assert universal_lower_bound(100, 10) == pytest.approx(10.0)
+    assert universal_lower_bound(10, 10) == pytest.approx(10.0)
+
+
+def test_universal_lower_bound_validation():
+    with pytest.raises(ValueError):
+        universal_lower_bound(0, 5)
+    with pytest.raises(ValueError):
+        universal_lower_bound(5, 0)
+
+
+def test_ants_algorithm_end_to_end(rng):
+    ants = UniformANTSAlgorithm(k=48)
+    assert ants.k == 48
+    result = ants.search((4, 4), rng=rng)
+    assert result.found
+    sample = ants.sample_search_times((4, 4), n_runs=10, rng=rng)
+    assert sample.n == 10
+    ratio = ants.competitive_ratio(float(result.time), 8)
+    assert ratio >= 1.0  # cannot beat the lower bound
+
+
+def test_search_time_respects_lower_bound(rng):
+    """tau >= l always (need l steps to reach distance l)."""
+    ants = UniformANTSAlgorithm(k=64)
+    sample = ants.sample_search_times((20, 12), n_runs=15, rng=rng)
+    if sample.n_hits:
+        assert sample.hit_times().min() >= 32

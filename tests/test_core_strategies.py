@@ -1,0 +1,86 @@
+"""Tests for exponent-selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.exponents import optimal_exponent
+from repro.core.strategies import (
+    FixedExponentStrategy,
+    OracleExponentStrategy,
+    UniformRandomExponentStrategy,
+    cauchy_strategy,
+    diffusive_strategy,
+)
+
+
+def test_fixed_strategy(rng):
+    strategy = FixedExponentStrategy(2.5)
+    out = strategy.sample_exponents(7, rng)
+    np.testing.assert_array_equal(out, np.full(7, 2.5))
+    assert "2.5" in strategy.name
+
+
+def test_fixed_strategy_validation():
+    with pytest.raises(ValueError):
+        FixedExponentStrategy(1.0)
+
+
+def test_cauchy_and_diffusive():
+    assert cauchy_strategy().alpha == 2.0
+    assert diffusive_strategy().alpha == 3.0
+    assert "cauchy" in cauchy_strategy().name
+
+
+def test_uniform_random_strategy_range(rng):
+    strategy = UniformRandomExponentStrategy()
+    out = strategy.sample_exponents(10_000, rng)
+    assert out.shape == (10_000,)
+    assert out.min() > 2.0 and out.max() < 3.0
+    # Roughly uniform: mean ~ 2.5, quartiles ~ 2.25 / 2.75.
+    assert abs(out.mean() - 2.5) < 0.02
+    assert abs(np.quantile(out, 0.25) - 2.25) < 0.02
+
+
+def test_uniform_random_strategy_custom_range(rng):
+    strategy = UniformRandomExponentStrategy(2.2, 2.4)
+    out = strategy.sample_exponents(1_000, rng)
+    assert out.min() > 2.2 and out.max() < 2.4
+
+
+def test_uniform_random_strategy_validation():
+    with pytest.raises(ValueError):
+        UniformRandomExponentStrategy(3.0, 2.0)
+    with pytest.raises(ValueError):
+        UniformRandomExponentStrategy(0.5, 2.0)
+
+
+def test_oracle_strategy_tracks_alpha_star():
+    l = 4096  # large enough that the shift does not clamp
+    oracle = OracleExponentStrategy(l)
+    for k in (4, 64, 1024):
+        exponent = oracle.exponent_for(k)
+        assert exponent > optimal_exponent(k, l)
+        assert 2.0 < exponent < 3.0
+    # More walks -> smaller exponent.
+    assert oracle.exponent_for(1024) < oracle.exponent_for(4)
+
+
+def test_oracle_strategy_samples_constant(rng):
+    oracle = OracleExponentStrategy(256)
+    out = oracle.sample_exponents(5, rng)
+    assert np.all(out == out[0])
+
+
+def test_oracle_literal_theorem_shift():
+    lenient = OracleExponentStrategy(256, shift_constant=1.0)
+    literal = OracleExponentStrategy(256, shift_constant=5.0)
+    assert literal.exponent_for(16) >= lenient.exponent_for(16)
+
+
+def test_oracle_validation():
+    with pytest.raises(ValueError):
+        OracleExponentStrategy(1)
+
+
+def test_describe():
+    assert FixedExponentStrategy(2.5).describe() == "fixed(alpha=2.5)"

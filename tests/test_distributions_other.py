@@ -1,0 +1,118 @@
+"""Tests for the unit, constant and geometric jump laws."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions.geometric import GeometricJumpDistribution
+from repro.distributions.unit import ConstantJumpDistribution, UnitJumpDistribution
+
+
+# ------------------------------------------------------------------ unit
+
+
+def test_unit_pmf_and_tail():
+    law = UnitJumpDistribution(lazy_probability=0.5)
+    assert float(law.pmf(0)) == 0.5
+    assert float(law.pmf(1)) == 0.5
+    assert float(law.pmf(2)) == 0.0
+    assert float(law.tail(1)) == 0.5
+    assert float(law.tail(2)) == 0.0
+    assert float(law.tail(0)) == 1.0
+
+
+def test_unit_moments():
+    law = UnitJumpDistribution(lazy_probability=0.25)
+    assert law.mean == pytest.approx(0.75)
+    assert law.second_moment == pytest.approx(0.75)
+    assert law.variance == pytest.approx(0.75 - 0.75**2)
+    assert law.support_max == 1
+    assert law.expected_steps_per_jump() == pytest.approx(1.0)
+
+
+def test_unit_sampling(rng):
+    law = UnitJumpDistribution(lazy_probability=0.5)
+    samples = law.sample(rng, 20_000)
+    assert set(np.unique(samples)) == {0, 1}
+    assert abs(samples.mean() - 0.5) < 0.02
+
+
+def test_unit_rejects_bad_laziness():
+    with pytest.raises(ValueError):
+        UnitJumpDistribution(lazy_probability=1.0)
+
+
+# -------------------------------------------------------------- constant
+
+
+def test_constant_law():
+    law = ConstantJumpDistribution(5)
+    assert float(law.pmf(5)) == 1.0
+    assert float(law.pmf(4)) == 0.0
+    assert float(law.tail(5)) == 1.0
+    assert float(law.tail(6)) == 0.0
+    assert law.mean == 5.0
+    assert law.variance == pytest.approx(0.0)
+    assert law.support_max == 5
+
+
+def test_constant_sampling(rng):
+    law = ConstantJumpDistribution(3)
+    np.testing.assert_array_equal(law.sample(rng, 10), np.full(10, 3))
+
+
+def test_constant_rejects_zero():
+    with pytest.raises(ValueError):
+        ConstantJumpDistribution(0)
+
+
+# ------------------------------------------------------------- geometric
+
+
+def test_geometric_pmf_normalization():
+    law = GeometricJumpDistribution(q=0.8, lazy_probability=0.5)
+    grid = np.arange(0, 500)
+    assert float(np.sum(law.pmf(grid))) == pytest.approx(1.0, abs=1e-12)
+
+
+def test_geometric_tail_consistency():
+    law = GeometricJumpDistribution(q=0.6)
+    for i in (1, 2, 7):
+        assert float(law.tail(i) - law.tail(i + 1)) == pytest.approx(float(law.pmf(i)))
+
+
+def test_geometric_with_mean():
+    law = GeometricJumpDistribution.with_mean(10.0, lazy_probability=0.0)
+    assert law.mean == pytest.approx(10.0)
+    with pytest.raises(ValueError):
+        GeometricJumpDistribution.with_mean(0.5)
+
+
+def test_geometric_moments_against_simulation(rng):
+    law = GeometricJumpDistribution(q=0.75, lazy_probability=0.5)
+    samples = law.sample(rng, 200_000)
+    assert samples.mean() == pytest.approx(law.mean, rel=0.03)
+    assert np.mean(samples.astype(float) ** 2) == pytest.approx(
+        law.second_moment, rel=0.05
+    )
+
+
+def test_geometric_tail_is_exponential():
+    law = GeometricJumpDistribution(q=0.5, lazy_probability=0.0)
+    # P(d >= i) = q^(i-1): halves each step.
+    assert float(law.tail(4)) / float(law.tail(5)) == pytest.approx(2.0)
+    assert law.support_max is None
+
+
+def test_geometric_rejects_bad_q():
+    with pytest.raises(ValueError):
+        GeometricJumpDistribution(q=0.0)
+    with pytest.raises(ValueError):
+        GeometricJumpDistribution(q=1.0)
+    with pytest.raises(ValueError):
+        GeometricJumpDistribution(q=0.5, lazy_probability=-0.2)
+
+
+def test_geometric_mean_finite():
+    assert math.isfinite(GeometricJumpDistribution(q=0.99).mean)

@@ -1,0 +1,234 @@
+"""Tests for the paper's power-law jump distribution (Eq. 3)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import special
+
+from repro.distributions.zeta import (
+    ZetaJumpDistribution,
+    _partial_power_sum,
+    cauchy_jump_distribution,
+)
+
+alphas = st.floats(min_value=1.2, max_value=5.0, allow_nan=False)
+
+
+# ------------------------------------------------------------ construction
+
+
+def test_rejects_alpha_at_most_one():
+    with pytest.raises(ValueError):
+        ZetaJumpDistribution(1.0)
+    with pytest.raises(ValueError):
+        ZetaJumpDistribution(0.5)
+
+
+def test_rejects_bad_lazy_probability():
+    with pytest.raises(ValueError):
+        ZetaJumpDistribution(2.5, lazy_probability=1.0)
+    with pytest.raises(ValueError):
+        ZetaJumpDistribution(2.5, lazy_probability=-0.1)
+
+
+def test_rejects_bad_cap():
+    with pytest.raises(ValueError):
+        ZetaJumpDistribution(2.5, cap=0)
+
+
+def test_c_alpha_normalizer():
+    # c_alpha = 1 / (2 zeta(alpha)) for the paper's lazy probability 1/2.
+    law = ZetaJumpDistribution(2.5)
+    assert law.c_alpha == pytest.approx(0.5 / special.zeta(2.5, 1))
+
+
+def test_cauchy_factory():
+    assert cauchy_jump_distribution().alpha == 2.0
+
+
+# -------------------------------------------------------------------- law
+
+
+@given(alphas)
+@settings(max_examples=30)
+def test_pmf_sums_to_one(alpha):
+    law = ZetaJumpDistribution(alpha)
+    grid = np.arange(0, 30_000)
+    total = float(np.sum(law.pmf(grid))) + float(law.tail(30_000))
+    assert total == pytest.approx(1.0, abs=1e-9)
+
+
+def test_pmf_values():
+    law = ZetaJumpDistribution(2.0)
+    assert law.pmf(0) == pytest.approx(0.5)
+    assert law.pmf(1) == pytest.approx(law.c_alpha)
+    assert law.pmf(4) == pytest.approx(law.c_alpha / 16)
+    assert law.pmf(-3) == 0.0
+
+
+def test_tail_consistency_with_pmf():
+    law = ZetaJumpDistribution(2.7)
+    for i in (1, 2, 5, 17):
+        assert law.tail(i) - law.tail(i + 1) == pytest.approx(float(law.pmf(i)))
+
+
+def test_tail_at_zero_is_one():
+    law = ZetaJumpDistribution(3.2)
+    assert law.tail(0) == pytest.approx(1.0)
+    assert law.tail(-5) == pytest.approx(1.0)
+
+
+def test_cdf_complements_tail():
+    law = ZetaJumpDistribution(2.2)
+    for i in (0, 1, 3, 10):
+        assert law.cdf(i) == pytest.approx(1.0 - float(law.tail(i + 1)))
+
+
+def test_tail_theta_bound_eq4():
+    """Eq. (4): P(d >= i) * i^(alpha-1) stays within constant factors."""
+    for alpha in (1.5, 2.0, 2.5, 3.5):
+        law = ZetaJumpDistribution(alpha)
+        ratios = [float(law.tail(i)) * i ** (alpha - 1.0) for i in (10, 100, 1000)]
+        assert max(ratios) / min(ratios) < 1.6
+
+
+# ------------------------------------------------------------------ capped
+
+
+def test_capped_support():
+    law = ZetaJumpDistribution(2.5, cap=7)
+    assert law.support_max == 7
+    assert float(law.pmf(8)) == 0.0
+    assert float(law.tail(8)) == pytest.approx(0.0, abs=1e-12)
+    grid = np.arange(0, 8)
+    assert float(np.sum(law.pmf(grid))) == pytest.approx(1.0)
+
+
+def test_capped_factory_and_lemma_cap():
+    law = ZetaJumpDistribution(2.5)
+    capped = law.capped(100)
+    assert capped.cap == 100 and capped.alpha == 2.5
+    cap = law.lemma_4_5_cap(1000)
+    assert cap == int((1000 * math.log(1000)) ** (1.0 / 1.5))
+    with pytest.raises(ValueError):
+        law.lemma_4_5_cap(1)
+
+
+def test_capped_renormalization():
+    law = ZetaJumpDistribution(2.5)
+    capped = law.capped(10)
+    # P(d = i | d <= 10) = pmf(i) / P(d <= 10) for i in 1..10.
+    scale = float(law.cdf(10))
+    for i in (1, 5, 10):
+        expected = float(law.pmf(i)) / scale
+        # The lazy mass is also renormalized jointly; check the ratio
+        # structure instead: pmf_c(i)/pmf_c(j) == pmf(i)/pmf(j).
+        assert float(capped.pmf(i)) / float(capped.pmf(1)) == pytest.approx(
+            float(law.pmf(i)) / float(law.pmf(1))
+        )
+    del expected
+
+
+# ----------------------------------------------------------------- moments
+
+
+def test_mean_divergence_boundary():
+    assert math.isinf(ZetaJumpDistribution(2.0).mean)
+    assert math.isinf(ZetaJumpDistribution(1.5).mean)
+    assert ZetaJumpDistribution(2.5).mean < math.inf
+
+
+def test_second_moment_divergence_boundary():
+    assert math.isinf(ZetaJumpDistribution(3.0).second_moment)
+    assert ZetaJumpDistribution(3.5).second_moment < math.inf
+    assert math.isinf(ZetaJumpDistribution(3.0).variance)
+
+
+def test_mean_value():
+    law = ZetaJumpDistribution(3.0)
+    # E[d] = c_3 * zeta(2).
+    assert law.mean == pytest.approx(law.c_alpha * special.zeta(2.0, 1))
+
+
+def test_capped_moments_match_direct_sum():
+    law = ZetaJumpDistribution(1.7, cap=500)
+    i = np.arange(1, 501, dtype=float)
+    weights = law.c_alpha * i**-1.7
+    assert law.mean == pytest.approx(float(np.sum(i * weights)), rel=1e-9)
+    assert law.second_moment == pytest.approx(float(np.sum(i * i * weights)), rel=1e-9)
+
+
+def test_expected_steps_per_jump():
+    law = ZetaJumpDistribution(2.5)
+    assert law.expected_steps_per_jump() == pytest.approx(law.mean + 0.5)
+    assert math.isinf(ZetaJumpDistribution(1.8).expected_steps_per_jump())
+
+
+def test_partial_power_sum_small():
+    assert _partial_power_sum(2.0, 3) == pytest.approx(1 + 0.25 + 1 / 9)
+    assert _partial_power_sum(0.5, 4) == pytest.approx(
+        1 + 2**-0.5 + 3**-0.5 + 0.5
+    )
+    assert _partial_power_sum(1.0, 0) == 0.0
+
+
+def test_partial_power_sum_euler_maclaurin_branch():
+    # Force the asymptotic branch and compare against the integral scale.
+    n = 50_000_000
+    value = _partial_power_sum(0.5, n)
+    expected = 2.0 * math.sqrt(n)  # integral of x^-1/2
+    assert value == pytest.approx(expected, rel=1e-3)
+
+
+# ---------------------------------------------------------------- sampling
+
+
+def test_sampling_matches_pmf_chi_square(rng):
+    law = ZetaJumpDistribution(2.5)
+    n = 100_000
+    samples = law.sample(rng, n)
+    edges = [0, 1, 2, 3, 5, 10, 100]
+    observed = [np.count_nonzero(samples == 0)]
+    expected = [float(law.pmf(0)) * n]
+    for lo, hi in zip(edges[1:], edges[2:] + [None]):
+        if hi is None:
+            observed.append(int(np.count_nonzero(samples >= lo)))
+            expected.append(float(law.tail(lo)) * n)
+        else:
+            observed.append(int(np.count_nonzero((samples >= lo) & (samples < hi))))
+            expected.append(float(law.tail(lo) - law.tail(hi)) * n)
+    chi2 = sum((o - e) ** 2 / e for o, e in zip(observed, expected))
+    assert chi2 < 25.0  # 6 dof
+
+
+def test_capped_sampling_respects_cap(rng):
+    law = ZetaJumpDistribution(2.2, cap=9)
+    samples = law.sample(rng, 30_000)
+    assert samples.max() <= 9
+    assert set(np.unique(samples)) == set(range(10))
+
+
+def test_capped_sampling_matches_pmf(rng):
+    law = ZetaJumpDistribution(2.2, cap=5)
+    n = 60_000
+    samples = law.sample(rng, n)
+    chi2 = 0.0
+    for i in range(6):
+        expected = float(law.pmf(i)) * n
+        observed = int(np.count_nonzero(samples == i))
+        chi2 += (observed - expected) ** 2 / expected
+    assert chi2 < 20.0
+
+
+def test_lazy_probability_zero(rng):
+    law = ZetaJumpDistribution(2.5, lazy_probability=0.0)
+    samples = law.sample(rng, 5_000)
+    assert samples.min() >= 1
+
+
+def test_sample_size_zero(rng):
+    law = ZetaJumpDistribution(2.5)
+    assert law.sample(rng, 0).shape == (0,)

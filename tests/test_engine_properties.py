@@ -1,0 +1,103 @@
+"""Hypothesis property tests for engine invariants.
+
+These check *logical* invariants that must hold for every parameter
+combination -- complementing the statistical cross-validation tests.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions.zeta import ZetaJumpDistribution
+from repro.engine.ball_targets import ball_hitting_times
+from repro.engine.results import CENSORED, group_minimum
+from repro.engine.vectorized import flight_hitting_times, walk_hitting_times
+
+alphas = st.floats(min_value=1.2, max_value=4.0)
+small_coords = st.integers(min_value=-15, max_value=15)
+targets = st.tuples(small_coords, small_coords)
+
+
+@settings(max_examples=25, deadline=None)
+@given(alphas, targets, st.integers(0, 200), st.integers(1, 64))
+def test_walk_hit_times_respect_distance_and_horizon(alpha, target, horizon, n):
+    rng = np.random.default_rng(7)
+    sample = walk_hitting_times(ZetaJumpDistribution(alpha), target, horizon, n, rng)
+    distance = abs(target[0]) + abs(target[1])
+    assert sample.n == n
+    assert sample.horizon == horizon
+    hits = sample.hit_times()
+    if distance == 0:
+        assert np.all(sample.times == 0)
+    else:
+        assert np.all(hits >= distance)
+        assert np.all(hits <= horizon)
+    # times array contains only CENSORED or valid steps (validated by the
+    # container, but assert the sentinel convention explicitly).
+    assert set(np.unique(sample.times[sample.times < 0])) <= {CENSORED}
+
+
+@settings(max_examples=20, deadline=None)
+@given(alphas, targets, st.integers(0, 100), st.integers(1, 32))
+def test_flight_hit_times_in_jump_units(alpha, target, horizon, n):
+    rng = np.random.default_rng(11)
+    sample = flight_hitting_times(ZetaJumpDistribution(alpha), target, horizon, n, rng)
+    hits = sample.hit_times()
+    assert np.all(hits >= (1 if target != (0, 0) else 0))
+    assert np.all(hits <= horizon)
+
+
+@settings(max_examples=20, deadline=None)
+@given(alphas, targets, st.integers(0, 5), st.integers(1, 150), st.integers(1, 32))
+def test_ball_hit_times_respect_boundary_distance(alpha, center, radius, horizon, n):
+    rng = np.random.default_rng(13)
+    sample = ball_hitting_times(
+        ZetaJumpDistribution(alpha), center, radius, horizon, n, rng
+    )
+    distance = abs(center[0]) + abs(center[1])
+    hits = sample.hit_times()
+    if distance <= radius:
+        assert np.all(sample.times == 0)
+    else:
+        assert np.all(hits >= distance - radius)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.one_of(st.just(CENSORED), st.integers(0, 1000)),
+        min_size=1,
+        max_size=60,
+    ),
+    st.integers(1, 6),
+)
+def test_group_minimum_properties(times_list, k):
+    times = np.asarray(times_list * k, dtype=np.int64)  # length divisible by k
+    out = group_minimum(times, k)
+    assert out.shape == (times.size // k,)
+    grouped = times.reshape(-1, k)
+    for row, value in zip(grouped, out):
+        real = row[row != CENSORED]
+        if real.size:
+            assert value == real.min()
+        else:
+            assert value == CENSORED
+
+
+@settings(max_examples=15, deadline=None)
+@given(alphas, st.integers(1, 40), st.integers(50, 300))
+def test_restricted_is_monotone_in_horizon(alpha, distance, horizon):
+    rng = np.random.default_rng(17)
+    target = (distance, 0)
+    sample = walk_hitting_times(
+        ZetaJumpDistribution(alpha), target, horizon, 200, rng
+    )
+    half = sample.restricted(horizon // 2)
+    assert half.n_hits <= sample.n_hits
+    assert half.hit_fraction <= sample.hit_fraction + 1e-12
+    # probability_by is a CDF: non-decreasing.
+    previous = 0.0
+    for t in range(0, horizon + 1, max(1, horizon // 7)):
+        current = sample.probability_by(t)
+        assert current >= previous
+        previous = current

@@ -1,0 +1,149 @@
+"""Tests for the vectorized hitting-time engines."""
+
+import numpy as np
+import pytest
+
+from repro.distributions.unit import ConstantJumpDistribution, UnitJumpDistribution
+from repro.distributions.zeta import ZetaJumpDistribution
+from repro.engine.samplers import HeterogeneousZetaSampler, HomogeneousSampler
+from repro.engine.vectorized import flight_hitting_times, walk_hitting_times
+
+
+# -------------------------------------------------------------- walk engine
+
+
+def test_walk_target_at_start(rng):
+    sample = walk_hitting_times(
+        ZetaJumpDistribution(2.5), (3, 3), 100, 50, rng, start=(3, 3)
+    )
+    np.testing.assert_array_equal(sample.times, np.zeros(50))
+
+
+def test_walk_times_within_horizon(rng):
+    sample = walk_hitting_times(ZetaJumpDistribution(2.5), (4, 2), 200, 2_000, rng)
+    hits = sample.hit_times()
+    assert hits.size > 0
+    assert hits.min() >= 6  # at least l steps are needed (l = 6)
+    assert hits.max() <= 200
+
+
+def test_walk_lower_bounds_distance(rng):
+    """No walk can hit a target at distance l before step l."""
+    target = (7, 5)
+    sample = walk_hitting_times(ZetaJumpDistribution(1.5), target, 400, 4_000, rng)
+    assert sample.hit_times().min() >= 12
+
+
+def test_walk_horizon_zero(rng):
+    sample = walk_hitting_times(ZetaJumpDistribution(2.5), (1, 0), 0, 10, rng)
+    assert sample.n_hits == 0
+
+
+def test_walk_validation(rng):
+    with pytest.raises(ValueError):
+        walk_hitting_times(ZetaJumpDistribution(2.5), (1, 0), -1, 10, rng)
+    with pytest.raises(ValueError):
+        walk_hitting_times(ZetaJumpDistribution(2.5), (1, 0), 10, 0, rng)
+
+
+def test_walk_unit_law_is_srw(rng):
+    """With unit jumps the engine is a lazy SRW: hitting a neighbor is
+    frequent and fast."""
+    sample = walk_hitting_times(UnitJumpDistribution(), (1, 0), 50, 4_000, rng)
+    assert sample.hit_fraction > 0.45
+    # First possible hit is step 1, and it happens with probability 1/8.
+    assert sample.hit_times().min() == 1
+    p1 = float((sample.times == 1).mean())
+    assert abs(p1 - 1.0 / 8.0) < 0.02
+
+
+def test_walk_constant_jump_deterministic_time(rng):
+    """Constant jump length 1: the walk is a non-lazy SRW; hits of (2,0)
+    can only occur at even steps >= 2... actually any step >= 2 with the
+    right parity.  We just check reachability and the parity invariant."""
+    sample = walk_hitting_times(ConstantJumpDistribution(1), (2, 0), 60, 3_000, rng)
+    hits = sample.hit_times()
+    assert hits.size > 0
+    # Parity: position parity == step parity for a non-lazy unit walk.
+    assert np.all(hits % 2 == 0)
+
+
+def test_walk_intermittent_detection_is_weaker(rng):
+    """Endpoint-only detection can only miss more, never find more."""
+    law = ZetaJumpDistribution(2.2)
+    seed = 99
+    full = walk_hitting_times(
+        law, (10, 6), 600, 6_000, np.random.default_rng(seed), detect_during_jump=True
+    )
+    endpoint_only = walk_hitting_times(
+        law, (10, 6), 600, 6_000, np.random.default_rng(seed), detect_during_jump=False
+    )
+    assert endpoint_only.hit_fraction < full.hit_fraction
+
+
+def test_walk_heterogeneous_sampler(rng):
+    alphas = np.concatenate([np.full(2_000, 2.1), np.full(2_000, 3.8)])
+    sampler = HeterogeneousZetaSampler(alphas)
+    sample = walk_hitting_times(sampler, (16, 8), 24 * 24, 4_000, rng)
+    # Both exponent groups participate; ballistic-ish walks hit earlier on
+    # average when they hit at all.
+    assert sample.n_hits > 0
+
+
+def test_walk_mid_jump_hit_times(rng):
+    """A constant-6 jump law from the origin toward (3,0)... the target at
+    distance 3 is hit mid-jump at exactly step 3 when the path crosses it."""
+    sample = walk_hitting_times(ConstantJumpDistribution(6), (3, 0), 6, 20_000, rng)
+    hits = sample.hit_times()
+    assert hits.size > 0
+    assert np.all(hits == 3)
+
+
+# ------------------------------------------------------------ flight engine
+
+
+def test_flight_counts_jumps_not_steps(rng):
+    sample = flight_hitting_times(ConstantJumpDistribution(5), (5, 0), 1, 20_000, rng)
+    hits = sample.hit_times()
+    assert hits.size > 0
+    assert np.all(hits == 1)
+    # Probability of landing exactly on (5,0) in one jump is 1/(4*5).
+    assert abs(sample.hit_fraction - 1.0 / 20.0) < 0.01
+
+
+def test_flight_target_at_start(rng):
+    sample = flight_hitting_times(ZetaJumpDistribution(2.5), (0, 0), 10, 7, rng)
+    np.testing.assert_array_equal(sample.times, np.zeros(7))
+
+
+def test_flight_cannot_hit_mid_jump(rng):
+    """A flight with constant jump 2 can never land on an odd-distance
+    node at odd time... more simply: it can never land on (1, 0)."""
+    sample = flight_hitting_times(ConstantJumpDistribution(2), (1, 0), 50, 2_000, rng)
+    assert sample.n_hits == 0
+
+
+def test_flight_validation(rng):
+    with pytest.raises(ValueError):
+        flight_hitting_times(ZetaJumpDistribution(2.5), (1, 0), -2, 5, rng)
+
+
+def test_homogeneous_sampler_wrapper(rng):
+    sampler = HomogeneousSampler(ConstantJumpDistribution(3))
+    out = sampler.sample(rng, np.arange(10))
+    np.testing.assert_array_equal(out, np.full(10, 3))
+
+
+def test_heterogeneous_sampler_validation():
+    with pytest.raises(ValueError):
+        HeterogeneousZetaSampler(np.array([[2.5]]))
+    with pytest.raises(ValueError):
+        HeterogeneousZetaSampler(np.array([0.9]))
+    with pytest.raises(ValueError):
+        HeterogeneousZetaSampler(np.array([2.5]), lazy_probability=1.5)
+
+
+def test_heterogeneous_sampler_lazy_mass(rng):
+    sampler = HeterogeneousZetaSampler(np.full(20_000, 2.5), lazy_probability=0.5)
+    out = sampler.sample(rng, np.arange(20_000))
+    assert abs(float((out == 0).mean()) - 0.5) < 0.02

@@ -1,0 +1,161 @@
+"""Tests for the exact (convolution) occupation law of capped flights."""
+
+import numpy as np
+import pytest
+
+from repro.distributions.unit import ConstantJumpDistribution, UnitJumpDistribution
+from repro.distributions.zeta import ZetaJumpDistribution
+from repro.engine.exact_occupation import (
+    ExactOccupation,
+    flight_occupation_exact,
+    jump_kernel,
+)
+from repro.engine.visits import flight_occupation_grid, flight_visit_counts
+
+
+def test_kernel_mass_and_shape():
+    law = ZetaJumpDistribution(2.5, cap=5)
+    kernel = jump_kernel(law)
+    assert kernel.shape == (11, 11)
+    assert kernel.sum() == pytest.approx(1.0)
+    # Center = lazy mass.
+    assert kernel[5, 5] == pytest.approx(0.5)
+    # A ring-1 node carries pmf(1)/4.
+    assert kernel[6, 5] == pytest.approx(float(law.pmf(1)) / 4.0)
+
+
+def test_kernel_requires_bounded_law():
+    with pytest.raises(ValueError):
+        jump_kernel(ZetaJumpDistribution(2.5))  # uncapped
+
+
+def test_zero_jumps_is_delta():
+    occupation = flight_occupation_exact(ZetaJumpDistribution(2.5, cap=3), 0)
+    assert occupation.probability_at((0, 0)) == pytest.approx(1.0)
+    assert occupation.origin_visits == 0.0
+
+
+def test_one_jump_matches_kernel():
+    law = ZetaJumpDistribution(2.5, cap=4)
+    occupation = flight_occupation_exact(law, 1)
+    kernel = jump_kernel(law)
+    for node in [(0, 0), (1, 0), (2, 2), (-4, 0)]:
+        assert occupation.probability_at(node) == pytest.approx(
+            kernel[node[0] + 4, node[1] + 4], abs=1e-12
+        )
+
+
+def test_total_mass_preserved():
+    occupation = flight_occupation_exact(ZetaJumpDistribution(2.2, cap=6), 4)
+    assert occupation.grid.sum() == pytest.approx(1.0)
+
+
+def test_probability_outside_support_is_zero():
+    occupation = flight_occupation_exact(ConstantJumpDistribution(2), 3)
+    assert occupation.radius == 6
+    assert occupation.probability_at((7, 0)) == 0.0
+    assert occupation.probability_at((100, 100)) == 0.0
+
+
+def test_unit_law_two_steps_exact():
+    """Lazy SRW after 1 jump: P(origin) = 1/2, each neighbor 1/8."""
+    occupation = flight_occupation_exact(UnitJumpDistribution(), 1)
+    assert occupation.probability_at((0, 0)) == pytest.approx(0.5)
+    for neighbor in [(1, 0), (-1, 0), (0, 1), (0, -1)]:
+        assert occupation.probability_at(neighbor) == pytest.approx(0.125)
+
+
+def test_origin_visits_match_monte_carlo(rng):
+    law = ZetaJumpDistribution(2.5, cap=8)
+    t = 6
+    exact = flight_occupation_exact(law, t)
+    mc = flight_visit_counts(law, [(0, 0)], n_jumps=t, n_flights=60_000, rng=rng)
+    assert abs(exact.origin_visits - float(mc[0])) < 0.03
+
+
+def test_grid_matches_monte_carlo(rng):
+    law = ZetaJumpDistribution(2.5, cap=5)
+    t = 4
+    exact = flight_occupation_exact(law, t)
+    mc = flight_occupation_grid(
+        law, n_jumps=t, n_flights=200_000, radius=6, rng=rng, at_time_only=True
+    )
+    for node in [(0, 0), (1, 0), (2, 1), (-3, 2)]:
+        p_exact = exact.probability_at(node)
+        p_mc = float(mc[node[0] + 6, node[1] + 6])
+        assert abs(p_exact - p_mc) < 4.5 * (p_exact / 200_000) ** 0.5 + 5e-4
+
+
+def test_monotonicity_exact_holds():
+    occupation = flight_occupation_exact(ZetaJumpDistribution(2.3, cap=6), 5)
+    assert occupation.check_monotonicity(max_radius=12) >= -1e-12
+
+
+def test_monotonicity_violated_by_non_radial_law():
+    """Sanity: a hand-made NON-monotone kernel must fail the check --
+    proving the check has teeth."""
+    grid = np.zeros((9, 9))
+    grid[8, 8] = 1.0  # all mass at the far corner (4,4): ||v||_inf = 4
+    occupation = ExactOccupation(grid=grid, radius=4, n_jumps=1, origin_visits=0.0)
+    assert occupation.check_monotonicity(max_radius=4) < 0
+
+
+def test_negative_jumps_rejected():
+    with pytest.raises(ValueError):
+        flight_occupation_exact(ZetaJumpDistribution(2.5, cap=3), -1)
+
+
+# ------------------------------------------------------- exact first passage
+
+
+def test_exact_hitting_constant_jump():
+    from repro.engine.exact_occupation import flight_hitting_probability_exact
+
+    law = ConstantJumpDistribution(3)
+    # One jump: lands uniformly on R_3 (12 nodes) -> P(h <= 1) = 1/12.
+    curve = flight_hitting_probability_exact(law, (3, 0), 2)
+    assert curve[0] == 0.0
+    assert curve[1] == pytest.approx(1.0 / 12.0, abs=1e-9)
+    assert curve[2] >= curve[1]
+
+
+def test_exact_hitting_target_at_origin():
+    from repro.engine.exact_occupation import flight_hitting_probability_exact
+
+    law = ZetaJumpDistribution(2.5, cap=3)
+    assert flight_hitting_probability_exact(law, (0, 0), 3) == [1.0] * 4
+
+
+def test_exact_hitting_unreachable():
+    from repro.engine.exact_occupation import flight_hitting_probability_exact
+
+    law = ZetaJumpDistribution(2.5, cap=2)
+    # Max reach in 2 jumps is 4 < 10.
+    assert flight_hitting_probability_exact(law, (10, 0), 2) == [0.0, 0.0, 0.0]
+
+
+def test_exact_hitting_monotone_and_bounded():
+    from repro.engine.exact_occupation import flight_hitting_probability_exact
+
+    law = ZetaJumpDistribution(2.2, cap=6)
+    curve = flight_hitting_probability_exact(law, (2, 1), 8)
+    assert all(b >= a - 1e-12 for a, b in zip(curve, curve[1:]))
+    assert curve[-1] <= 1.0
+
+
+def test_exact_hitting_matches_monte_carlo(rng):
+    from repro.engine.exact_occupation import flight_hitting_probability_exact
+    from repro.engine.vectorized import flight_hitting_times
+
+    law = ZetaJumpDistribution(2.5, cap=5)
+    target, jumps = (2, 1), 7
+    exact = flight_hitting_probability_exact(law, target, jumps)
+    mc = flight_hitting_times(law, target, jumps, 120_000, rng)
+    measured = mc.hit_fraction
+    se = (exact[-1] * (1 - exact[-1]) / 120_000) ** 0.5
+    assert abs(measured - exact[-1]) < 4.5 * se + 1e-4
+    # And the per-step curve matches too.
+    for j in (1, 3, 5):
+        p_j = mc.probability_by(j)
+        se_j = max((exact[j] * (1 - exact[j]) / 120_000) ** 0.5, 1e-5)
+        assert abs(p_j - exact[j]) < 5.0 * se_j + 1e-4, j

@@ -1,0 +1,78 @@
+"""Smoke tests: every example script must run and tell its story.
+
+Examples are executed in-process (import + main) with their default
+parameters; they are sized to finish in seconds.
+"""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.fixture(autouse=True)
+def _examples_on_path(monkeypatch):
+    monkeypatch.syspath_prepend(str(EXAMPLES_DIR))
+    yield
+    for name in list(sys.modules):
+        if name in {
+            "quickstart",
+            "foraging_simulation",
+            "exponent_sensitivity",
+            "ants_problem",
+            "trajectory_gallery",
+            "occupation_heatmap",
+        }:
+            del sys.modules[name]
+
+
+def _run_example(name, capsys):
+    module = importlib.import_module(name)
+    module.main()
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = _run_example("quickstart", capsys)
+    assert "parallel Levy walks" in out
+    assert "alpha*" in out
+
+
+def test_foraging_simulation(capsys):
+    out = _run_example("foraging_simulation", capsys)
+    assert "Food retrieved" in out
+    assert "uniform-random(2,3)" in out
+
+
+def test_ants_problem(capsys):
+    out = _run_example("ants_problem", capsys)
+    assert "uniform-levy" in out
+    assert "lower bound" in out
+
+
+def test_trajectory_gallery(capsys):
+    out = _run_example("trajectory_gallery", capsys)
+    assert "ballistic Levy walk" in out
+    assert "Figure 6" in out
+
+
+def test_exponent_sensitivity_downscaled(capsys, monkeypatch):
+    """Run the sweep example with tiny Monte-Carlo sizes (same code path)."""
+    module = importlib.import_module("exponent_sensitivity")
+    monkeypatch.setattr(module, "K", 16)
+    monkeypatch.setattr(module, "L", 32)
+    monkeypatch.setattr(module, "N_SINGLE", 300)
+    monkeypatch.setattr(module, "N_GROUPS", 60)
+    module.main()
+    out = capsys.readouterr().out
+    assert "Empirical best exponent" in out
+    assert "alpha*" in out
+
+
+def test_occupation_heatmap(capsys):
+    out = _run_example("occupation_heatmap", capsys)
+    assert "EXACT law" in out
+    assert "Lemma 3.9 exact check" in out

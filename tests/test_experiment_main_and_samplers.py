@@ -1,0 +1,53 @@
+"""Edge-case tests: CLI wrapper exit codes, sampler index mapping."""
+
+import numpy as np
+
+from repro.engine.samplers import HeterogeneousZetaSampler
+from repro.experiments.common import Check, ExperimentResult, experiment_main
+
+
+def _fake_run(passed):
+    def run(scale="small", seed=0):
+        """Fake experiment."""
+        return ExperimentResult(
+            experiment_id="FAKE",
+            title="fake",
+            scale=scale,
+            seed=seed,
+            checks=[Check("a check", passed)],
+        )
+
+    return run
+
+
+def test_experiment_main_success_exit_code(capsys):
+    assert experiment_main(_fake_run(True), ["--scale", "smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "ALL CHECKS PASSED" in out
+    assert "scale=smoke" in out
+
+
+def test_experiment_main_failure_exit_code(capsys):
+    assert experiment_main(_fake_run(False), ["--seed", "9"]) == 1
+    out = capsys.readouterr().out
+    assert "SOME CHECKS FAILED" in out
+    assert "seed=9" in out
+
+
+def test_heterogeneous_sampler_respects_index_mapping(rng):
+    """The sampler must use each requested WALK's exponent, not positional
+    order -- this is what keeps the engine's compaction correct."""
+    k = 5_000
+    alphas = np.concatenate([np.full(k, 1.3), np.full(k, 4.5)])
+    sampler = HeterogeneousZetaSampler(alphas, lazy_probability=0.0)
+    heavy = sampler.sample(rng, np.arange(0, k))
+    light = sampler.sample(rng, np.arange(k, 2 * k))
+    # alpha=1.3 has a famously heavy tail; alpha=4.5 is almost all 1s.
+    assert np.quantile(heavy, 0.99) > 50
+    assert np.quantile(light, 0.99) <= 3
+    # Interleaved requests keep the mapping straight.
+    mixed_idx = np.array([0, k, 1, k + 1] * 1000)
+    mixed = sampler.sample(rng, mixed_idx)
+    heavy_part = mixed[::2][mixed_idx[::2] < k]
+    light_part = mixed[1::2]
+    assert heavy_part.mean() > 3 * light_part.mean()

@@ -1,0 +1,114 @@
+"""Tests for the experiment framework, registry, and cheap experiments.
+
+The expensive Monte-Carlo experiments are exercised by the benchmark
+suite at smoke scale; here we test the framework itself plus the
+deterministic/cheap experiments end-to-end.
+"""
+
+import pytest
+
+from repro.experiments.common import (
+    Check,
+    ExperimentResult,
+    default_target,
+    validate_scale,
+)
+from repro.experiments.registry import experiment_ids, get_experiment, run_experiment
+from repro.lattice.points import l1_norm
+from repro.reporting.table import Table
+
+
+def test_validate_scale():
+    assert validate_scale("smoke") == "smoke"
+    with pytest.raises(ValueError):
+        validate_scale("huge")
+
+
+def test_default_target_distance():
+    for l in (1, 2, 7, 64, 1001):
+        assert l1_norm(default_target(l)) == l
+    with pytest.raises(ValueError):
+        default_target(0)
+
+
+def test_default_target_off_axis():
+    x, y = default_target(60)
+    assert x > 0 and y > 0 and x != y
+
+
+def test_check_render():
+    assert Check("works", True).render() == "[PASS] works"
+    assert Check("broken", False, "detail").render() == "[FAIL] broken (detail)"
+
+
+def test_experiment_result_render():
+    table = Table(["a"])
+    table.add_row(1)
+    result = ExperimentResult(
+        experiment_id="X",
+        title="demo",
+        scale="smoke",
+        seed=7,
+        tables=[table],
+        checks=[Check("ok", True)],
+        notes=["a note"],
+    )
+    text = result.render()
+    assert "=== X: demo ===" in text
+    assert "seed=7" in text
+    assert "note: a note" in text
+    assert "ALL CHECKS PASSED" in text
+    assert result.passed
+
+
+def test_experiment_result_failure_verdict():
+    result = ExperimentResult(
+        experiment_id="X", title="t", scale="smoke", seed=0,
+        checks=[Check("bad", False)],
+    )
+    assert not result.passed
+    assert "SOME CHECKS FAILED" in result.render()
+
+
+def test_registry_lists_all_design_experiments():
+    ids = experiment_ids()
+    for expected in (
+        "EXP-E4", "EXP-L3.2", "EXP-L3.9", "EXP-L4.13", "EXP-T1.1", "EXP-T1.2",
+        "EXP-T1.3", "EXP-T1.5", "EXP-C1.4", "EXP-T1.6", "EXP-CMP", "EXP-MSD",
+        "FIG-1..6",
+    ):
+        assert expected in ids
+
+
+def test_registry_unknown_id():
+    with pytest.raises(KeyError):
+        get_experiment("EXP-NOPE")
+
+
+def test_registry_modules_have_interface():
+    for experiment_id in experiment_ids():
+        module = get_experiment(experiment_id)
+        assert module.EXPERIMENT_ID == experiment_id
+        assert callable(module.run)
+        assert callable(module.main)
+        assert isinstance(module.TITLE, str)
+
+
+def test_run_direct_path_experiment_smoke():
+    result = run_experiment("EXP-L3.2", scale="smoke", seed=0)
+    assert result.passed
+    assert result.tables
+
+
+def test_run_figures_experiment():
+    result = run_experiment("FIG-1..6", scale="smoke", seed=0)
+    assert result.passed
+    assert len(result.plots) == 6
+
+
+def test_experiment_main_exit_code(capsys):
+    module = get_experiment("EXP-L3.2")
+    code = module.main(["--scale", "smoke"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "EXP-L3.2" in out

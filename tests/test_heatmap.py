@@ -1,0 +1,54 @@
+"""Tests for the ASCII heatmap renderer."""
+
+import numpy as np
+import pytest
+
+from repro.reporting.heatmap import ascii_heatmap
+
+
+def test_heatmap_shape_and_center():
+    grid = np.zeros((5, 5))
+    grid[2, 2] = 1.0
+    text = ascii_heatmap(grid, title="t")
+    lines = text.splitlines()
+    assert lines[0] == "t"
+    assert len(lines) == 6
+    assert all(len(line) == 5 for line in lines[1:])
+    # Center marked 'O' (middle row, middle column).
+    assert lines[3][2] == "O"
+
+
+def test_heatmap_orientation():
+    """grid[x + r, y + r]: a mark at (0, +2) must appear in the TOP row."""
+    grid = np.zeros((5, 5))
+    grid[2, 4] = 1.0  # (x=0, y=+2)
+    text = ascii_heatmap(grid, mark_center=False)
+    lines = text.splitlines()
+    assert lines[0].strip() != ""
+    assert all(line.strip() == "" for line in lines[1:])
+
+
+def test_heatmap_density_ordering():
+    grid = np.zeros((3, 3))
+    grid[0, 0] = 1e-6
+    grid[2, 2] = 1.0
+    text = ascii_heatmap(grid, mark_center=False, log_scale=True)
+    ramp = " .:-=+*#%@"
+    chars = [c for line in text.splitlines() for c in line if c != " "]
+    assert len(chars) == 2
+    # The dense cell must use a later ramp character than the sparse one.
+    assert max(ramp.index(c) for c in chars) > min(ramp.index(c) for c in chars)
+
+
+def test_heatmap_empty_grid():
+    text = ascii_heatmap(np.zeros((3, 3)), title="x", mark_center=False)
+    assert "(empty grid)" in text
+
+
+def test_heatmap_validation():
+    with pytest.raises(ValueError):
+        ascii_heatmap(np.zeros((2, 3)))
+    with pytest.raises(ValueError):
+        ascii_heatmap(-np.ones((3, 3)))
+    with pytest.raises(ValueError):
+        ascii_heatmap(np.zeros(4))

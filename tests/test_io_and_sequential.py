@@ -1,0 +1,134 @@
+"""Tests for result persistence and sequential estimation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sequential import (
+    estimate_probability_sequential,
+    required_trials,
+)
+from repro.engine.multi_target import ForagingResult
+from repro.engine.results import CENSORED, HittingTimeSample
+from repro.io_utils import (
+    load_foraging_result,
+    load_hitting_sample,
+    load_metadata,
+    save_foraging_result,
+    save_hitting_sample,
+    save_metadata,
+)
+
+
+# -------------------------------------------------------------- persistence
+
+
+def test_hitting_sample_roundtrip(tmp_path):
+    sample = HittingTimeSample(
+        times=np.array([3, CENSORED, 9, 0], dtype=np.int64), horizon=20
+    )
+    path = tmp_path / "sample.npz"
+    save_hitting_sample(sample, path)
+    loaded = load_hitting_sample(path)
+    np.testing.assert_array_equal(loaded.times, sample.times)
+    assert loaded.horizon == 20
+    assert loaded.hit_fraction == sample.hit_fraction
+
+
+def test_foraging_result_roundtrip(tmp_path):
+    result = ForagingResult(
+        targets=np.array([[1, 2], [3, -4]], dtype=np.int64),
+        discovery_times=np.array([5, CENSORED], dtype=np.int64),
+        discoverer=np.array([2, -1], dtype=np.int64),
+        horizon=100,
+    )
+    path = tmp_path / "forage.npz"
+    save_foraging_result(result, path)
+    loaded = load_foraging_result(path)
+    np.testing.assert_array_equal(loaded.targets, result.targets)
+    np.testing.assert_array_equal(loaded.discovery_times, result.discovery_times)
+    np.testing.assert_array_equal(loaded.discoverer, result.discoverer)
+    assert loaded.horizon == 100
+    assert loaded.n_collected == 1
+
+
+def test_kind_mismatch_rejected(tmp_path):
+    sample = HittingTimeSample(times=np.array([1], dtype=np.int64), horizon=5)
+    path = tmp_path / "sample.npz"
+    save_hitting_sample(sample, path)
+    with pytest.raises(ValueError):
+        load_foraging_result(path)
+
+
+def test_metadata_roundtrip(tmp_path):
+    metadata = {"seed": 7, "scale": "small", "alphas": [2.0, 2.5]}
+    path = tmp_path / "meta.json"
+    save_metadata(metadata, path)
+    assert load_metadata(path) == metadata
+
+
+# --------------------------------------------------------------- sequential
+
+
+def test_required_trials_scales_inversely_with_p():
+    few = required_trials(0.5, 0.1)
+    many = required_trials(0.005, 0.1)
+    assert many > 50 * few
+    assert required_trials(0.5, 0.05) > required_trials(0.5, 0.2)
+
+
+def test_required_trials_validation():
+    with pytest.raises(ValueError):
+        required_trials(0.0, 0.1)
+    with pytest.raises(ValueError):
+        required_trials(0.5, 0.0)
+
+
+def test_sequential_estimation_converges(rng):
+    p_true = 0.2
+
+    def batch(n):
+        return int(rng.binomial(n, p_true))
+
+    outcome = estimate_probability_sequential(
+        batch, batch_size=500, relative_half_width=0.15, max_trials=100_000
+    )
+    assert outcome.converged
+    assert outcome.estimate.low <= p_true <= outcome.estimate.high
+    assert outcome.trials_used <= 100_000
+
+
+def test_sequential_estimation_budget_exhausted(rng):
+    p_true = 0.001
+
+    def batch(n):
+        return int(rng.binomial(n, p_true))
+
+    outcome = estimate_probability_sequential(
+        batch, batch_size=200, relative_half_width=0.02, max_trials=2_000
+    )
+    assert not outcome.converged
+    assert outcome.trials_used == 2_000
+
+
+def test_sequential_adaptivity(rng):
+    """Easier problems should stop earlier."""
+
+    def make(p):
+        local = np.random.default_rng(0)
+        return lambda n: int(local.binomial(n, p))
+
+    easy = estimate_probability_sequential(
+        make(0.5), batch_size=200, relative_half_width=0.1, max_trials=300_000
+    )
+    hard = estimate_probability_sequential(
+        make(0.01), batch_size=200, relative_half_width=0.1, max_trials=300_000
+    )
+    assert easy.converged and hard.converged
+    assert easy.trials_used < hard.trials_used
+
+
+def test_sequential_validation(rng):
+    with pytest.raises(ValueError):
+        estimate_probability_sequential(lambda n: 0, 0, 0.1, 100)
+    with pytest.raises(ValueError):
+        estimate_probability_sequential(lambda n: 0, 100, 0.1, 50)

@@ -1,0 +1,102 @@
+"""Tests for the figure renderers (deterministic geometry)."""
+
+from repro.lattice.ascii_art import (
+    all_figures,
+    figure_1,
+    figure_2,
+    figure_3,
+    figure_4,
+    figure_6,
+    render_ball,
+    render_box,
+    render_grid,
+    render_ring,
+    render_trajectory,
+)
+from repro.lattice.rings import ball_size, box_size, ring_size
+
+
+def test_render_grid_dimensions():
+    text = render_grid({}, radius=2)
+    lines = text.splitlines()
+    assert len(lines) == 5
+    assert all(len(line.split(" ")) == 5 for line in lines)
+
+
+def test_render_grid_orientation():
+    # y axis points up: mark at (0, 2) must be in the first row.
+    text = render_grid({(0, 2): "X"}, radius=2)
+    assert "X" in text.splitlines()[0]
+
+
+def test_render_ring_counts():
+    d = 4
+    text = render_ring(d)
+    # The center ('u') is not on the ring, so all 4d ring nodes are 'o'.
+    assert text.count("o") == ring_size(d)
+    assert text.count("u") == 1
+
+
+def test_render_ball_counts():
+    d = 3
+    text = render_ball(d)
+    assert text.count("o") == ball_size(d) - 1  # center replaced by 'u'
+    assert text.count("u") == 1
+
+
+def test_render_box_counts():
+    d = 2
+    text = render_box(d)
+    assert text.count("o") == box_size(d) - 1
+    assert text.count("u") == 1
+
+
+def test_figure_1_has_three_panels():
+    text = figure_1(3)
+    assert "R_3(u)" in text and "B_3(u)" in text and "Q_3(u)" in text
+
+
+def test_figure_2_marks_endpoints():
+    text = figure_2((0, 0), (5, 3), seed=1)
+    assert "u" in text and "v" in text
+    assert "direct path:" in text
+
+
+def test_figure_3_disjoint_boxes():
+    text = figure_3(2)
+    for marker in ("Q", "1", "2", "3"):
+        assert text.count(marker) == (2 * 2 + 1) ** 2
+
+
+def test_figure_4_two_rings():
+    text = figure_4(d=5, i=3)
+    assert text.count("O") == ring_size(5)
+    assert text.count("i") == ring_size(3)
+
+
+def test_figure_6_markers():
+    text = figure_6(8)
+    assert text.count("T") == 1 and text.count("0") == 1
+    assert "b" in text and "#" in text
+
+
+def test_all_figures_complete():
+    figures = all_figures()
+    assert len(figures) == 6
+    names = [name for name, _ in figures]
+    assert any("Figure 1" in n for n in names)
+    assert any("Figure 6" in n for n in names)
+    assert all(rendering.strip() for _, rendering in figures)
+
+
+def test_render_trajectory():
+    path = [(0, 0), (1, 0), (1, 1), (2, 1)]
+    text = render_trajectory(path, target=(2, 1))
+    assert "S" in text and "T" in text
+
+
+def test_render_trajectory_empty_path_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        render_trajectory([])

@@ -1,0 +1,222 @@
+"""Tests for direct paths (Definition 3.1) -- the model's trickiest piece.
+
+These tests verify the structural claims stated in the module docstring of
+repro.lattice.direct_path, on which the O(1) hit detection of the fast
+engine rests:
+
+* candidate nodes are on the right ring, adjacent combinations always form
+  valid shortest paths, ties never occur at consecutive rings;
+* the O(1) marginal sampler agrees exactly with brute-force enumeration of
+  all direct paths;
+* Lemma 3.2's bounds hold for the exact ring marginal.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattice.direct_path import (
+    direct_path_node_candidates,
+    enumerate_direct_paths,
+    ring_marginal_exact,
+    sample_direct_path,
+    sample_direct_path_nodes,
+)
+from repro.lattice.points import l1_distance, l2_distance
+from repro.lattice.rings import iter_ring_offsets
+
+coords = st.integers(min_value=-40, max_value=40)
+nodes = st.tuples(coords, coords)
+
+
+# ----------------------------------------------------------- candidates
+
+
+def test_candidates_endpoints():
+    assert direct_path_node_candidates((0, 0), (3, 2), 0) == [(0, 0)]
+    assert direct_path_node_candidates((0, 0), (3, 2), 5) == [(3, 2)]
+
+
+def test_candidates_axis_aligned_no_ties():
+    for i in range(1, 7):
+        assert direct_path_node_candidates((0, 0), (7, 0), i) == [(i, 0)]
+        assert direct_path_node_candidates((0, 0), (0, -7), i) == [(0, -i)]
+
+
+def test_candidates_tie_on_diagonal():
+    # Segment to (1, 1): at ring 1 the point w_1 = (0.5, 0.5) is equidistant
+    # from (1, 0) and (0, 1).
+    candidates = direct_path_node_candidates((0, 0), (1, 1), 1)
+    assert sorted(candidates) == [(0, 1), (1, 0)]
+
+
+def test_candidates_out_of_range():
+    with pytest.raises(ValueError):
+        direct_path_node_candidates((0, 0), (2, 1), 4)
+    with pytest.raises(ValueError):
+        direct_path_node_candidates((0, 0), (2, 1), -1)
+
+
+@given(nodes, nodes)
+def test_candidates_ring_and_optimality(u, v):
+    """Candidates lie on ring i and are the Euclidean-closest ring nodes."""
+    d = l1_distance(u, v)
+    if d == 0:
+        return
+    dx, dy = v[0] - u[0], v[1] - u[1]
+    for i in (1, d // 2, d - 1):
+        if not 1 <= i <= d - 1:
+            continue
+        candidates = direct_path_node_candidates(u, v, i)
+        w = (u[0] + i * dx / d, u[1] + i * dy / d)
+        best = min(
+            l2_distance((u[0] + ox, u[1] + oy), w) for ox, oy in iter_ring_offsets(i)
+        )
+        for c in candidates:
+            assert l1_distance(u, c) == i
+            assert l2_distance(c, w) == pytest.approx(best, abs=1e-9)
+        # Tie-ness: exactly the argmin set, up to float equality.
+        argmin = [
+            (u[0] + ox, u[1] + oy)
+            for ox, oy in iter_ring_offsets(i)
+            if l2_distance((u[0] + ox, u[1] + oy), w) < best + 1e-9
+        ]
+        assert sorted(argmin) == sorted(candidates)
+
+
+@given(nodes, nodes)
+def test_no_consecutive_ties(u, v):
+    d = l1_distance(u, v)
+    tie_rings = [
+        i
+        for i in range(1, d)
+        if len(direct_path_node_candidates(u, v, i)) == 2
+    ]
+    for a, b in zip(tie_rings, tie_rings[1:]):
+        assert b - a >= 2
+
+
+# ------------------------------------------------------------- full paths
+
+
+@given(nodes, nodes)
+@settings(max_examples=60)
+def test_sampled_path_is_shortest_and_adjacent(u, v):
+    rng = np.random.default_rng(0)
+    path = sample_direct_path(u, v, rng)
+    d = l1_distance(u, v)
+    assert len(path) == d + 1
+    assert path[0] == u and path[-1] == v
+    for i, node in enumerate(path):
+        assert l1_distance(u, node) == i
+    for a, b in zip(path, path[1:]):
+        assert l1_distance(a, b) == 1
+
+
+def test_enumeration_counts_ties():
+    # (5, 5): ties at odd rings 1, 3, 5, 7, 9 minus endpoints -> rings
+    # 1,3,5,7,9 have w_i with fractional x = i/2; i odd -> tie.  Ring 5 is
+    # (2.5, 2.5) -> tie; endpoints excluded are 0 and 10.
+    paths = enumerate_direct_paths((0, 0), (5, 5))
+    assert len(paths) == 2 ** 5
+    for path in paths:
+        for a, b in zip(path, path[1:]):
+            assert l1_distance(a, b) == 1
+
+
+def test_enumeration_no_ties_axis():
+    assert len(enumerate_direct_paths((2, 3), (9, 3))) == 1
+
+
+def test_enumeration_guard():
+    with pytest.raises(ValueError):
+        enumerate_direct_paths((0, 0), (50, 50), max_paths=1000)
+
+
+@pytest.mark.parametrize("v", [(4, 3), (5, 2), (6, 6), (-3, 7), (8, -1), (-5, -5)])
+def test_marginal_sampler_matches_enumeration(v, rng):
+    """The O(1) ring sampler's law == uniform-over-paths marginal, exactly
+    (statistically, with a generous chi-square gate)."""
+    u = (0, 0)
+    d = l1_distance(u, v)
+    paths = enumerate_direct_paths(u, v)
+    for i in (1, d // 2, d - 1):
+        if not 1 <= i <= d - 1:
+            continue
+        truth = {}
+        for path in paths:
+            truth[path[i]] = truth.get(path[i], 0) + 1
+        total = sum(truth.values())
+        truth = {node: c / total for node, c in truth.items()}
+        n = 4_000
+        starts = np.zeros((n, 2), dtype=np.int64)
+        ends = np.tile(np.array(v, dtype=np.int64), (n, 1))
+        rings = np.full(n, i, dtype=np.int64)
+        samples = sample_direct_path_nodes(starts, ends, rings, rng)
+        counts = {}
+        for x, y in map(tuple, samples):
+            counts[(x, y)] = counts.get((x, y), 0) + 1
+        assert set(counts) <= set(truth), "sampler produced an impossible node"
+        chi2 = sum(
+            (counts.get(node, 0) - p * n) ** 2 / (p * n) for node, p in truth.items()
+        )
+        assert chi2 < 30.0  # <= 2 cells, overwhelmingly generous
+
+
+def test_vectorized_sampler_edge_rings(rng):
+    starts = np.array([[0, 0], [1, 1], [2, -3]], dtype=np.int64)
+    ends = np.array([[0, 0], [4, 5], [2, -3]], dtype=np.int64)
+    rings = np.array([0, 7, 0], dtype=np.int64)
+    out = sample_direct_path_nodes(starts, ends, rings, rng)
+    np.testing.assert_array_equal(out[0], [0, 0])
+    np.testing.assert_array_equal(out[1], [4, 5])
+    np.testing.assert_array_equal(out[2], [2, -3])
+
+
+def test_vectorized_sampler_rejects_bad_ring(rng):
+    with pytest.raises(ValueError):
+        sample_direct_path_nodes(
+            np.zeros((1, 2), np.int64),
+            np.array([[2, 1]], np.int64),
+            np.array([5], np.int64),
+            rng,
+        )
+
+
+@given(nodes, nodes, st.integers(0, 80))
+@settings(max_examples=60)
+def test_vectorized_sampler_on_ring(u, v, i_raw):
+    d = l1_distance(u, v)
+    i = i_raw % (d + 1)
+    rng = np.random.default_rng(42)
+    out = sample_direct_path_nodes(
+        np.array([u], dtype=np.int64),
+        np.array([v], dtype=np.int64),
+        np.array([i], dtype=np.int64),
+        rng,
+    )
+    node = (int(out[0, 0]), int(out[0, 1]))
+    assert l1_distance(u, node) == i
+    assert node in direct_path_node_candidates(u, v, i)
+
+
+# ------------------------------------------------------------- Lemma 3.2
+
+
+@pytest.mark.parametrize("d,i", [(6, 2), (9, 4), (16, 5), (20, 13), (32, 31)])
+def test_lemma_3_2_bounds(d, i):
+    marginal = ring_marginal_exact(d, i)
+    lower = (i / d) * (d // i) / (4 * i)
+    upper = (i / d) * (-(-d // i)) / (4 * i)
+    assert len(marginal) == 4 * i  # full ring support
+    assert sum(marginal.values()) == pytest.approx(1.0)
+    assert min(marginal.values()) >= lower - 1e-12
+    assert max(marginal.values()) <= upper + 1e-12
+
+
+def test_ring_marginal_validates_input():
+    with pytest.raises(ValueError):
+        ring_marginal_exact(5, 0)
+    with pytest.raises(ValueError):
+        ring_marginal_exact(5, 6)

@@ -1,0 +1,79 @@
+"""Unit tests for repro.lattice.points (norms and distances)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lattice.points import (
+    ORIGIN,
+    is_lattice_neighbor,
+    l1_distance,
+    l1_norm,
+    l2_distance,
+    l2_norm,
+    linf_distance,
+    linf_norm,
+)
+
+coords = st.integers(min_value=-10_000, max_value=10_000)
+points = st.tuples(coords, coords)
+
+
+def test_origin_is_zero():
+    assert ORIGIN == (0, 0)
+    assert l1_norm(ORIGIN) == 0
+    assert l2_norm(ORIGIN) == 0.0
+    assert linf_norm(ORIGIN) == 0
+
+
+def test_norms_scalar_examples():
+    assert l1_norm((3, -4)) == 7
+    assert l2_norm((3, -4)) == pytest.approx(5.0)
+    assert linf_norm((3, -4)) == 4
+
+
+def test_distances_scalar_examples():
+    assert l1_distance((1, 2), (4, -2)) == 7
+    assert l2_distance((0, 0), (3, 4)) == pytest.approx(5.0)
+    assert linf_distance((5, 5), (2, 9)) == 4
+
+
+def test_norms_array_form():
+    pts = np.array([[0, 0], [1, -1], [-3, 4]])
+    np.testing.assert_array_equal(l1_norm(pts), [0, 2, 7])
+    np.testing.assert_array_equal(linf_norm(pts), [0, 1, 4])
+    np.testing.assert_allclose(l2_norm(pts), [0.0, np.sqrt(2), 5.0])
+
+
+def test_distance_array_form():
+    a = np.array([[0, 0], [2, 3]])
+    b = np.array([[1, 1], [2, 3]])
+    np.testing.assert_array_equal(l1_distance(a, b), [2, 0])
+
+
+@given(points)
+def test_norm_ordering(p):
+    # ||p||_inf <= ||p||_2 <= ||p||_1 <= 2 ||p||_inf
+    assert linf_norm(p) <= l2_norm(p) + 1e-9
+    assert l2_norm(p) <= l1_norm(p) + 1e-9
+    assert l1_norm(p) <= 2 * linf_norm(p)
+
+
+@given(points, points)
+def test_l1_triangle_inequality(p, q):
+    assert l1_distance(p, q) <= l1_norm(p) + l1_norm(q)
+    assert l1_distance(p, q) == l1_distance(q, p)
+
+
+@given(points, points)
+def test_distance_zero_iff_equal(p, q):
+    assert (l1_distance(p, q) == 0) == (p == q)
+
+
+def test_is_lattice_neighbor():
+    assert is_lattice_neighbor((0, 0), (1, 0))
+    assert is_lattice_neighbor((5, -3), (5, -4))
+    assert not is_lattice_neighbor((0, 0), (1, 1))
+    assert not is_lattice_neighbor((0, 0), (0, 0))
+    assert not is_lattice_neighbor((0, 0), (2, 0))

@@ -1,0 +1,140 @@
+"""Unit tests for repro.lattice.rings (rings, balls, boxes, sampling)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattice.points import l1_norm, linf_norm
+from repro.lattice.rings import (
+    ball_nodes,
+    ball_size,
+    box_nodes,
+    box_size,
+    iter_ring_offsets,
+    offset_to_ring_index,
+    ring_index_to_offset,
+    ring_nodes,
+    ring_size,
+    sample_ring_offsets,
+)
+
+
+# ------------------------------------------------------------- cardinalities
+
+
+@pytest.mark.parametrize("d,expected", [(0, 1), (1, 4), (2, 8), (5, 20), (100, 400)])
+def test_ring_size(d, expected):
+    assert ring_size(d) == expected
+
+
+@pytest.mark.parametrize("d", [0, 1, 2, 3, 7])
+def test_ball_size_matches_enumeration(d):
+    assert ball_size(d) == len(ball_nodes((0, 0), d))
+
+
+@pytest.mark.parametrize("d", [0, 1, 2, 5])
+def test_box_size_matches_enumeration(d):
+    assert box_size(d) == len(box_nodes((3, -2), d))
+
+
+def test_negative_radius_rejected():
+    with pytest.raises(ValueError):
+        ring_size(-1)
+    with pytest.raises(ValueError):
+        ball_size(-2)
+    with pytest.raises(ValueError):
+        box_size(-3)
+
+
+# ---------------------------------------------------------------- bijection
+
+
+@pytest.mark.parametrize("d", [1, 2, 3, 8, 17])
+def test_ring_index_bijection(d):
+    offsets = [ring_index_to_offset(d, j) for j in range(ring_size(d))]
+    assert len(set(offsets)) == ring_size(d)
+    for offset in offsets:
+        assert l1_norm(offset) == d
+    for j, offset in enumerate(offsets):
+        assert offset_to_ring_index(offset) == j
+
+
+def test_ring_index_out_of_range():
+    with pytest.raises(ValueError):
+        ring_index_to_offset(3, 12)
+    with pytest.raises(ValueError):
+        ring_index_to_offset(0, 1)
+
+
+def test_ring_nodes_center_shift():
+    nodes = ring_nodes((10, -5), 2)
+    assert len(nodes) == 8
+    assert all(abs(x - 10) + abs(y + 5) == 2 for x, y in nodes)
+
+
+def test_ball_nodes_content():
+    nodes = set(ball_nodes((0, 0), 2))
+    assert (0, 0) in nodes
+    assert (2, 0) in nodes and (0, -2) in nodes and (1, 1) in nodes
+    assert (2, 1) not in nodes
+
+
+def test_box_nodes_content():
+    nodes = set(box_nodes((0, 0), 1))
+    assert nodes == {(x, y) for x in (-1, 0, 1) for y in (-1, 0, 1)}
+    assert all(linf_norm(n) <= 1 for n in nodes)
+
+
+# ----------------------------------------------------------------- sampling
+
+
+def test_sample_ring_offsets_zero_distance(rng):
+    out = sample_ring_offsets(np.zeros(10, dtype=np.int64), rng)
+    np.testing.assert_array_equal(out, np.zeros((10, 2)))
+
+
+def test_sample_ring_offsets_correct_distance(rng):
+    d = np.array([1, 2, 3, 10, 1000, 0, 7] * 100, dtype=np.int64)
+    out = sample_ring_offsets(d, rng)
+    np.testing.assert_array_equal(np.abs(out).sum(axis=1), d)
+
+
+def test_sample_ring_offsets_rejects_negative(rng):
+    with pytest.raises(ValueError):
+        sample_ring_offsets(np.array([1, -1]), rng)
+
+
+def test_sample_ring_offsets_rejects_2d(rng):
+    with pytest.raises(ValueError):
+        sample_ring_offsets(np.ones((2, 2), dtype=np.int64), rng)
+
+
+def test_sample_ring_offsets_uniform_chi_square(rng):
+    """Chi-square goodness of fit for uniformity on R_3 (12 nodes)."""
+    d = 3
+    n = 60_000
+    out = sample_ring_offsets(np.full(n, d, dtype=np.int64), rng)
+    nodes = list(iter_ring_offsets(d))
+    counts = {node: 0 for node in nodes}
+    for x, y in map(tuple, out):
+        counts[(x, y)] += 1
+    expected = n / len(nodes)
+    chi2 = sum((c - expected) ** 2 / expected for c in counts.values())
+    # 11 dof; P(chi2 > 35) < 2.5e-4.
+    assert chi2 < 35.0
+
+
+def test_sample_ring_offsets_covers_all_nodes(rng):
+    d = 2
+    out = sample_ring_offsets(np.full(4_000, d, dtype=np.int64), rng)
+    seen = set(map(tuple, out))
+    assert seen == set(iter_ring_offsets(d))
+
+
+@settings(max_examples=25)
+@given(st.integers(min_value=1, max_value=10**6))
+def test_sample_ring_offsets_huge_radii(d):
+    rng = np.random.default_rng(d)
+    out = sample_ring_offsets(np.full(16, d, dtype=np.int64), rng)
+    np.testing.assert_array_equal(np.abs(out).sum(axis=1), d)

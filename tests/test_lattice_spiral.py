@@ -1,0 +1,79 @@
+"""Tests for the square-spiral ordering used by the spiral-search baseline."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lattice.points import l1_distance, linf_norm
+from repro.lattice.spiral import (
+    spiral_index,
+    spiral_offset,
+    spiral_path,
+    steps_to_cover_box,
+)
+
+
+def test_spiral_start():
+    assert spiral_offset(0) == (0, 0)
+    assert spiral_index((0, 0)) == 0
+
+
+def test_spiral_first_ring():
+    expected = [(1, 0), (1, 1), (0, 1), (-1, 1), (-1, 0), (-1, -1), (0, -1), (1, -1)]
+    assert [spiral_offset(i) for i in range(1, 9)] == expected
+
+
+def test_spiral_roundtrip_dense():
+    for index in range(5_000):
+        assert spiral_index(spiral_offset(index)) == index
+
+
+def test_spiral_is_bijective_on_prefix():
+    n = 2_000
+    offsets = [spiral_offset(i) for i in range(n)]
+    assert len(set(offsets)) == n
+
+
+def test_spiral_path_is_connected():
+    path = spiral_path(1_500)
+    for a, b in zip(path, path[1:]):
+        assert l1_distance(a, b) == 1
+
+
+def test_spiral_covers_boxes_in_order():
+    """Index < (2r+1)^2 iff the offset lies in Q_r."""
+    for r in (1, 2, 3, 5):
+        boundary = (2 * r + 1) ** 2
+        inside = {spiral_offset(i) for i in range(boundary)}
+        assert all(linf_norm(o) <= r for o in inside)
+        assert len(inside) == boundary
+        assert linf_norm(spiral_offset(boundary)) == r + 1
+
+
+def test_steps_to_cover_box():
+    assert steps_to_cover_box(0) == 0
+    assert steps_to_cover_box(1) == 8
+    assert steps_to_cover_box(3) == 48
+    with pytest.raises(ValueError):
+        steps_to_cover_box(-1)
+
+
+def test_spiral_negative_index():
+    with pytest.raises(ValueError):
+        spiral_offset(-1)
+
+
+@given(st.integers(min_value=0, max_value=10**12))
+def test_spiral_roundtrip_large(index):
+    assert spiral_index(spiral_offset(index)) == index
+
+
+@given(st.tuples(st.integers(-2000, 2000), st.integers(-2000, 2000)))
+def test_spiral_roundtrip_from_offset(offset):
+    assert spiral_offset(spiral_index(offset)) == offset
+
+
+def test_spiral_path_centered():
+    path = spiral_path(9, center=(10, -7))
+    assert path[0] == (10, -7)
+    assert all(linf_norm((x - 10, y + 7)) <= 1 for x, y in path)

@@ -1,0 +1,115 @@
+"""Tests for the 1D line module (walks and the [38] foraging model)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions.unit import ConstantJumpDistribution
+from repro.distributions.zeta import ZetaJumpDistribution
+from repro.engine.results import CENSORED
+from repro.line.foraging_1d import line_encounter_rate
+from repro.line.walk_1d import line_walk_hitting_times
+
+
+# ------------------------------------------------------------- 1D hitting
+
+
+def test_target_at_start(rng):
+    sample = line_walk_hitting_times(ZetaJumpDistribution(2.5), 0, 50, 9, rng)
+    np.testing.assert_array_equal(sample.times, np.zeros(9))
+
+
+def test_validation(rng):
+    law = ZetaJumpDistribution(2.5)
+    with pytest.raises(ValueError):
+        line_walk_hitting_times(law, 5, -1, 3, rng)
+    with pytest.raises(ValueError):
+        line_walk_hitting_times(law, 5, 10, 0, rng)
+
+
+def test_hit_time_at_least_distance(rng):
+    sample = line_walk_hitting_times(ZetaJumpDistribution(2.0), 17, 300, 4_000, rng)
+    hits = sample.hit_times()
+    assert hits.size > 0
+    assert hits.min() >= 17
+
+
+def test_negative_targets_symmetric(rng):
+    law = ZetaJumpDistribution(2.2)
+    a = line_walk_hitting_times(law, 12, 200, 20_000, rng).hit_fraction
+    b = line_walk_hitting_times(law, -12, 200, 20_000, rng).hit_fraction
+    assert abs(a - b) < 0.02
+
+
+def test_constant_unit_jump_is_srw_on_line(rng):
+    """Non-lazy unit jumps on Z: P(hit +1 at step 1) = 1/2."""
+    sample = line_walk_hitting_times(ConstantJumpDistribution(1), 1, 1, 20_000, rng)
+    assert abs(sample.hit_fraction - 0.5) < 0.02
+
+
+def test_mid_flight_detection(rng):
+    """A constant length-10 flight from 0 hits target 5 at step 5 iff it
+    goes right: probability exactly 1/2, time exactly 5."""
+    sample = line_walk_hitting_times(ConstantJumpDistribution(10), 5, 10, 20_000, rng)
+    assert abs(sample.hit_fraction - 0.5) < 0.02
+    assert np.all(sample.hit_times() == 5)
+
+
+def test_line_walk_beats_2d_walk(rng):
+    """Sanity: hitting a target at distance l is far easier on Z than on
+    Z^2 (no angular dilution)."""
+    from repro.engine.vectorized import walk_hitting_times
+
+    law = ZetaJumpDistribution(2.0)
+    p_line = line_walk_hitting_times(law, 32, 128, 10_000, rng).hit_fraction
+    p_plane = walk_hitting_times(law, (32, 0), 128, 10_000, rng).hit_fraction
+    assert p_line > 5 * p_plane
+
+
+# ------------------------------------------------------------ 1D foraging
+
+
+def test_encounter_rate_validation(rng):
+    law = ZetaJumpDistribution(2.0)
+    with pytest.raises(ValueError):
+        line_encounter_rate(law, 1, 100, 10, rng)
+    with pytest.raises(ValueError):
+        line_encounter_rate(law, 10, 0, 10, rng)
+    with pytest.raises(ValueError):
+        line_encounter_rate(law, 10, 100, 0, rng)
+
+
+def test_encounter_statistics_consistency(rng):
+    stats = line_encounter_rate(ZetaJumpDistribution(2.0), 20, 5_000, 50, rng)
+    assert stats.encounters_per_walker.shape == (50,)
+    assert np.all(stats.steps_per_walker >= 5_000)
+    assert 0 <= stats.efficiency <= 1.0
+
+
+def test_denser_targets_higher_rate(rng):
+    law = ZetaJumpDistribution(2.0)
+    dense = line_encounter_rate(law, 10, 20_000, 100, rng).efficiency
+    sparse = line_encounter_rate(law, 200, 20_000, 100, rng).efficiency
+    assert dense > 3 * sparse
+
+
+def test_ballistic_rate_exact_scale(rng):
+    """A near-deterministic long-jump walker crosses targets every L steps
+    of travel, so eta ~ 1/L."""
+    stats = line_encounter_rate(ConstantJumpDistribution(1_000), 50, 30_000, 100, rng)
+    assert stats.efficiency == pytest.approx(1.0 / 50.0, rel=0.1)
+
+
+def test_cauchy_beats_diffusive_when_sparse(rng):
+    sparse = 500
+    cauchy = line_encounter_rate(
+        ZetaJumpDistribution(2.0), sparse, 30_000, 150, rng
+    ).efficiency
+    diffusive = line_encounter_rate(
+        ZetaJumpDistribution(3.5), sparse, 30_000, 150, rng
+    ).efficiency
+    assert cauchy > 1.3 * diffusive
+
+
+def test_no_censored_sentinel_in_hitting_sample(rng):
+    sample = line_walk_hitting_times(ZetaJumpDistribution(2.5), 9, 40, 500, rng)
+    assert np.all((sample.times == CENSORED) | (sample.times >= 9))

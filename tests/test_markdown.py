@@ -1,0 +1,59 @@
+"""Tests for the markdown renderer behind EXPERIMENTS.md."""
+
+from repro.experiments.common import Check, ExperimentResult
+from repro.reporting.markdown import (
+    result_to_markdown,
+    results_to_markdown,
+    table_to_markdown,
+)
+from repro.reporting.table import Table
+
+
+def _result(passed=True):
+    table = Table(["x", "p"], title="demo table")
+    table.add_row(4, 0.25)
+    table.add_row(8, 0.125)
+    return ExperimentResult(
+        experiment_id="EXP-X",
+        title="Demo experiment",
+        scale="smoke",
+        seed=3,
+        tables=[table],
+        checks=[Check("shape matches", passed, "slope -1.0")],
+        notes=["a contextual note"],
+    )
+
+
+def test_table_to_markdown_structure():
+    table = Table(["a", "b"], title="t")
+    table.add_row(1, None)
+    text = table_to_markdown(table)
+    lines = text.splitlines()
+    assert lines[0] == "**t**"
+    assert lines[2] == "| a | b |"
+    assert lines[3] == "| --- | --- |"
+    assert lines[4] == "| 1 | - |"
+
+
+def test_result_to_markdown_sections():
+    text = result_to_markdown(_result())
+    assert text.startswith("## EXP-X — Demo experiment")
+    assert "✅ all checks passed" in text
+    assert "| 4 | 0.25 |" in text
+    assert "- ✅ shape matches — slope -1.0" in text
+    assert "> a contextual note" in text
+
+
+def test_result_to_markdown_failure():
+    text = result_to_markdown(_result(passed=False))
+    assert "❌ some checks failed" in text
+    assert "- ❌ shape matches" in text
+
+
+def test_results_to_markdown_summary():
+    text = results_to_markdown([_result(), _result(passed=False)], preamble="# Title")
+    assert text.startswith("# Title")
+    assert "**Summary: 1/2 experiments passed" in text
+    assert text.count("## EXP-X") == 2
+    # Summary table links to sections.
+    assert "| [EXP-X](#" in text

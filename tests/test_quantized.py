@@ -1,0 +1,100 @@
+"""Tests for the quantized (dyadic-level) jump law."""
+
+import numpy as np
+import pytest
+from scipy import special
+
+from repro.distributions.quantized import QuantizedZetaJumpDistribution
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        QuantizedZetaJumpDistribution(1.0, 3)
+    with pytest.raises(ValueError):
+        QuantizedZetaJumpDistribution(2.5, 0)
+    with pytest.raises(ValueError):
+        QuantizedZetaJumpDistribution(2.5, 3, lazy_probability=1.0)
+
+
+def test_one_level_is_unit_jump(rng):
+    law = QuantizedZetaJumpDistribution(2.5, 1)
+    samples = law.sample(rng, 5_000)
+    assert set(np.unique(samples)) <= {0, 1}
+    assert float(law.pmf(1)) == pytest.approx(0.5)
+    assert law.support_max == 1
+
+
+def test_pmf_support_is_dyadic():
+    law = QuantizedZetaJumpDistribution(2.5, 4)
+    np.testing.assert_array_equal(law.lengths, [1, 2, 4, 8])
+    assert float(law.pmf(3)) == 0.0
+    assert float(law.pmf(8)) > 0.0
+    assert float(law.pmf(16)) == 0.0
+    grid = np.arange(0, 20)
+    assert float(np.sum(law.pmf(grid))) == pytest.approx(1.0)
+
+
+def test_band_masses_match_zeta():
+    alpha = 2.5
+    law = QuantizedZetaJumpDistribution(alpha, 3)
+    z1 = float(special.zeta(alpha, 1))
+    # Level 0 carries P(1 <= d < 2), level 1 P(2 <= d < 4), level 2 the tail.
+    expected0 = (z1 - float(special.zeta(alpha, 2))) / z1
+    expected2 = float(special.zeta(alpha, 4)) / z1
+    assert float(law.pmf(1)) == pytest.approx(0.5 * expected0)
+    assert float(law.pmf(4)) == pytest.approx(0.5 * expected2)
+
+
+def test_tail_consistency():
+    law = QuantizedZetaJumpDistribution(2.2, 4)
+    for i in (0, 1, 2, 3, 4, 8, 9):
+        lhs = float(law.tail(i) - law.tail(i + 1))
+        assert lhs == pytest.approx(float(law.pmf(i)), abs=1e-12)
+    assert float(law.tail(0)) == pytest.approx(1.0)
+
+
+def test_moments_finite_and_ordered():
+    small = QuantizedZetaJumpDistribution(2.5, 2)
+    large = QuantizedZetaJumpDistribution(2.5, 8)
+    assert 0 < small.mean < large.mean
+    assert small.second_moment < large.second_moment
+    assert np.isfinite(large.variance)
+
+
+def test_sampling_matches_pmf(rng):
+    law = QuantizedZetaJumpDistribution(2.5, 3)
+    n = 60_000
+    samples = law.sample(rng, n)
+    for value in (0, 1, 2, 4):
+        expected = float(law.pmf(value)) * n
+        observed = int(np.count_nonzero(samples == value))
+        assert abs(observed - expected) < 5.0 * (expected**0.5 + 1)
+
+
+def test_mean_converges_to_true_law():
+    """As levels grow, the quantized mean approaches the true mean within
+    the dyadic rounding factor (lengths are rounded DOWN to 2^j, so the
+    quantized mean is within [mean/2, mean])."""
+    from repro.distributions.zeta import ZetaJumpDistribution
+
+    truth = ZetaJumpDistribution(2.5).mean
+    approx = QuantizedZetaJumpDistribution(2.5, 24).mean
+    assert truth / 2.2 <= approx <= truth * 1.05
+
+
+def test_quantized_plugs_into_walk_engine(rng):
+    """The quantized law works with both the object walk and the engine."""
+    from repro.engine.vectorized import walk_hitting_times
+    from repro.walks import LevyWalk
+
+    law = QuantizedZetaJumpDistribution(2.5, 6)
+    sample = walk_hitting_times(law, (10, 5), 400, 3_000, rng)
+    assert sample.n_hits > 0
+    assert sample.hit_times().min() >= 15
+    walk = LevyWalk(law, rng=rng)
+    trajectory = walk.run(50)
+    steps = [
+        abs(a[0] - b[0]) + abs(a[1] - b[1])
+        for a, b in zip(trajectory, trajectory[1:])
+    ]
+    assert max(steps) <= 1

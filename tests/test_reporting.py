@@ -1,0 +1,78 @@
+"""Tests for tables and ASCII plots."""
+
+import pytest
+
+from repro.reporting.table import Table
+from repro.reporting.text_plots import ascii_loglog
+
+
+def test_table_render_alignment():
+    table = Table(["name", "value"], title="demo")
+    table.add_row("alpha", 2.5)
+    table.add_row("longer-name", 0.123456)
+    text = table.render()
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert len(lines) == 5
+    # All rows align to the same width.
+    assert len(set(len(line) for line in lines[1:])) == 1
+
+
+def test_table_formats():
+    table = Table(["a", "b", "c", "d"])
+    table.add_row(None, True, float("nan"), float("inf"))
+    rendered = table.render()
+    assert "-" in rendered and "yes" in rendered
+    assert "nan" in rendered and "inf" in rendered
+
+
+def test_table_row_length_validation():
+    table = Table(["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row(1)
+    with pytest.raises(ValueError):
+        Table([])
+
+
+def test_table_column_extraction():
+    table = Table(["x", "y"])
+    table.add_row(1, 10)
+    table.add_row(2, 20)
+    assert table.column("y") == [10, 20]
+    with pytest.raises(ValueError):
+        table.column("z")
+
+
+def test_table_csv_roundtrip(tmp_path):
+    table = Table(["x", "y"])
+    table.add_row(1, 2.5)
+    table.add_row(3, None)
+    path = tmp_path / "out.csv"
+    table.to_csv(path)
+    content = path.read_text().strip().splitlines()
+    assert content[0] == "x,y"
+    assert content[1] == "1,2.5"
+
+
+def test_ascii_loglog_basic():
+    plot = ascii_loglog(
+        {"a": [(1, 1), (10, 100)], "b": [(1, 2), (10, 50)]},
+        width=30,
+        height=8,
+        title="demo plot",
+    )
+    lines = plot.splitlines()
+    assert lines[0] == "demo plot"
+    assert "o=a" in lines[1] and "x=b" in lines[1]
+    assert any("o" in line for line in lines[3:])
+
+
+def test_ascii_loglog_skips_nonpositive():
+    plot = ascii_loglog({"a": [(0, 1), (1, 1), (2, 2)]}, width=10, height=4)
+    assert plot  # renders the two positive points
+
+
+def test_ascii_loglog_empty_rejected():
+    with pytest.raises(ValueError):
+        ascii_loglog({"a": [(0, 0)]})

@@ -1,0 +1,50 @@
+"""Tests for randomness plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.rng import as_generator, random_seed, spawn
+
+
+def test_as_generator_from_int_is_deterministic():
+    a = as_generator(42).random(5)
+    b = as_generator(42).random(5)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_as_generator_passthrough():
+    rng = np.random.default_rng(0)
+    assert as_generator(rng) is rng
+
+
+def test_as_generator_none_gives_fresh():
+    a = as_generator(None)
+    b = as_generator(None)
+    assert isinstance(a, np.random.Generator)
+    # Overwhelmingly unlikely to coincide.
+    assert not np.array_equal(a.random(4), b.random(4))
+
+
+def test_spawn_independence():
+    rng = as_generator(7)
+    children = spawn(rng, 3)
+    assert len(children) == 3
+    streams = [child.random(8).tolist() for child in children]
+    assert streams[0] != streams[1] != streams[2]
+
+
+def test_spawn_deterministic_given_seed():
+    a = [g.random(3).tolist() for g in spawn(as_generator(9), 2)]
+    b = [g.random(3).tolist() for g in spawn(as_generator(9), 2)]
+    assert a == b
+
+
+def test_spawn_validation():
+    with pytest.raises(ValueError):
+        spawn(as_generator(0), -1)
+    assert spawn(as_generator(0), 0) == []
+
+
+def test_random_seed_range():
+    seed = random_seed(as_generator(3))
+    assert 0 <= seed < 2**63

@@ -1,0 +1,157 @@
+"""Tests for the executable theorem predictions and horizon policies."""
+
+import math
+
+import pytest
+
+from repro.theory.horizons import characteristic_horizon, early_time_grid, parallel_horizon
+from repro.theory.predictions import (
+    cor_1_4_probability,
+    cor_4_2b_slowdown,
+    cor_4_2c_hit_probability,
+    cor_5_3_required_k,
+    msd_exponent,
+    predicted_early_time_slope,
+    predicted_hit_probability_slope,
+    thm_1_1a_probability,
+    thm_1_1a_time,
+    thm_1_1b_probability,
+    thm_1_1c_probability,
+    thm_1_2a_probability,
+    thm_1_2a_time,
+    thm_1_2b_probability,
+    thm_1_3a_probability,
+    thm_1_3b_probability,
+    thm_1_5_parallel_time,
+    thm_1_6_parallel_time,
+)
+
+
+def test_probabilities_in_unit_interval():
+    for l in (10, 100, 10_000):
+        assert 0 <= thm_1_1a_probability(2.5, l) <= 1
+        assert 0 <= thm_1_1c_probability(2.5, l) <= 1
+        assert 0 <= thm_1_2a_probability(l) <= 1
+        assert 0 <= thm_1_3a_probability(1.5, l) <= 1
+        assert 0 <= thm_1_3b_probability(2.0, l) <= 1
+        assert 0 <= cor_1_4_probability(2.5, l, 64) <= 1
+
+
+def test_thm_1_1a_scaling():
+    """The lower bound decays like l^-(3-alpha)."""
+    ratio = thm_1_1a_probability(2.5, 10_000) / thm_1_1a_probability(2.5, 100)
+    # Pure polynomial part: (100)^-0.5 = 0.1; polylogs soften it.
+    assert 0.03 < ratio / 0.1 < 3.0
+
+
+def test_thm_1_1a_time_scale():
+    assert thm_1_1a_time(2.5, 100) == pytest.approx(
+        min(math.log(100), 2.0) * 100**1.5
+    )
+
+
+def test_thm_1_1b_quadratic_in_t():
+    p1 = thm_1_1b_probability(2.5, 1000, 1000)
+    p2 = thm_1_1b_probability(2.5, 1000, 2000)
+    assert p2 / p1 == pytest.approx(4.0)
+
+
+def test_thm_1_1_regime_validation():
+    with pytest.raises(ValueError):
+        thm_1_1a_probability(3.5, 100)
+    with pytest.raises(ValueError):
+        thm_1_1b_probability(2.0, 100, 100)
+    with pytest.raises(ValueError):
+        thm_1_1c_probability(1.5, 100)
+
+
+def test_thm_1_2_values():
+    l = 100
+    assert thm_1_2a_time(l) == pytest.approx(l * l * math.log(l) ** 2)
+    assert thm_1_2b_probability(l, l) == pytest.approx(math.log(l) / l**2)
+
+
+def test_thm_1_3_regime_validation():
+    with pytest.raises(ValueError):
+        thm_1_3a_probability(2.5, 100)
+    with pytest.raises(ValueError):
+        thm_1_3b_probability(3.0, 100)
+
+
+def test_cor_1_4_improves_with_k():
+    l = 1000
+    assert cor_1_4_probability(2.5, l, 10_000) > cor_1_4_probability(2.5, l, 10)
+
+
+def test_parallel_time_bounds_decrease_in_k():
+    l = 10_000
+    assert thm_1_5_parallel_time(100, l) < thm_1_5_parallel_time(10, l)
+    assert thm_1_6_parallel_time(100, l) < thm_1_6_parallel_time(10, l)
+    # Theorem 1.6 pays an extra log factor over Theorem 1.5.
+    assert thm_1_6_parallel_time(10, l) > thm_1_5_parallel_time(10, l)
+
+
+def test_cor_4_2_windows():
+    k, l = 100, 10_000
+    alpha_star = 3.0 - math.log(k) / math.log(l)
+    assert cor_4_2b_slowdown(alpha_star + 0.4, k, l) > 0
+    with pytest.raises(ValueError):
+        cor_4_2b_slowdown(alpha_star - 0.1, k, l)
+    assert 0 <= cor_4_2c_hit_probability(alpha_star - 0.3, k, l) <= 1
+    with pytest.raises(ValueError):
+        cor_4_2c_hit_probability(alpha_star + 0.1, k, l)
+
+
+def test_cor_4_2b_grows_with_overshoot():
+    k, l = 100, 10_000
+    alpha_star = 3.0 - math.log(k) / math.log(l)
+    assert cor_4_2b_slowdown(alpha_star + 0.6, k, l) > cor_4_2b_slowdown(
+        alpha_star + 0.2, k, l
+    )
+
+
+def test_cor_5_3_required_k_superlinear():
+    assert cor_5_3_required_k(1000) > 1000
+
+
+def test_predicted_slopes():
+    assert predicted_hit_probability_slope(2.5) == pytest.approx(-0.5)
+    assert predicted_hit_probability_slope(1.5) == -1.0
+    assert predicted_hit_probability_slope(3.5) == 0.0
+    assert predicted_early_time_slope() == 2.0
+
+
+def test_msd_exponents():
+    assert msd_exponent(1.5) == 1.0
+    assert msd_exponent(2.5) == pytest.approx(1.0 / 1.5)
+    assert msd_exponent(3.0) == 0.5
+    assert msd_exponent(5.0) == 0.5
+
+
+# ----------------------------------------------------------------- horizons
+
+
+def test_characteristic_horizon_regimes():
+    l = 64
+    assert characteristic_horizon(1.5, l) == pytest.approx(4 * l, abs=2)
+    assert characteristic_horizon(3.5, l) >= l * l
+    mid = characteristic_horizon(2.5, l)
+    assert 4 * l < mid < l * l * math.log(l) ** 2
+
+
+def test_characteristic_horizon_validation():
+    with pytest.raises(ValueError):
+        characteristic_horizon(2.5, 1)
+
+
+def test_early_time_grid_window():
+    grid = early_time_grid(2.5, 64)
+    assert grid[0] >= 64
+    assert grid[-1] <= characteristic_horizon(2.5, 64)
+    assert grid == sorted(grid)
+
+
+def test_parallel_horizon_scales():
+    assert parallel_horizon(10, 100) > parallel_horizon(1000, 100)
+    with pytest.raises(ValueError):
+        parallel_horizon(0, 100)

@@ -1,0 +1,112 @@
+"""Consistency between the theory formulas and the simulator.
+
+These tests do not re-prove the theorems (the experiment harnesses do the
+quantitative work); they check that the *executable predictions* in
+repro.theory order and scale the same way the simulator does on small
+instances -- guarding against sign errors or swapped exponents in either
+half of the library.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.exponents import mu_factor
+from repro.distributions.zeta import ZetaJumpDistribution
+from repro.engine.vectorized import walk_hitting_times
+from repro.experiments.common import default_target
+from repro.theory.calibration import calibrate_power_law
+from repro.theory.predictions import (
+    predicted_hit_probability_slope,
+    thm_1_1a_probability,
+    thm_1_1b_probability,
+)
+
+
+def _hit_probability(alpha, l, horizon_factor, n, rng):
+    horizon = max(l, int(horizon_factor * mu_factor(alpha, l) * l ** (alpha - 1.0)))
+    return walk_hitting_times(
+        ZetaJumpDistribution(alpha), default_target(l), horizon, n, rng
+    ).hit_fraction
+
+
+def test_polynomial_part_ordering_matches_simulation(rng):
+    """Within the characteristic time, the polynomial part l^-(3-alpha)
+    says larger alpha in (2,3) -> higher hit probability at fixed l; the
+    simulator agrees.  (The full Theorem 4.1(a) expression is deliberately
+    NOT monotone near alpha -> 3: its (3-alpha)^2 factor collapses, which
+    is why Theorem 1.2 takes over there.)"""
+    l = 32
+    polynomial = [l ** -(3.0 - a) for a in (2.2, 2.5, 2.8)]
+    assert polynomial == sorted(polynomial)
+    measured = [_hit_probability(a, l, 4.0, 6_000, rng) for a in (2.2, 2.5, 2.8)]
+    assert measured[0] < measured[-1]
+    # The refined formula still produces probabilities in (0, 1].
+    assert all(0 < thm_1_1a_probability(a, l) <= 1 for a in (2.2, 2.5, 2.8))
+
+
+def test_theory_ordering_in_l_matches_simulation(rng):
+    """Hit probability decreases with distance, in both worlds."""
+    alpha = 2.5
+    theory = [thm_1_1a_probability(alpha, l) for l in (16, 32, 64)]
+    assert theory == sorted(theory, reverse=True)
+    measured = [_hit_probability(alpha, l, 4.0, 6_000, rng) for l in (16, 64)]
+    assert measured[0] > measured[-1]
+
+
+def test_early_time_bound_is_actually_an_upper_bound(rng):
+    """Thm 1.1(b)'s t^2/l^(alpha+1) shape upper-bounds early hits (up to
+    its hidden constant; we allow a generous one)."""
+    alpha, l = 2.5, 32
+    horizon = 4 * l
+    measured = walk_hitting_times(
+        ZetaJumpDistribution(alpha), default_target(l), horizon, 40_000, rng
+    ).hit_fraction
+    bound = thm_1_1b_probability(alpha, l, horizon)
+    assert measured <= 10.0 * bound
+
+
+def test_predicted_slope_matches_calibrated_fit(rng):
+    """Pinning the theorem's exponent should leave small log-residuals."""
+    alpha = 2.5
+    points = []
+    for l in (12, 18, 27, 40):
+        points.append((float(l), _hit_probability(alpha, l, 4.0, 8_000, rng)))
+    xs, ys = zip(*points)
+    calibrated = calibrate_power_law(xs, ys, predicted_hit_probability_slope(alpha))
+    # Residual spread under the pinned exponent stays under a factor ~1.5.
+    assert calibrated.log_residual_std < 0.45
+    # And the calibrated law explains a held-out point.
+    held_out = _hit_probability(alpha, 24, 4.0, 8_000, rng)
+    assert calibrated.explains(24.0, held_out)
+
+
+# --------------------------------------------------------- calibration unit
+
+
+def test_calibrate_power_law_exact():
+    xs = [1.0, 2.0, 4.0]
+    ys = [5.0 * x**-1.5 for x in xs]
+    fit = calibrate_power_law(xs, ys, -1.5)
+    assert fit.prefactor == pytest.approx(5.0)
+    assert fit.log_residual_std == pytest.approx(0.0, abs=1e-12)
+    assert fit.predict(8.0) == pytest.approx(5.0 * 8.0**-1.5)
+    low, high = fit.prediction_interval(8.0)
+    assert low == pytest.approx(high)
+
+
+def test_calibrate_power_law_noise(rng):
+    xs = np.geomspace(1, 100, 20)
+    ys = 3.0 * xs**0.5 * np.exp(rng.normal(0, 0.1, xs.size))
+    fit = calibrate_power_law(xs, ys, 0.5)
+    assert fit.prefactor == pytest.approx(3.0, rel=0.15)
+    assert 0.03 < fit.log_residual_std < 0.3
+    assert fit.explains(50.0, 3.0 * 50.0**0.5)
+
+
+def test_calibrate_power_law_validation():
+    with pytest.raises(ValueError):
+        calibrate_power_law([], [], -1.0)
+    with pytest.raises(ValueError):
+        calibrate_power_law([1.0, -1.0], [1.0, 1.0], -1.0)
+    with pytest.raises(ValueError):
+        calibrate_power_law([1.0], [1.0, 2.0], -1.0)

@@ -1,0 +1,93 @@
+"""Tests for the exact trajectory-recording engine."""
+
+import numpy as np
+import pytest
+
+from repro.distributions.unit import ConstantJumpDistribution, UnitJumpDistribution
+from repro.distributions.zeta import ZetaJumpDistribution
+from repro.engine.trajectories import distinct_nodes_visited, walk_trajectories
+
+
+def test_shape_and_start(rng):
+    out = walk_trajectories(ZetaJumpDistribution(2.5), 20, 7, rng, start=(3, -1))
+    assert out.shape == (7, 21, 2)
+    np.testing.assert_array_equal(out[:, 0, 0], np.full(7, 3))
+    np.testing.assert_array_equal(out[:, 0, 1], np.full(7, -1))
+
+
+def test_validation(rng):
+    with pytest.raises(ValueError):
+        walk_trajectories(ZetaJumpDistribution(2.5), -1, 3, rng)
+    with pytest.raises(ValueError):
+        walk_trajectories(ZetaJumpDistribution(2.5), 5, 0, rng)
+
+
+def test_trajectories_are_lattice_paths(rng):
+    """Every consecutive pair moves by L1 distance <= 1 (exactly 1 unless
+    the lazy step fires) -- the defining property of a Levy WALK."""
+    out = walk_trajectories(ZetaJumpDistribution(2.1), 120, 40, rng)
+    steps = np.abs(np.diff(out, axis=1)).sum(axis=2)
+    assert steps.max() <= 1
+
+
+def test_nonlazy_constant_walk_moves_every_step(rng):
+    out = walk_trajectories(ConstantJumpDistribution(7), 50, 30, rng)
+    steps = np.abs(np.diff(out, axis=1)).sum(axis=2)
+    assert np.all(steps == 1)
+    # Positions along a phase are at increasing ring distances from the
+    # phase start; over 7 steps the displacement from step 0 is exactly 7.
+    l1 = np.abs(out[:, 7] - out[:, 0]).sum(axis=1)
+    np.testing.assert_array_equal(l1, np.full(30, 7))
+
+
+def test_lazy_fraction_matches_law(rng):
+    out = walk_trajectories(UnitJumpDistribution(0.5), 400, 200, rng)
+    steps = np.abs(np.diff(out, axis=1)).sum(axis=2)
+    lazy_fraction = float((steps == 0).mean())
+    assert abs(lazy_fraction - 0.5) < 0.02
+
+
+def test_matches_object_level_displacement(rng):
+    """Joint-law check via the endpoint: displacement quantiles at step T
+    must match full object-level walks."""
+    from repro.rng import spawn
+    from repro.walks import LevyWalk
+
+    alpha, T = 2.5, 64
+    out = walk_trajectories(ZetaJumpDistribution(alpha), T, 2_500, rng)
+    engine_l1 = np.abs(out[:, T]).sum(axis=1)
+    reference = []
+    for child in spawn(rng, 500):
+        walk = LevyWalk(alpha, rng=child)
+        walk.run(T)
+        reference.append(abs(walk.position[0]) + abs(walk.position[1]))
+    reference = np.asarray(reference)
+    for q in (0.25, 0.5, 0.75):
+        a = float(np.quantile(engine_l1, q))
+        b = float(np.quantile(reference, q))
+        assert abs(a - b) <= max(3.0, 0.3 * b), (q, a, b)
+
+
+def test_distinct_nodes_simple_cases():
+    trajectory = np.array([[[0, 0], [1, 0], [0, 0], [0, 1]]])
+    assert distinct_nodes_visited(trajectory)[0] == 3
+    stay = np.zeros((1, 5, 2), dtype=np.int64)
+    assert distinct_nodes_visited(stay)[0] == 1
+
+
+def test_distinct_nodes_validation():
+    with pytest.raises(ValueError):
+        distinct_nodes_visited(np.zeros((3, 2)))
+
+
+def test_distinct_nodes_negative_coordinates():
+    trajectory = np.array([[[0, 0], [-1, 0], [-1, -1], [0, 0]]], dtype=np.int64)
+    assert distinct_nodes_visited(trajectory)[0] == 3
+
+
+def test_ballistic_law_visits_everything_once(rng):
+    """With huge constant jumps, a T-step prefix is one straight phase:
+    T+1 distinct nodes."""
+    out = walk_trajectories(ConstantJumpDistribution(10_000), 64, 50, rng)
+    counts = distinct_nodes_visited(out)
+    np.testing.assert_array_equal(counts, np.full(50, 65))

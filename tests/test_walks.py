@@ -1,0 +1,200 @@
+"""Tests for the object-level jump processes (Definitions 3.3 / 3.4)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions.unit import ConstantJumpDistribution, UnitJumpDistribution
+from repro.walks import (
+    BallisticWalk,
+    LevyFlight,
+    LevyWalk,
+    SimpleRandomWalk,
+    displacement,
+    ray_node,
+)
+from repro.lattice.points import l1_distance, l1_norm
+
+
+# ------------------------------------------------------------- base class
+
+
+def test_run_returns_full_trajectory(rng):
+    walk = SimpleRandomWalk(rng=rng)
+    trajectory = walk.run(25)
+    assert len(trajectory) == 26
+    assert trajectory[0] == (0, 0)
+    assert walk.time == 25
+
+
+def test_reset(rng):
+    walk = LevyWalk(2.5, start=(3, 4), rng=rng)
+    walk.run(10)
+    walk.reset()
+    assert walk.position == (3, 4)
+    assert walk.time == 0
+    assert not walk.in_phase
+
+
+def test_hitting_time_at_start(rng):
+    walk = LevyWalk(2.5, start=(2, 2), rng=rng)
+    assert walk.hitting_time((2, 2), horizon=10) == 0
+
+
+def test_hitting_time_none_when_unreached(rng):
+    walk = SimpleRandomWalk(rng=rng)
+    # A target at distance 50 cannot be reached in 10 steps.
+    assert walk.hitting_time((50, 0), horizon=10) is None
+    assert walk.time == 10
+
+
+def test_displacement_helper(rng):
+    walk = SimpleRandomWalk(start=(5, 5), rng=rng)
+    walk.run(7)
+    assert displacement(walk) == l1_distance(walk.position, (5, 5))
+
+
+# ------------------------------------------------------------ Levy flight
+
+
+def test_flight_jump_lengths_follow_law(rng):
+    flight = LevyFlight(ConstantJumpDistribution(4), rng=rng)
+    previous = flight.position
+    for _ in range(50):
+        current = flight.advance()
+        assert l1_distance(previous, current) == 4
+        previous = current
+
+
+def test_flight_alpha_property(rng):
+    assert LevyFlight(2.5, rng=rng).alpha == 2.5
+    assert LevyFlight(UnitJumpDistribution(), rng=rng).alpha is None
+
+
+def test_flight_one_jump_per_step(rng):
+    flight = LevyFlight(2.5, rng=rng)
+    flight.run(20)
+    assert flight.time == 20
+
+
+# -------------------------------------------------------------- Levy walk
+
+
+def test_walk_moves_one_step_at_a_time(rng):
+    walk = LevyWalk(2.2, rng=rng)
+    previous = walk.position
+    for _ in range(300):
+        current = walk.advance()
+        assert l1_distance(previous, current) <= 1
+        previous = current
+
+
+def test_walk_zero_jump_stays_one_step(rng):
+    walk = LevyWalk(ConstantJumpDistribution(1), rng=rng)
+    # Constant distance 1: every phase is a single unit step.
+    previous = walk.position
+    for _ in range(20):
+        current = walk.advance()
+        assert l1_distance(previous, current) == 1
+        previous = current
+
+
+def test_walk_phase_traverses_direct_path(rng):
+    walk = LevyWalk(ConstantJumpDistribution(6), rng=rng)
+    trajectory = walk.run(6)
+    # One full phase: positions at L1 distances 0..6 from the start.
+    for i, node in enumerate(trajectory):
+        assert l1_distance((0, 0), node) == i
+
+
+def test_walk_endpoint_matches_flight_law(rng):
+    """After one full phase the walk endpoint has the flight's jump law."""
+    n = 6_000
+    lengths = []
+    for _ in range(n):
+        walk = LevyWalk(ConstantJumpDistribution(3), rng=rng)
+        walk.advance()
+        walk.advance()
+        walk.advance()
+        lengths.append(l1_norm(walk.position))
+    assert set(lengths) == {3}
+
+
+def test_walk_in_phase_flag(rng):
+    walk = LevyWalk(ConstantJumpDistribution(5), rng=rng)
+    walk.advance()
+    assert walk.in_phase
+    for _ in range(4):
+        walk.advance()
+    assert not walk.in_phase
+
+
+# -------------------------------------------------- simple random walk
+
+
+def test_srw_step_size(rng):
+    walk = SimpleRandomWalk(rng=rng)
+    previous = walk.position
+    for _ in range(200):
+        current = walk.advance()
+        assert l1_distance(previous, current) <= 1
+        previous = current
+
+
+def test_srw_laziness_zero_always_moves(rng):
+    walk = SimpleRandomWalk(laziness=0.0, rng=rng)
+    previous = walk.position
+    for _ in range(100):
+        current = walk.advance()
+        assert l1_distance(previous, current) == 1
+        previous = current
+
+
+def test_srw_rejects_bad_laziness():
+    with pytest.raises(ValueError):
+        SimpleRandomWalk(laziness=1.0)
+
+
+def test_srw_is_unbiased(rng):
+    positions = []
+    for _ in range(400):
+        walk = SimpleRandomWalk(rng=rng)
+        walk.run(30)
+        positions.append(walk.position)
+    mean = np.mean(positions, axis=0)
+    assert abs(mean[0]) < 0.8 and abs(mean[1]) < 0.8
+
+
+# ------------------------------------------------------------- ballistic
+
+
+def test_ballistic_unit_speed(rng):
+    walk = BallisticWalk(rng=rng)
+    previous = walk.position
+    for i in range(1, 100):
+        current = walk.advance()
+        assert l1_distance(previous, current) == 1
+        assert l1_norm(current) == i
+        previous = current
+
+
+def test_ray_node_axis():
+    assert ray_node((0, 0), 0.0, 5) == (5, 0)
+    assert ray_node((0, 0), math.pi / 2, 7) == (0, 7)
+    assert ray_node((2, 1), math.pi, 3) == (-1, 1)
+
+
+def test_ray_node_diagonal():
+    node = ray_node((0, 0), math.pi / 4, 10)
+    assert node == (5, 5)
+
+
+def test_ballistic_never_returns(rng):
+    walk = BallisticWalk(rng=rng)
+    assert walk.hitting_time((0, 0), horizon=50) == 0  # starts there
+    walk2 = BallisticWalk(rng=rng)
+    walk2.advance()
+    # Once it has left, the origin is behind it forever.
+    distances = [l1_norm(walk2.advance()) for _ in range(50)]
+    assert distances == sorted(distances)

@@ -1,0 +1,72 @@
+"""Tests for the exact Zipf samplers (Devroye rejection vs bisection)."""
+
+import numpy as np
+import pytest
+from scipy import special
+
+from repro.distributions.zipf_sampler import (
+    JUMP_CLIP,
+    bisection_conditional_zipf,
+    rejection_conditional_zipf,
+)
+
+
+def _zipf_cdf(alpha: float, i: int) -> float:
+    return 1.0 - special.zeta(alpha, i + 1) / special.zeta(alpha, 1)
+
+
+@pytest.mark.parametrize("alpha", [1.3, 1.8, 2.0, 2.5, 3.0, 4.0])
+def test_rejection_matches_exact_cdf(alpha, rng):
+    n = 60_000
+    samples = rejection_conditional_zipf(np.full(n, alpha), rng, n)
+    assert samples.min() >= 1
+    for i in (1, 2, 3, 5, 10, 50):
+        empirical = float((samples <= i).mean())
+        exact = _zipf_cdf(alpha, i)
+        # Binomial std is <= 0.5/sqrt(n) ~ 0.002; allow 4 sigma.
+        assert abs(empirical - exact) < 0.009, (alpha, i)
+
+
+@pytest.mark.parametrize("alpha", [1.5, 2.2, 3.5])
+def test_bisection_matches_exact_cdf(alpha, rng):
+    n = 20_000
+    samples = bisection_conditional_zipf(np.full(n, alpha), rng, n)
+    assert samples.min() >= 1
+    for i in (1, 2, 5, 20):
+        empirical = float((samples <= i).mean())
+        assert abs(empirical - _zipf_cdf(alpha, i)) < 0.015, (alpha, i)
+
+
+def test_rejection_and_bisection_agree(rng):
+    alpha = 2.5
+    n = 40_000
+    a = rejection_conditional_zipf(np.full(n, alpha), rng, n)
+    b = bisection_conditional_zipf(np.full(n, alpha), rng, n)
+    for i in (1, 2, 4, 10):
+        assert abs(float((a <= i).mean()) - float((b <= i).mean())) < 0.012
+
+
+def test_heterogeneous_exponents(rng):
+    alphas = np.concatenate([np.full(30_000, 1.5), np.full(30_000, 3.5)])
+    samples = rejection_conditional_zipf(alphas, rng, alphas.size)
+    heavy = samples[:30_000]
+    light = samples[30_000:]
+    # Heavier tail => larger p99 by orders of magnitude.
+    assert np.quantile(heavy, 0.99) > 10 * np.quantile(light, 0.99)
+    assert abs(float((light <= 1).mean()) - _zipf_cdf(3.5, 1)) < 0.01
+    assert abs(float((heavy <= 1).mean()) - _zipf_cdf(1.5, 1)) < 0.01
+
+
+def test_samples_clipped(rng):
+    # With alpha barely above 1 the raw Pareto can explode; the sampler
+    # must clip rather than overflow.
+    alphas = np.full(2_000, 1.05)
+    samples = rejection_conditional_zipf(alphas, rng, alphas.size)
+    assert samples.max() <= JUMP_CLIP
+    assert samples.min() >= 1
+    assert samples.dtype == np.int64
+
+
+def test_empty_batch(rng):
+    out = rejection_conditional_zipf(np.array([]), rng, 0)
+    assert out.shape == (0,)
