@@ -1,0 +1,76 @@
+"""Overhead of the fault-tolerant runner's checkpoint path.
+
+Two numbers are recorded:
+
+* **checkpoint-path overhead** (the guarded one, target < 5%): chunked run
+  *with* durable checkpoints vs the identical chunked run without -- this
+  isolates the runner's own costs (atomic npz writes, sha256 checksums,
+  manifests) from everything else, so a regression in the checkpoint path
+  shows up in the bench trajectory no matter the workload;
+* **chunking overhead** (informational): chunked vs single-shot.  This is
+  engine economics, not runner cost: every engine invocation pays a fixed
+  per-phase-loop price, so small chunks waste vectorization.  Production
+  guidance (docs/runner.md): size chunks so each takes seconds, and the
+  chunking tax shrinks toward zero.
+"""
+
+import time
+
+import numpy as np
+
+from repro.distributions.zeta import ZetaJumpDistribution
+from repro.engine.vectorized import walk_hitting_times
+from repro.runner import HittingTimeTask, Runner
+
+_LAW = ZetaJumpDistribution(2.5)
+_TARGET = (12, 8)
+_HORIZON = 2_000
+_N_WALKS = 40_000
+_N_CHUNKS = 4
+_SEED = 0
+#: CI guard on the checkpoint path; the printed number is the tracked one.
+_MAX_CHECKPOINT_OVERHEAD = 0.25
+
+
+def _single_shot() -> None:
+    walk_hitting_times(
+        _LAW, _TARGET, _HORIZON, _N_WALKS, np.random.default_rng(_SEED)
+    )
+
+
+def _chunked(checkpoint_dir) -> None:
+    task = HittingTimeTask(jumps=_LAW, target=_TARGET, horizon=_HORIZON)
+    Runner(checkpoint_dir=checkpoint_dir, n_chunks=_N_CHUNKS).run(
+        task, _N_WALKS, _SEED, label=f"bench-{time.monotonic_ns()}"
+    )
+
+
+def _timed(fn, *args) -> float:
+    started = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - started
+
+
+def test_runner_checkpoint_overhead(benchmark, tmp_path):
+    """Benchmark the checkpointed path; print all three timings."""
+    _chunked(None)  # warm-up: imports, allocators, zeta tables
+
+    single_seconds = _timed(_single_shot)
+    chunked_seconds = _timed(_chunked, None)
+
+    benchmark.pedantic(
+        _chunked, args=(tmp_path / "bench",), rounds=1, iterations=1
+    )
+    checkpointed_seconds = benchmark.stats.stats.mean
+    checkpoint_overhead = checkpointed_seconds / chunked_seconds - 1.0
+    chunking_overhead = chunked_seconds / single_seconds - 1.0
+    print(
+        f"\nsingle-shot {single_seconds:.3f}s | chunked x{_N_CHUNKS} "
+        f"{chunked_seconds:.3f}s ({100 * chunking_overhead:+.1f}% engine "
+        f"economics) | +checkpointing {checkpointed_seconds:.3f}s "
+        f"({100 * checkpoint_overhead:+.1f}% checkpoint path, target < 5%)"
+    )
+    assert checkpoint_overhead < _MAX_CHECKPOINT_OVERHEAD, (
+        f"checkpoint path overhead {100 * checkpoint_overhead:.1f}% exceeds "
+        f"{100 * _MAX_CHECKPOINT_OVERHEAD:.0f}% guard"
+    )

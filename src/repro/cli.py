@@ -5,17 +5,44 @@ Installed as ``repro-experiment`` (see pyproject.toml)::
     repro-experiment list
     repro-experiment run EXP-T1.6 --scale small --seed 1
     repro-experiment run all --scale smoke --csv-dir results/
+    repro-experiment run EXP-T1.1 --scale full \\
+        --checkpoint-dir ckpt/ --chunks 32 --workers 4 --resume \\
+        --max-seconds 3600
+
+Exit codes (documented in docs/runner.md):
+
+* 0 -- every requested experiment ran and all checks passed;
+* 1 -- at least one experiment failed its checks or raised;
+* 2 -- usage error (e.g. unknown experiment id);
+* 3 -- all checks passed but a walltime budget expired, so some samples
+  are partial (degraded);
+* 130 -- interrupted by SIGINT/SIGTERM; completed chunks are checkpointed
+  and a ``--resume`` rerun continues where this one stopped.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
+import traceback
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.experiments.common import SCALES
-from repro.experiments.registry import experiment_ids, run_experiment
+from repro.experiments.common import (
+    SCALES,
+    add_runner_arguments,
+    run_accepts_runner,
+    runner_from_args,
+)
+from repro.experiments.registry import experiment_ids, get_experiment, run_experiment
+from repro.reporting.table import Table
+
+EXIT_OK = 0
+EXIT_FAILED = 1
+EXIT_USAGE = 2
+EXIT_DEGRADED = 3
+EXIT_INTERRUPTED = 130
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -38,6 +65,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also dump every result table as CSV into this directory",
     )
+    add_runner_arguments(runner)
     return parser
 
 
@@ -48,22 +76,158 @@ def _dump_csv(result, csv_dir: Path) -> None:
         table.to_csv(csv_dir / f"{safe_id}_table{index}.csv")
 
 
+def _safe_dirname(experiment_id: str) -> str:
+    return "".join(c if (c.isalnum() or c in "._-") else "_" for c in experiment_id)
+
+
+def _run_one(experiment_id: str, args, checkpoint_root: Optional[Path]):
+    """Run one experiment with a per-experiment runner (if requested).
+
+    Returns ``(result_or_None, runner_or_None, error_or_None)``.
+    """
+    runner_args = argparse.Namespace(**vars(args))
+    if checkpoint_root is not None:
+        runner_args.checkpoint_dir = checkpoint_root / _safe_dirname(experiment_id)
+    runner = runner_from_args(runner_args)
+    if runner is not None and not run_accepts_runner(get_experiment(experiment_id).run):
+        print(
+            f"note: {experiment_id} does not support the chunked runner; "
+            "running it directly",
+            file=sys.stderr,
+        )
+        runner = None
+    try:
+        result = run_experiment(
+            experiment_id, scale=args.scale, seed=args.seed, runner=runner
+        )
+        return result, runner, None
+    except Exception as exc:  # noqa: BLE001 -- one bad experiment must not kill a sweep
+        return None, runner, exc
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         for experiment_id in experiment_ids():
             print(experiment_id)
-        return 0
-    targets = experiment_ids() if args.experiment == "all" else [args.experiment]
-    all_passed = True
-    for experiment_id in targets:
-        result = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
-        print(result.render())
-        print()
-        if args.csv_dir is not None:
-            _dump_csv(result, args.csv_dir)
-        all_passed = all_passed and result.passed
-    return 0 if all_passed else 1
+        return EXIT_OK
+
+    known = experiment_ids()
+    if args.experiment == "all":
+        targets = known
+    elif args.experiment in known:
+        targets = [args.experiment]
+    else:
+        print(
+            f"error: unknown experiment {args.experiment!r}; known ids: "
+            + ", ".join(known),
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+
+    from repro.runner import (
+        CheckpointExistsError,
+        CheckpointMismatchError,
+        stop_requested,
+        trap_signals,
+    )
+
+    checkpoint_root = args.checkpoint_dir
+    statuses = []  # (experiment id, status, detail, seconds)
+    any_degraded = False
+    interrupted = False
+    with trap_signals():
+        for experiment_id in targets:
+            if stop_requested():
+                interrupted = True
+                statuses.append((experiment_id, "SKIPPED", "interrupted", 0.0))
+                continue
+            started = time.monotonic()
+            result, runner, error = _run_one(experiment_id, args, checkpoint_root)
+            elapsed = time.monotonic() - started
+            if error is not None:
+                # A raise *after* the runner stopped early is not an
+                # experiment bug: the analysis ran on partial (possibly
+                # empty) samples.  Classify by cause, not by symptom.
+                if runner is not None and (runner.interrupted or stop_requested()):
+                    interrupted = True
+                    print(
+                        f"=== {experiment_id}: INTERRUPTED "
+                        "(checkpoints saved; rerun with --resume) ===",
+                        file=sys.stderr,
+                    )
+                    statuses.append(
+                        (experiment_id, "SKIPPED", "interrupted; checkpoints saved", elapsed)
+                    )
+                    continue
+                if runner is not None and runner.degraded:
+                    any_degraded = True
+                    print(
+                        f"=== {experiment_id}: DEGRADED — walltime budget "
+                        f"expired before the analysis could finish "
+                        f"({type(error).__name__}: {error}); completed "
+                        "chunks are checkpointed ===",
+                        file=sys.stderr,
+                    )
+                    statuses.append(
+                        (experiment_id, "DEGRADED", "budget expired mid-analysis", elapsed)
+                    )
+                    continue
+                if isinstance(error, (CheckpointExistsError, CheckpointMismatchError)):
+                    # Checkpoint misuse is a usage problem, not a crash --
+                    # the message says exactly how to recover; no traceback.
+                    print(f"error: {error}", file=sys.stderr)
+                    statuses.append(
+                        (experiment_id, "ERROR", f"{type(error).__name__}", elapsed)
+                    )
+                    continue
+                print(f"=== {experiment_id}: ERROR ===", file=sys.stderr)
+                traceback.print_exception(type(error), error, error.__traceback__)
+                statuses.append(
+                    (experiment_id, "ERROR", f"{type(error).__name__}: {error}", elapsed)
+                )
+                continue
+            print(result.render())
+            print()
+            if args.csv_dir is not None:
+                _dump_csv(result, args.csv_dir)
+            status = "PASS" if result.passed else "FAIL"
+            detail = ""
+            if runner is not None and runner.degraded:
+                any_degraded = True
+                detail = "degraded (walltime budget hit)"
+            if runner is not None and runner.interrupted:
+                interrupted = True
+                detail = "interrupted; checkpoints saved"
+            statuses.append((experiment_id, status, detail, elapsed))
+        interrupted = interrupted or stop_requested()
+
+    if len(targets) > 1:
+        summary = Table(
+            ["experiment", "status", "seconds", "detail"],
+            title="sweep summary",
+        )
+        for experiment_id, status, detail, elapsed in statuses:
+            summary.add_row(experiment_id, status, round(elapsed, 2), detail)
+        print(summary.render())
+        counts = {status: 0 for status in ("PASS", "FAIL", "ERROR", "SKIPPED")}
+        for _, status, _, _ in statuses:
+            counts[status] = counts.get(status, 0) + 1
+        line = (
+            f"{counts['PASS']} passed, {counts['FAIL']} failed, "
+            f"{counts['ERROR']} errored, {counts['SKIPPED']} skipped"
+        )
+        if counts.get("DEGRADED", 0):
+            line += f", {counts['DEGRADED']} degraded"
+        print(line)
+
+    if interrupted:
+        return EXIT_INTERRUPTED
+    if any(status in ("FAIL", "ERROR") for _, status, _, _ in statuses):
+        return EXIT_FAILED
+    if any_degraded:
+        return EXIT_DEGRADED
+    return EXIT_OK
 
 
 if __name__ == "__main__":

@@ -18,9 +18,11 @@ from __future__ import annotations
 
 import argparse
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.reporting.table import Table
+from repro.rng import SeedLike, as_generator
 
 SCALES = ("smoke", "small", "full")
 
@@ -94,10 +96,149 @@ class ExperimentResult:
         return "\n".join(lines)
 
 
+def sample_hitting_times(
+    jumps,
+    target,
+    horizon: int,
+    n_walks: int,
+    rng: SeedLike,
+    runner=None,
+    label: str = "hitting",
+    detect_during_jump: bool = True,
+    flight: bool = False,
+):
+    """Engine call that optionally routes through a fault-tolerant runner.
+
+    With ``runner=None`` this is exactly
+    :func:`repro.engine.vectorized.walk_hitting_times` (or the flight
+    variant).  With a :class:`repro.runner.Runner`, the sample is drawn in
+    checkpointed chunks under ``label``; the call then consumes exactly one
+    integer from ``rng`` (the chunk-plan root seed), so a resumed
+    experiment re-derives identical seeds for every sampling call.  A
+    deadline-expired or interrupted runner yields a *partial* (still valid,
+    censored) sample; the runner records the degradation for the CLI.
+    """
+    rng = as_generator(rng)
+    if runner is None:
+        from repro.engine.vectorized import flight_hitting_times, walk_hitting_times
+
+        if flight:
+            return flight_hitting_times(jumps, target, horizon, n_walks, rng)
+        return walk_hitting_times(
+            jumps, target, horizon, n_walks, rng, detect_during_jump=detect_during_jump
+        )
+    from repro.runner.tasks import HittingTimeTask
+
+    task = HittingTimeTask(
+        jumps=jumps,
+        target=(int(target[0]), int(target[1])),
+        horizon=int(horizon),
+        detect_during_jump=detect_during_jump,
+        flight=flight,
+    )
+    seed = int(rng.integers(0, 2**63 - 1))
+    return runner.run(task, n_walks, seed, label=label).payload
+
+
+def sample_foraging(
+    jumps,
+    targets,
+    horizon: int,
+    n_walks: int,
+    rng: SeedLike,
+    runner=None,
+    label: str = "foraging",
+):
+    """Multi-target search that optionally routes through a runner.
+
+    Same contract as :func:`sample_hitting_times`, for
+    :func:`repro.engine.multi_target.multi_target_search`.
+    """
+    rng = as_generator(rng)
+    if runner is None:
+        from repro.engine.multi_target import multi_target_search
+
+        return multi_target_search(jumps, targets, horizon, n_walks, rng)
+    from repro.runner.tasks import ForagingTask
+
+    task = ForagingTask.with_targets(jumps, targets, int(horizon))
+    seed = int(rng.integers(0, 2**63 - 1))
+    return runner.run(task, n_walks, seed, label=label).payload
+
+
 def validate_scale(scale: str) -> str:
     if scale not in SCALES:
         raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
     return scale
+
+
+def add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the fault-tolerant runner's CLI flags on ``parser``."""
+    parser.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=None,
+        help="directory for durable per-chunk checkpoints (enables resume)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue a previous run from --checkpoint-dir, skipping valid chunks",
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="walltime budget; expiry returns partial (degraded) samples",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="run chunks in a process pool of this size (0 = in-process)",
+    )
+    parser.add_argument(
+        "--chunks",
+        type=int,
+        default=None,
+        help="chunks per sampling call (default 8 when a runner is active)",
+    )
+
+
+def runner_from_args(args: argparse.Namespace):
+    """Build a :class:`repro.runner.Runner` from parsed runner flags.
+
+    Returns ``None`` when no runner-related flag was used, so plain runs
+    keep the zero-overhead direct engine path.
+    """
+    wants_runner = (
+        args.checkpoint_dir is not None
+        or args.resume
+        or args.max_seconds is not None
+        or args.workers
+        or args.chunks is not None
+    )
+    if not wants_runner:
+        return None
+    from repro.runner import Runner
+
+    return Runner(
+        checkpoint_dir=args.checkpoint_dir,
+        n_chunks=args.chunks if args.chunks is not None else 8,
+        workers=args.workers,
+        max_seconds=args.max_seconds,
+        resume=args.resume,
+    )
+
+
+def run_accepts_runner(run) -> bool:
+    """True when an experiment's ``run`` has grown a ``runner`` parameter."""
+    import inspect
+
+    try:
+        return "runner" in inspect.signature(run).parameters
+    except (TypeError, ValueError):
+        return False
 
 
 def experiment_main(run, argv: Optional[Sequence[str]] = None) -> int:
@@ -105,7 +246,17 @@ def experiment_main(run, argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=run.__doc__)
     parser.add_argument("--scale", choices=SCALES, default="small")
     parser.add_argument("--seed", type=int, default=0)
+    add_runner_arguments(parser)
     args = parser.parse_args(argv)
-    result = run(scale=args.scale, seed=args.seed)
+    runner = runner_from_args(args)
+    if runner is not None and run_accepts_runner(run):
+        result = run(scale=args.scale, seed=args.seed, runner=runner)
+    else:
+        if runner is not None:
+            print(
+                "note: this experiment does not support the chunked runner; "
+                "runner flags ignored"
+            )
+        result = run(scale=args.scale, seed=args.seed)
     print(result.render())
     return 0 if result.passed else 1

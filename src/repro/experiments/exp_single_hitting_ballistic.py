@@ -21,12 +21,12 @@ from __future__ import annotations
 from repro.analysis.scaling import fit_power_law, geometric_grid
 from repro.baselines.ballistic_search import BallisticSpraySearch
 from repro.distributions.zeta import ZetaJumpDistribution
-from repro.engine.vectorized import walk_hitting_times
 from repro.experiments.common import (
     Check,
     ExperimentResult,
     default_target,
     experiment_main,
+    sample_hitting_times,
     validate_scale,
 )
 from repro.reporting.table import Table
@@ -45,8 +45,12 @@ _CONFIG = {
 _LINEAR_BUDGET = 4  # part (a) deadline: 4 l steps
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
-    """Measure Theorem 1.3's 1/l decay and its no-gain-from-patience tail."""
+def run(scale: str = "small", seed: int = 0, runner=None) -> ExperimentResult:
+    """Measure Theorem 1.3's 1/l decay and its no-gain-from-patience tail.
+
+    ``runner`` optionally routes the sampling through the checkpointed,
+    resumable chunk runner (see :mod:`repro.runner`).
+    """
     scale = validate_scale(scale)
     rng = as_generator(seed)
     alphas, l_grid, n_walks, l_for_b, n_walks_b = _CONFIG[scale]
@@ -61,7 +65,15 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
         points = []
         for l in l_grid:
             horizon = _LINEAR_BUDGET * l
-            sample = walk_hitting_times(law, default_target(l), horizon, n_walks, rng)
+            sample = sample_hitting_times(
+                law,
+                default_target(l),
+                horizon,
+                n_walks,
+                rng,
+                runner=runner,
+                label=f"a-alpha{alpha}-l{l}",
+            )
             table_a.add_row(f"alpha={alpha}", l, horizon, sample.hit_fraction, sample.n_hits)
             if sample.n_hits >= 5:
                 points.append((float(l), sample.hit_fraction))
@@ -92,8 +104,14 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
     for alpha in alphas:
         law = ZetaJumpDistribution(alpha)
         long_horizon = max(_LINEAR_BUDGET * l_for_b + 1, l_for_b * l_for_b // 4)
-        sample = walk_hitting_times(
-            law, default_target(l_for_b), long_horizon, n_walks_b, rng
+        sample = sample_hitting_times(
+            law,
+            default_target(l_for_b),
+            long_horizon,
+            n_walks_b,
+            rng,
+            runner=runner,
+            label=f"b-alpha{alpha}",
         )
         p_short = sample.probability_by(_LINEAR_BUDGET * l_for_b)
         p_long = sample.hit_fraction

@@ -21,12 +21,12 @@ import math
 from repro.analysis.scaling import fit_power_law, geometric_grid
 from repro.distributions.unit import UnitJumpDistribution
 from repro.distributions.zeta import ZetaJumpDistribution
-from repro.engine.vectorized import walk_hitting_times
 from repro.experiments.common import (
     Check,
     ExperimentResult,
     default_target,
     experiment_main,
+    sample_hitting_times,
     validate_scale,
 )
 from repro.reporting.table import Table
@@ -50,8 +50,12 @@ def _diffusive_horizon(l: int) -> int:
     return max(4 * l, int(math.ceil(_HORIZON_FACTOR * l * l * math.log(l) ** 2)))
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
-    """Measure Theorem 1.2's flat-in-l plateau and quadratic early growth."""
+def run(scale: str = "small", seed: int = 0, runner=None) -> ExperimentResult:
+    """Measure Theorem 1.2's flat-in-l plateau and quadratic early growth.
+
+    ``runner`` optionally routes the sampling through the checkpointed,
+    resumable chunk runner (see :mod:`repro.runner`).
+    """
     scale = validate_scale(scale)
     rng = as_generator(seed)
     alphas, l_grid, n_walks, n_walks_b, l_for_b = _CONFIG[scale]
@@ -67,7 +71,15 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
         points = []
         for l in l_grid:
             horizon = _diffusive_horizon(l)
-            sample = walk_hitting_times(law, default_target(l), horizon, n_walks, rng)
+            sample = sample_hitting_times(
+                law,
+                default_target(l),
+                horizon,
+                n_walks,
+                rng,
+                runner=runner,
+                label=f"a-{label.replace(' ', '_')}-l{l}",
+            )
             table_a.add_row(label, l, horizon, sample.hit_fraction, sample.n_hits)
             if sample.n_hits:
                 points.append((float(l), sample.hit_fraction))
@@ -85,8 +97,14 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
     # Part (b): early-time quadratic growth at the threshold alpha = 3.
     law_b = ZetaJumpDistribution(3.0)
     horizon_b = _diffusive_horizon(l_for_b)
-    sample_b = walk_hitting_times(
-        law_b, default_target(l_for_b), horizon_b, n_walks_b, rng
+    sample_b = sample_hitting_times(
+        law_b,
+        default_target(l_for_b),
+        horizon_b,
+        n_walks_b,
+        rng,
+        runner=runner,
+        label="b-early",
     )
     t_grid = early_time_grid(3.0, l_for_b, n_points=5)
     table_b = Table(

@@ -21,12 +21,12 @@ import math
 from repro.analysis.scaling import fit_power_law, geometric_grid
 from repro.core.exponents import mu_factor
 from repro.distributions.zeta import ZetaJumpDistribution
-from repro.engine.vectorized import walk_hitting_times
 from repro.experiments.common import (
     Check,
     ExperimentResult,
     default_target,
     experiment_main,
+    sample_hitting_times,
     validate_scale,
 )
 from repro.reporting.table import Table
@@ -53,8 +53,13 @@ def _characteristic_horizon(alpha: float, l: int) -> int:
     return max(l, int(math.ceil(_HORIZON_FACTOR * mu_factor(alpha, l) * l ** (alpha - 1.0))))
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
-    """Measure Theorem 1.1's three shapes for a grid of (alpha, l)."""
+def run(scale: str = "small", seed: int = 0, runner=None) -> ExperimentResult:
+    """Measure Theorem 1.1's three shapes for a grid of (alpha, l).
+
+    ``runner`` (optional :class:`repro.runner.Runner`) makes every
+    Monte-Carlo call below checkpointed and resumable -- the T1.1 sweep is
+    the longest-running harness in the suite at full scale.
+    """
     scale = validate_scale(scale)
     rng = as_generator(seed)
     alphas, l_grid, n_walks, n_walks_b, l_for_b = _CONFIG[scale]
@@ -71,8 +76,14 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
         points = []
         for l in l_grid:
             horizon = _characteristic_horizon(alpha, l)
-            sample = walk_hitting_times(
-                law, default_target(l), horizon, n_walks, rng
+            sample = sample_hitting_times(
+                law,
+                default_target(l),
+                horizon,
+                n_walks,
+                rng,
+                runner=runner,
+                label=f"a-alpha{alpha}-l{l}",
             )
             table_a.add_row(alpha, l, horizon, sample.hit_fraction, sample.n_hits)
             if sample.n_hits:
@@ -94,8 +105,14 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
     alpha_b = alphas[len(alphas) // 2]
     law_b = ZetaJumpDistribution(alpha_b)
     horizon_b = _characteristic_horizon(alpha_b, l_for_b)
-    sample_b = walk_hitting_times(
-        law_b, default_target(l_for_b), horizon_b, n_walks_b, rng
+    sample_b = sample_hitting_times(
+        law_b,
+        default_target(l_for_b),
+        horizon_b,
+        n_walks_b,
+        rng,
+        runner=runner,
+        label="b-early",
     )
     t_grid = early_time_grid(alpha_b, l_for_b, n_points=5)
     table_b = Table(
@@ -127,8 +144,14 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
     law_c = ZetaJumpDistribution(alpha_c)
     horizon_short = _characteristic_horizon(alpha_c, l_c)
     horizon_long = _PLATEAU_FACTOR * horizon_short
-    sample_c = walk_hitting_times(
-        law_c, default_target(l_c), horizon_long, n_walks, rng
+    sample_c = sample_hitting_times(
+        law_c,
+        default_target(l_c),
+        horizon_long,
+        n_walks,
+        rng,
+        runner=runner,
+        label="c-plateau",
     )
     p_short = sample_c.probability_by(horizon_short)
     p_long = sample_c.hit_fraction

@@ -57,7 +57,16 @@ def get_experiment(experiment_id: str):
     return importlib.import_module(module_path)
 
 
-def run_experiment(experiment_id: str, scale: str = "small", seed: int = 0):
-    """Run one experiment and return its :class:`ExperimentResult`."""
+def run_experiment(experiment_id: str, scale: str = "small", seed: int = 0, runner=None):
+    """Run one experiment and return its :class:`ExperimentResult`.
+
+    ``runner`` (a :class:`repro.runner.Runner`) is forwarded to experiments
+    whose ``run`` accepts it -- those sample through checkpointed, resumable
+    chunks.  Experiments that have not grown runner support simply ignore it.
+    """
+    from repro.experiments.common import run_accepts_runner
+
     module = get_experiment(experiment_id)
+    if runner is not None and run_accepts_runner(module.run):
+        return module.run(scale=scale, seed=seed, runner=runner)
     return module.run(scale=scale, seed=seed)

@@ -10,13 +10,26 @@ the simulation.  Formats:
   with targets, discovery times, discoverers and horizon;
 * arbitrary experiment metadata -> JSON (seeds, parameters, scale), kept
   next to the arrays so a directory of results is self-describing.
+
+All writers are *atomic* (tmp file + :func:`os.replace` in the target
+directory), so a crash mid-write can never leave a half-written file under
+the final name -- the checkpointing runner (:mod:`repro.runner`) relies on
+this.  All loaders convert the zoo of low-level decoding failures
+(truncated zip, garbage JSON, missing keys) into a single
+:class:`CorruptResultError` so callers can quarantine bad files without
+enumerating stdlib exception types.
 """
 
 from __future__ import annotations
 
+import hashlib
+import io
 import json
+import os
+import tempfile
+import zipfile
 from pathlib import Path
-from typing import Any, Dict
+from typing import Any, Dict, Union
 
 import numpy as np
 
@@ -26,66 +39,206 @@ from repro.engine.results import HittingTimeSample
 _SAMPLE_KIND = "repro.HittingTimeSample.v1"
 _FORAGING_KIND = "repro.ForagingResult.v1"
 
+#: Exceptions that mean "this file is damaged", re-raised as CorruptResultError.
+_DECODE_ERRORS = (
+    ValueError,
+    KeyError,
+    EOFError,
+    OSError,
+    zipfile.BadZipFile,
+    json.JSONDecodeError,
+)
 
-def save_hitting_sample(sample: HittingTimeSample, path) -> Path:
-    """Write a censored hitting-time sample to ``path`` (``.npz``)."""
+
+class CorruptResultError(ValueError):
+    """A result/metadata file is truncated, garbled, or of the wrong kind."""
+
+
+# ------------------------------------------------------------ atomic writers
+
+
+def atomic_write_bytes(data: bytes, path) -> Path:
+    """Write ``data`` to ``path`` atomically (tmp file + ``os.replace``).
+
+    The temporary file lives in the destination directory so the final
+    rename never crosses filesystems; readers either see the old content
+    or the complete new content, never a prefix.
+    """
     path = Path(path)
-    np.savez_compressed(
-        path,
-        kind=np.array(_SAMPLE_KIND),
-        times=sample.times,
-        horizon=np.array(sample.horizon, dtype=np.int64),
-    )
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
-
-
-def load_hitting_sample(path) -> HittingTimeSample:
-    """Load a sample written by :func:`save_hitting_sample`."""
-    with np.load(Path(path)) as data:
-        kind = str(data["kind"])
-        if kind != _SAMPLE_KIND:
-            raise ValueError(f"not a hitting-time sample file (kind={kind!r})")
-        return HittingTimeSample(
-            times=data["times"].astype(np.int64),
-            horizon=int(data["horizon"]),
-        )
-
-
-def save_foraging_result(result: ForagingResult, path) -> Path:
-    """Write a multi-target foraging result to ``path`` (``.npz``)."""
-    path = Path(path)
-    np.savez_compressed(
-        path,
-        kind=np.array(_FORAGING_KIND),
-        targets=result.targets,
-        discovery_times=result.discovery_times,
-        discoverer=result.discoverer,
-        horizon=np.array(result.horizon, dtype=np.int64),
-    )
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
-
-
-def load_foraging_result(path) -> ForagingResult:
-    """Load a result written by :func:`save_foraging_result`."""
-    with np.load(Path(path)) as data:
-        kind = str(data["kind"])
-        if kind != _FORAGING_KIND:
-            raise ValueError(f"not a foraging result file (kind={kind!r})")
-        return ForagingResult(
-            targets=data["targets"].astype(np.int64),
-            discovery_times=data["discovery_times"].astype(np.int64),
-            discoverer=data["discoverer"].astype(np.int64),
-            horizon=int(data["horizon"]),
-        )
-
-
-def save_metadata(metadata: Dict[str, Any], path) -> Path:
-    """Write a JSON metadata sidecar (seeds, parameters, provenance)."""
-    path = Path(path)
-    path.write_text(json.dumps(metadata, indent=2, sort_keys=True) + "\n")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     return path
 
 
+def atomic_write_json(obj: Any, path) -> Path:
+    """Serialize ``obj`` as pretty JSON and write it atomically."""
+    text = json.dumps(obj, indent=2, sort_keys=True) + "\n"
+    return atomic_write_bytes(text.encode("utf-8"), path)
+
+
+def sha256_hex(data: bytes) -> str:
+    """Hex digest used to checksum checkpoint payloads."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def _npz_bytes(**arrays: np.ndarray) -> bytes:
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays)
+    return buffer.getvalue()
+
+
+def _npz_path(path) -> Path:
+    """Mirror ``np.savez``'s suffix behaviour: append ``.npz`` if absent."""
+    path = Path(path)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+# ----------------------------------------------------------- hitting samples
+
+
+def hitting_sample_bytes(sample: HittingTimeSample) -> bytes:
+    """The ``.npz`` byte serialization of a censored hitting-time sample."""
+    return _npz_bytes(
+        kind=np.array(_SAMPLE_KIND),
+        times=np.asarray(sample.times, dtype=np.int64),
+        horizon=np.array(sample.horizon, dtype=np.int64),
+    )
+
+
+def save_hitting_sample(sample: HittingTimeSample, path) -> Path:
+    """Atomically write a censored hitting-time sample to ``path`` (``.npz``)."""
+    return atomic_write_bytes(hitting_sample_bytes(sample), _npz_path(path))
+
+
+def load_hitting_sample(path) -> HittingTimeSample:
+    """Load a sample written by :func:`save_hitting_sample`.
+
+    Raises :class:`CorruptResultError` on truncated/garbage files or a
+    wrong ``kind`` tag; :class:`FileNotFoundError` if the file is absent.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(path)
+    try:
+        with np.load(path) as data:
+            kind = str(data["kind"])
+            if kind != _SAMPLE_KIND:
+                raise CorruptResultError(
+                    f"not a hitting-time sample file (kind={kind!r})"
+                )
+            return HittingTimeSample(
+                times=data["times"].astype(np.int64),
+                horizon=int(data["horizon"]),
+            )
+    except CorruptResultError:
+        raise
+    except _DECODE_ERRORS as exc:
+        raise CorruptResultError(f"unreadable hitting-time sample {path}: {exc}") from exc
+
+
+# ----------------------------------------------------------- foraging results
+
+
+def foraging_result_bytes(result: ForagingResult) -> bytes:
+    """The ``.npz`` byte serialization of a multi-target foraging result."""
+    return _npz_bytes(
+        kind=np.array(_FORAGING_KIND),
+        targets=np.asarray(result.targets, dtype=np.int64),
+        discovery_times=np.asarray(result.discovery_times, dtype=np.int64),
+        discoverer=np.asarray(result.discoverer, dtype=np.int64),
+        horizon=np.array(result.horizon, dtype=np.int64),
+    )
+
+
+def save_foraging_result(result: ForagingResult, path) -> Path:
+    """Atomically write a multi-target foraging result to ``path`` (``.npz``)."""
+    return atomic_write_bytes(foraging_result_bytes(result), _npz_path(path))
+
+
+def load_foraging_result(path) -> ForagingResult:
+    """Load a result written by :func:`save_foraging_result`.
+
+    Raises :class:`CorruptResultError` on damaged files (see
+    :func:`load_hitting_sample`).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(path)
+    try:
+        with np.load(path) as data:
+            kind = str(data["kind"])
+            if kind != _FORAGING_KIND:
+                raise CorruptResultError(f"not a foraging result file (kind={kind!r})")
+            return ForagingResult(
+                targets=data["targets"].astype(np.int64),
+                discovery_times=data["discovery_times"].astype(np.int64),
+                discoverer=data["discoverer"].astype(np.int64),
+                horizon=int(data["horizon"]),
+            )
+    except CorruptResultError:
+        raise
+    except _DECODE_ERRORS as exc:
+        raise CorruptResultError(f"unreadable foraging result {path}: {exc}") from exc
+
+
+# ------------------------------------------------------------------ dispatch
+
+ResultPayload = Union[HittingTimeSample, ForagingResult]
+
+#: result-kind tag (as used by the runner's manifests) -> (to_bytes, load)
+_PAYLOAD_CODECS = {
+    "hitting": (hitting_sample_bytes, load_hitting_sample),
+    "foraging": (foraging_result_bytes, load_foraging_result),
+}
+
+
+def payload_bytes(kind: str, payload: ResultPayload) -> bytes:
+    """Serialize a result payload of the given kind tag (``hitting``/``foraging``)."""
+    try:
+        to_bytes, _ = _PAYLOAD_CODECS[kind]
+    except KeyError:
+        raise ValueError(f"unknown payload kind {kind!r}") from None
+    return to_bytes(payload)
+
+
+def load_payload(kind: str, path) -> ResultPayload:
+    """Load a result payload of the given kind tag (``hitting``/``foraging``)."""
+    try:
+        _, load = _PAYLOAD_CODECS[kind]
+    except KeyError:
+        raise ValueError(f"unknown payload kind {kind!r}") from None
+    return load(path)
+
+
+# ------------------------------------------------------------------ metadata
+
+
+def save_metadata(metadata: Dict[str, Any], path) -> Path:
+    """Atomically write a JSON metadata sidecar (seeds, parameters, provenance)."""
+    return atomic_write_json(metadata, Path(path))
+
+
 def load_metadata(path) -> Dict[str, Any]:
-    """Read a JSON metadata sidecar."""
-    return json.loads(Path(path).read_text())
+    """Read a JSON metadata sidecar.
+
+    Raises :class:`CorruptResultError` if the file is not valid JSON.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(path)
+    try:
+        return json.loads(path.read_text())
+    except _DECODE_ERRORS as exc:
+        raise CorruptResultError(f"unreadable metadata file {path}: {exc}") from exc

@@ -1,0 +1,63 @@
+"""Fault-tolerant Monte-Carlo execution: chunked, checkpointed, resumable.
+
+Public surface:
+
+* :class:`~repro.runner.runner.Runner` -- chunked execution with durable
+  checkpoints, resume, walltime deadline, worker isolation and retry;
+* :class:`~repro.runner.runner.RunOutcome` -- merged payload + provenance;
+* :class:`~repro.runner.checkpoint.RunnerState` -- inspect/recover a
+  checkpoint directory (``RunnerState.load(checkpoint_dir)``);
+* :class:`~repro.runner.tasks.HittingTimeTask` /
+  :class:`~repro.runner.tasks.ForagingTask` -- picklable chunk tasks
+  wrapping the vectorized engines;
+* :class:`~repro.runner.chunking.ChunkPlan` -- deterministic chunk seeds
+  (``SeedSequence.spawn``), the reason chunked == single-shot;
+* :class:`~repro.runner.faults.FaultInjector` -- staged crashes for tests;
+* :func:`~repro.runner.runner.trap_signals` -- SIGINT/SIGTERM -> graceful
+  checkpoint-and-stop.
+
+See ``docs/runner.md`` for the checkpoint layout and resume semantics.
+"""
+
+from repro.runner.checkpoint import (
+    SCHEMA_VERSION,
+    CheckpointError,
+    CheckpointExistsError,
+    CheckpointMismatchError,
+    CheckpointStore,
+    RunnerState,
+)
+from repro.runner.chunking import ChunkPlan, clamp_chunks
+from repro.runner.faults import MODES as FAULT_MODES
+from repro.runner.faults import FaultInjected, FaultInjector, arm
+from repro.runner.runner import (
+    ChunkFailedError,
+    RunOutcome,
+    Runner,
+    stop_requested,
+    trap_signals,
+)
+from repro.runner.tasks import ForagingTask, HittingTimeTask, fingerprint
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CheckpointError",
+    "CheckpointExistsError",
+    "CheckpointMismatchError",
+    "CheckpointStore",
+    "ChunkFailedError",
+    "ChunkPlan",
+    "FAULT_MODES",
+    "FaultInjected",
+    "FaultInjector",
+    "ForagingTask",
+    "HittingTimeTask",
+    "RunOutcome",
+    "Runner",
+    "RunnerState",
+    "arm",
+    "clamp_chunks",
+    "fingerprint",
+    "stop_requested",
+    "trap_signals",
+]

@@ -1,0 +1,134 @@
+"""Pluggable fault injection for proving the runner's recovery paths.
+
+Real faults (kill -9, OOM, bit rot, a wedged worker) are hard to stage
+reliably in a test suite; :class:`FaultInjector` stages them on purpose at
+the exact points where they hurt:
+
+* ``crash-before-write``  -- die after computing a chunk, before anything
+  reaches disk (the chunk must be recomputed on resume);
+* ``crash-after-write``   -- die right after the chunk is durable (resume
+  must *skip* it);
+* ``corrupt-checkpoint``  -- garble the payload on disk and then die
+  (resume must quarantine and recompute, never trust it);
+* ``hang``                -- a worker stops making progress (the per-chunk
+  timeout must fire and the retry must succeed);
+* ``worker-kill``         -- the worker process dies hard (the pool breaks;
+  the runner must rebuild it and retry).
+
+An injector is *armed* by an external marker file and fires exactly once:
+firing consumes the file first (``os.unlink`` is atomic), so the retried
+or resumed execution of the same chunk runs clean.  This mirrors reality
+-- a crash does not usually repeat deterministically on the same chunk --
+and keeps kill-and-resume tests convergent.  Injectors are picklable, so
+they travel into :class:`~concurrent.futures.ProcessPoolExecutor` workers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+MODES = (
+    "crash-before-write",
+    "crash-after-write",
+    "corrupt-checkpoint",
+    "hang",
+    "worker-kill",
+)
+
+#: Bytes used to garble a payload in ``corrupt-checkpoint`` mode.
+_GARBAGE = b"\x00garbled-by-fault-injector\x00"
+
+
+class FaultInjected(RuntimeError):
+    """Raised by a firing injector to simulate an abrupt process death."""
+
+
+@dataclass(frozen=True)
+class FaultInjector:
+    """Fires one staged fault at a chosen chunk, then disarms itself.
+
+    Parameters
+    ----------
+    mode:
+        One of :data:`MODES`.
+    chunk_index:
+        The chunk at which the fault fires.
+    arm_file:
+        Path of the marker file that arms the injector.  Create it (e.g.
+        ``Path(...).touch()``) to arm; the first firing deletes it.
+    hang_seconds:
+        Sleep length of ``hang`` mode (longer than any sane chunk timeout).
+    hard_exit:
+        If True, crashes use ``os._exit(FaultInjector.EXIT_CODE)`` -- an
+        un-catchable death, for subprocess-based kill tests.  If False
+        (default), crashes raise :class:`FaultInjected`, which in-process
+        tests can catch before resuming.
+    """
+
+    mode: str
+    chunk_index: int
+    arm_file: str
+    hang_seconds: float = 3600.0
+    hard_exit: bool = False
+
+    #: Exit status used by ``hard_exit`` crashes (distinct from any CLI code).
+    EXIT_CODE = 86
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
+
+    # ---------------------------------------------------------------- firing
+
+    def _consume_arm(self, chunk_index: int) -> bool:
+        """True exactly once: when armed and aimed at this chunk."""
+        if chunk_index != self.chunk_index:
+            return False
+        try:
+            os.unlink(self.arm_file)
+        except FileNotFoundError:
+            return False
+        return True
+
+    def _crash(self) -> None:
+        if self.hard_exit:
+            os._exit(self.EXIT_CODE)
+        raise FaultInjected(f"injected {self.mode} at chunk {self.chunk_index}")
+
+    # ------------------------------------------------------------ hook points
+
+    def in_worker(self, chunk_index: int) -> None:
+        """Called inside the worker before a chunk computes (hang/kill modes)."""
+        if self.mode == "hang" and self._consume_arm(chunk_index):
+            time.sleep(self.hang_seconds)
+        elif self.mode == "worker-kill" and self._consume_arm(chunk_index):
+            os._exit(1)
+
+    def before_write(self, chunk_index: int) -> None:
+        """Called in the parent after compute, before the checkpoint write."""
+        if self.mode == "crash-before-write" and self._consume_arm(chunk_index):
+            self._crash()
+
+    def after_write(self, chunk_index: int, payload_path: Optional[Path]) -> None:
+        """Called in the parent right after the checkpoint write commits."""
+        if self.mode == "crash-after-write" and self._consume_arm(chunk_index):
+            self._crash()
+        elif self.mode == "corrupt-checkpoint" and self._consume_arm(chunk_index):
+            if payload_path is not None and Path(payload_path).exists():
+                size = Path(payload_path).stat().st_size
+                # Truncate and garble: simulates a torn write that somehow
+                # reached the final name (e.g. pre-atomic-writer files).
+                Path(payload_path).write_bytes(_GARBAGE + b"\x00" * max(0, size // 2))
+            self._crash()
+
+
+def arm(injector: FaultInjector) -> Path:
+    """Create the injector's marker file (idempotent) and return its path."""
+    path = Path(injector.arm_file)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.touch()
+    return path

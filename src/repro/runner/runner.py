@@ -1,0 +1,410 @@
+"""The fault-tolerant chunked runner: checkpoint, resume, deadline, retry.
+
+:class:`Runner` executes a :mod:`~repro.runner.tasks` task as a sequence
+of independently seeded chunks (:class:`~repro.runner.chunking.ChunkPlan`)
+and makes each chunk durable the moment it finishes:
+
+* **checkpointing** -- every completed chunk is written atomically with a
+  checksummed manifest (:mod:`~repro.runner.checkpoint`), so a crash loses
+  at most the chunk in flight;
+* **resume** -- with ``resume=True`` and a ``checkpoint_dir``, completed
+  chunks are validated and skipped; corrupt or stale ones are quarantined
+  and recomputed.  Determinism: for a fixed ``(seed, n_total, n_chunks)``
+  the merged sample is identical whether the run was uninterrupted,
+  killed and resumed, serial, or pooled;
+* **deadline** -- ``max_seconds`` is a walltime budget shared by all
+  ``run()`` calls of this Runner; when it expires the runner stops
+  *between* chunks and returns the merged partial sample flagged
+  ``degraded=True`` instead of raising;
+* **isolation & retry** -- with ``workers >= 1`` chunks execute in a
+  :class:`~concurrent.futures.ProcessPoolExecutor`; a hung chunk is
+  detected by ``chunk_timeout``, the pool is killed and rebuilt, and the
+  chunk is retried with exponential backoff up to ``max_retries`` times
+  (likewise for workers that die outright);
+* **signals** -- inside a :func:`trap_signals` block, SIGINT/SIGTERM ask
+  the runner to stop at the next chunk boundary; everything finished so
+  far is already on disk and the outcome reports ``interrupted=True``.
+"""
+
+from __future__ import annotations
+
+import signal as _signal
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.runner import tasks as _tasks
+from repro.runner.checkpoint import SCHEMA_VERSION, CheckpointStore
+from repro.runner.chunking import ChunkPlan, clamp_chunks
+from repro.runner.faults import FaultInjector
+
+
+# ------------------------------------------------------------------- signals
+
+
+class _SignalTrap:
+    def __init__(self) -> None:
+        self.triggered: Optional[int] = None
+
+
+_ACTIVE_TRAP: Optional[_SignalTrap] = None
+
+
+@contextmanager
+def trap_signals(signums=(_signal.SIGINT, _signal.SIGTERM)):
+    """Convert SIGINT/SIGTERM into a cooperative stop request.
+
+    While the context is active, the first signal sets a flag that
+    :func:`stop_requested` exposes (the runner checks it between chunks);
+    a second SIGINT raises :class:`KeyboardInterrupt` as an escape hatch.
+    Previous handlers are restored on exit.
+    """
+    global _ACTIVE_TRAP
+    trap = _SignalTrap()
+
+    def _handler(signum, frame):
+        if trap.triggered is not None and signum == _signal.SIGINT:
+            raise KeyboardInterrupt
+        trap.triggered = signum
+
+    previous = {}
+    for signum in signums:
+        previous[signum] = _signal.signal(signum, _handler)
+    outer, _ACTIVE_TRAP = _ACTIVE_TRAP, trap
+    try:
+        yield trap
+    finally:
+        _ACTIVE_TRAP = outer
+        for signum, handler in previous.items():
+            _signal.signal(signum, handler)
+
+
+def stop_requested() -> bool:
+    """True once a trapped SIGINT/SIGTERM has been received."""
+    return _ACTIVE_TRAP is not None and _ACTIVE_TRAP.triggered is not None
+
+
+# ----------------------------------------------------------------- execution
+
+
+def _execute_chunk(task, index: int, n: int, seed, injector: Optional[FaultInjector]):
+    """Run one chunk (in the parent or a pool worker) and return its payload."""
+    if injector is not None:
+        injector.in_worker(index)
+    return index, task(n, seed)
+
+
+@dataclass
+class RunOutcome:
+    """What one :meth:`Runner.run` call produced, and how it got there."""
+
+    payload: Any
+    plan: ChunkPlan
+    completed_chunks: int
+    total_chunks: int
+    resumed_chunks: int = 0
+    degraded: bool = False
+    interrupted: bool = False
+    quarantined: List[str] = field(default_factory=list)
+    retries: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return self.completed_chunks == self.total_chunks
+
+
+class ChunkFailedError(RuntimeError):
+    """A chunk kept failing after exhausting its retry budget."""
+
+
+class Runner:
+    """Chunked, checkpointed, deadline-aware Monte-Carlo execution.
+
+    Parameters
+    ----------
+    checkpoint_dir:
+        Root directory for durable chunk checkpoints (one subdirectory per
+        ``run()`` label).  ``None`` disables persistence (chunked execution,
+        deadline, and retry still work).
+    n_chunks:
+        Default chunk count; clamped to ``[1, n_total]`` per call.
+    workers:
+        0 runs chunks serially in-process; ``>= 1`` runs them in a process
+        pool of that size (isolation: a dying or hanging worker cannot take
+        the parent down).
+    max_seconds:
+        Walltime budget shared across all ``run()`` calls of this Runner
+        (the clock starts at the first call).  Expiry degrades, never raises.
+    chunk_timeout:
+        Per-chunk walltime (pool mode only); a chunk exceeding it is
+        killed and retried.
+    max_retries:
+        Retry budget per chunk for worker death / timeout / task errors.
+    backoff_base:
+        First retry sleeps this many seconds, doubling per attempt.
+    resume:
+        Allow continuing an existing checkpoint directory.  Without it, a
+        populated directory raises (no silent mixing of runs).
+    fault_injector:
+        Optional :class:`~repro.runner.faults.FaultInjector` for tests.
+    """
+
+    def __init__(
+        self,
+        checkpoint_dir=None,
+        n_chunks: int = 8,
+        workers: int = 0,
+        max_seconds: Optional[float] = None,
+        chunk_timeout: Optional[float] = None,
+        max_retries: int = 3,
+        backoff_base: float = 0.05,
+        resume: bool = False,
+        fault_injector: Optional[FaultInjector] = None,
+    ) -> None:
+        if n_chunks < 1:
+            raise ValueError(f"n_chunks must be positive, got {n_chunks}")
+        if workers < 0:
+            raise ValueError(f"workers must be non-negative, got {workers}")
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
+        self.n_chunks = int(n_chunks)
+        self.workers = int(workers)
+        self.max_seconds = max_seconds
+        self.chunk_timeout = chunk_timeout
+        self.max_retries = int(max_retries)
+        self.backoff_base = float(backoff_base)
+        self.resume = bool(resume)
+        self.fault_injector = fault_injector
+        self._deadline: Optional[float] = None
+        self._labels_used: Dict[str, int] = {}
+        #: Aggregate flags over every run() of this Runner (CLI exit codes).
+        self.degraded = False
+        self.interrupted = False
+
+    # ----------------------------------------------------------- small utils
+
+    def _start_clock(self) -> None:
+        if self.max_seconds is not None and self._deadline is None:
+            self._deadline = time.monotonic() + float(self.max_seconds)
+
+    def _out_of_time(self) -> bool:
+        return self._deadline is not None and time.monotonic() >= self._deadline
+
+    def _unique_label(self, label: str) -> str:
+        safe = "".join(c if (c.isalnum() or c in "._-") else "_" for c in label) or "sample"
+        count = self._labels_used.get(safe, 0)
+        self._labels_used[safe] = count + 1
+        return safe if count == 0 else f"{safe}-{count + 1}"
+
+    def _store_for(self, label: str) -> Optional[CheckpointStore]:
+        if self.checkpoint_dir is None:
+            return None
+        return CheckpointStore(self.checkpoint_dir / label)
+
+    def _write_checkpoint(self, store, task, index: int, payload, n: int) -> None:
+        injector = self.fault_injector
+        if injector is not None:
+            injector.before_write(index)
+        path = store.write_chunk(index, task.kind, payload, n) if store else None
+        if injector is not None:
+            injector.after_write(index, path)
+
+    # ------------------------------------------------------------------- run
+
+    def run(self, task, n_total: int, seed: int, label: str = "sample") -> RunOutcome:
+        """Execute ``task`` over ``n_total`` walks and merge the chunks.
+
+        Deterministic for fixed ``(seed, n_total, n_chunks)`` regardless of
+        interruption, resume, or worker count.  Returns a
+        :class:`RunOutcome`; a deadline or signal yields a *partial* merged
+        payload with ``degraded``/``interrupted`` set instead of raising.
+        """
+        self._start_clock()
+        plan = ChunkPlan(
+            n_total=int(n_total),
+            n_chunks=clamp_chunks(n_total, self.n_chunks),
+            seed=int(seed),
+        )
+        label = self._unique_label(label)
+        store = self._store_for(label)
+        notes: List[str] = []
+        quarantined: List[str] = []
+        completed: Dict[int, Any] = {}
+        if store is not None:
+            manifest = {
+                "schema_version": SCHEMA_VERSION,
+                "kind": task.kind,
+                "task": _tasks.fingerprint(task),
+                **plan.describe(),
+            }
+            had_checkpoint = store.initialise(manifest, resume=self.resume)
+            if had_checkpoint:
+                state = store.load_completed(task.kind)
+                completed = {
+                    index: payload
+                    for index, payload in state.completed.items()
+                    if 0 <= index < plan.n_chunks
+                }
+                quarantined = [str(p) for p in state.quarantined]
+                if completed:
+                    notes.append(
+                        f"resumed {len(completed)}/{plan.n_chunks} chunks from {store.directory}"
+                    )
+                if quarantined:
+                    notes.append(
+                        f"quarantined {len(quarantined)} damaged checkpoint file(s)"
+                    )
+        resumed = len(completed)
+        pending = [i for i in range(plan.n_chunks) if i not in completed]
+        sizes, seeds = plan.sizes(), plan.child_seeds()
+
+        retries = 0
+        stopped = False
+        if pending:
+            if self.workers >= 1:
+                retries, stopped = self._run_pooled(
+                    task, store, pending, sizes, seeds, completed, notes
+                )
+            else:
+                stopped = self._run_serial(task, store, pending, sizes, seeds, completed)
+
+        interrupted = stopped and stop_requested()
+        degraded = len(completed) < plan.n_chunks and not interrupted
+        if interrupted:
+            notes.append(
+                f"interrupted by signal after {len(completed)}/{plan.n_chunks} chunks; "
+                "completed chunks are checkpointed"
+            )
+        elif degraded:
+            notes.append(
+                f"walltime budget exhausted after {len(completed)}/{plan.n_chunks} chunks; "
+                "returning censored partial sample (degraded=True)"
+            )
+        self.degraded = self.degraded or degraded
+        self.interrupted = self.interrupted or interrupted
+        return RunOutcome(
+            payload=task.merge(plan, completed),
+            plan=plan,
+            completed_chunks=len(completed),
+            total_chunks=plan.n_chunks,
+            resumed_chunks=resumed,
+            degraded=degraded,
+            interrupted=interrupted,
+            quarantined=quarantined,
+            retries=retries,
+            notes=notes,
+        )
+
+    # ------------------------------------------------------------ serial mode
+
+    def _run_serial(self, task, store, pending, sizes, seeds, completed) -> bool:
+        """Run chunks in-process; returns True if stopped early."""
+        for index in pending:
+            if stop_requested() or self._out_of_time():
+                return True
+            _, payload = _execute_chunk(task, index, sizes[index], seeds[index], None)
+            self._write_checkpoint(store, task, index, payload, sizes[index])
+            completed[index] = payload
+        return stop_requested() or False
+
+    # -------------------------------------------------------------- pool mode
+
+    def _kill_pool(self, executor: ProcessPoolExecutor) -> None:
+        # ProcessPoolExecutor has no public "abandon a running worker": a
+        # hung or poisoned worker must be killed or shutdown() blocks on it.
+        for process in list(getattr(executor, "_processes", {}).values()):
+            process.kill()
+        executor.shutdown(wait=False, cancel_futures=True)
+
+    def _run_pooled(self, task, store, pending, sizes, seeds, completed, notes):
+        """Run chunks in a process pool; returns (retries, stopped_early)."""
+        queue = list(pending)
+        attempts: Dict[int, int] = {}
+        retries = 0
+        executor: Optional[ProcessPoolExecutor] = None
+        inflight: Dict[Any, tuple] = {}  # future -> (chunk index, submit time)
+        poll = 0.05 if self.chunk_timeout is None else min(0.05, self.chunk_timeout / 4)
+
+        def requeue(indices, reason: str) -> bool:
+            """Re-queue failed chunks; False when a retry budget is blown."""
+            nonlocal retries
+            for index in indices:
+                attempts[index] = attempts.get(index, 0) + 1
+                if attempts[index] > self.max_retries:
+                    raise ChunkFailedError(
+                        f"chunk {index} failed {attempts[index]} times (last: {reason})"
+                    )
+                retries += 1
+                notes.append(f"retrying chunk {index} (attempt {attempts[index]}: {reason})")
+                queue.insert(0, index)
+            backoff = self.backoff_base * (2 ** (max(attempts.values(), default=1) - 1))
+            time.sleep(min(backoff, 5.0))
+            return True
+
+        try:
+            while queue or inflight:
+                if stop_requested() or self._out_of_time():
+                    return retries, True
+                if executor is None:
+                    executor = ProcessPoolExecutor(max_workers=self.workers)
+                while queue and len(inflight) < self.workers:
+                    index = queue.pop(0)
+                    future = executor.submit(
+                        _execute_chunk,
+                        task,
+                        index,
+                        sizes[index],
+                        seeds[index],
+                        self.fault_injector,
+                    )
+                    inflight[future] = (index, time.monotonic())
+                done, _ = wait(list(inflight), timeout=poll, return_when=FIRST_COMPLETED)
+                broken: List[int] = []
+                for future in done:
+                    index, _submitted = inflight.pop(future)
+                    try:
+                        _, payload = future.result()
+                    except BrokenProcessPool:
+                        broken.append(index)
+                        continue
+                    except Exception as exc:  # task error inside the worker
+                        requeue([index], f"{type(exc).__name__}: {exc}")
+                        continue
+                    self._write_checkpoint(store, task, index, payload, sizes[index])
+                    completed[index] = payload
+                if broken:
+                    # The pool is poisoned: every other in-flight chunk is
+                    # lost with it.  Rebuild and retry them all.
+                    broken.extend(index for index, _ in inflight.values())
+                    inflight.clear()
+                    self._kill_pool(executor)
+                    executor = None
+                    requeue(sorted(set(broken)), "worker process died")
+                    continue
+                if self.chunk_timeout is not None:
+                    now = time.monotonic()
+                    timed_out = [
+                        index
+                        for future, (index, submitted) in inflight.items()
+                        if now - submitted > self.chunk_timeout
+                    ]
+                    if timed_out:
+                        hung = sorted(
+                            set(timed_out)
+                            | {index for index, _ in inflight.values()}
+                        )
+                        inflight.clear()
+                        self._kill_pool(executor)
+                        executor = None
+                        requeue(hung, f"chunk exceeded {self.chunk_timeout}s timeout")
+            return retries, False
+        finally:
+            if executor is not None:
+                if inflight:
+                    self._kill_pool(executor)
+                else:
+                    executor.shutdown(wait=False, cancel_futures=True)

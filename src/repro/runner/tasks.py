@@ -1,0 +1,160 @@
+"""Picklable chunk tasks: what one checkpointable unit of work computes.
+
+A *task* is the runner's unit of sampling.  It must be
+
+* **callable** as ``task(n, seed_sequence)`` returning a payload for ``n``
+  walks driven by that seed;
+* **mergeable**: ``task.merge(plan, chunks)`` folds per-chunk payloads
+  (keyed by chunk index) back into one payload, equal to what a single
+  in-order execution of all chunks would produce;
+* **picklable**, so it can travel into process-pool workers;
+* **fingerprintable**, so a resume can refuse a checkpoint produced by a
+  different task configuration.
+
+Two concrete tasks cover the repository's engines: hitting-time sampling
+(:class:`HittingTimeTask`, wrapping the walk and flight engines) and
+multi-target foraging (:class:`ForagingTask`).  Merging hitting times is a
+chunk-order concatenation; merging foraging results takes the earliest
+crossing per item across chunks and re-bases discoverer indices by each
+chunk's walk offset -- exactly the semantics of one big run, because walks
+never interact (see :mod:`repro.engine.multi_target`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.distributions.base import JumpDistribution
+from repro.engine.multi_target import ForagingResult, multi_target_search
+from repro.engine.results import CENSORED, HittingTimeSample
+from repro.engine.vectorized import flight_hitting_times, walk_hitting_times
+from repro.runner.chunking import ChunkPlan
+
+IntPoint = Tuple[int, int]
+
+
+def fingerprint(task) -> str:
+    """A short stable digest of a task's full configuration.
+
+    Based on the pickle serialization (stable for a fixed configuration),
+    it is stored in the run manifest so that resuming with a different
+    target, horizon, or jump law is rejected instead of silently mixing
+    incompatible chunks.
+    """
+    return hashlib.sha256(pickle.dumps(task, protocol=4)).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class HittingTimeTask:
+    """Chunked hitting-time sampling (walk or flight semantics).
+
+    Mirrors the signature of
+    :func:`repro.engine.vectorized.walk_hitting_times`; with
+    ``flight=True`` it wraps :func:`flight_hitting_times` instead (horizon
+    then counts jumps).
+    """
+
+    jumps: JumpDistribution
+    target: IntPoint
+    horizon: int
+    detect_during_jump: bool = True
+    start: IntPoint = (0, 0)
+    flight: bool = False
+
+    #: Payload kind tag used by checkpoint manifests and io_utils codecs.
+    kind = "hitting"
+
+    def __call__(self, n: int, seed: np.random.SeedSequence) -> HittingTimeSample:
+        rng = np.random.default_rng(seed)
+        if self.flight:
+            return flight_hitting_times(
+                self.jumps, self.target, self.horizon, n, rng, start=self.start
+            )
+        return walk_hitting_times(
+            self.jumps,
+            self.target,
+            self.horizon,
+            n,
+            rng,
+            start=self.start,
+            detect_during_jump=self.detect_during_jump,
+        )
+
+    def merge(
+        self, plan: ChunkPlan, chunks: Dict[int, HittingTimeSample]
+    ) -> HittingTimeSample:
+        """Concatenate chunk samples in chunk-index order.
+
+        Accepts a partial set of chunks (deadline/interrupt); the merged
+        sample then simply has fewer walks.
+        """
+        indices = sorted(chunks)
+        if not indices:
+            return HittingTimeSample(
+                times=np.empty(0, dtype=np.int64), horizon=self.horizon
+            )
+        times = np.concatenate([np.asarray(chunks[i].times, dtype=np.int64) for i in indices])
+        return HittingTimeSample(times=times, horizon=self.horizon)
+
+
+@dataclass(frozen=True)
+class ForagingTask:
+    """Chunked multi-target foraging over a fixed field of items.
+
+    ``targets`` is stored as a tuple of ``(x, y)`` pairs so the task stays
+    hashable and its fingerprint stable.
+    """
+
+    jumps: JumpDistribution
+    targets: Tuple[IntPoint, ...]
+    horizon: int
+    start: IntPoint = (0, 0)
+
+    kind = "foraging"
+
+    @staticmethod
+    def with_targets(jumps, targets: Sequence[IntPoint], horizon: int, **kw) -> "ForagingTask":
+        """Build from any target sequence (e.g. an ``(n, 2)`` array)."""
+        as_tuples = tuple((int(x), int(y)) for x, y in np.asarray(targets, dtype=np.int64))
+        return ForagingTask(jumps=jumps, targets=as_tuples, horizon=horizon, **kw)
+
+    def __call__(self, n: int, seed: np.random.SeedSequence) -> ForagingResult:
+        rng = np.random.default_rng(seed)
+        return multi_target_search(
+            self.jumps, list(self.targets), self.horizon, n, rng, start=self.start
+        )
+
+    def merge(self, plan: ChunkPlan, chunks: Dict[int, ForagingResult]) -> ForagingResult:
+        """Earliest crossing per item across chunks; discoverers re-based.
+
+        A chunk's walk ``j`` is global walk ``plan.offsets()[chunk] + j``.
+        Ties in discovery time are broken toward the lower chunk index,
+        matching a single run where lower-indexed walks win ties only by
+        enumeration order (crossings at the same step are exchangeable).
+        """
+        target_array = np.asarray(self.targets, dtype=np.int64).reshape(-1, 2)
+        n_items = target_array.shape[0]
+        never = np.iinfo(np.int64).max
+        best_time = np.full(n_items, never, dtype=np.int64)
+        best_walk = np.full(n_items, -1, dtype=np.int64)
+        offsets = plan.offsets()
+        for index in sorted(chunks):
+            chunk = chunks[index]
+            times = np.asarray(chunk.discovery_times, dtype=np.int64)
+            walkers = np.asarray(chunk.discoverer, dtype=np.int64)
+            observed = np.where(times == CENSORED, never, times)
+            better = observed < best_time
+            best_time = np.where(better, observed, best_time)
+            rebased = np.where(walkers >= 0, walkers + offsets[index], walkers)
+            best_walk = np.where(better, rebased, best_walk)
+        return ForagingResult(
+            targets=target_array,
+            discovery_times=np.where(best_time == never, CENSORED, best_time),
+            discoverer=best_walk,
+            horizon=self.horizon,
+        )

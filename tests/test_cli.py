@@ -1,19 +1,25 @@
 """Tests for the repro-experiment command-line interface."""
 
+import numpy as np
 import pytest
 
-from repro.cli import main
+from repro.cli import (
+    EXIT_FAILED,
+    EXIT_OK,
+    EXIT_USAGE,
+    main,
+)
 
 
 def test_list_command(capsys):
-    assert main(["list"]) == 0
+    assert main(["list"]) == EXIT_OK
     out = capsys.readouterr().out
     assert "EXP-T1.6" in out
     assert "FIG-1..6" in out
 
 
 def test_run_single_experiment(capsys):
-    assert main(["run", "EXP-L3.2", "--scale", "smoke"]) == 0
+    assert main(["run", "EXP-L3.2", "--scale", "smoke"]) == EXIT_OK
     out = capsys.readouterr().out
     assert "Lemma 3.2" in out
     assert "ALL CHECKS PASSED" in out
@@ -23,15 +29,17 @@ def test_run_with_csv_dump(tmp_path, capsys):
     code = main(
         ["run", "FIG-1..6", "--scale", "smoke", "--csv-dir", str(tmp_path)]
     )
-    assert code == 0
+    assert code == EXIT_OK
     files = list(tmp_path.glob("*.csv"))
     assert files, "expected CSV output"
     capsys.readouterr()
 
 
-def test_run_unknown_experiment():
-    with pytest.raises(KeyError):
-        main(["run", "EXP-BOGUS"])
+def test_run_unknown_experiment_exits_2_with_message(capsys):
+    assert main(["run", "EXP-BOGUS"]) == EXIT_USAGE
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err
+    assert "EXP-T1.6" in err  # the known-ids listing helps the user recover
 
 
 def test_seed_changes_nothing_for_deterministic_experiment(capsys):
@@ -40,3 +48,94 @@ def test_seed_changes_nothing_for_deterministic_experiment(capsys):
     main(["run", "EXP-L3.2", "--scale", "smoke", "--seed", "2"])
     second = capsys.readouterr().out
     assert first.replace("seed=1", "seed=S") == second.replace("seed=2", "seed=S")
+
+
+# ------------------------------------------------------- sweep fault isolation
+
+
+def test_run_all_survives_one_broken_experiment(monkeypatch, capsys):
+    """One raising experiment must not abort the sweep (satellite task)."""
+    import repro.cli as cli
+
+    def fake_ids():
+        return ["GOOD-1", "BAD-2", "GOOD-3"]
+
+    def fake_run(experiment_id, scale="small", seed=0, runner=None):
+        if experiment_id == "BAD-2":
+            raise RuntimeError("synthetic harness crash")
+        from repro.experiments.common import ExperimentResult
+
+        return ExperimentResult(
+            experiment_id=experiment_id, title="stub", scale=scale, seed=seed
+        )
+
+    class _Module:
+        @staticmethod
+        def run(scale="small", seed=0):  # signature probed by the CLI
+            raise AssertionError("not called directly")
+
+    monkeypatch.setattr(cli, "experiment_ids", fake_ids)
+    monkeypatch.setattr(cli, "run_experiment", fake_run)
+    monkeypatch.setattr(cli, "get_experiment", lambda _id: _Module)
+    code = main(["run", "all", "--scale", "smoke"])
+    captured = capsys.readouterr()
+    assert code == EXIT_FAILED
+    assert "sweep summary" in captured.out
+    assert "ERROR" in captured.out
+    assert "2 passed, 0 failed, 1 errored" in captured.out
+    assert "synthetic harness crash" in captured.err
+
+
+# ------------------------------------------------------------- runner wiring
+
+
+def test_run_with_checkpoint_dir_writes_chunks(tmp_path, capsys):
+    code = main(
+        [
+            "run",
+            "EXP-T1.1",
+            "--scale",
+            "smoke",
+            "--checkpoint-dir",
+            str(tmp_path),
+            "--chunks",
+            "2",
+        ]
+    )
+    capsys.readouterr()
+    assert code in (EXIT_OK, EXIT_FAILED)  # statistical checks may wobble
+    payloads = list(tmp_path.rglob("chunk_*.npz"))
+    manifests = list(tmp_path.rglob("manifest.json"))
+    assert payloads, "expected durable chunk payloads under the checkpoint dir"
+    assert manifests, "expected run manifests under the checkpoint dir"
+    assert (tmp_path / "EXP-T1.1").is_dir()
+
+
+def test_run_with_checkpoint_resume_is_identical(tmp_path, capsys):
+    from repro.experiments.registry import run_experiment
+    from repro.runner import Runner
+
+    first = run_experiment(
+        "EXP-T1.1",
+        scale="smoke",
+        seed=3,
+        runner=Runner(checkpoint_dir=tmp_path, n_chunks=2),
+    )
+    again = run_experiment(
+        "EXP-T1.1",
+        scale="smoke",
+        seed=3,
+        runner=Runner(checkpoint_dir=tmp_path, n_chunks=2, resume=True),
+    )
+    assert first.render().strip() == again.render().strip()
+
+
+def test_runner_ignored_for_unsupporting_experiment(capsys):
+    # EXP-L3.2 is deterministic/analytic and has no runner parameter; the
+    # CLI must say so and still succeed.
+    code = main(
+        ["run", "EXP-L3.2", "--scale", "smoke", "--workers", "0", "--chunks", "2"]
+    )
+    captured = capsys.readouterr()
+    assert code == EXIT_OK
+    assert "does not support the chunked runner" in captured.err

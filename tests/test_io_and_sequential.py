@@ -10,12 +10,15 @@ from repro.analysis.sequential import (
 from repro.engine.multi_target import ForagingResult
 from repro.engine.results import CENSORED, HittingTimeSample
 from repro.io_utils import (
+    CorruptResultError,
+    atomic_write_bytes,
     load_foraging_result,
     load_hitting_sample,
     load_metadata,
     save_foraging_result,
     save_hitting_sample,
     save_metadata,
+    sha256_hex,
 )
 
 
@@ -64,6 +67,68 @@ def test_metadata_roundtrip(tmp_path):
     path = tmp_path / "meta.json"
     save_metadata(metadata, path)
     assert load_metadata(path) == metadata
+
+
+# ------------------------------------------------- corruption and atomicity
+
+
+def test_truncated_npz_raises_corrupt_result_error(tmp_path):
+    sample = HittingTimeSample(times=np.arange(50, dtype=np.int64), horizon=100)
+    path = tmp_path / "sample.npz"
+    save_hitting_sample(sample, path)
+    path.write_bytes(path.read_bytes()[:25])
+    with pytest.raises(CorruptResultError):
+        load_hitting_sample(path)
+
+
+def test_garbage_file_raises_corrupt_result_error(tmp_path):
+    path = tmp_path / "junk.npz"
+    path.write_bytes(b"this is not an npz archive at all")
+    with pytest.raises(CorruptResultError):
+        load_hitting_sample(path)
+    with pytest.raises(CorruptResultError):
+        load_foraging_result(path)
+
+
+def test_garbage_metadata_raises_corrupt_result_error(tmp_path):
+    path = tmp_path / "meta.json"
+    path.write_text("{broken json")
+    with pytest.raises(CorruptResultError):
+        load_metadata(path)
+
+
+def test_corrupt_result_error_is_a_value_error():
+    # Legacy callers caught ValueError for kind mismatches; keep that working.
+    assert issubclass(CorruptResultError, ValueError)
+
+
+def test_missing_file_still_raises_file_not_found(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_hitting_sample(tmp_path / "absent.npz")
+    with pytest.raises(FileNotFoundError):
+        load_metadata(tmp_path / "absent.json")
+
+
+def test_writers_leave_no_temp_files(tmp_path):
+    sample = HittingTimeSample(times=np.array([1, 2], dtype=np.int64), horizon=9)
+    save_hitting_sample(sample, tmp_path / "sample.npz")
+    save_metadata({"a": 1}, tmp_path / "meta.json")
+    atomic_write_bytes(b"payload", tmp_path / "blob.bin")
+    names = sorted(p.name for p in tmp_path.iterdir())
+    assert names == ["blob.bin", "meta.json", "sample.npz"]
+
+
+def test_atomic_write_replaces_existing_content(tmp_path):
+    path = tmp_path / "meta.json"
+    save_metadata({"v": 1}, path)
+    save_metadata({"v": 2}, path)
+    assert load_metadata(path) == {"v": 2}
+
+
+def test_sha256_hex_is_stable():
+    assert sha256_hex(b"abc") == (
+        "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    )
 
 
 # --------------------------------------------------------------- sequential
