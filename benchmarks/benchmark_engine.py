@@ -4,10 +4,15 @@ These measure raw throughput (proper pytest-benchmark timing loops, unlike
 the one-shot experiment benchmarks): the exact Zipf sampler, the uniform
 ring-destination sampler, the direct-path ring-marginal sampler, and the
 end-to-end walk/flight hitting-time engines.
+
+Each test persists its mean runtime into ``BENCH_engine.json`` at the repo
+root (see benchmarks/bench_utils.py), so hot-path perf is diffable per
+commit.
 """
 
 import numpy as np
 
+from bench_utils import record_bench
 from repro.distributions.zeta import ZetaJumpDistribution
 from repro.distributions.zipf_sampler import rejection_conditional_zipf
 from repro.engine.samplers import HeterogeneousZetaSampler
@@ -18,10 +23,16 @@ from repro.lattice.rings import sample_ring_offsets
 _N = 100_000
 
 
+def _persist(benchmark, name: str) -> None:
+    """Record one test's mean seconds into the engine snapshot."""
+    record_bench("engine", {f"{name}_mean_seconds": benchmark.stats.stats.mean})
+
+
 def test_zipf_rejection_sampler(benchmark):
     rng = np.random.default_rng(0)
     alphas = np.full(_N, 2.5)
     benchmark(rejection_conditional_zipf, alphas, rng, _N)
+    _persist(benchmark, "zipf_rejection_sampler")
 
 
 def test_zipf_heterogeneous_sampler(benchmark):
@@ -29,18 +40,21 @@ def test_zipf_heterogeneous_sampler(benchmark):
     sampler = HeterogeneousZetaSampler(rng.uniform(2.0, 3.0, _N))
     indices = np.arange(_N)
     benchmark(sampler.sample, rng, indices)
+    _persist(benchmark, "zipf_heterogeneous_sampler")
 
 
 def test_zeta_distribution_sample(benchmark):
     rng = np.random.default_rng(0)
     law = ZetaJumpDistribution(2.5)
     benchmark(law.sample, rng, _N)
+    _persist(benchmark, "zeta_distribution_sample")
 
 
 def test_ring_offset_sampler(benchmark):
     rng = np.random.default_rng(0)
     distances = np.random.default_rng(1).integers(0, 1000, _N)
     benchmark(sample_ring_offsets, distances, rng)
+    _persist(benchmark, "ring_offset_sampler")
 
 
 def test_direct_path_marginal_sampler(benchmark):
@@ -49,6 +63,7 @@ def test_direct_path_marginal_sampler(benchmark):
     ends = sample_ring_offsets(np.full(_N, 500, dtype=np.int64), rng)
     rings = np.random.default_rng(2).integers(0, 501, _N)
     benchmark(sample_direct_path_nodes, starts, ends, rings, rng)
+    _persist(benchmark, "direct_path_marginal_sampler")
 
 
 def test_walk_engine_end_to_end(benchmark):
@@ -59,6 +74,7 @@ def test_walk_engine_end_to_end(benchmark):
         return walk_hitting_times(law, (24, 12), 1_000, 2_000, rng)
 
     sample = benchmark(run)
+    _persist(benchmark, "walk_engine_end_to_end")
     assert sample.n == 2_000
 
 
@@ -70,6 +86,7 @@ def test_flight_engine_end_to_end(benchmark):
         return flight_hitting_times(law, (8, 4), 200, 2_000, rng)
 
     sample = benchmark(run)
+    _persist(benchmark, "flight_engine_end_to_end")
     assert sample.n == 2_000
 
 
@@ -83,6 +100,7 @@ def test_ball_target_engine(benchmark):
         return ball_hitting_times(law, (24, 12), 4, 1_000, 2_000, rng)
 
     sample = benchmark(run)
+    _persist(benchmark, "ball_target_engine")
     assert sample.n == 2_000
 
 
@@ -97,4 +115,5 @@ def test_multi_target_engine(benchmark):
         return multi_target_search(law, field, 2_000, 32, rng)
 
     result = benchmark(run)
+    _persist(benchmark, "multi_target_engine")
     assert result.n_items == field.shape[0]

@@ -11,13 +11,22 @@ Two numbers are recorded:
   engine economics, not runner cost: every engine invocation pays a fixed
   per-phase-loop price, so small chunks waste vectorization.  Production
   guidance (docs/runner.md): size chunks so each takes seconds, and the
-  chunking tax shrinks toward zero.
+  chunking tax shrinks toward zero;
+* **telemetry overhead** (informational): the checkpointed run with a live
+  event log + metrics recorder vs without.  The seam is a no-op recorder
+  by default, so the guarded numbers above always measure the
+  telemetry-disabled path.
+
+All timings are persisted to ``BENCH_runner.json`` at the repo root (see
+benchmarks/bench_utils.py) so perf trajectories are diffable per commit.
 """
 
 import time
 
 import numpy as np
 
+from bench_utils import record_bench
+from repro import telemetry
 from repro.distributions.zeta import ZetaJumpDistribution
 from repro.engine.vectorized import walk_hitting_times
 from repro.runner import HittingTimeTask, Runner
@@ -51,8 +60,19 @@ def _timed(fn, *args) -> float:
     return time.perf_counter() - started
 
 
+def _chunked_with_telemetry(checkpoint_dir, log_path) -> float:
+    """Time one checkpointed run with a live recorder (events + metrics)."""
+    previous = telemetry.get_recorder()
+    recorder = telemetry.configure(log_path=log_path)
+    try:
+        return _timed(_chunked, checkpoint_dir)
+    finally:
+        recorder.close()
+        telemetry.set_recorder(previous)
+
+
 def test_runner_checkpoint_overhead(benchmark, tmp_path):
-    """Benchmark the checkpointed path; print all three timings."""
+    """Benchmark the checkpointed path; print and persist all timings."""
     _chunked(None)  # warm-up: imports, allocators, zeta tables
 
     single_seconds = _timed(_single_shot)
@@ -62,13 +82,33 @@ def test_runner_checkpoint_overhead(benchmark, tmp_path):
         _chunked, args=(tmp_path / "bench",), rounds=1, iterations=1
     )
     checkpointed_seconds = benchmark.stats.stats.mean
+    telemetry_seconds = _chunked_with_telemetry(
+        tmp_path / "bench-telemetry", tmp_path / "events.jsonl"
+    )
     checkpoint_overhead = checkpointed_seconds / chunked_seconds - 1.0
     chunking_overhead = chunked_seconds / single_seconds - 1.0
+    telemetry_overhead = telemetry_seconds / checkpointed_seconds - 1.0
     print(
         f"\nsingle-shot {single_seconds:.3f}s | chunked x{_N_CHUNKS} "
         f"{chunked_seconds:.3f}s ({100 * chunking_overhead:+.1f}% engine "
         f"economics) | +checkpointing {checkpointed_seconds:.3f}s "
-        f"({100 * checkpoint_overhead:+.1f}% checkpoint path, target < 5%)"
+        f"({100 * checkpoint_overhead:+.1f}% checkpoint path, target < 5%) | "
+        f"+telemetry {telemetry_seconds:.3f}s "
+        f"({100 * telemetry_overhead:+.1f}%)"
+    )
+    record_bench(
+        "runner",
+        {
+            "single_shot_seconds": single_seconds,
+            "chunked_seconds": chunked_seconds,
+            "checkpointed_seconds": checkpointed_seconds,
+            "telemetry_seconds": telemetry_seconds,
+            "chunking_overhead": chunking_overhead,
+            "checkpoint_overhead": checkpoint_overhead,
+            "telemetry_overhead": telemetry_overhead,
+            "n_walks": _N_WALKS,
+            "n_chunks": _N_CHUNKS,
+        },
     )
     assert checkpoint_overhead < _MAX_CHECKPOINT_OVERHEAD, (
         f"checkpoint path overhead {100 * checkpoint_overhead:.1f}% exceeds "

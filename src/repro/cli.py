@@ -7,7 +7,16 @@ Installed as ``repro-experiment`` (see pyproject.toml)::
     repro-experiment run all --scale smoke --csv-dir results/
     repro-experiment run EXP-T1.1 --scale full \\
         --checkpoint-dir ckpt/ --chunks 32 --workers 4 --resume \\
-        --max-seconds 3600
+        --max-seconds 3600 \\
+        --log-json events.jsonl --metrics-out metrics.json --progress
+    repro-experiment report events.jsonl
+
+Telemetry (docs/observability.md): ``--log-json`` appends structured
+JSONL events (run/chunk/retry/checkpoint/quarantine/deadline/signal),
+``--metrics-out`` exports a counters/gauges/histograms snapshot,
+``--progress`` prints a live heartbeat to stderr, and ``report`` renders
+an event log into chunk timelines, retry and incident summaries, and
+throughput.
 
 Exit codes (documented in docs/runner.md):
 
@@ -32,8 +41,11 @@ from typing import Optional, Sequence
 from repro.experiments.common import (
     SCALES,
     add_runner_arguments,
+    add_telemetry_arguments,
+    finish_telemetry,
     run_accepts_runner,
     runner_from_args,
+    telemetry_from_args,
 )
 from repro.experiments.registry import experiment_ids, get_experiment, run_experiment
 from repro.reporting.table import Table
@@ -66,6 +78,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also dump every result table as CSV into this directory",
     )
     add_runner_arguments(runner)
+    add_telemetry_arguments(runner)
+    reporter = subparsers.add_parser(
+        "report", help="render a --log-json event log into text tables"
+    )
+    reporter.add_argument("path", type=Path, help="JSONL event log to render")
+    reporter.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on corrupt interior log lines instead of skipping them",
+    )
     return parser
 
 
@@ -105,12 +127,42 @@ def _run_one(experiment_id: str, args, checkpoint_root: Optional[Path]):
         return None, runner, exc
 
 
+def _report(args) -> int:
+    from repro.io_utils import CorruptResultError
+    from repro.telemetry.report import render_file
+
+    try:
+        print(render_file(args.path, strict=args.strict))
+    except FileNotFoundError:
+        print(f"error: no event log at {args.path}", file=sys.stderr)
+        return EXIT_USAGE
+    except CorruptResultError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except BrokenPipeError:
+        _swallow_broken_pipe()
+    return EXIT_OK
+
+
+def _swallow_broken_pipe() -> None:
+    """Piped into ``head``/``less -F`` which closed stdout early; redirect
+    the remaining flush to devnull so no traceback leaks on exit."""
+    import os
+
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
-        for experiment_id in experiment_ids():
-            print(experiment_id)
+        try:
+            for experiment_id in experiment_ids():
+                print(experiment_id)
+        except BrokenPipeError:
+            _swallow_broken_pipe()
         return EXIT_OK
+    if args.command == "report":
+        return _report(args)
 
     known = experiment_ids()
     if args.experiment == "all":
@@ -125,6 +177,47 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return EXIT_USAGE
 
+    checkpoint_root = args.checkpoint_dir
+    statuses = []  # (experiment id, status, detail, seconds)
+    any_degraded = False
+    interrupted = False
+    recorder, previous_recorder = telemetry_from_args(args)
+    if recorder is not None:
+        recorder.bind(scale=args.scale, seed=args.seed)
+
+    def run_with_telemetry(experiment_id):
+        """One experiment under bound telemetry context + lifecycle events."""
+        if recorder is None:
+            return _run_one(experiment_id, args, checkpoint_root)
+        recorder.bind(experiment=experiment_id)
+        recorder.event("experiment_start", experiment=experiment_id)
+        try:
+            result, runner, error = _run_one(experiment_id, args, checkpoint_root)
+            # Same cause-not-symptom classification as the sweep loop: an
+            # analysis raise after a degraded/interrupted runner is not an
+            # experiment error.
+            if runner is not None and runner.interrupted:
+                status = "interrupted"
+            elif runner is not None and runner.degraded:
+                status = "degraded"
+            elif error is not None:
+                status = "error"
+            else:
+                status = "pass" if result.passed else "fail"
+            recorder.event("experiment_end", experiment=experiment_id, status=status)
+            return result, runner, error
+        finally:
+            recorder.unbind("experiment")
+
+    try:
+        return _run_sweep(
+            args, targets, statuses, run_with_telemetry, any_degraded, interrupted
+        )
+    finally:
+        finish_telemetry(args, recorder, previous_recorder)
+
+
+def _run_sweep(args, targets, statuses, run_one, any_degraded, interrupted) -> int:
     from repro.runner import (
         CheckpointExistsError,
         CheckpointMismatchError,
@@ -132,10 +225,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         trap_signals,
     )
 
-    checkpoint_root = args.checkpoint_dir
-    statuses = []  # (experiment id, status, detail, seconds)
-    any_degraded = False
-    interrupted = False
     with trap_signals():
         for experiment_id in targets:
             if stop_requested():
@@ -143,7 +232,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 statuses.append((experiment_id, "SKIPPED", "interrupted", 0.0))
                 continue
             started = time.monotonic()
-            result, runner, error = _run_one(experiment_id, args, checkpoint_root)
+            result, runner, error = run_one(experiment_id)
             elapsed = time.monotonic() - started
             if error is not None:
                 # A raise *after* the runner stopped early is not an

@@ -23,6 +23,27 @@ from scipy import special
 
 from repro.distributions.base import JumpDistribution
 from repro.distributions.zipf_sampler import rejection_conditional_zipf
+from repro.telemetry.metrics import DECADE_BOUNDS
+from repro.telemetry.recorder import get_recorder
+
+
+def _observe_jumps(distances: np.ndarray) -> None:
+    """Account one batch of sampled jump distances by length decade.
+
+    Called only when telemetry is enabled (guard at the call sites keeps
+    the disabled hot path at a single attribute check per round).  Bucket
+    0 counts lazy phases (``d < 1``); bucket k counts
+    ``10^(k-1) <= d < 10^k`` -- the heavy tail makes these decades span
+    orders of magnitude of walltime, which is exactly what we want to see.
+    """
+    metrics = get_recorder().metrics
+    counts = np.bincount(
+        np.digitize(distances, DECADE_BOUNDS), minlength=len(DECADE_BOUNDS) + 1
+    )
+    metrics.histogram("engine.jump_length_decades", bounds=DECADE_BOUNDS).add_bucket_counts(
+        counts.tolist()
+    )
+    metrics.counter("engine.jumps_sampled").add(int(distances.shape[0]))
 
 
 class BatchJumpSampler(abc.ABC):
@@ -40,7 +61,10 @@ class HomogeneousSampler(BatchJumpSampler):
         self.distribution = distribution
 
     def sample(self, rng: np.random.Generator, walk_indices: np.ndarray) -> np.ndarray:
-        return self.distribution.sample(rng, int(walk_indices.shape[0]))
+        out = self.distribution.sample(rng, int(walk_indices.shape[0]))
+        if get_recorder().enabled:
+            _observe_jumps(out)
+        return out
 
 
 class HeterogeneousZetaSampler(BatchJumpSampler):
@@ -75,7 +99,11 @@ class HeterogeneousZetaSampler(BatchJumpSampler):
         moving = ~lazy
         n_moving = int(moving.sum())
         if n_moving == 0:
+            if get_recorder().enabled:
+                _observe_jumps(out)
             return out
         a = self.alphas[walk_indices[moving]]
         out[moving] = rejection_conditional_zipf(a, rng, n_moving)
+        if get_recorder().enabled:
+            _observe_jumps(out)
         return out

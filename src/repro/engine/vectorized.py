@@ -25,6 +25,7 @@ with the "intermittent" model of [18]):
 
 from __future__ import annotations
 
+import time
 from typing import Tuple, Union
 
 import numpy as np
@@ -35,8 +36,19 @@ from repro.engine.samplers import BatchJumpSampler, HomogeneousSampler
 from repro.lattice.direct_path import sample_direct_path_nodes
 from repro.lattice.rings import sample_ring_offsets
 from repro.rng import SeedLike, as_generator
+from repro.telemetry.recorder import get_recorder
 
 IntPoint = Tuple[int, int]
+
+
+def _record_engine_sample(engine: str, n: int, steps: int, seconds: float) -> None:
+    """Metrics for one engine invocation (telemetry enabled only)."""
+    metrics = get_recorder().metrics
+    metrics.counter(f"engine.{engine}.samples").add(n)
+    metrics.counter("engine.steps_simulated").add(steps)
+    if seconds > 0:
+        metrics.gauge("engine.samples_per_sec").set(round(n / seconds, 3))
+        metrics.gauge("engine.steps_per_sec").set(round(steps / seconds, 3))
 
 
 def _as_sampler(source: Union[BatchJumpSampler, JumpDistribution]) -> BatchJumpSampler:
@@ -108,10 +120,17 @@ def walk_hitting_times(
     elapsed = np.zeros(n_walks, dtype=np.int64)
     alive = np.ones(n_walks, dtype=bool)
     n_dead = 0
+    # Telemetry: one flag check per call when disabled; step accounting
+    # only accumulates when a live recorder is installed.
+    track = get_recorder().enabled
+    steps_simulated = 0
+    started = time.perf_counter() if track else 0.0
 
     while idx.size:
         d = sampler.sample(rng, idx)
         d[~alive] = 0  # dead rows are carried until the next compaction
+        if track:
+            steps_simulated += int(np.maximum(d, 1)[alive].sum())
         v = pos + sample_ring_offsets(d, rng)
         m = np.abs(tx - pos[:, 0]) + np.abs(ty - pos[:, 1])
         if detect_during_jump:
@@ -140,6 +159,10 @@ def walk_hitting_times(
                 alive = np.ones(idx.size, dtype=bool)
                 n_dead = 0
 
+    if track:
+        _record_engine_sample(
+            "walk", n_walks, steps_simulated, time.perf_counter() - started
+        )
     return HittingTimeSample(times=times, horizon=horizon)
 
 
@@ -172,14 +195,23 @@ def flight_hitting_times(
     pos[:, 0] = int(start[0])
     pos[:, 1] = int(start[1])
     active = np.arange(n_flights)
+    track = get_recorder().enabled
+    jumps_simulated = 0
+    started = time.perf_counter() if track else 0.0
     for jump_index in range(1, horizon_jumps + 1):
         if not active.size:
             break
         d = sampler.sample(rng, active)
+        if track:
+            jumps_simulated += int(active.size)
         offsets = sample_ring_offsets(d, rng)
         v = pos[active] + offsets
         pos[active] = v
         hit = (v[:, 0] == tx) & (v[:, 1] == ty)
         times[active[hit]] = jump_index
         active = active[~hit]
+    if track:
+        _record_engine_sample(
+            "flight", n_flights, jumps_simulated, time.perf_counter() - started
+        )
     return HittingTimeSample(times=times, horizon=horizon_jumps)

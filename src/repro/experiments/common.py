@@ -17,12 +17,14 @@ exactly.
 from __future__ import annotations
 
 import argparse
+import sys
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.reporting.table import Table
 from repro.rng import SeedLike, as_generator
+from repro.telemetry.recorder import get_recorder
 
 SCALES = ("smoke", "small", "full")
 
@@ -119,25 +121,26 @@ def sample_hitting_times(
     censored) sample; the runner records the degradation for the CLI.
     """
     rng = as_generator(rng)
-    if runner is None:
-        from repro.engine.vectorized import flight_hitting_times, walk_hitting_times
+    with get_recorder().span("task", task=label, kind="hitting", n_walks=int(n_walks)):
+        if runner is None:
+            from repro.engine.vectorized import flight_hitting_times, walk_hitting_times
 
-        if flight:
-            return flight_hitting_times(jumps, target, horizon, n_walks, rng)
-        return walk_hitting_times(
-            jumps, target, horizon, n_walks, rng, detect_during_jump=detect_during_jump
+            if flight:
+                return flight_hitting_times(jumps, target, horizon, n_walks, rng)
+            return walk_hitting_times(
+                jumps, target, horizon, n_walks, rng, detect_during_jump=detect_during_jump
+            )
+        from repro.runner.tasks import HittingTimeTask
+
+        task = HittingTimeTask(
+            jumps=jumps,
+            target=(int(target[0]), int(target[1])),
+            horizon=int(horizon),
+            detect_during_jump=detect_during_jump,
+            flight=flight,
         )
-    from repro.runner.tasks import HittingTimeTask
-
-    task = HittingTimeTask(
-        jumps=jumps,
-        target=(int(target[0]), int(target[1])),
-        horizon=int(horizon),
-        detect_during_jump=detect_during_jump,
-        flight=flight,
-    )
-    seed = int(rng.integers(0, 2**63 - 1))
-    return runner.run(task, n_walks, seed, label=label).payload
+        seed = int(rng.integers(0, 2**63 - 1))
+        return runner.run(task, n_walks, seed, label=label).payload
 
 
 def sample_foraging(
@@ -155,15 +158,16 @@ def sample_foraging(
     :func:`repro.engine.multi_target.multi_target_search`.
     """
     rng = as_generator(rng)
-    if runner is None:
-        from repro.engine.multi_target import multi_target_search
+    with get_recorder().span("task", task=label, kind="foraging", n_walks=int(n_walks)):
+        if runner is None:
+            from repro.engine.multi_target import multi_target_search
 
-        return multi_target_search(jumps, targets, horizon, n_walks, rng)
-    from repro.runner.tasks import ForagingTask
+            return multi_target_search(jumps, targets, horizon, n_walks, rng)
+        from repro.runner.tasks import ForagingTask
 
-    task = ForagingTask.with_targets(jumps, targets, int(horizon))
-    seed = int(rng.integers(0, 2**63 - 1))
-    return runner.run(task, n_walks, seed, label=label).payload
+        task = ForagingTask.with_targets(jumps, targets, int(horizon))
+        seed = int(rng.integers(0, 2**63 - 1))
+        return runner.run(task, n_walks, seed, label=label).payload
 
 
 def validate_scale(scale: str) -> str:
@@ -203,6 +207,69 @@ def add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="chunks per sampling call (default 8 when a runner is active)",
     )
+
+
+def add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the telemetry CLI flags (see docs/observability.md)."""
+    parser.add_argument(
+        "--log-json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="append structured run events (JSONL) to PATH; render later "
+        "with 'repro-experiment report PATH'",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write a JSON metrics snapshot (counters/gauges/histograms) to "
+        "PATH at the end of the run",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a live one-line heartbeat to stderr per chunk/retry/run event",
+    )
+
+
+def telemetry_from_args(args: argparse.Namespace):
+    """Install a live recorder from parsed telemetry flags.
+
+    Returns ``(recorder, previous)`` -- ``(None, None)`` when no
+    telemetry flag was used, so plain runs keep the no-op recorder.  The
+    caller must call :func:`finish_telemetry` with the pair when done.
+    """
+    wants = (
+        args.log_json is not None
+        or args.metrics_out is not None
+        or getattr(args, "progress", False)
+    )
+    if not wants:
+        return None, None
+    from repro import telemetry
+
+    previous = telemetry.get_recorder()
+    recorder = telemetry.configure(
+        log_path=args.log_json,
+        progress=sys.stderr if args.progress else None,
+    )
+    return recorder, previous
+
+
+def finish_telemetry(args: argparse.Namespace, recorder, previous) -> None:
+    """Export the metrics snapshot, close the event log, restore the seam."""
+    if recorder is None:
+        return
+    from repro import telemetry
+
+    try:
+        if args.metrics_out is not None:
+            recorder.metrics.write_json(args.metrics_out)
+    finally:
+        recorder.close()
+        telemetry.set_recorder(previous)
 
 
 def runner_from_args(args: argparse.Namespace):
@@ -247,16 +314,26 @@ def experiment_main(run, argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--scale", choices=SCALES, default="small")
     parser.add_argument("--seed", type=int, default=0)
     add_runner_arguments(parser)
+    add_telemetry_arguments(parser)
     args = parser.parse_args(argv)
-    runner = runner_from_args(args)
-    if runner is not None and run_accepts_runner(run):
-        result = run(scale=args.scale, seed=args.seed, runner=runner)
-    else:
-        if runner is not None:
-            print(
-                "note: this experiment does not support the chunked runner; "
-                "runner flags ignored"
-            )
-        result = run(scale=args.scale, seed=args.seed)
+    recorder, previous = telemetry_from_args(args)
+    if recorder is not None:
+        recorder.bind(scale=args.scale, seed=args.seed)
+    try:
+        runner = runner_from_args(args)
+        if runner is not None and run_accepts_runner(run):
+            result = run(scale=args.scale, seed=args.seed, runner=runner)
+        else:
+            if runner is not None:
+                # Diagnostics go to stderr: stdout is the experiment report
+                # and may be piped into CSV/markdown tooling.
+                print(
+                    "note: this experiment does not support the chunked runner; "
+                    "runner flags ignored",
+                    file=sys.stderr,
+                )
+            result = run(scale=args.scale, seed=args.seed)
+    finally:
+        finish_telemetry(args, recorder, previous)
     print(result.render())
     return 0 if result.passed else 1

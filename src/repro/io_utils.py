@@ -88,6 +88,32 @@ def atomic_write_json(obj: Any, path) -> Path:
     return atomic_write_bytes(text.encode("utf-8"), path)
 
 
+def open_append(path) -> int:
+    """Open ``path`` for appending (created if absent); returns the fd.
+
+    The descriptor carries ``O_APPEND``, so every ``os.write`` lands at
+    the then-current end of file regardless of other appenders -- the
+    contract the telemetry event log (:mod:`repro.telemetry.events`)
+    builds its one-line-per-write durability on.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    return os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+
+
+def append_line(fd: int, line: str) -> None:
+    """Append ``line`` (newline added) to an :func:`open_append` fd.
+
+    The whole line goes down in a single ``os.write`` call so concurrent
+    appenders never interleave mid-record; a crash can only truncate the
+    final line.
+    """
+    data = (line + "\n").encode("utf-8")
+    written = os.write(fd, data)
+    while written < len(data):  # pragma: no cover - short writes are rare
+        written += os.write(fd, data[written:])
+
+
 def sha256_hex(data: bytes) -> str:
     """Hex digest used to checksum checkpoint payloads."""
     return hashlib.sha256(data).hexdigest()

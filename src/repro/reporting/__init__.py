@@ -7,10 +7,11 @@ from repro.reporting.markdown import (
     table_to_markdown,
 )
 from repro.reporting.table import Table
-from repro.reporting.text_plots import ascii_loglog
+from repro.reporting.text_plots import ascii_bars, ascii_loglog
 
 __all__ = [
     "Table",
+    "ascii_bars",
     "ascii_loglog",
     "ascii_heatmap",
     "table_to_markdown",

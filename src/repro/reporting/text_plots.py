@@ -1,11 +1,38 @@
-"""ASCII log-log scatter plots for terminal-friendly experiment output."""
+"""ASCII plots (log-log scatter, horizontal bars) for terminal output."""
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Sequence
+from typing import Dict, Sequence, Tuple
 
 _MARKERS = "ox+*#@%&"
+
+
+def ascii_bars(
+    items: Sequence[Tuple[str, float]],
+    width: int = 48,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Render labelled non-negative values as horizontal bars.
+
+    Used by ``repro-experiment report`` for per-chunk walltime timelines.
+    Bars are linearly scaled to the maximum value; each row shows the
+    label, the bar, and the numeric value.
+    """
+    if not items:
+        raise ValueError("nothing to plot: no bars")
+    values = [max(0.0, float(value)) for _, value in items]
+    peak = max(values) or 1.0
+    label_width = max(len(str(label)) for label, _ in items)
+    lines = [title] if title else []
+    for (label, _), value in zip(items, values):
+        bar = "#" * max(1 if value > 0 else 0, round(value / peak * width))
+        lines.append(
+            f"{str(label).ljust(label_width)} |{bar.ljust(width)}| "
+            f"{value:.3g}{unit}"
+        )
+    return "\n".join(lines)
 
 
 def ascii_loglog(

@@ -69,13 +69,26 @@ def _chunk_stem(index: int) -> str:
 
 
 class CheckpointStore:
-    """Reads and writes one run's checkpoint directory."""
+    """Reads and writes one run's checkpoint directory.
 
-    def __init__(self, directory) -> None:
+    ``recorder`` (optional) receives a ``quarantine`` telemetry event per
+    damaged file moved aside; ``None`` falls back to the process-global
+    :func:`repro.telemetry.get_recorder` seam at call time.
+    """
+
+    def __init__(self, directory, recorder=None) -> None:
         self.directory = Path(directory)
         self.chunks_dir = self.directory / _CHUNKS_DIR
         self.quarantine_dir = self.directory / _QUARANTINE_DIR
         self.manifest_path = self.directory / _MANIFEST_NAME
+        self._recorder = recorder
+
+    def _rec(self):
+        if self._recorder is not None:
+            return self._recorder
+        from repro.telemetry.recorder import get_recorder
+
+        return get_recorder()
 
     # ------------------------------------------------------------- manifest
 
@@ -165,6 +178,11 @@ class CheckpointStore:
                 destination = self.quarantine_dir / f"{path.name}.{counter}"
             os.replace(path, destination)
             moved.append(destination)
+        if moved:
+            rec = self._rec()
+            for destination in moved:
+                rec.event("quarantine", path=str(destination))
+            rec.metrics.counter("runner.files_quarantined").add(len(moved))
         return moved
 
     def load_completed(self, kind: str) -> "RunnerState":

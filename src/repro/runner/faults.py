@@ -94,6 +94,18 @@ class FaultInjector:
             return False
         return True
 
+    def _record(self, hook: str) -> None:
+        """Emit a ``fault_injected`` telemetry event (parent-side hooks only).
+
+        The event goes out *before* the staged crash, so a post-mortem
+        event log shows the fault even when the process dies right after.
+        """
+        from repro.telemetry.recorder import get_recorder
+
+        get_recorder().event(
+            "fault_injected", mode=self.mode, chunk=self.chunk_index, hook=hook
+        )
+
     def _crash(self) -> None:
         if self.hard_exit:
             os._exit(self.EXIT_CODE)
@@ -111,13 +123,16 @@ class FaultInjector:
     def before_write(self, chunk_index: int) -> None:
         """Called in the parent after compute, before the checkpoint write."""
         if self.mode == "crash-before-write" and self._consume_arm(chunk_index):
+            self._record("before_write")
             self._crash()
 
     def after_write(self, chunk_index: int, payload_path: Optional[Path]) -> None:
         """Called in the parent right after the checkpoint write commits."""
         if self.mode == "crash-after-write" and self._consume_arm(chunk_index):
+            self._record("after_write")
             self._crash()
         elif self.mode == "corrupt-checkpoint" and self._consume_arm(chunk_index):
+            self._record("after_write")
             if payload_path is not None and Path(payload_path).exists():
                 size = Path(payload_path).stat().st_size
                 # Truncate and garble: simulates a torn write that somehow

@@ -41,6 +41,7 @@ from repro.runner import tasks as _tasks
 from repro.runner.checkpoint import SCHEMA_VERSION, CheckpointStore
 from repro.runner.chunking import ChunkPlan, clamp_chunks
 from repro.runner.faults import FaultInjector
+from repro.telemetry.recorder import get_recorder
 
 
 # ------------------------------------------------------------------- signals
@@ -152,6 +153,12 @@ class Runner:
         populated directory raises (no silent mixing of runs).
     fault_injector:
         Optional :class:`~repro.runner.faults.FaultInjector` for tests.
+    recorder:
+        Telemetry recorder for run/chunk/retry/deadline events and
+        metrics.  ``None`` (default) uses the process-global
+        :func:`repro.telemetry.get_recorder` seam, a no-op unless the
+        CLI (``--log-json``/``--metrics-out``/``--progress``) or a test
+        enabled telemetry.
     """
 
     def __init__(
@@ -165,6 +172,7 @@ class Runner:
         backoff_base: float = 0.05,
         resume: bool = False,
         fault_injector: Optional[FaultInjector] = None,
+        recorder=None,
     ) -> None:
         if n_chunks < 1:
             raise ValueError(f"n_chunks must be positive, got {n_chunks}")
@@ -179,6 +187,7 @@ class Runner:
         self.backoff_base = float(backoff_base)
         self.resume = bool(resume)
         self.fault_injector = fault_injector
+        self._recorder = recorder
         self._deadline: Optional[float] = None
         self._labels_used: Dict[str, int] = {}
         #: Aggregate flags over every run() of this Runner (CLI exit codes).
@@ -200,18 +209,38 @@ class Runner:
         self._labels_used[safe] = count + 1
         return safe if count == 0 else f"{safe}-{count + 1}"
 
-    def _store_for(self, label: str) -> Optional[CheckpointStore]:
+    def _store_for(self, label: str, recorder) -> Optional[CheckpointStore]:
         if self.checkpoint_dir is None:
             return None
-        return CheckpointStore(self.checkpoint_dir / label)
+        return CheckpointStore(self.checkpoint_dir / label, recorder=recorder)
 
-    def _write_checkpoint(self, store, task, index: int, payload, n: int) -> None:
+    def _write_checkpoint(self, store, task, index: int, payload, n: int, rec, label) -> None:
         injector = self.fault_injector
         if injector is not None:
             injector.before_write(index)
         path = store.write_chunk(index, task.kind, payload, n) if store else None
+        if path is not None and rec.enabled:
+            rec.event("checkpoint", label=label, chunk=index, path=str(path))
+            rec.metrics.counter("runner.checkpoints_written").add()
         if injector is not None:
             injector.after_write(index, path)
+
+    def _stop_reason(self, rec, label: str, completed: int, total: int) -> Optional[str]:
+        """Check the two between-chunk stop conditions, emitting the event.
+
+        Returns ``"signal"``/``"deadline"`` (and records it) or ``None``.
+        Each caller returns immediately on a non-None reason, so the
+        event is emitted once per stop, not once per remaining chunk.
+        """
+        reason = None
+        if stop_requested():
+            reason = "signal"
+        elif self._out_of_time():
+            reason = "deadline"
+        if reason is not None:
+            rec.event(reason, label=label, completed=completed, total=total)
+            rec.metrics.counter(f"runner.{reason}_stops").add()
+        return reason
 
     # ------------------------------------------------------------------- run
 
@@ -224,13 +253,24 @@ class Runner:
         payload with ``degraded``/``interrupted`` set instead of raising.
         """
         self._start_clock()
+        rec = self._recorder if self._recorder is not None else get_recorder()
+        started = time.monotonic()
         plan = ChunkPlan(
             n_total=int(n_total),
             n_chunks=clamp_chunks(n_total, self.n_chunks),
             seed=int(seed),
         )
         label = self._unique_label(label)
-        store = self._store_for(label)
+        rec.event(
+            "run_start",
+            label=label,
+            kind=task.kind,
+            n_total=plan.n_total,
+            n_chunks=plan.n_chunks,
+            seed=plan.seed,
+            workers=self.workers,
+        )
+        store = self._store_for(label, rec)
         notes: List[str] = []
         quarantined: List[str] = []
         completed: Dict[int, Any] = {}
@@ -259,6 +299,15 @@ class Runner:
                         f"quarantined {len(quarantined)} damaged checkpoint file(s)"
                     )
         resumed = len(completed)
+        if resumed or quarantined:
+            rec.event(
+                "resume",
+                label=label,
+                resumed=resumed,
+                quarantined=len(quarantined),
+                total=plan.n_chunks,
+            )
+            rec.metrics.counter("runner.chunks_resumed").add(resumed)
         pending = [i for i in range(plan.n_chunks) if i not in completed]
         sizes, seeds = plan.sizes(), plan.child_seeds()
 
@@ -267,10 +316,12 @@ class Runner:
         if pending:
             if self.workers >= 1:
                 retries, stopped = self._run_pooled(
-                    task, store, pending, sizes, seeds, completed, notes
+                    task, store, pending, sizes, seeds, completed, notes, rec, label
                 )
             else:
-                stopped = self._run_serial(task, store, pending, sizes, seeds, completed)
+                stopped = self._run_serial(
+                    task, store, pending, sizes, seeds, completed, rec, label
+                )
 
         interrupted = stopped and stop_requested()
         degraded = len(completed) < plan.n_chunks and not interrupted
@@ -286,6 +337,27 @@ class Runner:
             )
         self.degraded = self.degraded or degraded
         self.interrupted = self.interrupted or interrupted
+        run_seconds = time.monotonic() - started
+        rec.event(
+            "run_end",
+            label=label,
+            completed=len(completed),
+            total=plan.n_chunks,
+            resumed=resumed,
+            retries=retries,
+            quarantined=len(quarantined),
+            degraded=degraded,
+            interrupted=interrupted,
+            seconds=round(run_seconds, 6),
+        )
+        if rec.enabled:
+            walks_done = sum(sizes[i] for i in completed)
+            rec.metrics.counter("runner.runs").add()
+            rec.metrics.counter("runner.walks_completed").add(walks_done)
+            if run_seconds > 0:
+                rec.metrics.gauge("runner.samples_per_sec").set(
+                    round(walks_done / run_seconds, 3)
+                )
         return RunOutcome(
             payload=task.merge(plan, completed),
             plan=plan,
@@ -301,15 +373,36 @@ class Runner:
 
     # ------------------------------------------------------------ serial mode
 
-    def _run_serial(self, task, store, pending, sizes, seeds, completed) -> bool:
+    def _run_serial(self, task, store, pending, sizes, seeds, completed, rec, label) -> bool:
         """Run chunks in-process; returns True if stopped early."""
+        total = len(completed) + len(pending)
         for index in pending:
-            if stop_requested() or self._out_of_time():
+            if self._stop_reason(rec, label, len(completed), total) is not None:
                 return True
+            rec.event("chunk_start", label=label, chunk=index, n=sizes[index], attempt=1)
+            chunk_started = time.monotonic()
             _, payload = _execute_chunk(task, index, sizes[index], seeds[index], None)
-            self._write_checkpoint(store, task, index, payload, sizes[index])
+            self._write_checkpoint(store, task, index, payload, sizes[index], rec, label)
             completed[index] = payload
+            self._record_chunk_end(
+                rec, label, index, sizes[index], time.monotonic() - chunk_started, 1
+            )
         return stop_requested() or False
+
+    def _record_chunk_end(
+        self, rec, label: str, index: int, n: int, seconds: float, attempt: int
+    ) -> None:
+        rec.event(
+            "chunk_end",
+            label=label,
+            chunk=index,
+            n=n,
+            seconds=round(seconds, 6),
+            attempt=attempt,
+        )
+        if rec.enabled:
+            rec.metrics.counter("runner.chunks_completed").add()
+            rec.metrics.histogram("runner.chunk_seconds").observe(seconds)
 
     # -------------------------------------------------------------- pool mode
 
@@ -320,11 +413,12 @@ class Runner:
             process.kill()
         executor.shutdown(wait=False, cancel_futures=True)
 
-    def _run_pooled(self, task, store, pending, sizes, seeds, completed, notes):
+    def _run_pooled(self, task, store, pending, sizes, seeds, completed, notes, rec, label):
         """Run chunks in a process pool; returns (retries, stopped_early)."""
         queue = list(pending)
         attempts: Dict[int, int] = {}
         retries = 0
+        total = len(completed) + len(pending)
         executor: Optional[ProcessPoolExecutor] = None
         inflight: Dict[Any, tuple] = {}  # future -> (chunk index, submit time)
         poll = 0.05 if self.chunk_timeout is None else min(0.05, self.chunk_timeout / 4)
@@ -340,14 +434,26 @@ class Runner:
                     )
                 retries += 1
                 notes.append(f"retrying chunk {index} (attempt {attempts[index]}: {reason})")
+                rec.event(
+                    "retry",
+                    label=label,
+                    chunk=index,
+                    attempt=attempts[index],
+                    reason=reason,
+                )
+                rec.metrics.counter("runner.retries").add()
                 queue.insert(0, index)
             backoff = self.backoff_base * (2 ** (max(attempts.values(), default=1) - 1))
             time.sleep(min(backoff, 5.0))
             return True
 
+        def rebuild_pool(reason: str) -> None:
+            rec.event("pool_rebuild", label=label, reason=reason)
+            rec.metrics.counter("runner.pool_rebuilds").add()
+
         try:
             while queue or inflight:
-                if stop_requested() or self._out_of_time():
+                if self._stop_reason(rec, label, len(completed), total) is not None:
                     return retries, True
                 if executor is None:
                     executor = ProcessPoolExecutor(max_workers=self.workers)
@@ -362,6 +468,13 @@ class Runner:
                         self.fault_injector,
                     )
                     inflight[future] = (index, time.monotonic())
+                    rec.event(
+                        "chunk_start",
+                        label=label,
+                        chunk=index,
+                        n=sizes[index],
+                        attempt=attempts.get(index, 0) + 1,
+                    )
                 done, _ = wait(list(inflight), timeout=poll, return_when=FIRST_COMPLETED)
                 broken: List[int] = []
                 for future in done:
@@ -374,8 +487,16 @@ class Runner:
                     except Exception as exc:  # task error inside the worker
                         requeue([index], f"{type(exc).__name__}: {exc}")
                         continue
-                    self._write_checkpoint(store, task, index, payload, sizes[index])
+                    self._write_checkpoint(store, task, index, payload, sizes[index], rec, label)
                     completed[index] = payload
+                    self._record_chunk_end(
+                        rec,
+                        label,
+                        index,
+                        sizes[index],
+                        time.monotonic() - _submitted,
+                        attempts.get(index, 0) + 1,
+                    )
                 if broken:
                     # The pool is poisoned: every other in-flight chunk is
                     # lost with it.  Rebuild and retry them all.
@@ -383,6 +504,7 @@ class Runner:
                     inflight.clear()
                     self._kill_pool(executor)
                     executor = None
+                    rebuild_pool("worker process died")
                     requeue(sorted(set(broken)), "worker process died")
                     continue
                 if self.chunk_timeout is not None:
@@ -400,6 +522,7 @@ class Runner:
                         inflight.clear()
                         self._kill_pool(executor)
                         executor = None
+                        rebuild_pool(f"chunk exceeded {self.chunk_timeout}s timeout")
                         requeue(hung, f"chunk exceeded {self.chunk_timeout}s timeout")
             return retries, False
         finally:

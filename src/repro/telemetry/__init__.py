@@ -1,0 +1,85 @@
+"""Telemetry: structured event logs, metrics, span tracing, reporting.
+
+The subsystem has four pieces (see docs/observability.md):
+
+* **recorder seam** (:mod:`~repro.telemetry.recorder`) -- every layer
+  (runner, checkpoints, fault injection, engines, experiment harnesses,
+  CLI) emits through :func:`get_recorder`.  The default is a
+  :class:`NullRecorder`, so the hot path pays nothing until
+  :func:`configure` (CLI: ``--log-json`` / ``--metrics-out`` /
+  ``--progress``) installs a live :class:`TelemetryRecorder`;
+* **event log** (:mod:`~repro.telemetry.events`) -- append-only JSONL,
+  one event per run/chunk/retry/checkpoint/quarantine/deadline/signal,
+  each stamped with monotonic elapsed time and the recorder's bound
+  context (experiment id, scale, seed);
+* **metrics** (:mod:`~repro.telemetry.metrics`) -- process-local
+  counters, gauges and fixed-bucket histograms with JSON snapshot export;
+* **report** (:mod:`~repro.telemetry.report`) -- renders an event log
+  into chunk timelines, retry and incident summaries, and throughput
+  (CLI: ``repro-experiment report events.jsonl``).
+
+Import-cycle note: this ``__init__`` eagerly imports only the stdlib-only
+``metrics`` and ``recorder`` modules (the engines import the recorder
+from inside their hot paths); ``events``/``report`` symbols are provided
+lazily because they pull in :mod:`repro.io_utils` and the reporting
+stack.
+"""
+
+from repro.telemetry.metrics import (
+    DECADE_BOUNDS,
+    DURATION_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.recorder import (
+    NullRecorder,
+    TelemetryRecorder,
+    configure,
+    get_recorder,
+    set_recorder,
+    use_recorder,
+)
+
+#: Lazily resolved attribute -> providing submodule.
+_LAZY = {
+    "EventLogWriter": "repro.telemetry.events",
+    "read_events": "repro.telemetry.events",
+    "iter_events": "repro.telemetry.events",
+    "SCHEMA_VERSION": "repro.telemetry.events",
+    "render_report": "repro.telemetry.report",
+    "render_file": "repro.telemetry.report",
+    "summarize_events": "repro.telemetry.report",
+}
+
+__all__ = [
+    "DECADE_BOUNDS",
+    "DURATION_BOUNDS",
+    "Counter",
+    "EventLogWriter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRecorder",
+    "SCHEMA_VERSION",
+    "TelemetryRecorder",
+    "configure",
+    "get_recorder",
+    "iter_events",
+    "read_events",
+    "render_file",
+    "render_report",
+    "set_recorder",
+    "summarize_events",
+    "use_recorder",
+]
+
+
+def __getattr__(name: str):
+    module_path = _LAZY.get(name)
+    if module_path is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_path), name)

@@ -1,0 +1,105 @@
+"""Append-only JSONL event logs: the durable half of telemetry.
+
+One event per line, schema documented in docs/observability.md.  The
+format is deliberately boring: any ``jq``/pandas/grep pipeline can
+consume it, and ``repro-experiment report`` renders it back into the
+repository's text tables.
+
+Durability model: each event is serialized to one ``\\n``-terminated line
+and written with a *single* ``write`` on an ``O_APPEND`` descriptor
+(:func:`repro.io_utils.open_append` / :func:`append_line`).  POSIX makes
+O_APPEND writes atomic with respect to concurrent appenders for writes up
+to ``PIPE_BUF`` and -- on regular files under every mainstream filesystem
+-- non-interleaving at any size, so the failure mode of a crash is "the
+last line is truncated", never "two events interleave mid-record".
+:func:`read_events` therefore tolerates a garbled *final* line by
+default (that is the expected kill signature) while ``strict=True``
+turns any damage into :class:`repro.io_utils.CorruptResultError`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+from repro.io_utils import CorruptResultError, append_line, open_append
+
+#: Stamped into the header event of every log this writer opens.
+SCHEMA_VERSION = 1
+
+
+def _encode(record: Dict) -> str:
+    # Compact separators: event logs are written per chunk, not per step,
+    # but long sweeps still produce thousands of lines.
+    return json.dumps(record, separators=(",", ":"), sort_keys=True, default=str)
+
+
+class EventLogWriter:
+    """Appends JSON events to ``path``, one line per event.
+
+    Opening the writer appends a ``log_open`` header event carrying the
+    schema version, so a reader can detect format drift and a log that
+    was resumed across several processes shows each process boundary.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._fd: Optional[int] = open_append(self.path)
+        self.write({"type": "log_open", "schema": SCHEMA_VERSION})
+
+    def write(self, record: Dict) -> None:
+        if self._fd is None:
+            raise ValueError(f"event log {self.path} is closed")
+        append_line(self._fd, _encode(record))
+
+    def close(self) -> None:
+        if self._fd is not None:
+            import os
+
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "EventLogWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def iter_events(path, strict: bool = False) -> Iterator[Dict]:
+    """Yield events from a JSONL log in file order.
+
+    Blank lines are skipped.  A line that fails to parse (or parses to a
+    non-object) is skipped unless ``strict`` is true, in which case it
+    raises :class:`CorruptResultError` -- except that a damaged *final*
+    line is always tolerated, because that is precisely what a
+    kill-while-appending leaves behind and resumability is the point.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(path)
+    lines = path.read_text(encoding="utf-8", errors="replace").split("\n")
+    # Trailing "" after a final newline is not a line.
+    if lines and lines[-1] == "":
+        lines.pop()
+    last = len(lines) - 1
+    for number, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+            if not isinstance(record, dict):
+                raise ValueError(f"event is not an object: {record!r}")
+        except (json.JSONDecodeError, ValueError) as exc:
+            if strict and number != last:
+                raise CorruptResultError(
+                    f"corrupt event at {path}:{number + 1}: {exc}"
+                ) from exc
+            continue
+        yield record
+
+
+def read_events(path, strict: bool = False) -> List[Dict]:
+    """Materialized :func:`iter_events`."""
+    return list(iter_events(path, strict=strict))

@@ -1,0 +1,315 @@
+"""The recorder seam: one global object every layer emits through.
+
+Design constraints (why this module looks the way it does):
+
+* **zero cost when disabled** -- the default recorder is a
+  :class:`NullRecorder` whose methods do nothing and whose ``span`` is a
+  shared reusable no-op context manager; hot loops guard any non-trivial
+  accounting behind ``get_recorder().enabled``;
+* **no repro imports at module level** -- the vectorized engines import
+  this module, and the event-log writer imports :mod:`repro.io_utils`,
+  which imports the engines.  Keeping this module stdlib-only (the writer
+  is imported lazily inside :func:`configure`) breaks the cycle;
+* **single seam** -- ``Runner``, ``CheckpointStore``, ``FaultInjector``,
+  the engines, the experiment harnesses, and the CLI all call
+  :func:`get_recorder`; enabling telemetry in one place
+  (:func:`configure` / :func:`set_recorder`) lights up every layer.
+
+Event records are flat JSON objects.  Every event carries ``t`` (seconds
+of monotonic elapsed time since the recorder was created), ``type``, the
+recorder's bound context (experiment id, scale, seed, ...), and the id of
+the innermost open span, so a post-hoc reader can reconstruct the
+``run > chunk > task`` nesting.  See docs/observability.md for the schema.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class _NullSpan:
+    """Reusable no-op context manager (one shared instance, no allocation)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """The default recorder: does nothing, costs (almost) nothing.
+
+    ``metrics`` is still a real registry so code may unconditionally do
+    ``rec.metrics.counter(...)`` in cold paths; hot paths must guard with
+    ``rec.enabled`` instead.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.metrics = MetricsRegistry()
+
+    def event(self, type_: str, **fields) -> None:
+        pass
+
+    def span(self, name: str, **fields) -> _NullSpan:
+        return _NULL_SPAN
+
+    def bind(self, **fields) -> None:
+        pass
+
+    def unbind(self, *names: str) -> None:
+        pass
+
+    @contextmanager
+    def bound(self, **fields) -> Iterator[None]:
+        yield
+
+    def close(self) -> None:
+        pass
+
+
+#: Event types the ``--progress`` heartbeat renders (others stay silent).
+_PROGRESS_TYPES = frozenset(
+    {
+        "run_start",
+        "resume",
+        "chunk_end",
+        "retry",
+        "pool_rebuild",
+        "quarantine",
+        "deadline",
+        "signal",
+        "run_end",
+        "experiment_start",
+        "experiment_end",
+    }
+)
+
+
+class TelemetryRecorder:
+    """A live recorder: events to JSONL, metrics to a registry, heartbeat.
+
+    Parameters
+    ----------
+    writer:
+        Anything with ``write(record: dict)`` and ``close()`` -- normally
+        an :class:`repro.telemetry.events.EventLogWriter`.  ``None``
+        keeps metrics/spans/progress without an event log.
+    metrics:
+        Registry to accumulate into (default: a fresh one).
+    progress:
+        A text stream (e.g. ``sys.stderr``); when set, a one-line
+        heartbeat is printed for the coarse lifecycle events so a long
+        run is observable live without tailing the JSONL.
+    context:
+        Initial bound fields stamped onto every event (seed, experiment
+        id, scale, ...).
+
+    Spans are tracked on a plain instance stack: the runner and the
+    experiment harnesses emit from the parent process's single thread
+    (pool workers have their own -- null -- recorder), so no thread-local
+    machinery is needed.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        writer=None,
+        metrics: Optional[MetricsRegistry] = None,
+        progress=None,
+        context: Optional[Dict] = None,
+    ) -> None:
+        self.writer = writer
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.progress = progress
+        self.context: Dict = dict(context or {})
+        self._t0 = time.monotonic()
+        self._span_stack = []  # span ids, innermost last
+        self._next_span_id = 1
+
+    # -------------------------------------------------------------- context
+
+    def elapsed(self) -> float:
+        """Monotonic seconds since this recorder was created."""
+        return time.monotonic() - self._t0
+
+    def bind(self, **fields) -> None:
+        """Stamp ``fields`` onto every subsequent event."""
+        self.context.update(fields)
+
+    def unbind(self, *names: str) -> None:
+        for name in names:
+            self.context.pop(name, None)
+
+    @contextmanager
+    def bound(self, **fields) -> Iterator[None]:
+        """Temporarily bind context fields (restores previous values)."""
+        previous = {name: self.context.get(name, _MISSING) for name in fields}
+        self.bind(**fields)
+        try:
+            yield
+        finally:
+            for name, value in previous.items():
+                if value is _MISSING:
+                    self.context.pop(name, None)
+                else:
+                    self.context[name] = value
+
+    # --------------------------------------------------------------- events
+
+    def event(self, type_: str, **fields) -> None:
+        """Emit one structured event (and maybe a heartbeat line)."""
+        record = {"t": round(self.elapsed(), 6), "type": type_}
+        if self.context:
+            record.update(self.context)
+        if self._span_stack:
+            record["span"] = self._span_stack[-1]
+        record.update(fields)
+        if self.writer is not None:
+            self.writer.write(record)
+        if self.progress is not None and type_ in _PROGRESS_TYPES:
+            self._heartbeat(record)
+
+    @contextmanager
+    def span(self, name: str, **fields) -> Iterator[int]:
+        """A nested traced region: ``span_start``/``span_end`` events.
+
+        The yielded span id appears as ``span`` on every event emitted
+        inside, so hung or slow regions are reconstructable post-hoc.
+        ``span_end`` is emitted even when the body raises (with
+        ``ok=False`` and the exception type).
+        """
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        parent = self._span_stack[-1] if self._span_stack else None
+        self.event("span_start", span=span_id, name=name, parent=parent, **fields)
+        self._span_stack.append(span_id)
+        started = time.monotonic()
+        error: Optional[str] = None
+        try:
+            yield span_id
+        except BaseException as exc:
+            error = type(exc).__name__
+            raise
+        finally:
+            self._span_stack.pop()
+            end_fields = {"seconds": round(time.monotonic() - started, 6), "ok": error is None}
+            if error is not None:
+                end_fields["error"] = error
+            self.event("span_end", span=span_id, name=name, **end_fields)
+
+    def close(self) -> None:
+        if self.writer is not None:
+            self.writer.close()
+
+    # ------------------------------------------------------------ heartbeat
+
+    def _heartbeat(self, record: Dict) -> None:
+        type_ = record["type"]
+        parts = []
+        if type_ == "chunk_end":
+            parts.append(
+                f"chunk {record.get('chunk')} done in {record.get('seconds', 0):.2f}s "
+                f"({record.get('n')} walks)"
+            )
+        elif type_ == "retry":
+            parts.append(
+                f"retry chunk {record.get('chunk')} "
+                f"attempt {record.get('attempt')}: {record.get('reason')}"
+            )
+        elif type_ == "run_start":
+            parts.append(
+                f"run start: {record.get('n_total')} walks in "
+                f"{record.get('n_chunks')} chunks"
+            )
+        elif type_ == "run_end":
+            parts.append(
+                f"run end: {record.get('completed')}/{record.get('total')} chunks"
+                + (" DEGRADED" if record.get("degraded") else "")
+                + (" INTERRUPTED" if record.get("interrupted") else "")
+            )
+        elif type_ == "resume":
+            parts.append(f"resumed {record.get('resumed')} checkpointed chunk(s)")
+        else:
+            detail = {
+                key: value
+                for key, value in record.items()
+                if key not in ("t", "type", "span")
+            }
+            parts.append(" ".join(f"{k}={v}" for k, v in sorted(detail.items())) or type_)
+        label = record.get("label") or record.get("experiment")
+        prefix = f"[{record['t']:9.2f}s] {type_:<12}"
+        suffix = f" [{label}]" if label else ""
+        print(prefix + " " + " ".join(parts) + suffix, file=self.progress, flush=True)
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()
+
+_RECORDER: "NullRecorder | TelemetryRecorder" = NullRecorder()
+
+
+def get_recorder():
+    """The process-global recorder (a no-op unless telemetry is enabled)."""
+    return _RECORDER
+
+
+def set_recorder(recorder):
+    """Install ``recorder`` globally; returns the previous one.
+
+    Pass ``None`` to reset to a fresh :class:`NullRecorder`.
+    """
+    global _RECORDER
+    previous = _RECORDER
+    _RECORDER = recorder if recorder is not None else NullRecorder()
+    return previous
+
+
+@contextmanager
+def use_recorder(recorder) -> Iterator:
+    """Scoped :func:`set_recorder`: restores the previous recorder on exit."""
+    previous = set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_recorder(previous)
+
+
+def configure(
+    log_path=None,
+    metrics: Optional[MetricsRegistry] = None,
+    progress=None,
+    context: Optional[Dict] = None,
+) -> TelemetryRecorder:
+    """Build a :class:`TelemetryRecorder` and install it globally.
+
+    ``log_path`` enables the append-only JSONL event log.  Returns the
+    recorder; callers should ``set_recorder(previous)`` (or use
+    :func:`use_recorder`) and ``recorder.close()`` when done.
+    """
+    writer = None
+    if log_path is not None:
+        # Lazy import: events -> io_utils -> engine -> (this module).
+        from repro.telemetry.events import EventLogWriter
+
+        writer = EventLogWriter(log_path)
+    recorder = TelemetryRecorder(
+        writer=writer, metrics=metrics, progress=progress, context=context
+    )
+    set_recorder(recorder)
+    return recorder

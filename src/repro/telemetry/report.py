@@ -1,0 +1,259 @@
+"""Render a telemetry event log back into the repo's text views.
+
+``repro-experiment report events.jsonl`` consumes the JSONL written by
+:class:`repro.telemetry.events.EventLogWriter` and reconstructs, post
+hoc, what the run did: one row per runner invocation, the full per-chunk
+timeline (including retries and which attempt finally landed), a retry /
+incident summary (deadlines, signals, quarantined checkpoints, injected
+faults), and throughput.  It is pure event-log analysis: no simulation
+state is needed, so it works on logs from killed, resumed, or remote
+runs -- exactly the situations where post-hoc visibility matters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.reporting.table import Table
+from repro.reporting.text_plots import ascii_bars
+
+#: Event types surfaced in the incident table.
+_INCIDENT_TYPES = ("deadline", "signal", "quarantine", "fault_injected", "pool_rebuild")
+
+#: Cap on bars in the chunk-duration chart (longest chunks win).
+_MAX_BARS = 24
+
+
+def _run_key(event: Dict) -> str:
+    label = event.get("label", "?")
+    experiment = event.get("experiment")
+    return f"{experiment}/{label}" if experiment else str(label)
+
+
+class RunSummary:
+    """Accumulated view of one ``run_start`` .. ``run_end`` lifecycle."""
+
+    def __init__(self, key: str, start_event: Dict) -> None:
+        self.key = key
+        self.start_event = start_event
+        self.end_event: Optional[Dict] = None
+        self.resumed = 0
+        self.retries = 0
+        self.chunk_ends: List[Dict] = []
+
+    @property
+    def n_total(self) -> Optional[int]:
+        return self.start_event.get("n_total")
+
+    @property
+    def status(self) -> str:
+        if self.end_event is None:
+            return "unfinished"
+        if self.end_event.get("interrupted"):
+            return "interrupted"
+        if self.end_event.get("degraded"):
+            return "degraded"
+        return "ok"
+
+    @property
+    def seconds(self) -> Optional[float]:
+        if self.end_event is None:
+            return None
+        return self.end_event.get("seconds")
+
+    @property
+    def walks_computed(self) -> int:
+        return sum(int(e.get("n", 0)) for e in self.chunk_ends)
+
+    @property
+    def compute_seconds(self) -> float:
+        return sum(float(e.get("seconds", 0.0)) for e in self.chunk_ends)
+
+
+def summarize_events(events: Sequence[Dict]) -> Dict[str, object]:
+    """Structure a flat event list into runs, chunks, retries, incidents."""
+    runs: Dict[str, RunSummary] = {}
+    #: Latest unique key per raw run key: a killed-and-resumed run (or a
+    #: re-run into the same log) repeats ``run_start`` under one label;
+    #: each invocation gets its own summary and later events attach to
+    #: the newest one.
+    current: Dict[str, str] = {}
+    order: List[str] = []
+    chunk_starts: Dict[tuple, Dict] = {}
+    chunks: List[Dict] = []
+    retries: List[Dict] = []
+    incidents: List[Dict] = []
+    experiments: List[str] = []
+    for event in events:
+        type_ = event.get("type")
+        key = _run_key(event)
+        if type_ == "run_start":
+            unique = key
+            while unique in runs:
+                unique = unique + "+"
+            current[key] = unique
+            key = unique
+            runs[key] = RunSummary(key, event)
+            order.append(key)
+        else:
+            key = current.get(key, key)
+        if type_ == "resume" and key in runs:
+            runs[key].resumed = int(event.get("resumed", 0))
+        elif type_ == "chunk_start":
+            chunk_starts[(key, event.get("chunk"), event.get("attempt", 1))] = event
+        elif type_ == "chunk_end":
+            start = chunk_starts.get((key, event.get("chunk"), event.get("attempt", 1)))
+            row = dict(event)
+            row["run"] = key
+            row["t_start"] = start.get("t") if start else None
+            chunks.append(row)
+            if key in runs:
+                runs[key].chunk_ends.append(event)
+        elif type_ == "retry":
+            retries.append(dict(event, run=key))
+            if key in runs:
+                runs[key].retries += 1
+        elif type_ in _INCIDENT_TYPES:
+            incidents.append(dict(event, run=key))
+        elif type_ == "run_end" and key in runs:
+            runs[key].end_event = event
+        elif type_ == "experiment_start":
+            experiment = event.get("experiment")
+            if experiment and experiment not in experiments:
+                experiments.append(experiment)
+    return {
+        "runs": [runs[key] for key in order],
+        "chunks": chunks,
+        "retries": retries,
+        "incidents": incidents,
+        "experiments": experiments,
+        "n_events": len(events),
+        "elapsed": max((float(e.get("t", 0.0)) for e in events), default=0.0),
+    }
+
+
+def _runs_table(runs: Sequence[RunSummary]) -> Table:
+    table = Table(
+        [
+            "run", "walks", "chunks", "resumed", "retries",
+            "status", "seconds", "walks/sec",
+        ],
+        title="runner invocations",
+    )
+    for run in runs:
+        end = run.end_event or {}
+        completed = end.get("completed")
+        total = end.get("total", run.start_event.get("n_chunks"))
+        throughput = (
+            run.walks_computed / run.compute_seconds if run.compute_seconds else None
+        )
+        table.add_row(
+            run.key,
+            run.n_total,
+            f"{completed if completed is not None else '?'}/{total}",
+            run.resumed,
+            run.retries,
+            run.status,
+            run.seconds,
+            throughput,
+        )
+    return table
+
+
+def _chunks_table(chunks: Sequence[Dict]) -> Table:
+    table = Table(
+        ["run", "chunk", "walks", "attempt", "t_start", "seconds"],
+        title="chunk timeline (completion order)",
+    )
+    for chunk in chunks:
+        table.add_row(
+            chunk["run"],
+            chunk.get("chunk"),
+            chunk.get("n"),
+            chunk.get("attempt", 1),
+            chunk.get("t_start"),
+            chunk.get("seconds"),
+        )
+    return table
+
+
+def _retries_table(retries: Sequence[Dict]) -> Table:
+    table = Table(["t", "run", "chunk", "attempt", "reason"], title="retries")
+    for retry in retries:
+        table.add_row(
+            retry.get("t"),
+            retry["run"],
+            retry.get("chunk"),
+            retry.get("attempt"),
+            retry.get("reason"),
+        )
+    return table
+
+
+def _incidents_table(incidents: Sequence[Dict]) -> Table:
+    table = Table(["t", "type", "run", "detail"], title="incidents")
+    for incident in incidents:
+        detail = {
+            key: value
+            for key, value in incident.items()
+            if key not in ("t", "type", "run", "span", "experiment", "scale", "seed", "label")
+        }
+        table.add_row(
+            incident.get("t"),
+            incident.get("type"),
+            incident["run"],
+            " ".join(f"{k}={v}" for k, v in sorted(detail.items())),
+        )
+    return table
+
+
+def render_report(events: Sequence[Dict], width: int = 48) -> str:
+    """The full plain-text report for one event log."""
+    summary = summarize_events(events)
+    runs: List[RunSummary] = summary["runs"]  # type: ignore[assignment]
+    chunks: List[Dict] = summary["chunks"]  # type: ignore[assignment]
+    sections = []
+    header = [
+        f"events: {summary['n_events']}   "
+        f"elapsed: {summary['elapsed']:.2f}s   "
+        f"runner invocations: {len(runs)}"
+    ]
+    if summary["experiments"]:
+        header.append("experiments: " + ", ".join(summary["experiments"]))  # type: ignore[arg-type]
+    total_walks = sum(run.walks_computed for run in runs)
+    total_compute = sum(run.compute_seconds for run in runs)
+    if total_compute:
+        header.append(
+            f"computed {total_walks} walks in {total_compute:.2f}s of chunk time "
+            f"({total_walks / total_compute:.0f} walks/sec)"
+        )
+    sections.append("\n".join(header))
+    if runs:
+        sections.append(_runs_table(runs).render())
+    if chunks:
+        sections.append(_chunks_table(chunks).render())
+        slowest = sorted(chunks, key=lambda c: c.get("seconds", 0.0), reverse=True)
+        bars = [
+            (f"{c['run']}#{c.get('chunk')}", float(c.get("seconds", 0.0)))
+            for c in slowest[:_MAX_BARS]
+        ]
+        sections.append(
+            ascii_bars(bars, width=width, title="slowest chunks (walltime)", unit="s")
+        )
+    if summary["retries"]:
+        sections.append(_retries_table(summary["retries"]).render())  # type: ignore[arg-type]
+    if summary["incidents"]:
+        sections.append(_incidents_table(summary["incidents"]).render())  # type: ignore[arg-type]
+    if not runs and not chunks:
+        sections.append(
+            "no runner events found -- was the run executed with --log-json "
+            "and a runner flag (--chunks/--workers/--checkpoint-dir)?"
+        )
+    return "\n\n".join(sections)
+
+
+def render_file(path, strict: bool = False, width: int = 48) -> str:
+    """Load ``path`` (JSONL) and render the report."""
+    from repro.telemetry.events import read_events
+
+    return render_report(read_events(path, strict=strict), width=width)

@@ -139,3 +139,107 @@ def test_runner_ignored_for_unsupporting_experiment(capsys):
     captured = capsys.readouterr()
     assert code == EXIT_OK
     assert "does not support the chunked runner" in captured.err
+
+
+# ---------------------------------------------------------- telemetry wiring
+
+
+def test_deadline_expiry_exits_degraded_and_logs_deadline_event(tmp_path, capsys):
+    """--max-seconds expiry must exit 3 and leave a deadline event in the log."""
+    import json
+
+    from repro.cli import EXIT_DEGRADED
+
+    log = tmp_path / "events.jsonl"
+    code = main(
+        [
+            "run",
+            "EXP-T1.1",
+            "--scale",
+            "smoke",
+            "--max-seconds",
+            "0",
+            "--log-json",
+            str(log),
+        ]
+    )
+    capsys.readouterr()
+    assert code == EXIT_DEGRADED
+    events = [json.loads(line) for line in log.read_text().splitlines() if line]
+    types = {event["type"] for event in events}
+    assert "deadline" in types
+    assert "run_start" in types and "run_end" in types
+    deadline = next(event for event in events if event["type"] == "deadline")
+    assert deadline["experiment"] == "EXP-T1.1"  # bound context travels
+
+
+def test_report_command_renders_event_log(tmp_path, capsys):
+    log = tmp_path / "events.jsonl"
+    main(
+        [
+            "run",
+            "EXP-T1.1",
+            "--scale",
+            "smoke",
+            "--max-seconds",
+            "0",
+            "--log-json",
+            str(log),
+        ]
+    )
+    capsys.readouterr()
+    assert main(["report", str(log)]) == EXIT_OK
+    out = capsys.readouterr().out
+    assert "runner invocations" in out
+    assert "incidents" in out
+    assert "deadline" in out
+
+
+def test_report_missing_file_exits_usage(tmp_path, capsys):
+    assert main(["report", str(tmp_path / "nope.jsonl")]) == EXIT_USAGE
+    assert "no event log" in capsys.readouterr().err
+
+
+def test_metrics_out_writes_snapshot(tmp_path, capsys):
+    import json
+
+    metrics = tmp_path / "metrics.json"
+    code = main(
+        [
+            "run",
+            "EXP-T1.1",
+            "--scale",
+            "smoke",
+            "--chunks",
+            "2",
+            "--metrics-out",
+            str(metrics),
+        ]
+    )
+    capsys.readouterr()
+    assert code in (EXIT_OK, EXIT_FAILED)  # statistical checks may wobble
+    snapshot = json.loads(metrics.read_text())
+    assert snapshot["engine.jumps_sampled"]["value"] > 0
+    assert snapshot["runner.chunks_completed"]["value"] > 0
+    assert snapshot["engine.jump_length_decades"]["type"] == "histogram"
+
+
+def test_progress_heartbeat_goes_to_stderr(tmp_path, capsys):
+    code = main(
+        [
+            "run",
+            "EXP-T1.1",
+            "--scale",
+            "smoke",
+            "--chunks",
+            "2",
+            "--checkpoint-dir",
+            str(tmp_path),
+            "--progress",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code in (EXIT_OK, EXIT_FAILED)  # statistical checks may wobble
+    assert "run_start" in captured.err
+    assert "run_end" in captured.err
+    assert "run_start" not in captured.out  # stdout stays a clean report
