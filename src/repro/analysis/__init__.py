@@ -10,6 +10,7 @@ from repro.analysis.estimators import (
     bootstrap_interval,
     censored_median,
     censored_quantile,
+    wilson_bounds,
     wilson_interval,
 )
 from repro.analysis.msd import DisplacementProfile, displacement_profile
@@ -25,6 +26,12 @@ from repro.analysis.sequential import (
     estimate_probability_sequential,
     required_trials,
 )
+from repro.analysis.streaming import (
+    RunningMedian,
+    StreamingMoments,
+    StreamingProportion,
+    success_drift_z,
+)
 from repro.analysis.survival import SurvivalCurve, hitting_cdf
 
 __all__ = [
@@ -33,6 +40,7 @@ __all__ = [
     "mann_whitney_u",
     "ProportionEstimate",
     "wilson_interval",
+    "wilson_bounds",
     "bootstrap_interval",
     "censored_median",
     "censored_quantile",
@@ -50,4 +58,8 @@ __all__ = [
     "SequentialEstimate",
     "required_trials",
     "estimate_probability_sequential",
+    "StreamingMoments",
+    "StreamingProportion",
+    "RunningMedian",
+    "success_drift_z",
 ]

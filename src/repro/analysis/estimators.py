@@ -68,6 +68,34 @@ def wilson_interval(successes: int, trials: int, z: float = _Z95) -> ProportionE
     )
 
 
+def wilson_bounds(
+    successes: np.ndarray, trials: int, z: float = _Z95
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized Wilson bounds for an array of raw success *counts*.
+
+    Returns ``(low, high)`` float arrays matching ``successes``'s shape.
+    Operating on integer counts (not proportions rounded back to counts)
+    keeps the interval exact: at ``n = 10^6`` trials a proportion stored
+    as a float and re-multiplied can be off by several successes, which
+    moves a small-p Wilson bound materially.
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    counts = np.asarray(successes)
+    if np.any(counts < 0) or np.any(counts > trials):
+        raise ValueError(f"success counts out of range [0, {trials}]")
+    p_hat = counts / trials
+    z2 = z * z
+    denominator = 1.0 + z2 / trials
+    center = (p_hat + z2 / (2 * trials)) / denominator
+    spread = (
+        z
+        * np.sqrt(p_hat * (1.0 - p_hat) / trials + z2 / (4.0 * trials * trials))
+        / denominator
+    )
+    return np.maximum(0.0, center - spread), np.minimum(1.0, center + spread)
+
+
 def bootstrap_interval(
     values: np.ndarray,
     statistic: Callable[[np.ndarray], float],

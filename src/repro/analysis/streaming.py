@@ -1,0 +1,173 @@
+"""Streaming (single-pass) statistics for chunk-at-a-time estimation.
+
+The chunked runner produces results incrementally, one chunk at a time,
+and the convergence monitor (:mod:`repro.telemetry.convergence`) must
+answer "has the estimate converged?" *between* chunks without keeping the
+raw samples around.  Everything here is therefore O(1) memory per update
+(the proportion keeps its per-batch history -- a few ints per chunk -- so
+drift between early and late chunks stays checkable):
+
+* :class:`StreamingMoments` -- Welford's online mean/variance;
+* :class:`StreamingProportion` -- success counts with a running Wilson
+  interval and relative half-width (the sequential-stopping criterion);
+* :class:`RunningMedian` -- exact median over all values seen so far
+  (chunk counts are small, so an insertion-sorted list is fine);
+* :func:`success_drift_z` -- two-proportion z statistic between the first
+  and second half of a batch history (detects non-stationary success
+  rates: a bug in seeding, a horizon effect, a bad resume).
+
+Stdlib + the estimators module only: no scipy, so the runner can import
+this without dragging the analysis stack's heavier dependencies in.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import insort
+from typing import List, Optional, Tuple
+
+from repro.analysis.estimators import ProportionEstimate, wilson_interval
+
+
+class StreamingMoments:
+    """Welford's online algorithm: mean and variance in one pass.
+
+    Numerically stable for long streams (no sum-of-squares catastrophic
+    cancellation), O(1) state.
+    """
+
+    __slots__ = ("n", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def push(self, value: float) -> None:
+        self.n += 1
+        delta = value - self.mean
+        self.mean += delta / self.n
+        self._m2 += delta * (value - self.mean)
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (NaN until two values are seen)."""
+        if self.n < 2:
+            return float("nan")
+        return self._m2 / (self.n - 1)
+
+    @property
+    def std(self) -> float:
+        variance = self.variance
+        return math.sqrt(variance) if variance == variance else float("nan")
+
+
+class RunningMedian:
+    """Exact running median via an insertion-sorted list.
+
+    The monitor feeds it one value per *chunk* (tens to thousands of
+    values), so O(n) insertion is cheaper than a two-heap scheme would
+    ever need to be here.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self) -> None:
+        self._values: List[float] = []
+
+    def push(self, value: float) -> None:
+        insort(self._values, float(value))
+
+    @property
+    def n(self) -> int:
+        return len(self._values)
+
+    @property
+    def median(self) -> Optional[float]:
+        values = self._values
+        if not values:
+            return None
+        mid = len(values) // 2
+        if len(values) % 2:
+            return values[mid]
+        return 0.5 * (values[mid - 1] + values[mid])
+
+
+class StreamingProportion:
+    """A binomial proportion accumulated batch-by-batch.
+
+    Each ``update(successes, trials)`` folds one chunk's counts in; the
+    running Wilson interval and its relative half-width -- the quantity
+    ``--stop-when-ci`` thresholds -- are recomputed from the totals, so
+    the estimate is exactly what a single-shot run over the merged sample
+    would report.
+    """
+
+    __slots__ = ("successes", "trials", "batches")
+
+    def __init__(self) -> None:
+        self.successes = 0
+        self.trials = 0
+        #: Per-batch ``(successes, trials)`` history, in arrival order.
+        self.batches: List[Tuple[int, int]] = []
+
+    def update(self, successes: int, trials: int) -> None:
+        successes = int(successes)
+        trials = int(trials)
+        if trials < 0:
+            raise ValueError(f"trials must be non-negative, got {trials}")
+        if not 0 <= successes <= trials:
+            raise ValueError(f"successes {successes} out of range [0, {trials}]")
+        self.successes += successes
+        self.trials += trials
+        self.batches.append((successes, trials))
+
+    @property
+    def estimate(self) -> ProportionEstimate:
+        if self.trials == 0:
+            raise ValueError("no trials observed yet")
+        return wilson_interval(self.successes, self.trials)
+
+    @property
+    def half_width(self) -> float:
+        estimate = self.estimate
+        return 0.5 * (estimate.high - estimate.low)
+
+    @property
+    def rel_half_width(self) -> float:
+        """Half-width relative to the point estimate (``inf`` at p = 0).
+
+        Zero observed successes give no scale to be relative to, so the
+        sequential stopping rule can never fire on an all-failure stream
+        -- the conservative behaviour when estimating tiny probabilities.
+        """
+        estimate = self.estimate
+        if estimate.point <= 0.0:
+            return float("inf")
+        return 0.5 * (estimate.high - estimate.low) / estimate.point
+
+
+def success_drift_z(batches: List[Tuple[int, int]]) -> float:
+    """Two-proportion z between the first and second half of a history.
+
+    A chunked run with a fixed task should produce exchangeable chunks;
+    a large |z| between early and late chunks flags non-stationarity
+    (mis-seeded resume, environment drift, a horizon-dependent bug).
+    Computed inline (pooled standard error) so this module stays
+    scipy-free; callers compare |z| against a threshold instead of a
+    p-value.
+    """
+    if len(batches) < 2:
+        return 0.0
+    mid = len(batches) // 2
+    s_a = sum(s for s, _ in batches[:mid])
+    n_a = sum(n for _, n in batches[:mid])
+    s_b = sum(s for s, _ in batches[mid:])
+    n_b = sum(n for _, n in batches[mid:])
+    if n_a == 0 or n_b == 0:
+        return 0.0
+    pooled = (s_a + s_b) / (n_a + n_b)
+    se = math.sqrt(pooled * (1.0 - pooled) * (1.0 / n_a + 1.0 / n_b))
+    if se == 0.0:
+        return 0.0
+    return (s_a / n_a - s_b / n_b) / se

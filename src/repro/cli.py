@@ -7,20 +7,29 @@ Installed as ``repro-experiment`` (see pyproject.toml)::
     repro-experiment run all --scale smoke --csv-dir results/
     repro-experiment run EXP-T1.1 --scale full \\
         --checkpoint-dir ckpt/ --chunks 32 --workers 4 --resume \\
-        --max-seconds 3600 \\
+        --max-seconds 3600 --stop-when-ci 0.1 \\
         --log-json events.jsonl --metrics-out metrics.json --progress
     repro-experiment report events.jsonl
+    repro-experiment watch events.jsonl
+    repro-experiment bench-history BENCH_runner.json fresh.json \\
+        --max-regression 25%
 
 Telemetry (docs/observability.md): ``--log-json`` appends structured
-JSONL events (run/chunk/retry/checkpoint/quarantine/deadline/signal),
-``--metrics-out`` exports a counters/gauges/histograms snapshot,
-``--progress`` prints a live heartbeat to stderr, and ``report`` renders
-an event log into chunk timelines, retry and incident summaries, and
-throughput.
+JSONL events (run/chunk/retry/checkpoint/quarantine/deadline/signal,
+plus per-chunk ``estimate`` events with running Wilson CIs and
+``incident`` anomaly events), ``--metrics-out`` exports a
+counters/gauges/histograms snapshot, ``--progress`` prints a live
+heartbeat to stderr.  ``report`` renders an event log into chunk
+timelines, estimate/retry/incident summaries, and throughput; ``watch``
+follows a *growing* log live; ``--stop-when-ci`` enables sequential
+stopping (finish early once the CI is tight -- a *converged* run, exit
+0, distinct from a deadline-degraded one); ``bench-history`` diffs
+committed ``BENCH_*.json`` snapshots against a fresh benchmark run.
 
 Exit codes (documented in docs/runner.md):
 
-* 0 -- every requested experiment ran and all checks passed;
+* 0 -- every requested experiment ran and all checks passed (including
+  runs that stopped early because their CI target converged);
 * 1 -- at least one experiment failed its checks or raised;
 * 2 -- usage error (e.g. unknown experiment id);
 * 3 -- all checks passed but a walltime budget expired, so some samples
@@ -88,6 +97,48 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fail on corrupt interior log lines instead of skipping them",
     )
+    watcher = subparsers.add_parser(
+        "watch", help="follow a growing --log-json event log live"
+    )
+    watcher.add_argument("path", type=Path, help="JSONL event log to follow")
+    watcher.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between polls (default 2)",
+    )
+    watcher.add_argument(
+        "--once",
+        action="store_true",
+        help="render one frame from the current log contents and exit",
+    )
+    watcher.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        dest="watch_max_seconds",
+        help="stop following after this many seconds (default: until the log closes)",
+    )
+    watcher.add_argument(
+        "--width", type=int, default=40, help="bar width for the CI chart"
+    )
+    bench = subparsers.add_parser(
+        "bench-history",
+        help="diff two BENCH_*.json benchmark snapshots and fail on regressions",
+    )
+    bench.add_argument("baseline", type=Path, help="committed snapshot (the reference)")
+    bench.add_argument("current", type=Path, help="freshly generated snapshot")
+    bench.add_argument(
+        "--max-regression",
+        default="25%",
+        metavar="PCT",
+        help="regression threshold, e.g. 25%% or 0.25 (default 25%%)",
+    )
+    bench.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but always exit 0 (CI's engine-timing mode)",
+    )
     return parser
 
 
@@ -144,6 +195,49 @@ def _report(args) -> int:
     return EXIT_OK
 
 
+def _watch(args) -> int:
+    from repro.telemetry.watch import follow
+
+    try:
+        return follow(
+            args.path,
+            sys.stdout,
+            interval=args.interval,
+            once=args.once,
+            max_seconds=args.watch_max_seconds,
+            width=args.width,
+        )
+    except KeyboardInterrupt:
+        return EXIT_OK
+    except BrokenPipeError:
+        _swallow_broken_pipe()
+        return EXIT_OK
+
+
+def _bench_history(args) -> int:
+    from repro.telemetry.bench_history import compare_files, parse_threshold
+
+    try:
+        threshold = parse_threshold(args.max_regression)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        text, regressed = compare_files(
+            args.baseline, args.current, threshold, warn_only=args.warn_only
+        )
+    except FileNotFoundError as exc:
+        print(f"error: no benchmark snapshot at {exc.filename}", file=sys.stderr)
+        return EXIT_USAGE
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    print(text)
+    if regressed and not args.warn_only:
+        return EXIT_FAILED
+    return EXIT_OK
+
+
 def _swallow_broken_pipe() -> None:
     """Piped into ``head``/``less -F`` which closed stdout early; redirect
     the remaining flush to devnull so no traceback leaks on exit."""
@@ -163,6 +257,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return EXIT_OK
     if args.command == "report":
         return _report(args)
+    if args.command == "watch":
+        return _watch(args)
+    if args.command == "bench-history":
+        return _bench_history(args)
 
     known = experiment_ids()
     if args.experiment == "all":
@@ -282,6 +380,8 @@ def _run_sweep(args, targets, statuses, run_one, any_degraded, interrupted) -> i
                 _dump_csv(result, args.csv_dir)
             status = "PASS" if result.passed else "FAIL"
             detail = ""
+            if runner is not None and runner.converged:
+                detail = "converged early (CI target met)"
             if runner is not None and runner.degraded:
                 any_degraded = True
                 detail = "degraded (walltime budget hit)"

@@ -116,4 +116,5 @@ def ball_hitting_times(
         pos[active] = v
         survivors = ~success & (elapsed[active] < horizon)
         active = active[survivors]
+    sampler.flush_jump_accounting()
     return HittingTimeSample(times=times, horizon=horizon)

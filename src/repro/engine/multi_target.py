@@ -183,6 +183,7 @@ def multi_target_search(
         walk_alive[active] = elapsed[active] < horizon
 
     times = np.where(best_time == never, CENSORED, best_time)
+    sampler.flush_jump_accounting()
     return ForagingResult(
         targets=target_array,
         discovery_times=times,

@@ -17,6 +17,7 @@ distance per *active* walk.  Two situations arise:
 from __future__ import annotations
 
 import abc
+from typing import Optional
 
 import numpy as np
 from scipy import special
@@ -27,31 +28,68 @@ from repro.telemetry.metrics import DECADE_BOUNDS
 from repro.telemetry.recorder import get_recorder
 
 
-def _observe_jumps(distances: np.ndarray) -> None:
-    """Account one batch of sampled jump distances by length decade.
-
-    Called only when telemetry is enabled (guard at the call sites keeps
-    the disabled hot path at a single attribute check per round).  Bucket
-    0 counts lazy phases (``d < 1``); bucket k counts
-    ``10^(k-1) <= d < 10^k`` -- the heavy tail makes these decades span
-    orders of magnitude of walltime, which is exactly what we want to see.
-    """
-    metrics = get_recorder().metrics
-    counts = np.bincount(
-        np.digitize(distances, DECADE_BOUNDS), minlength=len(DECADE_BOUNDS) + 1
-    )
-    metrics.histogram("engine.jump_length_decades", bounds=DECADE_BOUNDS).add_bucket_counts(
-        counts.tolist()
-    )
-    metrics.counter("engine.jumps_sampled").add(int(distances.shape[0]))
+#: Decade edges as an int64 array: ``searchsorted(d, side="right")`` on it
+#: is the same bucketing as ``np.digitize(d, DECADE_BOUNDS)`` without
+#: digitize's per-call monotonicity re-checks -- measurable when called
+#: once per simulation round.
+_DECADE_EDGES = np.asarray(DECADE_BOUNDS, dtype=np.int64)
 
 
 class BatchJumpSampler(abc.ABC):
-    """Produces one jump distance per requested walk index."""
+    """Produces one jump distance per requested walk index.
+
+    Telemetry contract: with a live recorder, each ``sample`` call
+    accumulates its jump-length decade counts into a per-sampler numpy
+    buffer (:meth:`_account_jumps`), and the *engines* push the buffer
+    into the metrics registry once per engine call
+    (:meth:`flush_jump_accounting`).  Batching per engine call instead of
+    per round keeps the enabled-path overhead to one registry touch per
+    call -- a round-level touch dominated the telemetry overhead in
+    ``BENCH_runner.json`` before.
+    """
+
+    #: Pending decade counts (lazily created; None when nothing pending).
+    _pending_decades: Optional[np.ndarray] = None
 
     @abc.abstractmethod
     def sample(self, rng: np.random.Generator, walk_indices: np.ndarray) -> np.ndarray:
         """Return an int64 array of jump distances, one per index."""
+
+    def _account_jumps(self, distances: np.ndarray) -> None:
+        """Accumulate one batch of jump distances by length decade.
+
+        Called only when telemetry is enabled (guard at the call sites
+        keeps the disabled hot path at a single attribute check per
+        round).  Bucket 0 counts lazy phases (``d < 1``); bucket k counts
+        ``10^(k-1) <= d < 10^k`` -- the heavy tail makes these decades
+        span orders of magnitude of walltime, which is exactly what we
+        want to see.
+        """
+        counts = np.bincount(
+            _DECADE_EDGES.searchsorted(distances, side="right"),
+            minlength=_DECADE_EDGES.shape[0] + 1,
+        )
+        if self._pending_decades is None:
+            self._pending_decades = counts.astype(np.int64)
+        else:
+            self._pending_decades += counts
+
+    def flush_jump_accounting(self) -> None:
+        """Push accumulated decade counts into the live metrics registry.
+
+        Engines call this once per engine invocation (inside their
+        telemetry epilogue); a no-op when nothing was accumulated, so
+        unconditional calls are safe with telemetry disabled.
+        """
+        pending = self._pending_decades
+        if pending is None:
+            return
+        self._pending_decades = None
+        metrics = get_recorder().metrics
+        metrics.histogram(
+            "engine.jump_length_decades", bounds=DECADE_BOUNDS
+        ).add_bucket_counts(pending.tolist())
+        metrics.counter("engine.jumps_sampled").add(int(pending.sum()))
 
 
 class HomogeneousSampler(BatchJumpSampler):
@@ -63,7 +101,7 @@ class HomogeneousSampler(BatchJumpSampler):
     def sample(self, rng: np.random.Generator, walk_indices: np.ndarray) -> np.ndarray:
         out = self.distribution.sample(rng, int(walk_indices.shape[0]))
         if get_recorder().enabled:
-            _observe_jumps(out)
+            self._account_jumps(out)
         return out
 
 
@@ -100,10 +138,10 @@ class HeterogeneousZetaSampler(BatchJumpSampler):
         n_moving = int(moving.sum())
         if n_moving == 0:
             if get_recorder().enabled:
-                _observe_jumps(out)
+                self._account_jumps(out)
             return out
         a = self.alphas[walk_indices[moving]]
         out[moving] = rejection_conditional_zipf(a, rng, n_moving)
         if get_recorder().enabled:
-            _observe_jumps(out)
+            self._account_jumps(out)
         return out

@@ -89,6 +89,7 @@ def walk_trajectories(
             final_step = elapsed[rows] + budget
             pos[rows] = out[rows, final_step]
             elapsed[rows] = final_step
+    sampler.flush_jump_accounting()
     return out
 
 

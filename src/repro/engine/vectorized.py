@@ -160,6 +160,7 @@ def walk_hitting_times(
                 n_dead = 0
 
     if track:
+        sampler.flush_jump_accounting()
         _record_engine_sample(
             "walk", n_walks, steps_simulated, time.perf_counter() - started
         )
@@ -211,6 +212,7 @@ def flight_hitting_times(
         times[active[hit]] = jump_index
         active = active[~hit]
     if track:
+        sampler.flush_jump_accounting()
         _record_engine_sample(
             "flight", n_flights, jumps_simulated, time.perf_counter() - started
         )

@@ -64,6 +64,7 @@ def flight_visit_counts(
             counts[j] += np.count_nonzero(
                 (pos[:, 0] == node_array[j, 0]) & (pos[:, 1] == node_array[j, 1])
             )
+    sampler.flush_jump_accounting()
     return counts / float(n_flights)
 
 
@@ -74,6 +75,7 @@ def flight_occupation_grid(
     radius: int,
     rng: SeedLike = None,
     at_time_only: bool = False,
+    return_counts: bool = False,
 ) -> np.ndarray:
     """Occupation histogram of a Levy flight inside the box ``Q_radius(0)``.
 
@@ -82,11 +84,17 @@ def flight_occupation_grid(
     number of visits to ``(x, y)`` within ``n_jumps`` jumps (default), or
     ``P(J_{n_jumps} = (x, y))`` when ``at_time_only`` is True.  The latter
     is what Lemma 3.9's monotonicity property constrains.
+
+    With ``return_counts=True`` the raw int64 *count* grid is returned
+    instead of the per-flight average.  Counts are what interval
+    estimators need: a Wilson CI rebuilt from a rounded frequency times
+    ``n_flights`` is lossy, whereas the count grid feeds
+    :func:`repro.analysis.estimators.wilson_bounds` exactly.
     """
     sampler = _as_sampler(jumps)
     rng = as_generator(rng)
     side = 2 * radius + 1
-    grid = np.zeros((side, side), dtype=np.float64)
+    grid = np.zeros((side, side), dtype=np.int64)
     pos = np.zeros((n_flights, 2), dtype=np.int64)
     indices = np.arange(n_flights)
     for jump_index in range(1, n_jumps + 1):
@@ -98,8 +106,11 @@ def flight_occupation_grid(
         np.add.at(
             grid,
             (pos[inside, 0] + radius, pos[inside, 1] + radius),
-            1.0,
+            1,
         )
+    sampler.flush_jump_accounting()
+    if return_counts:
+        return grid
     return grid / float(n_flights)
 
 
@@ -117,6 +128,7 @@ def flight_positions_after(
     for _ in range(n_jumps):
         d = sampler.sample(rng, indices)
         pos += sample_ring_offsets(d, rng)
+    sampler.flush_jump_accounting()
     return pos
 
 
@@ -159,6 +171,7 @@ def flight_region_visits(
         counts[0] += int(np.count_nonzero(in_box))
         counts[2] += int(np.count_nonzero(far & ~in_box))
         counts[1] += int(np.count_nonzero(~in_box & ~far))
+    sampler.flush_jump_accounting()
     return counts / float(n_flights)
 
 
@@ -218,4 +231,5 @@ def walk_displacement_snapshots(
         pos[active] = v
         elapsed[active] = end
         active = active[pointer[active] < snaps.size]
+    sampler.flush_jump_accounting()
     return out

@@ -207,6 +207,23 @@ def add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="chunks per sampling call (default 8 when a runner is active)",
     )
+    parser.add_argument(
+        "--stop-when-ci",
+        type=float,
+        default=None,
+        metavar="REL",
+        dest="stop_when_ci",
+        help="sequential stopping: finish each sampling call early once its "
+        "95%% Wilson CI half-width is below REL times the point estimate "
+        "(e.g. 0.1 = +/-10%%); the run reports converged, not degraded",
+    )
+    parser.add_argument(
+        "--min-chunks",
+        type=int,
+        default=3,
+        dest="min_chunks",
+        help="never stop before this many chunks completed (with --stop-when-ci)",
+    )
 
 
 def add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
@@ -278,23 +295,34 @@ def runner_from_args(args: argparse.Namespace):
     Returns ``None`` when no runner-related flag was used, so plain runs
     keep the zero-overhead direct engine path.
     """
+    stop_when_ci = getattr(args, "stop_when_ci", None)
     wants_runner = (
         args.checkpoint_dir is not None
         or args.resume
         or args.max_seconds is not None
         or args.workers
         or args.chunks is not None
+        or stop_when_ci is not None
     )
     if not wants_runner:
         return None
     from repro.runner import Runner
 
+    convergence = None
+    if stop_when_ci is not None:
+        from repro.telemetry.convergence import ConvergenceConfig
+
+        convergence = ConvergenceConfig(
+            rel_ci_width=stop_when_ci,
+            min_chunks=getattr(args, "min_chunks", 3),
+        )
     return Runner(
         checkpoint_dir=args.checkpoint_dir,
         n_chunks=args.chunks if args.chunks is not None else 8,
         workers=args.workers,
         max_seconds=args.max_seconds,
         resume=args.resume,
+        convergence=convergence,
     )
 
 

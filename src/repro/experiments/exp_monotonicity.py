@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.estimators import wilson_interval
+from repro.analysis.estimators import wilson_bounds
 from repro.distributions.zeta import ZetaJumpDistribution
 from repro.engine.exact_occupation import flight_occupation_exact
 from repro.engine.visits import flight_occupation_grid
@@ -54,9 +54,11 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
     n_flights, n_jumps, radius, compare_radii = _CONFIG[scale]
     alpha = 2.5
     law = ZetaJumpDistribution(alpha)
-    grid = flight_occupation_grid(
+    # Raw counts, not frequencies: the Wilson bounds below need the exact
+    # success counts (rebuilding them as round(p * n) is lossy).
+    count_grid = flight_occupation_grid(
         law, n_jumps=n_jumps, n_flights=n_flights, radius=radius, rng=rng,
-        at_time_only=True,
+        at_time_only=True, return_counts=True,
     )
     l1 = _l1_grid(radius)
     linf = _linf_grid(radius)
@@ -71,14 +73,17 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
     )
     checks = []
     for r in compare_radii:
-        inner = grid[l1 <= r]
-        outer = grid[linf >= r]
-        inner_min = float(inner.min())
-        outer_max = float(outer.max())
-        # Allow binomial noise: compare the Wilson bounds of the two cells.
-        inner_ci = wilson_interval(int(round(inner_min * n_flights)), n_flights)
-        outer_ci = wilson_interval(int(round(outer_max * n_flights)), n_flights)
-        holds = inner_ci.high >= outer_ci.low
+        inner_counts = count_grid[l1 <= r]
+        outer_counts = count_grid[linf >= r]
+        inner_min = float(inner_counts.min()) / n_flights
+        outer_max = float(outer_counts.max()) / n_flights
+        # Allow binomial noise: the lemma lower-bounds every inner cell by
+        # every outer cell, so compare the smallest inner *upper* Wilson
+        # bound against the largest outer *lower* bound, each built from
+        # the cell's exact count.
+        _, inner_high = wilson_bounds(inner_counts.ravel(), n_flights)
+        outer_low, _ = wilson_bounds(outer_counts.ravel(), n_flights)
+        holds = bool(inner_high.min() >= outer_low.max())
         table.add_row(r, inner_min, outer_max, holds)
         checks.append(
             Check(

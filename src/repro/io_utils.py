@@ -101,17 +101,24 @@ def open_append(path) -> int:
     return os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
 
 
-def append_line(fd: int, line: str) -> None:
-    """Append ``line`` (newline added) to an :func:`open_append` fd.
+def append_text(fd: int, text: str) -> None:
+    """Append ``text`` (one or more ``\\n``-terminated lines) to an
+    :func:`open_append` fd.
 
-    The whole line goes down in a single ``os.write`` call so concurrent
+    The whole block goes down in a single ``os.write`` call so concurrent
     appenders never interleave mid-record; a crash can only truncate the
-    final line.
+    final line of the block.  This is what lets the telemetry event log
+    buffer many events and flush them in one atomic append.
     """
-    data = (line + "\n").encode("utf-8")
+    data = text.encode("utf-8")
     written = os.write(fd, data)
     while written < len(data):  # pragma: no cover - short writes are rare
         written += os.write(fd, data[written:])
+
+
+def append_line(fd: int, line: str) -> None:
+    """Append ``line`` (newline added) to an :func:`open_append` fd."""
+    append_text(fd, line + "\n")
 
 
 def sha256_hex(data: bytes) -> str:

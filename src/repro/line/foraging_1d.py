@@ -98,6 +98,7 @@ def line_encounter_rate(
         pos[active] = np.where(truncated, ahead, u + direction * d)
         steps[active] += np.maximum(travelled, 1)
         encounters[active] += truncated.astype(np.int64)
+    sampler.flush_jump_accounting()
     return EncounterStatistics(
         encounters_per_walker=encounters, steps_per_walker=steps
     )

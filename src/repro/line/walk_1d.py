@@ -71,4 +71,5 @@ def line_walk_hitting_times(
         pos[active] = v
         survivors = ~success & (elapsed[active] < horizon)
         active = active[survivors]
+    sampler.flush_jump_accounting()
     return HittingTimeSample(times=times, horizon=horizon)

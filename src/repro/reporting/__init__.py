@@ -7,12 +7,13 @@ from repro.reporting.markdown import (
     table_to_markdown,
 )
 from repro.reporting.table import Table
-from repro.reporting.text_plots import ascii_bars, ascii_loglog
+from repro.reporting.text_plots import ascii_bars, ascii_loglog, sparkline
 
 __all__ = [
     "Table",
     "ascii_bars",
     "ascii_loglog",
+    "sparkline",
     "ascii_heatmap",
     "table_to_markdown",
     "result_to_markdown",

@@ -35,6 +35,39 @@ def ascii_bars(
     return "\n".join(lines)
 
 
+#: Sparkline ramp, low to high (ASCII-only, like the rest of the module).
+_SPARK_RAMP = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 32) -> str:
+    """Compress a numeric series into one line of ramp characters.
+
+    Values are scaled linearly between the series min and max (a flat
+    series renders mid-ramp); series longer than ``width`` are bucketed
+    by averaging so the full history always fits.  Used by
+    ``repro-experiment watch`` for CI half-width shrink histories.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    if len(values) > width:
+        # Average into `width` buckets, preserving order.
+        bucketed = []
+        for i in range(width):
+            lo = i * len(values) // width
+            hi = max(lo + 1, (i + 1) * len(values) // width)
+            bucketed.append(sum(values[lo:hi]) / (hi - lo))
+        values = bucketed
+    low, high = min(values), max(values)
+    span = high - low
+    if span == 0:
+        return _SPARK_RAMP[len(_SPARK_RAMP) // 2] * len(values)
+    top = len(_SPARK_RAMP) - 1
+    return "".join(
+        _SPARK_RAMP[round((v - low) / span * top)] for v in values
+    )
+
+
 def ascii_loglog(
     series: Dict[str, Sequence[tuple[float, float]]],
     width: int = 64,

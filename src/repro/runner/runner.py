@@ -41,6 +41,7 @@ from repro.runner import tasks as _tasks
 from repro.runner.checkpoint import SCHEMA_VERSION, CheckpointStore
 from repro.runner.chunking import ChunkPlan, clamp_chunks
 from repro.runner.faults import FaultInjector
+from repro.telemetry.convergence import ConvergenceConfig, ConvergenceMonitor
 from repro.telemetry.recorder import get_recorder
 
 
@@ -110,6 +111,7 @@ class RunOutcome:
     resumed_chunks: int = 0
     degraded: bool = False
     interrupted: bool = False
+    converged: bool = False
     quarantined: List[str] = field(default_factory=list)
     retries: int = 0
     notes: List[str] = field(default_factory=list)
@@ -153,6 +155,14 @@ class Runner:
         populated directory raises (no silent mixing of runs).
     fault_injector:
         Optional :class:`~repro.runner.faults.FaultInjector` for tests.
+    convergence:
+        Optional :class:`~repro.telemetry.convergence.ConvergenceConfig`
+        enabling sequential stopping: once the running Wilson interval of
+        a Bernoulli payload (``.n_hits``/``.n``) is tighter than
+        ``rel_ci_width``, the run finishes early with ``converged=True``
+        (CLI: ``--stop-when-ci``/``--min-chunks``).  Even without it, a
+        live telemetry recorder gets per-chunk ``estimate`` events and
+        stall/drift ``incident`` events from a default monitor.
     recorder:
         Telemetry recorder for run/chunk/retry/deadline events and
         metrics.  ``None`` (default) uses the process-global
@@ -172,6 +182,7 @@ class Runner:
         backoff_base: float = 0.05,
         resume: bool = False,
         fault_injector: Optional[FaultInjector] = None,
+        convergence: Optional[ConvergenceConfig] = None,
         recorder=None,
     ) -> None:
         if n_chunks < 1:
@@ -187,12 +198,14 @@ class Runner:
         self.backoff_base = float(backoff_base)
         self.resume = bool(resume)
         self.fault_injector = fault_injector
+        self.convergence = convergence
         self._recorder = recorder
         self._deadline: Optional[float] = None
         self._labels_used: Dict[str, int] = {}
         #: Aggregate flags over every run() of this Runner (CLI exit codes).
         self.degraded = False
         self.interrupted = False
+        self.converged = False
 
     # ----------------------------------------------------------- small utils
 
@@ -241,6 +254,30 @@ class Runner:
             rec.event(reason, label=label, completed=completed, total=total)
             rec.metrics.counter(f"runner.{reason}_stops").add()
         return reason
+
+    def _converged_stop(self, rec, label: str, monitor, completed: int, total: int) -> str:
+        """Record a successful sequential stop (CI target met) once."""
+        rec.event(
+            "converged", label=label, completed=completed, total=total,
+            **monitor.stop_fields(),
+        )
+        rec.metrics.counter("runner.converged_stops").add()
+        return "converged"
+
+    def _build_monitor(self, rec, label: str, completed: Dict[int, Any]):
+        """A convergence monitor when stopping or telemetry wants one.
+
+        Resumed chunks are folded in silently so a resumed run continues
+        from the correct running totals (and may even stop immediately if
+        the checkpointed data already meets the CI target).
+        """
+        if self.convergence is None and not rec.enabled:
+            return None
+        config = self.convergence if self.convergence is not None else ConvergenceConfig()
+        monitor = ConvergenceMonitor(config, rec, label)
+        for index in sorted(completed):
+            monitor.observe_resumed(completed[index])
+        return monitor
 
     # ------------------------------------------------------------------- run
 
@@ -310,21 +347,28 @@ class Runner:
             rec.metrics.counter("runner.chunks_resumed").add(resumed)
         pending = [i for i in range(plan.n_chunks) if i not in completed]
         sizes, seeds = plan.sizes(), plan.child_seeds()
+        monitor = self._build_monitor(rec, label, completed)
 
         retries = 0
-        stopped = False
+        reason: Optional[str] = None
         if pending:
             if self.workers >= 1:
-                retries, stopped = self._run_pooled(
-                    task, store, pending, sizes, seeds, completed, notes, rec, label
+                retries, reason = self._run_pooled(
+                    task, store, pending, sizes, seeds, completed, notes, rec, label,
+                    monitor,
                 )
             else:
-                stopped = self._run_serial(
-                    task, store, pending, sizes, seeds, completed, rec, label
+                reason = self._run_serial(
+                    task, store, pending, sizes, seeds, completed, rec, label, monitor
                 )
-
-        interrupted = stopped and stop_requested()
-        degraded = len(completed) < plan.n_chunks and not interrupted
+        converged = reason == "converged"
+        interrupted = reason is not None and not converged and stop_requested()
+        degraded = len(completed) < plan.n_chunks and not interrupted and not converged
+        if converged and len(completed) < plan.n_chunks:
+            notes.append(
+                f"converged after {len(completed)}/{plan.n_chunks} chunks: "
+                f"CI half-width target met (--stop-when-ci)"
+            )
         if interrupted:
             notes.append(
                 f"interrupted by signal after {len(completed)}/{plan.n_chunks} chunks; "
@@ -337,6 +381,7 @@ class Runner:
             )
         self.degraded = self.degraded or degraded
         self.interrupted = self.interrupted or interrupted
+        self.converged = self.converged or converged
         run_seconds = time.monotonic() - started
         rec.event(
             "run_end",
@@ -348,6 +393,7 @@ class Runner:
             quarantined=len(quarantined),
             degraded=degraded,
             interrupted=interrupted,
+            converged=converged,
             seconds=round(run_seconds, 6),
         )
         if rec.enabled:
@@ -366,6 +412,7 @@ class Runner:
             resumed_chunks=resumed,
             degraded=degraded,
             interrupted=interrupted,
+            converged=converged,
             quarantined=quarantined,
             retries=retries,
             notes=notes,
@@ -373,21 +420,27 @@ class Runner:
 
     # ------------------------------------------------------------ serial mode
 
-    def _run_serial(self, task, store, pending, sizes, seeds, completed, rec, label) -> bool:
-        """Run chunks in-process; returns True if stopped early."""
+    def _run_serial(
+        self, task, store, pending, sizes, seeds, completed, rec, label, monitor
+    ) -> Optional[str]:
+        """Run chunks in-process; returns the early-stop reason, if any."""
         total = len(completed) + len(pending)
         for index in pending:
-            if self._stop_reason(rec, label, len(completed), total) is not None:
-                return True
+            reason = self._stop_reason(rec, label, len(completed), total)
+            if reason is not None:
+                return reason
+            if monitor is not None and monitor.should_stop():
+                return self._converged_stop(rec, label, monitor, len(completed), total)
             rec.event("chunk_start", label=label, chunk=index, n=sizes[index], attempt=1)
             chunk_started = time.monotonic()
             _, payload = _execute_chunk(task, index, sizes[index], seeds[index], None)
             self._write_checkpoint(store, task, index, payload, sizes[index], rec, label)
             completed[index] = payload
-            self._record_chunk_end(
-                rec, label, index, sizes[index], time.monotonic() - chunk_started, 1
-            )
-        return stop_requested() or False
+            chunk_seconds = time.monotonic() - chunk_started
+            self._record_chunk_end(rec, label, index, sizes[index], chunk_seconds, 1)
+            if monitor is not None:
+                monitor.observe_chunk(index, payload, chunk_seconds)
+        return "signal" if stop_requested() else None
 
     def _record_chunk_end(
         self, rec, label: str, index: int, n: int, seconds: float, attempt: int
@@ -413,8 +466,10 @@ class Runner:
             process.kill()
         executor.shutdown(wait=False, cancel_futures=True)
 
-    def _run_pooled(self, task, store, pending, sizes, seeds, completed, notes, rec, label):
-        """Run chunks in a process pool; returns (retries, stopped_early)."""
+    def _run_pooled(
+        self, task, store, pending, sizes, seeds, completed, notes, rec, label, monitor
+    ):
+        """Run chunks in a process pool; returns (retries, stop reason or None)."""
         queue = list(pending)
         attempts: Dict[int, int] = {}
         retries = 0
@@ -453,8 +508,15 @@ class Runner:
 
         try:
             while queue or inflight:
-                if self._stop_reason(rec, label, len(completed), total) is not None:
-                    return retries, True
+                reason = self._stop_reason(rec, label, len(completed), total)
+                if reason is not None:
+                    return retries, reason
+                if monitor is not None and monitor.should_stop():
+                    # In-flight chunks are abandoned (the finally block
+                    # kills the pool); everything completed is checkpointed.
+                    return retries, self._converged_stop(
+                        rec, label, monitor, len(completed), total
+                    )
                 if executor is None:
                     executor = ProcessPoolExecutor(max_workers=self.workers)
                 while queue and len(inflight) < self.workers:
@@ -489,14 +551,13 @@ class Runner:
                         continue
                     self._write_checkpoint(store, task, index, payload, sizes[index], rec, label)
                     completed[index] = payload
+                    chunk_seconds = time.monotonic() - _submitted
                     self._record_chunk_end(
-                        rec,
-                        label,
-                        index,
-                        sizes[index],
-                        time.monotonic() - _submitted,
+                        rec, label, index, sizes[index], chunk_seconds,
                         attempts.get(index, 0) + 1,
                     )
+                    if monitor is not None:
+                        monitor.observe_chunk(index, payload, chunk_seconds)
                 if broken:
                     # The pool is poisoned: every other in-flight chunk is
                     # lost with it.  Rebuild and retry them all.
@@ -524,7 +585,7 @@ class Runner:
                         executor = None
                         rebuild_pool(f"chunk exceeded {self.chunk_timeout}s timeout")
                         requeue(hung, f"chunk exceeded {self.chunk_timeout}s timeout")
-            return retries, False
+            return retries, ("signal" if stop_requested() else None)
         finally:
             if executor is not None:
                 if inflight:

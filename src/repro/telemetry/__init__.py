@@ -51,25 +51,39 @@ _LAZY = {
     "render_report": "repro.telemetry.report",
     "render_file": "repro.telemetry.report",
     "summarize_events": "repro.telemetry.report",
+    "ConvergenceConfig": "repro.telemetry.convergence",
+    "ConvergenceMonitor": "repro.telemetry.convergence",
+    "LogFollower": "repro.telemetry.watch",
+    "WatchState": "repro.telemetry.watch",
+    "render_watch": "repro.telemetry.watch",
+    "compare_snapshots": "repro.telemetry.bench_history",
+    "parse_threshold": "repro.telemetry.bench_history",
 }
 
 __all__ = [
+    "ConvergenceConfig",
+    "ConvergenceMonitor",
     "DECADE_BOUNDS",
     "DURATION_BOUNDS",
     "Counter",
     "EventLogWriter",
+    "LogFollower",
+    "WatchState",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NullRecorder",
     "SCHEMA_VERSION",
     "TelemetryRecorder",
+    "compare_snapshots",
     "configure",
     "get_recorder",
     "iter_events",
+    "parse_threshold",
     "read_events",
     "render_file",
     "render_report",
+    "render_watch",
     "set_recorder",
     "summarize_events",
     "use_recorder",

@@ -1,0 +1,168 @@
+"""``repro-experiment bench-history``: diff committed benchmark snapshots.
+
+The benchmarks persist flat ``BENCH_<group>.json`` snapshots at the repo
+root (see ``benchmarks/bench_utils.py``), so perf is diffable per commit
+-- but a diff is only useful if something reads it.  This command
+compares a *baseline* snapshot (the committed one) against a *current*
+one (a fresh benchmark run) and fails past a configurable regression
+threshold, which is what CI's ``bench-regression`` job runs.
+
+Comparison semantics, by metric-name suffix:
+
+* ``*_seconds`` -- wall times; compared **relatively**: a regression is
+  ``current/baseline - 1 > threshold``;
+* ``*_overhead`` -- already-relative ratios (e.g. telemetry's +33%
+  means 0.33); compared **absolutely**: a regression is
+  ``current - baseline > threshold`` (a 25% threshold tolerates the
+  overhead growing by up to 25 *percentage points* of the base time);
+* everything else (``n_walks``, ``n_chunks``, ``meta``) is
+  configuration: differing values make every timing comparison
+  apples-to-oranges, so they are reported as config drift (never a
+  regression by themselves, but a loud warning).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.reporting.table import Table
+
+
+def parse_threshold(text: str) -> float:
+    """``"25%"`` -> 0.25; ``"0.25"`` -> 0.25.  Raises ValueError otherwise."""
+    text = str(text).strip()
+    if text.endswith("%"):
+        value = float(text[:-1]) / 100.0
+    else:
+        value = float(text)
+    if value <= 0:
+        raise ValueError(f"regression threshold must be positive, got {text!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's baseline-vs-current comparison."""
+
+    name: str
+    baseline: Optional[float]
+    current: Optional[float]
+    #: "seconds" (relative), "overhead" (absolute) or "config".
+    kind: str
+    #: Signed change: ratio-1 for seconds, difference for overhead.
+    delta: Optional[float]
+    regressed: bool
+    note: str = ""
+
+
+def _numeric_metrics(snapshot: Dict) -> Dict[str, float]:
+    return {
+        name: float(value)
+        for name, value in snapshot.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+
+
+def _kind(name: str) -> str:
+    if name.endswith("_seconds"):
+        return "seconds"
+    if name.endswith("_overhead"):
+        return "overhead"
+    return "config"
+
+
+def compare_snapshots(
+    baseline: Dict, current: Dict, threshold: float
+) -> List[MetricDelta]:
+    """Compare two flat snapshot dicts; one :class:`MetricDelta` per metric."""
+    base = _numeric_metrics(baseline)
+    cur = _numeric_metrics(current)
+    deltas: List[MetricDelta] = []
+    for name in sorted(set(base) | set(cur)):
+        kind = _kind(name)
+        b, c = base.get(name), cur.get(name)
+        if b is None or c is None:
+            deltas.append(
+                MetricDelta(
+                    name, b, c, kind, None, False,
+                    note="only in current" if b is None else "only in baseline",
+                )
+            )
+            continue
+        if kind == "seconds":
+            delta = (c - b) / b if b > 0 else 0.0
+            regressed = delta > threshold
+            note = f"{delta:+.1%}"
+        elif kind == "overhead":
+            delta = c - b
+            regressed = delta > threshold
+            note = f"{delta:+.3f} (absolute)"
+        else:
+            delta = c - b
+            regressed = False
+            note = "config drift -- timings not comparable" if b != c else ""
+        deltas.append(MetricDelta(name, b, c, kind, delta, regressed, note))
+    return deltas
+
+
+def render_comparison(
+    deltas: List[MetricDelta], threshold: float, warn_only: bool = False
+) -> Tuple[str, List[str]]:
+    """Render the comparison table; returns ``(text, regressed names)``."""
+    table = Table(
+        ["metric", "baseline", "current", "change", "verdict"],
+        title=f"bench history (regression threshold {threshold:.0%})",
+    )
+    regressed: List[str] = []
+    drifted = False
+    for delta in deltas:
+        if delta.regressed:
+            regressed.append(delta.name)
+            verdict = "WARN" if warn_only else "REGRESSED"
+        elif delta.kind == "config" and delta.note:
+            verdict = "DRIFT"
+            drifted = True
+        elif delta.baseline is None or delta.current is None:
+            verdict = "n/a"
+        elif delta.kind == "config":
+            verdict = "same"
+        else:
+            verdict = "ok"
+        table.add_row(delta.name, delta.baseline, delta.current, delta.note, verdict)
+    lines = [table.render()]
+    if drifted:
+        lines.append(
+            "warning: benchmark configuration drifted between snapshots; "
+            "timing verdicts compare different workloads"
+        )
+    if regressed:
+        word = "warning" if warn_only else "FAIL"
+        lines.append(
+            f"{word}: {len(regressed)} metric(s) past the {threshold:.0%} "
+            f"threshold: {', '.join(regressed)}"
+        )
+    else:
+        lines.append("no regressions past the threshold")
+    return "\n".join(lines), regressed
+
+
+def load_snapshot(path) -> Dict:
+    """Load one ``BENCH_*.json`` file (ValueError on a non-object)."""
+    path = Path(path)
+    snapshot = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(snapshot, dict):
+        raise ValueError(f"benchmark snapshot {path} is not a JSON object")
+    return snapshot
+
+
+def compare_files(
+    baseline_path, current_path, threshold: float, warn_only: bool = False
+) -> Tuple[str, List[str]]:
+    """File-level entry point used by the CLI; see :func:`compare_snapshots`."""
+    baseline = load_snapshot(baseline_path)
+    current = load_snapshot(current_path)
+    deltas = compare_snapshots(baseline, current, threshold)
+    return render_comparison(deltas, threshold, warn_only=warn_only)

@@ -5,16 +5,22 @@ format is deliberately boring: any ``jq``/pandas/grep pipeline can
 consume it, and ``repro-experiment report`` renders it back into the
 repository's text tables.
 
-Durability model: each event is serialized to one ``\\n``-terminated line
-and written with a *single* ``write`` on an ``O_APPEND`` descriptor
-(:func:`repro.io_utils.open_append` / :func:`append_line`).  POSIX makes
-O_APPEND writes atomic with respect to concurrent appenders for writes up
-to ``PIPE_BUF`` and -- on regular files under every mainstream filesystem
--- non-interleaving at any size, so the failure mode of a crash is "the
-last line is truncated", never "two events interleave mid-record".
-:func:`read_events` therefore tolerates a garbled *final* line by
-default (that is the expected kill signature) while ``strict=True``
-turns any damage into :class:`repro.io_utils.CorruptResultError`.
+Durability model: events are serialized to ``\\n``-terminated lines,
+buffered in memory, and flushed as *one* ``write`` on an ``O_APPEND``
+descriptor (:func:`repro.io_utils.open_append` / :func:`append_text`).
+The recorder flushes at every run/chunk boundary (and the writer
+auto-flushes past a size threshold), so buffering amortizes the syscall
+per chunk instead of paying it per event without changing the failure
+mode: POSIX O_APPEND writes are non-interleaving on regular files under
+every mainstream filesystem, so a crash can only truncate the *final
+line of the last flushed block* -- never interleave or corrupt interior
+records.  What buffering does change is the loss window: a hard kill
+(SIGKILL, power loss) drops the not-yet-flushed tail of the current
+chunk; a normal close -- including the ``finally`` paths of the CLI and
+the test harnesses -- flushes everything.  :func:`read_events` tolerates
+a garbled *final* line by default (that is the expected kill signature)
+while ``strict=True`` turns interior damage into
+:class:`repro.io_utils.CorruptResultError`.
 """
 
 from __future__ import annotations
@@ -23,10 +29,13 @@ import json
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional
 
-from repro.io_utils import CorruptResultError, append_line, open_append
+from repro.io_utils import CorruptResultError, append_text, open_append
 
 #: Stamped into the header event of every log this writer opens.
-SCHEMA_VERSION = 1
+#: Version 2 (PR 3) added the ``estimate``/``incident``/``converged``
+#: event types and the ``log_close`` trailer; readers that ignore
+#: unknown types can consume either version.
+SCHEMA_VERSION = 2
 
 
 def _encode(record: Dict) -> str:
@@ -36,27 +45,51 @@ def _encode(record: Dict) -> str:
 
 
 class EventLogWriter:
-    """Appends JSON events to ``path``, one line per event.
+    """Appends JSON events to ``path``, one line per event, buffered.
 
     Opening the writer appends a ``log_open`` header event carrying the
-    schema version, so a reader can detect format drift and a log that
-    was resumed across several processes shows each process boundary.
+    schema version (flushed immediately, so even a promptly-killed
+    process leaves its process boundary in the log); closing appends a
+    ``log_close`` trailer, which is how a follower (``repro-experiment
+    watch``) knows the writing process finished cleanly.  Between those,
+    events accumulate in memory until :meth:`flush` -- called by the
+    recorder at run/chunk boundaries -- or until the buffer exceeds
+    ``auto_flush_bytes``, and go to disk as a single O_APPEND write.
     """
 
-    def __init__(self, path) -> None:
+    def __init__(self, path, auto_flush_bytes: int = 64 * 1024) -> None:
         self.path = Path(path)
+        self._buffer: List[str] = []
+        self._buffered_bytes = 0
+        self._auto_flush_bytes = int(auto_flush_bytes)
         self._fd: Optional[int] = open_append(self.path)
         self.write({"type": "log_open", "schema": SCHEMA_VERSION})
+        self.flush()
 
     def write(self, record: Dict) -> None:
         if self._fd is None:
             raise ValueError(f"event log {self.path} is closed")
-        append_line(self._fd, _encode(record))
+        line = _encode(record) + "\n"
+        self._buffer.append(line)
+        self._buffered_bytes += len(line)
+        if self._buffered_bytes >= self._auto_flush_bytes:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write every buffered event in one O_APPEND ``write``."""
+        if self._fd is None or not self._buffer:
+            return
+        block = "".join(self._buffer)
+        self._buffer = []
+        self._buffered_bytes = 0
+        append_text(self._fd, block)
 
     def close(self) -> None:
         if self._fd is not None:
             import os
 
+            self.write({"type": "log_close"})
+            self.flush()
             os.close(self._fd)
             self._fd = None
 

@@ -90,6 +90,38 @@ _PROGRESS_TYPES = frozenset(
         "quarantine",
         "deadline",
         "signal",
+        "incident",
+        "converged",
+        "run_end",
+        "experiment_start",
+        "experiment_end",
+    }
+)
+
+# "estimate" flushes too (it follows chunk_end immediately, and a live
+# `watch` should see the CI tighten per chunk, not one chunk late).
+#: Event types that flush the buffered event-log writer to disk.  These
+#: are the chunk/run boundaries and every rare "something notable
+#: happened" event, so the on-disk log is durable at each boundary while
+#: the per-event hot path (spans, chunk_start, estimates) stays a pure
+#: in-memory append.  A kill therefore loses at most the buffered tail
+#: of the current chunk -- the same granularity the checkpoint store
+#: guarantees for the data itself.
+_FLUSH_TYPES = frozenset(
+    {
+        "run_start",
+        "resume",
+        "chunk_end",
+        "checkpoint",
+        "retry",
+        "pool_rebuild",
+        "quarantine",
+        "fault_injected",
+        "deadline",
+        "signal",
+        "incident",
+        "estimate",
+        "converged",
         "run_end",
         "experiment_start",
         "experiment_end",
@@ -179,6 +211,10 @@ class TelemetryRecorder:
         record.update(fields)
         if self.writer is not None:
             self.writer.write(record)
+            if type_ in _FLUSH_TYPES:
+                flush = getattr(self.writer, "flush", None)
+                if flush is not None:
+                    flush()
         if self.progress is not None and type_ in _PROGRESS_TYPES:
             self._heartbeat(record)
 
@@ -242,6 +278,14 @@ class TelemetryRecorder:
             )
         elif type_ == "resume":
             parts.append(f"resumed {record.get('resumed')} checkpointed chunk(s)")
+        elif type_ == "converged":
+            parts.append(
+                f"converged after {record.get('completed')}/{record.get('total')} "
+                f"chunks: p={record.get('p')} "
+                f"[{record.get('low')}, {record.get('high')}] "
+                f"(rel half-width {record.get('rel_half_width')} "
+                f"<= {record.get('target')})"
+            )
         else:
             detail = {
                 key: value

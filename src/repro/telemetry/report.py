@@ -17,8 +17,11 @@ from typing import Dict, List, Optional, Sequence
 from repro.reporting.table import Table
 from repro.reporting.text_plots import ascii_bars
 
-#: Event types surfaced in the incident table.
-_INCIDENT_TYPES = ("deadline", "signal", "quarantine", "fault_injected", "pool_rebuild")
+#: Event types surfaced in the incident table ("incident" is the
+#: convergence monitor's anomaly kind: slow_chunk / success_drift).
+_INCIDENT_TYPES = (
+    "deadline", "signal", "quarantine", "fault_injected", "pool_rebuild", "incident",
+)
 
 #: Cap on bars in the chunk-duration chart (longest chunks win).
 _MAX_BARS = 24
@@ -40,6 +43,9 @@ class RunSummary:
         self.resumed = 0
         self.retries = 0
         self.chunk_ends: List[Dict] = []
+        #: Last ``estimate`` event seen for this run (running Wilson CI).
+        self.last_estimate: Optional[Dict] = None
+        self.n_estimates = 0
 
     @property
     def n_total(self) -> Optional[int]:
@@ -51,6 +57,8 @@ class RunSummary:
             return "unfinished"
         if self.end_event.get("interrupted"):
             return "interrupted"
+        if self.end_event.get("converged"):
+            return "converged"
         if self.end_event.get("degraded"):
             return "degraded"
         return "ok"
@@ -115,6 +123,9 @@ def summarize_events(events: Sequence[Dict]) -> Dict[str, object]:
                 runs[key].retries += 1
         elif type_ in _INCIDENT_TYPES:
             incidents.append(dict(event, run=key))
+        elif type_ == "estimate" and key in runs:
+            runs[key].last_estimate = event
+            runs[key].n_estimates += 1
         elif type_ == "run_end" and key in runs:
             runs[key].end_event = event
         elif type_ == "experiment_start":
@@ -190,6 +201,28 @@ def _retries_table(retries: Sequence[Dict]) -> Table:
     return table
 
 
+def _estimates_table(runs: Sequence[RunSummary]) -> Table:
+    table = Table(
+        ["run", "successes", "trials", "p", "ci95", "rel half-width", "status"],
+        title="final estimates (running Wilson CI)",
+    )
+    for run in runs:
+        estimate = run.last_estimate
+        if estimate is None:
+            continue
+        rel = estimate.get("rel_half_width")
+        table.add_row(
+            run.key,
+            estimate.get("successes"),
+            estimate.get("trials"),
+            estimate.get("p"),
+            f"[{estimate.get('low')}, {estimate.get('high')}]",
+            rel if rel is not None else "inf",
+            run.status,
+        )
+    return table
+
+
 def _incidents_table(incidents: Sequence[Dict]) -> Table:
     table = Table(["t", "type", "run", "detail"], title="incidents")
     for incident in incidents:
@@ -230,6 +263,8 @@ def render_report(events: Sequence[Dict], width: int = 48) -> str:
     sections.append("\n".join(header))
     if runs:
         sections.append(_runs_table(runs).render())
+    if any(run.last_estimate is not None for run in runs):
+        sections.append(_estimates_table(runs).render())
     if chunks:
         sections.append(_chunks_table(chunks).render())
         slowest = sorted(chunks, key=lambda c: c.get("seconds", 0.0), reverse=True)

@@ -1,0 +1,246 @@
+"""``repro-experiment watch PATH``: live view of a growing event log.
+
+``report`` answers "what happened"; ``watch`` answers "what is happening"
+-- it follows a JSONL event log that another process is still appending
+to and re-renders, every few seconds, the running estimates (point ± CI
+and relative half-width per metric, with a sparkline of the half-width
+shrinking), throughput, and recent incidents.
+
+Following a file that is being written concurrently has two sharp edges,
+both handled by :class:`LogFollower`:
+
+* **torn tails** -- the writer flushes whole lines, but a poll can still
+  race mid-flush (or the writer may have been killed mid-line), so any
+  trailing bytes without a newline are carried over to the next poll
+  instead of being parsed;
+* **interior damage** -- a line that never becomes valid JSON is simply
+  skipped: a live console is the wrong place to die on a corrupt record
+  (``report --strict`` is the place to reject such a log).
+
+The follower exits on its own when the log says the writers are done: the
+buffered :class:`~repro.telemetry.events.EventLogWriter` appends a
+``log_close`` trailer per ``log_open`` header, so "closes >= opens > 0"
+means no process is still appending.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.reporting.table import Table
+from repro.reporting.text_plots import ascii_bars, sparkline
+
+#: Incident-ish event types surfaced in the "recent incidents" section.
+_WATCH_INCIDENTS = (
+    "incident", "deadline", "signal", "quarantine", "fault_injected",
+    "pool_rebuild", "retry",
+)
+
+#: How many recent incidents the console keeps on screen.
+_MAX_INCIDENTS = 8
+
+
+class LogFollower:
+    """Incremental JSONL reader, tolerant of a file still being written.
+
+    Each :meth:`poll` returns the events appended since the previous
+    poll.  A partial final line (no trailing newline yet) is buffered and
+    re-tried next poll; a shrunk or replaced file resets the follower to
+    the start (the log was truncated and restarted).
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._offset = 0
+        self._partial = ""
+
+    def poll(self) -> List[Dict]:
+        try:
+            size = self.path.stat().st_size
+        except FileNotFoundError:
+            return []
+        if size < self._offset:
+            self._offset = 0
+            self._partial = ""
+        if size == self._offset:
+            return []
+        with open(self.path, "rb") as handle:
+            handle.seek(self._offset)
+            data = handle.read()
+            self._offset = handle.tell()
+        text = self._partial + data.decode("utf-8", errors="replace")
+        lines = text.split("\n")
+        # The fragment after the last newline is an incomplete (possibly
+        # torn) line: keep it for the next poll, never parse it now.
+        self._partial = lines.pop()
+        events = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                events.append(record)
+        return events
+
+
+def _run_key(event: Dict) -> str:
+    label = event.get("label", "?")
+    experiment = event.get("experiment")
+    return f"{experiment}/{label}" if experiment else str(label)
+
+
+class WatchState:
+    """Accumulated view of everything seen so far (incremental consume)."""
+
+    def __init__(self) -> None:
+        #: run key -> last estimate event for that key.
+        self.estimates: Dict[str, Dict] = {}
+        #: run key -> history of relative half-widths (for sparklines).
+        self.rel_history: Dict[str, List[float]] = {}
+        self.incidents: List[Dict] = []
+        self.walks_computed = 0
+        self.compute_seconds = 0.0
+        self.elapsed = 0.0
+        self.n_events = 0
+        self.opens = 0
+        self.closes = 0
+        self.converged: List[str] = []
+
+    def consume(self, events: List[Dict]) -> None:
+        for event in events:
+            self.n_events += 1
+            self.elapsed = max(self.elapsed, float(event.get("t", 0.0)))
+            type_ = event.get("type")
+            if type_ == "log_open":
+                self.opens += 1
+            elif type_ == "log_close":
+                self.closes += 1
+            elif type_ == "estimate":
+                key = _run_key(event)
+                self.estimates[key] = event
+                rel = event.get("rel_half_width")
+                if rel is not None:
+                    self.rel_history.setdefault(key, []).append(float(rel))
+            elif type_ == "chunk_end":
+                self.walks_computed += int(event.get("n", 0))
+                self.compute_seconds += float(event.get("seconds", 0.0))
+            elif type_ == "converged":
+                key = _run_key(event)
+                if key not in self.converged:
+                    self.converged.append(key)
+            if type_ in _WATCH_INCIDENTS:
+                self.incidents.append(event)
+                del self.incidents[:-_MAX_INCIDENTS]
+
+    @property
+    def finished(self) -> bool:
+        """True once every opener of the log has appended its trailer."""
+        return self.opens > 0 and self.closes >= self.opens
+
+
+def render_watch(state: WatchState, width: int = 40) -> str:
+    """One full console frame for the current state."""
+    sections = []
+    header = (
+        f"events: {state.n_events}   log elapsed: {state.elapsed:.2f}s   "
+        f"writers: {state.opens - state.closes} active"
+    )
+    if state.compute_seconds > 0:
+        header += (
+            f"\ncomputed {state.walks_computed} walks in "
+            f"{state.compute_seconds:.2f}s of chunk time "
+            f"({state.walks_computed / state.compute_seconds:.0f} walks/sec)"
+        )
+    sections.append(header)
+    if state.estimates:
+        table = Table(
+            ["run", "successes", "trials", "p", "ci95", "rel hw", "shrink"],
+            title="running estimates (95% Wilson CI)",
+        )
+        for key in sorted(state.estimates):
+            estimate = state.estimates[key]
+            rel = estimate.get("rel_half_width")
+            name = key + (" *converged*" if key in state.converged else "")
+            table.add_row(
+                name,
+                estimate.get("successes"),
+                estimate.get("trials"),
+                estimate.get("p"),
+                f"[{estimate.get('low')}, {estimate.get('high')}]",
+                rel if rel is not None else "inf",
+                sparkline(state.rel_history.get(key, []), width=16),
+            )
+        sections.append(table.render())
+        bars = [
+            (key, float(state.estimates[key].get("rel_half_width") or 0.0))
+            for key in sorted(state.estimates)
+            if state.estimates[key].get("rel_half_width") is not None
+        ]
+        if bars:
+            sections.append(
+                ascii_bars(bars, width=width, title="relative CI half-width (lower is tighter)")
+            )
+    else:
+        sections.append(
+            "no estimate events yet -- estimates appear once a runner-driven "
+            "Bernoulli metric (hitting sample) completes a chunk"
+        )
+    if state.incidents:
+        table = Table(["t", "type", "run", "detail"], title="recent incidents")
+        for incident in state.incidents:
+            detail = {
+                key: value
+                for key, value in incident.items()
+                if key not in ("t", "type", "span", "experiment", "scale", "seed", "label")
+            }
+            table.add_row(
+                incident.get("t"),
+                incident.get("type"),
+                _run_key(incident),
+                " ".join(f"{k}={v}" for k, v in sorted(detail.items())),
+            )
+        sections.append(table.render())
+    if state.finished:
+        sections.append("log closed -- all writers finished")
+    return "\n\n".join(sections)
+
+
+def follow(
+    path,
+    stream,
+    interval: float = 2.0,
+    once: bool = False,
+    max_seconds: Optional[float] = None,
+    width: int = 40,
+) -> int:
+    """Follow ``path`` and re-render frames to ``stream`` until done.
+
+    Returns a CLI exit code: 0 on a clean finish (log closed, ``--once``,
+    or ``--max-seconds`` elapsed), 2 if the file never appeared.
+    """
+    path = Path(path)
+    follower = LogFollower(path)
+    state = WatchState()
+    started = time.monotonic()
+    clear = "\x1b[2J\x1b[H" if getattr(stream, "isatty", lambda: False)() else ""
+    while True:
+        state.consume(follower.poll())
+        if state.n_events or path.exists():
+            print(clear + render_watch(state, width=width), file=stream, flush=True)
+        elif once:
+            print(f"error: no event log at {path}", file=stream, flush=True)
+            return 2
+        else:
+            print(f"waiting for {path} ...", file=stream, flush=True)
+        if once or state.finished:
+            return 0
+        if max_seconds is not None and time.monotonic() - started >= max_seconds:
+            return 0
+        time.sleep(interval)

@@ -1,0 +1,156 @@
+"""Tests for benchmark snapshot diffing (``repro-experiment bench-history``)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.telemetry.bench_history import (
+    compare_snapshots,
+    parse_threshold,
+    render_comparison,
+)
+
+
+def test_parse_threshold_accepts_percent_and_fraction():
+    assert parse_threshold("25%") == pytest.approx(0.25)
+    assert parse_threshold("0.25") == pytest.approx(0.25)
+    assert parse_threshold(" 10% ") == pytest.approx(0.10)
+    for bad in ("0", "-5%", "0%", "nonsense"):
+        with pytest.raises(ValueError):
+            parse_threshold(bad)
+
+
+def test_seconds_compared_relatively():
+    deltas = compare_snapshots(
+        {"run_seconds": 1.0}, {"run_seconds": 1.3}, threshold=0.25
+    )
+    (delta,) = deltas
+    assert delta.kind == "seconds"
+    assert delta.delta == pytest.approx(0.3)
+    assert delta.regressed
+    # Below the threshold: ok.
+    (ok,) = compare_snapshots({"run_seconds": 1.0}, {"run_seconds": 1.2}, 0.25)
+    assert not ok.regressed
+    # Speedups are never regressions.
+    (fast,) = compare_snapshots({"run_seconds": 1.0}, {"run_seconds": 0.5}, 0.25)
+    assert not fast.regressed
+
+
+def test_overhead_compared_absolutely():
+    # 0.10 -> 0.30 is a 3x relative change but only +0.20 absolute: within
+    # a 0.25 threshold for *_overhead metrics.
+    (delta,) = compare_snapshots(
+        {"telemetry_overhead": 0.10}, {"telemetry_overhead": 0.30}, threshold=0.25
+    )
+    assert delta.kind == "overhead" and not delta.regressed
+    (bad,) = compare_snapshots(
+        {"telemetry_overhead": 0.10}, {"telemetry_overhead": 0.40}, threshold=0.25
+    )
+    assert bad.regressed
+
+
+def test_config_drift_warns_but_never_regresses():
+    deltas = compare_snapshots(
+        {"n_walks": 40000, "run_seconds": 1.0},
+        {"n_walks": 80000, "run_seconds": 1.1},
+        threshold=0.25,
+    )
+    by_name = {d.name: d for d in deltas}
+    assert by_name["n_walks"].kind == "config"
+    assert not by_name["n_walks"].regressed
+    assert "drift" in by_name["n_walks"].note
+    text, regressed = render_comparison(deltas, 0.25)
+    assert regressed == []
+    assert "configuration drifted" in text
+
+
+def test_missing_metrics_reported_not_regressed():
+    deltas = compare_snapshots(
+        {"old_seconds": 1.0}, {"new_seconds": 2.0}, threshold=0.25
+    )
+    notes = {d.name: d.note for d in deltas}
+    assert notes["old_seconds"] == "only in baseline"
+    assert notes["new_seconds"] == "only in current"
+    assert not any(d.regressed for d in deltas)
+
+
+def test_render_comparison_verdicts_and_warn_only():
+    deltas = compare_snapshots(
+        {"a_seconds": 1.0, "b_seconds": 1.0},
+        {"a_seconds": 2.0, "b_seconds": 1.0},
+        threshold=0.25,
+    )
+    text, regressed = render_comparison(deltas, 0.25)
+    assert regressed == ["a_seconds"]
+    assert "REGRESSED" in text and "FAIL" in text
+    warn_text, warn_regressed = render_comparison(deltas, 0.25, warn_only=True)
+    assert warn_regressed == ["a_seconds"]
+    assert "WARN" in warn_text and "FAIL" not in warn_text
+
+
+# ----------------------------------------------------------------------- CLI
+
+
+def write_snapshot(path, metrics):
+    path.write_text(json.dumps(metrics))
+    return path
+
+
+def test_cli_bench_history_ok(tmp_path, capsys):
+    base = write_snapshot(tmp_path / "base.json", {"x_seconds": 1.0})
+    cur = write_snapshot(tmp_path / "cur.json", {"x_seconds": 1.1})
+    assert main(["bench-history", str(base), str(cur)]) == 0
+    out = capsys.readouterr().out
+    assert "no regressions" in out
+
+
+def test_cli_bench_history_fails_on_regression(tmp_path, capsys):
+    base = write_snapshot(tmp_path / "base.json", {"x_seconds": 1.0})
+    cur = write_snapshot(tmp_path / "cur.json", {"x_seconds": 2.0})
+    assert main(["bench-history", str(base), str(cur)]) == 1
+    assert "FAIL" in capsys.readouterr().out
+    # --warn-only reports but exits 0 (CI's engine-timing mode).
+    assert main(["bench-history", str(base), str(cur), "--warn-only"]) == 0
+
+
+def test_cli_bench_history_threshold_flag(tmp_path):
+    base = write_snapshot(tmp_path / "base.json", {"x_seconds": 1.0})
+    cur = write_snapshot(tmp_path / "cur.json", {"x_seconds": 1.4})
+    assert main(["bench-history", str(base), str(cur), "--max-regression", "50%"]) == 0
+    assert main(["bench-history", str(base), str(cur), "--max-regression", "0.3"]) == 1
+
+
+def test_cli_bench_history_usage_errors(tmp_path, capsys):
+    base = write_snapshot(tmp_path / "base.json", {"x_seconds": 1.0})
+    missing = tmp_path / "nope.json"
+    assert main(["bench-history", str(base), str(missing)]) == 2
+    assert "error" in capsys.readouterr().err
+    bad = write_snapshot(tmp_path / "bad.json", [1, 2, 3])
+    assert main(["bench-history", str(base), str(bad)]) == 2
+    garbled = tmp_path / "garbled.json"
+    garbled.write_text("{not json")
+    assert main(["bench-history", str(base), str(garbled)]) == 2
+    assert (
+        main(["bench-history", str(base), str(base), "--max-regression", "bogus"])
+        == 2
+    )
+
+
+def test_cli_bench_history_real_snapshot_shape(tmp_path):
+    """The committed BENCH_runner.json shape round-trips through the diff."""
+    snapshot = {
+        "chunked_seconds": 5.27,
+        "checkpointed_seconds": 5.43,
+        "single_shot_seconds": 4.48,
+        "telemetry_seconds": 7.23,
+        "chunking_overhead": 0.176,
+        "checkpoint_overhead": 0.030,
+        "telemetry_overhead": 0.332,
+        "n_chunks": 4,
+        "n_walks": 40000,
+        "meta": {"python": "3.x"},  # non-numeric: ignored
+    }
+    base = write_snapshot(tmp_path / "base.json", snapshot)
+    cur = write_snapshot(tmp_path / "cur.json", snapshot)
+    assert main(["bench-history", str(base), str(cur)]) == 0

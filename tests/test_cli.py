@@ -200,6 +200,134 @@ def test_report_missing_file_exits_usage(tmp_path, capsys):
     assert "no event log" in capsys.readouterr().err
 
 
+def _write_log_then_tear(tmp_path, interior_damage=False):
+    """A realistic log with, optionally, a corrupt interior line, plus a
+    torn final line (the kill-while-appending signature)."""
+    from repro import telemetry
+
+    log = tmp_path / "events.jsonl"
+    recorder = telemetry.configure(log_path=log)
+    try:
+        recorder.event("run_start", n_total=100, n_chunks=2, label="t1")
+        recorder.event("chunk_end", chunk=0, n=50, seconds=0.1, label="t1")
+        recorder.event("run_end", completed=2, total=2, degraded=False, label="t1")
+    finally:
+        recorder.close()
+        telemetry.set_recorder(None)
+    if interior_damage:
+        lines = log.read_text().splitlines()
+        lines[2] = '{"type": "chunk_end", torn interior garbage'
+        log.write_text("\n".join(lines) + "\n")
+    with open(log, "a", encoding="utf-8") as handle:
+        handle.write('{"type":"chunk_end","chu')  # no trailing newline
+    return log
+
+
+def test_report_tolerates_torn_final_line_even_strict(tmp_path, capsys):
+    log = _write_log_then_tear(tmp_path)
+    assert main(["report", str(log), "--strict"]) == EXIT_OK
+    out = capsys.readouterr().out
+    assert "runner invocations" in out
+
+
+def test_report_strict_rejects_interior_damage(tmp_path, capsys):
+    log = _write_log_then_tear(tmp_path, interior_damage=True)
+    assert main(["report", str(log)]) == EXIT_OK  # default: skip and render
+    capsys.readouterr()
+    assert main(["report", str(log), "--strict"]) == EXIT_USAGE
+    assert "corrupt event" in capsys.readouterr().err
+
+
+# -------------------------------------------------------------------- watch
+
+
+def test_watch_once_renders_estimates_from_partial_log(tmp_path, capsys):
+    """watch --once on a log still being appended to: estimates render,
+    the torn trailing line is ignored, and the exit code is 0."""
+    import json
+
+    log = tmp_path / "events.jsonl"
+    events = [
+        {"type": "log_open", "schema": 2, "t": 0.0},
+        {"type": "run_start", "n_total": 400, "n_chunks": 4, "label": "t1", "t": 0.1},
+        {"type": "chunk_end", "chunk": 0, "n": 100, "seconds": 0.5, "t": 0.6},
+        {
+            "type": "estimate", "label": "t1", "chunk": 0, "successes": 30,
+            "trials": 100, "p": 0.3, "low": 0.22, "high": 0.4,
+            "half_width": 0.09, "rel_half_width": 0.3, "t": 0.6,
+        },
+        {
+            "type": "incident", "kind": "slow_chunk", "label": "t1",
+            "chunk": 1, "seconds": 9.0, "median_seconds": 0.5, "t": 9.5,
+        },
+    ]
+    with open(log, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event) + "\n")
+        handle.write('{"type":"estimate","chu')  # writer still mid-append
+    assert main(["watch", str(log), "--once"]) == EXIT_OK
+    out = capsys.readouterr().out
+    assert "running estimates" in out
+    assert "t1" in out and "0.3" in out
+    assert "recent incidents" in out and "slow_chunk" in out
+    assert "log closed" not in out  # no log_close trailer yet
+
+
+def test_watch_once_reports_closed_log(tmp_path, capsys):
+    from repro import telemetry
+
+    log = tmp_path / "events.jsonl"
+    recorder = telemetry.configure(log_path=log)
+    try:
+        recorder.event("run_start", n_total=10, n_chunks=1, label="t1")
+    finally:
+        recorder.close()
+        telemetry.set_recorder(None)
+    assert main(["watch", str(log), "--once"]) == EXIT_OK
+    out = capsys.readouterr().out
+    assert "log closed -- all writers finished" in out
+    assert "no estimate events yet" in out
+
+
+def test_watch_once_missing_file_exits_2(tmp_path, capsys):
+    assert main(["watch", str(tmp_path / "nope.jsonl"), "--once"]) == 2
+    assert "no event log" in capsys.readouterr().out
+
+
+def test_watch_follows_live_appends(tmp_path):
+    """The follower picks up lines appended between polls and holds torn
+    fragments until their newline arrives."""
+    import json
+
+    from repro.telemetry.watch import LogFollower, WatchState, render_watch
+
+    log = tmp_path / "events.jsonl"
+    log.write_text('{"type":"log_open","schema":2}\n')
+    follower = LogFollower(log)
+    state = WatchState()
+    state.consume(follower.poll())
+    assert state.opens == 1 and not state.finished
+
+    estimate = {
+        "type": "estimate", "label": "t1", "chunk": 0, "successes": 5,
+        "trials": 50, "p": 0.1, "low": 0.04, "high": 0.21,
+        "half_width": 0.085, "rel_half_width": 0.85,
+    }
+    line = json.dumps(estimate) + "\n"
+    with open(log, "a", encoding="utf-8") as handle:
+        handle.write(line[:20])  # torn mid-line
+    assert follower.poll() == []  # fragment withheld, not mangled
+    with open(log, "a", encoding="utf-8") as handle:
+        handle.write(line[20:])  # rest of the line lands
+        handle.write('{"type":"log_close"}\n')
+    state.consume(follower.poll())
+    assert "t1" in state.estimates
+    assert state.estimates["t1"]["successes"] == 5
+    assert state.finished
+    frame = render_watch(state)
+    assert "log closed" in frame and "t1" in frame
+
+
 def test_metrics_out_writes_snapshot(tmp_path, capsys):
     import json
 

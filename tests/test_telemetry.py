@@ -120,7 +120,7 @@ def test_event_log_round_trip(tmp_path):
         writer.write({"type": "a", "n": 1})
         writer.write({"type": "b", "n": 2})
     events = read_events(path)
-    assert [event["type"] for event in events] == ["log_open", "a", "b"]
+    assert [event["type"] for event in events] == ["log_open", "a", "b", "log_close"]
     assert events[0]["schema"] == telemetry.SCHEMA_VERSION
 
 
@@ -131,7 +131,7 @@ def test_event_log_tolerates_truncated_final_line(tmp_path):
     with open(path, "a", encoding="utf-8") as handle:
         handle.write('{"type":"torn-by-a-ki')  # kill signature: no newline
     events = read_events(path, strict=True)  # even strict tolerates the tail
-    assert [event["type"] for event in events] == ["log_open", "a"]
+    assert [event["type"] for event in events] == ["log_open", "a", "log_close"]
 
 
 def test_event_log_strict_rejects_interior_corruption(tmp_path):
@@ -147,6 +147,46 @@ def test_writer_refuses_after_close(tmp_path):
     writer.close()
     with pytest.raises(ValueError):
         writer.write({"type": "late"})
+
+
+def test_writer_buffers_until_flush(tmp_path):
+    path = tmp_path / "events.jsonl"
+    writer = EventLogWriter(path)
+    try:
+        # log_open is flushed eagerly; subsequent events sit in memory.
+        assert [e["type"] for e in read_events(path)] == ["log_open"]
+        writer.write({"type": "a"})
+        writer.write({"type": "b"})
+        assert [e["type"] for e in read_events(path)] == ["log_open"]
+        writer.flush()
+        assert [e["type"] for e in read_events(path)] == ["log_open", "a", "b"]
+    finally:
+        writer.close()
+    assert [e["type"] for e in read_events(path)][-1] == "log_close"
+
+
+def test_writer_auto_flushes_past_threshold(tmp_path):
+    path = tmp_path / "events.jsonl"
+    writer = EventLogWriter(path, auto_flush_bytes=256)
+    try:
+        for n in range(40):  # ~25 bytes/line blows the 256-byte buffer fast
+            writer.write({"type": "tick", "n": n})
+        on_disk = read_events(path)
+        assert len(on_disk) > 1  # auto-flush ran without an explicit flush()
+    finally:
+        writer.close()
+
+
+def test_recorder_flushes_chunk_boundaries_buffers_rest(tmp_path):
+    """Boundary events land on disk immediately; chatter waits in memory."""
+    path = tmp_path / "events.jsonl"
+    recorder = TelemetryRecorder(writer=EventLogWriter(path))
+    recorder.event("span_start", name="x")  # not a flush type
+    assert "span_start" not in {e["type"] for e in read_events(path)}
+    recorder.event("chunk_end", chunk=0, n=10, seconds=0.1)  # flush type
+    types = [e["type"] for e in read_events(path)]
+    assert types == ["log_open", "span_start", "chunk_end"]
+    recorder.close()
 
 
 # ------------------------------------------------------------------ recorder
