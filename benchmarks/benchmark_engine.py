@@ -71,7 +71,7 @@ def test_walk_engine_end_to_end(benchmark):
 
     def run():
         rng = np.random.default_rng(3)
-        return walk_hitting_times(law, (24, 12), 1_000, 2_000, rng)
+        return walk_hitting_times(law, (24, 12), horizon=1_000, n=2_000, rng=rng)
 
     sample = benchmark(run)
     _persist(benchmark, "walk_engine_end_to_end")
@@ -83,7 +83,7 @@ def test_flight_engine_end_to_end(benchmark):
 
     def run():
         rng = np.random.default_rng(4)
-        return flight_hitting_times(law, (8, 4), 200, 2_000, rng)
+        return flight_hitting_times(law, (8, 4), horizon=200, n=2_000, rng=rng)
 
     sample = benchmark(run)
     _persist(benchmark, "flight_engine_end_to_end")
@@ -97,7 +97,7 @@ def test_ball_target_engine(benchmark):
 
     def run():
         rng = np.random.default_rng(5)
-        return ball_hitting_times(law, (24, 12), 4, 1_000, 2_000, rng)
+        return ball_hitting_times(law, (24, 12), radius=4, horizon=1_000, n=2_000, rng=rng)
 
     sample = benchmark(run)
     _persist(benchmark, "ball_target_engine")
@@ -112,7 +112,7 @@ def test_multi_target_engine(benchmark):
 
     def run():
         rng = np.random.default_rng(7)
-        return multi_target_search(law, field, 2_000, 32, rng)
+        return multi_target_search(law, field, horizon=2_000, n=32, rng=rng)
 
     result = benchmark(run)
     _persist(benchmark, "multi_target_engine")

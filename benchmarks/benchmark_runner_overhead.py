@@ -43,7 +43,7 @@ _MAX_CHECKPOINT_OVERHEAD = 0.25
 
 def _single_shot() -> None:
     walk_hitting_times(
-        _LAW, _TARGET, _HORIZON, _N_WALKS, np.random.default_rng(_SEED)
+        _LAW, _TARGET, horizon=_HORIZON, n=_N_WALKS, rng=np.random.default_rng(_SEED)
     )
 
 
@@ -55,9 +55,14 @@ def _chunked(checkpoint_dir) -> None:
 
 
 def _timed(fn, *args) -> float:
-    started = time.perf_counter()
-    fn(*args)
-    return time.perf_counter() - started
+    """Median of three runs: one-shot timings of sub-second workloads are
+    noisy enough on shared CI hosts to drive the overhead ratios negative."""
+    samples = []
+    for _ in range(3):
+        started = time.perf_counter()
+        fn(*args)
+        samples.append(time.perf_counter() - started)
+    return float(np.median(samples))
 
 
 def _chunked_with_telemetry(checkpoint_dir, log_path) -> float:
@@ -79,15 +84,17 @@ def test_runner_checkpoint_overhead(benchmark, tmp_path):
     chunked_seconds = _timed(_chunked, None)
 
     benchmark.pedantic(
-        _chunked, args=(tmp_path / "bench",), rounds=1, iterations=1
+        _chunked, args=(tmp_path / "bench",), rounds=3, iterations=1
     )
-    checkpointed_seconds = benchmark.stats.stats.mean
+    checkpointed_seconds = benchmark.stats.stats.median
     telemetry_seconds = _chunked_with_telemetry(
         tmp_path / "bench-telemetry", tmp_path / "events.jsonl"
     )
-    checkpoint_overhead = checkpointed_seconds / chunked_seconds - 1.0
-    chunking_overhead = chunked_seconds / single_seconds - 1.0
-    telemetry_overhead = telemetry_seconds / checkpointed_seconds - 1.0
+    # Clamp at zero: an extra code path cannot truly be faster, so a
+    # negative ratio is timing noise and would poison the bench history.
+    checkpoint_overhead = max(0.0, checkpointed_seconds / chunked_seconds - 1.0)
+    chunking_overhead = max(0.0, chunked_seconds / single_seconds - 1.0)
+    telemetry_overhead = max(0.0, telemetry_seconds / checkpointed_seconds - 1.0)
     print(
         f"\nsingle-shot {single_seconds:.3f}s | chunked x{_N_CHUNKS} "
         f"{chunked_seconds:.3f}s ({100 * chunking_overhead:+.1f}% engine "

@@ -47,7 +47,7 @@ def main() -> None:
     curve = []
     for alpha in np.arange(2.0, 3.01, 0.1):
         pool = walk_hitting_times(
-            ZetaJumpDistribution(float(alpha)), target, horizon, N_SINGLE, rng
+            ZetaJumpDistribution(float(alpha)), target, horizon=horizon, n=N_SINGLE, rng=rng
         )
         parallel = bootstrap_parallel(pool.times, K, N_GROUPS, rng)
         success = float((parallel >= 0).mean())

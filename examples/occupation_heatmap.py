@@ -46,8 +46,8 @@ def main() -> None:
     rng = np.random.default_rng(0)
     empirical = flight_occupation_grid(
         ZetaJumpDistribution(2.5),
-        n_jumps=12,
-        n_flights=300_000,
+        horizon=12,
+        n=300_000,
         radius=WINDOW,
         rng=rng,
         at_time_only=True,

@@ -58,7 +58,7 @@ def displacement_profile(
     """
     if not 0.0 <= trim < 0.5:
         raise ValueError(f"trim must be in [0, 0.5), got {trim}")
-    snaps = walk_displacement_snapshots(jumps, steps, n_walks, rng)
+    snaps = walk_displacement_snapshots(jumps, steps, n=n_walks, rng=rng)
     l1 = np.abs(snaps[:, :, 0]) + np.abs(snaps[:, :, 1])
     medians = np.median(l1, axis=1)
     sorted_l1 = np.sort(l1, axis=1)

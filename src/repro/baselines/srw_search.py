@@ -43,7 +43,7 @@ class SRWSearch:
             self.distribution,
             target=target,
             horizon=horizon,
-            n_walks=n_agents,
+            n=n_agents,
             rng=rng,
         )
 

@@ -88,6 +88,84 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     add_runner_arguments(runner)
     add_telemetry_arguments(runner)
+    sweeper = subparsers.add_parser(
+        "sweep",
+        help="run a declarative parameter grid over one shared runner pool",
+        description=(
+            "Declare a grid (axes: --alpha/--bout x --l x --detect), execute "
+            "every point over ONE shared pool/deadline/checkpoint "
+            "store/telemetry stream, and print the per-point summary.  "
+            "Per-point samples are bit-identical across --workers settings "
+            "and resumes (see docs/sweep.md)."
+        ),
+    )
+    sweeper.add_argument(
+        "--alpha",
+        default=None,
+        metavar="A1,A2,...",
+        help="Levy exponent axis (comma-separated floats)",
+    )
+    sweeper.add_argument(
+        "--bout",
+        default=None,
+        metavar="B1,B2,...",
+        help="CCRW mean-bout-length axis (comma-separated floats); "
+        "mutually exclusive with --alpha",
+    )
+    sweeper.add_argument(
+        "--l",
+        required=True,
+        dest="l_values",
+        metavar="L1,L2,...",
+        help="target distance axis (comma-separated ints)",
+    )
+    sweeper.add_argument(
+        "--detect",
+        default=None,
+        metavar="MODE,...",
+        help="detection-mode axis: 'during' (paper), 'endpoint' "
+        "(intermittent), or both comma-separated",
+    )
+    sweeper.add_argument(
+        "--n-walks",
+        type=int,
+        default=2_000,
+        dest="n_walks",
+        help="single walks simulated per grid point (default 2000)",
+    )
+    sweeper.add_argument(
+        "--horizon",
+        default="l2",
+        help="per-point step budget: an integer, or 'l2' for l^2 (default)",
+    )
+    sweeper.add_argument(
+        "--k",
+        type=int,
+        default=None,
+        help="group size for parallel-time estimates (optional)",
+    )
+    sweeper.add_argument(
+        "--n-groups",
+        type=int,
+        default=None,
+        dest="n_groups",
+        help="bootstrap resamples per point (with --k; omit for exact "
+        "consecutive-block grouping)",
+    )
+    sweeper.add_argument("--seed", type=int, default=0)
+    sweeper.add_argument(
+        "--label", default="sweep", help="label prefix for checkpoints/events"
+    )
+    sweeper.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        dest="json_out",
+        metavar="PATH",
+        help="also write the per-point summary as JSON to PATH",
+    )
+    add_runner_arguments(sweeper)
+    add_telemetry_arguments(sweeper)
     reporter = subparsers.add_parser(
         "report", help="render a --log-json event log into text tables"
     )
@@ -178,6 +256,100 @@ def _run_one(experiment_id: str, args, checkpoint_root: Optional[Path]):
         return None, runner, exc
 
 
+def _parse_axis(text: Optional[str], convert, option: str) -> Optional[list]:
+    if text is None:
+        return None
+    try:
+        values = [convert(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        print(f"error: {option} expects comma-separated values, got {text!r}",
+              file=sys.stderr)
+        return None
+    if not values:
+        print(f"error: {option} has no values", file=sys.stderr)
+        return None
+    return values
+
+
+def _sweep_grid(args) -> int:
+    """The ``sweep`` subcommand: declare, schedule, summarise a grid."""
+    from repro.io_utils import atomic_write_json
+    from repro.runner import trap_signals
+    from repro.sweep import SweepSpec, run_sweep
+
+    alphas = _parse_axis(args.alpha, float, "--alpha")
+    bouts = _parse_axis(args.bout, float, "--bout")
+    ls = _parse_axis(args.l_values, int, "--l")
+    if ls is None:
+        return EXIT_USAGE
+    if (alphas is None) == (bouts is None):
+        print("error: give exactly one of --alpha (Levy) or --bout (CCRW)",
+              file=sys.stderr)
+        return EXIT_USAGE
+    axes = {}
+    if alphas is not None:
+        axes["alpha"] = alphas
+    else:
+        axes["bout"] = bouts
+    axes["l"] = ls
+    if args.detect is not None:
+        modes = []
+        for mode in args.detect.split(","):
+            mode = mode.strip()
+            if mode == "during":
+                modes.append(True)
+            elif mode == "endpoint":
+                modes.append(False)
+            elif mode:
+                print(f"error: --detect modes are 'during'/'endpoint', got {mode!r}",
+                      file=sys.stderr)
+                return EXIT_USAGE
+        if bouts is not None and modes:
+            print("error: --detect does not apply to the CCRW (--bout) walk",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        if modes:
+            axes["detect"] = modes
+    if args.horizon == "l2":
+        horizon = lambda p: p["l"] ** 2  # noqa: E731
+    else:
+        try:
+            horizon = int(args.horizon)
+        except ValueError:
+            print(f"error: --horizon expects an integer or 'l2', got {args.horizon!r}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+    spec = SweepSpec(
+        axes=axes,
+        n=args.n_walks,
+        horizon=horizon,
+        k=args.k,
+        n_groups=args.n_groups,
+    )
+    runner = runner_from_args(args)
+    recorder, previous = telemetry_from_args(args)
+    if recorder is not None:
+        recorder.bind(seed=args.seed)
+    try:
+        with trap_signals():
+            result = run_sweep(spec, seed=args.seed, runner=runner, label=args.label)
+    finally:
+        finish_telemetry(args, recorder, previous)
+    print(result.summary_table().render())
+    if result.converged:
+        print(f"{result.converged} point(s) stopped early on their CI target")
+    if args.json_out is not None:
+        atomic_write_json(result.to_dict(), args.json_out)
+    if result.interrupted:
+        print("interrupted; completed chunks are checkpointed", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    if result.degraded:
+        print("walltime budget expired; some points are partial (degraded)",
+              file=sys.stderr)
+        return EXIT_DEGRADED
+    return EXIT_OK
+
+
 def _report(args) -> int:
     from repro.io_utils import CorruptResultError
     from repro.telemetry.report import render_file
@@ -255,6 +427,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except BrokenPipeError:
             _swallow_broken_pipe()
         return EXIT_OK
+    if args.command == "sweep":
+        return _sweep_grid(args)
     if args.command == "report":
         return _report(args)
     if args.command == "watch":

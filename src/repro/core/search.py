@@ -120,7 +120,7 @@ class ParallelLevySearch:
             HeterogeneousZetaSampler(exponents),
             target=target,
             horizon=horizon,
-            n_walks=self.k,
+            n=self.k,
             rng=rng,
             detect_during_jump=self.detect_during_jump,
         )
@@ -173,7 +173,7 @@ class ParallelLevySearch:
             HeterogeneousZetaSampler(exponents),
             target=target,
             horizon=horizon,
-            n_walks=total,
+            n=total,
             rng=rng,
             detect_during_jump=self.detect_during_jump,
         )

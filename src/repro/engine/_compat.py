@@ -1,0 +1,113 @@
+"""Deprecation shims for the pre-1.1 engine entry-point spellings.
+
+The 1.1 API redesign unified the ten-odd engine entry points on one
+convention:
+
+* the *time budget* is always called ``horizon`` (previously also
+  ``horizon_jumps``, ``n_jumps``, ``n_steps``) and the *sample size* is
+  always called ``n`` (previously ``n_walks`` / ``n_flights``);
+* everything after the structural lead arguments (the jump law and the
+  target/nodes, where present) is keyword-only, so call sites read as
+  declarations and adding parameters can never silently reorder calls.
+
+:func:`legacy_api` wraps a unified function so the old spellings keep
+working for one release: legacy positional arguments and legacy keyword
+names are remapped onto the new signature, and every such call emits
+exactly **one** :class:`DeprecationWarning` that lists all the legacy
+aspects of the call and shows the unified signature.  New-style calls
+pass straight through with no warning (and near-zero overhead: one
+length check and one dict scan).
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import warnings
+from typing import Callable, Dict, Optional, Sequence
+
+
+def legacy_api(
+    *, positional: Sequence[str] = (), renames: Optional[Dict[str, str]] = None
+) -> Callable:
+    """Let a keyword-only engine entry point accept its legacy spellings.
+
+    Parameters
+    ----------
+    positional:
+        New-spelling names of the keyword-only parameters that legacy
+        callers used to pass *positionally* after the lead arguments, in
+        their legacy order (e.g. ``("horizon", "n", "rng", "start")``).
+    renames:
+        Mapping of legacy keyword name -> unified keyword name
+        (e.g. ``{"n_walks": "n", "horizon_jumps": "horizon"}``).
+
+    The decorated function must follow the unified convention: its lead
+    parameters are POSITIONAL_OR_KEYWORD, everything else KEYWORD_ONLY.
+    A call using any legacy spelling (extra positionals, old keyword
+    names, or both) triggers one combined DeprecationWarning.
+    """
+    positional = tuple(positional)
+    renames = dict(renames or {})
+
+    def decorate(func: Callable) -> Callable:
+        signature = inspect.signature(func)
+        lead = [
+            parameter.name
+            for parameter in signature.parameters.values()
+            if parameter.kind is inspect.Parameter.POSITIONAL_OR_KEYWORD
+        ]
+        n_lead = len(lead)
+        max_positional = n_lead + len(positional)
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            complaints = []
+            if len(args) > n_lead:
+                if len(args) > max_positional:
+                    raise TypeError(
+                        f"{func.__name__}() takes at most {max_positional} "
+                        f"positional arguments ({len(args)} given)"
+                    )
+                extras = args[n_lead:]
+                mapped = positional[: len(extras)]
+                for name, value in zip(mapped, extras):
+                    if name in kwargs:
+                        raise TypeError(
+                            f"{func.__name__}() got multiple values for "
+                            f"argument {name!r}"
+                        )
+                    kwargs[name] = value
+                args = args[:n_lead]
+                complaints.append(
+                    "positional " + "/".join(mapped) + " (now keyword-only)"
+                )
+            legacy_keys = [old for old in renames if old in kwargs]
+            for old in legacy_keys:
+                new = renames[old]
+                if new in kwargs:
+                    raise TypeError(
+                        f"{func.__name__}() got both legacy {old!r} and its "
+                        f"replacement {new!r}"
+                    )
+                kwargs[new] = kwargs.pop(old)
+            if legacy_keys:
+                complaints.append(
+                    ", ".join(
+                        f"keyword {old!r} (use {renames[old]!r})"
+                        for old in legacy_keys
+                    )
+                )
+            if complaints:
+                warnings.warn(
+                    f"{func.__name__}: legacy call spelling -- "
+                    + "; ".join(complaints)
+                    + f".  The unified signature is {func.__name__}{signature}",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            return func(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

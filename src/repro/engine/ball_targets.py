@@ -28,6 +28,7 @@ from typing import Tuple, Union
 import numpy as np
 
 from repro.distributions.base import JumpDistribution
+from repro.engine._compat import legacy_api
 from repro.engine.results import CENSORED, HittingTimeSample
 from repro.engine.samplers import BatchJumpSampler
 from repro.engine.vectorized import _as_sampler
@@ -38,17 +39,22 @@ from repro.rng import SeedLike, as_generator
 IntPoint = Tuple[int, int]
 
 
+@legacy_api(
+    positional=("radius", "horizon", "n", "rng", "start", "detect_during_jump"),
+    renames={"n_walks": "n"},
+)
 def ball_hitting_times(
     jumps: Union[BatchJumpSampler, JumpDistribution],
     center: IntPoint,
+    *,
     radius: int,
     horizon: int,
-    n_walks: int,
+    n: int,
     rng: SeedLike = None,
     start: IntPoint = (0, 0),
     detect_during_jump: bool = True,
 ) -> HittingTimeSample:
-    """Hitting times of the ball ``B_radius(center)`` for ``n_walks`` walks.
+    """Hitting times of the ball ``B_radius(center)`` for ``n`` walks.
 
     ``radius = 0`` recovers the point-target engine.  With
     ``detect_during_jump=False`` only phase endpoints are tested (the
@@ -60,8 +66,9 @@ def ball_hitting_times(
         raise ValueError(f"radius must be non-negative, got {radius}")
     if horizon < 0:
         raise ValueError(f"horizon must be non-negative, got {horizon}")
-    if n_walks < 1:
-        raise ValueError(f"n_walks must be positive, got {n_walks}")
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n}")
+    n_walks = int(n)
     cx, cy = int(center[0]), int(center[1])
     times = np.full(n_walks, CENSORED, dtype=np.int64)
     start_distance = abs(cx - start[0]) + abs(cy - start[1])

@@ -39,6 +39,7 @@ from typing import Sequence, Tuple, Union
 import numpy as np
 
 from repro.distributions.base import JumpDistribution
+from repro.engine._compat import legacy_api
 from repro.engine.results import CENSORED
 from repro.engine.samplers import BatchJumpSampler
 from repro.engine.vectorized import _as_sampler
@@ -99,15 +100,20 @@ class ForagingResult:
         return counts
 
 
+@legacy_api(
+    positional=("horizon", "n", "rng", "start"),
+    renames={"n_walks": "n"},
+)
 def multi_target_search(
     jumps: Union[BatchJumpSampler, JumpDistribution],
     targets: Sequence[IntPoint],
+    *,
     horizon: int,
-    n_walks: int,
+    n: int,
     rng: SeedLike = None,
     start: IntPoint = (0, 0),
 ) -> ForagingResult:
-    """Run ``n_walks`` Levy walks over a field of targets.
+    """Run ``n`` Levy walks over a field of targets.
 
     Returns per-item first-discovery times and discoverers (see the module
     docstring for why this covers destructive and revisitable semantics at
@@ -121,8 +127,9 @@ def multi_target_search(
     n_items = target_array.shape[0]
     if horizon < 0:
         raise ValueError(f"horizon must be non-negative, got {horizon}")
-    if n_walks < 1:
-        raise ValueError(f"n_walks must be positive, got {n_walks}")
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n}")
+    n_walks = int(n)
 
     never = np.iinfo(np.int64).max
     best_time = np.full(n_items, never, dtype=np.int64)

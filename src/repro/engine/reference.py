@@ -13,6 +13,7 @@ from typing import Callable, Tuple
 
 import numpy as np
 
+from repro.engine._compat import legacy_api
 from repro.engine.results import CENSORED, HittingTimeSample
 from repro.rng import SeedLike, as_generator, spawn
 from repro.walks.base import JumpProcess
@@ -20,24 +21,27 @@ from repro.walks.base import JumpProcess
 IntPoint = Tuple[int, int]
 
 
+@legacy_api(positional=("horizon", "n", "rng"), renames={"n_walks": "n"})
 def reference_hitting_times(
     make_process: Callable[[np.random.Generator], JumpProcess],
     target: IntPoint,
+    *,
     horizon: int,
-    n_walks: int,
+    n: int,
     rng: SeedLike = None,
 ) -> HittingTimeSample:
-    """Hitting times of ``n_walks`` processes, advanced one step at a time.
+    """Hitting times of ``n`` processes, advanced one step at a time.
 
     Parameters
     ----------
     make_process:
         Factory mapping a generator to a fresh :class:`JumpProcess`
         (e.g. ``lambda g: LevyWalk(2.5, rng=g)``).
-    target, horizon, n_walks, rng:
+    target, horizon, n, rng:
         As in :func:`repro.engine.vectorized.walk_hitting_times`.
     """
     rng = as_generator(rng)
+    n_walks = int(n)
     times = np.full(n_walks, CENSORED, dtype=np.int64)
     for i, child in enumerate(spawn(rng, n_walks)):
         process = make_process(child)

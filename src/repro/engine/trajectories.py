@@ -22,6 +22,7 @@ from typing import Tuple, Union
 import numpy as np
 
 from repro.distributions.base import JumpDistribution
+from repro.engine._compat import legacy_api
 from repro.engine.samplers import BatchJumpSampler
 from repro.engine.vectorized import _as_sampler
 from repro.lattice.direct_path import sample_direct_path_nodes
@@ -31,25 +32,31 @@ from repro.rng import SeedLike, as_generator
 IntPoint = Tuple[int, int]
 
 
+@legacy_api(
+    positional=("horizon", "n", "rng", "start"),
+    renames={"n_steps": "horizon", "n_walks": "n"},
+)
 def walk_trajectories(
     jumps: Union[BatchJumpSampler, JumpDistribution],
-    n_steps: int,
-    n_walks: int,
+    *,
+    horizon: int,
+    n: int,
     rng: SeedLike = None,
     start: IntPoint = (0, 0),
 ) -> np.ndarray:
-    """Record full trajectories: returns int64 ``(n_walks, n_steps+1, 2)``.
+    """Record full trajectories: returns int64 ``(n, horizon+1, 2)``.
 
     ``out[w, t]`` is walk ``w``'s position at step ``t`` (``out[:, 0]`` is
-    the start node).  Phases that cross ``n_steps`` are truncated there;
+    the start node).  Phases that cross ``horizon`` are truncated there;
     the truncation does not disturb the law of the recorded prefix.
     """
     sampler = _as_sampler(jumps)
     rng = as_generator(rng)
-    if n_steps < 0:
-        raise ValueError(f"n_steps must be non-negative, got {n_steps}")
-    if n_walks < 1:
-        raise ValueError(f"n_walks must be positive, got {n_walks}")
+    if horizon < 0:
+        raise ValueError(f"horizon must be non-negative, got {horizon}")
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n}")
+    n_steps, n_walks = int(horizon), int(n)
     out = np.empty((n_walks, n_steps + 1, 2), dtype=np.int64)
     out[:, 0, 0] = int(start[0])
     out[:, 0, 1] = int(start[1])

@@ -31,6 +31,7 @@ from typing import Tuple, Union
 import numpy as np
 
 from repro.distributions.base import JumpDistribution
+from repro.engine._compat import legacy_api
 from repro.engine.results import CENSORED, HittingTimeSample
 from repro.engine.samplers import BatchJumpSampler, HomogeneousSampler
 from repro.lattice.direct_path import sample_direct_path_nodes
@@ -57,16 +58,21 @@ def _as_sampler(source: Union[BatchJumpSampler, JumpDistribution]) -> BatchJumpS
     return HomogeneousSampler(source)
 
 
+@legacy_api(
+    positional=("horizon", "n", "rng", "start", "detect_during_jump"),
+    renames={"n_walks": "n"},
+)
 def walk_hitting_times(
     jumps: Union[BatchJumpSampler, JumpDistribution],
     target: IntPoint,
+    *,
     horizon: int,
-    n_walks: int,
+    n: int,
     rng: SeedLike = None,
     start: IntPoint = (0, 0),
     detect_during_jump: bool = True,
 ) -> HittingTimeSample:
-    """Hitting times of ``n_walks`` independent Levy walks for one target.
+    """Hitting times of ``n`` independent Levy walks for one target.
 
     Each walk starts at ``start`` at time 0 and runs until it hits
     ``target`` or its elapsed *steps* (not jumps) exceed ``horizon``.
@@ -83,7 +89,7 @@ def walk_hitting_times(
         The target node ``u*``.
     horizon:
         Censoring step; hits at exactly ``horizon`` count.
-    n_walks:
+    n:
         Number of independent walks.
     rng:
         Seed or generator.
@@ -95,14 +101,15 @@ def walk_hitting_times(
     Returns
     -------
     HittingTimeSample
-        Censored sample of the ``n_walks`` hitting times.
+        Censored sample of the ``n`` hitting times.
     """
     sampler = _as_sampler(jumps)
     rng = as_generator(rng)
     if horizon < 0:
         raise ValueError(f"horizon must be non-negative, got {horizon}")
-    if n_walks < 1:
-        raise ValueError(f"n_walks must be positive, got {n_walks}")
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n}")
+    n_walks = int(n)
     tx, ty = int(target[0]), int(target[1])
     times = np.full(n_walks, CENSORED, dtype=np.int64)
     if (int(start[0]), int(start[1])) == (tx, ty):
@@ -167,25 +174,34 @@ def walk_hitting_times(
     return HittingTimeSample(times=times, horizon=horizon)
 
 
+@legacy_api(
+    positional=("horizon", "n", "rng", "start"),
+    renames={"horizon_jumps": "horizon", "n_flights": "n"},
+)
 def flight_hitting_times(
     jumps: Union[BatchJumpSampler, JumpDistribution],
     target: IntPoint,
-    horizon_jumps: int,
-    n_flights: int,
+    *,
+    horizon: int,
+    n: int,
     rng: SeedLike = None,
     start: IntPoint = (0, 0),
 ) -> HittingTimeSample:
     """Hitting times (in *jumps*) of independent Levy flights.
 
-    A flight's time unit is one jump (Definition 3.3): the returned times
-    count jumps, and a flight only detects the target when a jump lands on
-    it.  Used for the flight-level lemmas (4.5, 4.13) and as the
-    intermittent-detection comparator.
+    A flight's time unit is one jump (Definition 3.3): ``horizon`` and
+    the returned times count jumps, and a flight only detects the target
+    when a jump lands on it.  Used for the flight-level lemmas (4.5,
+    4.13) and as the intermittent-detection comparator.
     """
     sampler = _as_sampler(jumps)
     rng = as_generator(rng)
-    if horizon_jumps < 0:
-        raise ValueError(f"horizon must be non-negative, got {horizon_jumps}")
+    if horizon < 0:
+        raise ValueError(f"horizon must be non-negative, got {horizon}")
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n}")
+    n_flights = int(n)
+    horizon_jumps = int(horizon)
     tx, ty = int(target[0]), int(target[1])
     times = np.full(n_flights, CENSORED, dtype=np.int64)
     if (int(start[0]), int(start[1])) == (tx, ty):

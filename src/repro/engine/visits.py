@@ -23,6 +23,7 @@ from typing import Sequence, Tuple, Union
 import numpy as np
 
 from repro.distributions.base import JumpDistribution
+from repro.engine._compat import legacy_api
 from repro.engine.samplers import BatchJumpSampler
 from repro.engine.vectorized import _as_sampler
 from repro.lattice.direct_path import sample_direct_path_nodes
@@ -31,24 +32,30 @@ from repro.rng import SeedLike, as_generator
 
 IntPoint = Tuple[int, int]
 
+#: Legacy keyword spellings shared by the flight-statistics entry points.
+_FLIGHT_RENAMES = {"n_jumps": "horizon", "n_flights": "n"}
 
+
+@legacy_api(positional=("horizon", "n", "rng", "start"), renames=_FLIGHT_RENAMES)
 def flight_visit_counts(
     jumps: Union[BatchJumpSampler, JumpDistribution],
     nodes: Sequence[IntPoint],
-    n_jumps: int,
-    n_flights: int,
+    *,
+    horizon: int,
+    n: int,
     rng: SeedLike = None,
     start: IntPoint = (0, 0),
 ) -> np.ndarray:
     """Visit counts ``Z_u^f(t)`` of a Levy flight for a few nodes.
 
     Returns an array of shape ``(len(nodes),)`` whose entry ``j`` is the
-    *average over flights* of the number of jumps ``1..n_jumps`` that land
-    on ``nodes[j]`` -- a Monte-Carlo estimate of ``E[Z_u^f(n_jumps)]``
-    (paper Section 3.1 notation).
+    *average over flights* of the number of jumps ``1..horizon`` that land
+    on ``nodes[j]`` -- a Monte-Carlo estimate of ``E[Z_u^f(horizon)]``
+    (paper Section 3.1 notation; a flight's time unit is one jump).
     """
     sampler = _as_sampler(jumps)
     rng = as_generator(rng)
+    n_jumps, n_flights = int(horizon), int(n)
     node_array = np.asarray(nodes, dtype=np.int64)
     if node_array.ndim != 2 or node_array.shape[1] != 2:
         raise ValueError("nodes must be a sequence of (x, y) pairs")
@@ -68,10 +75,15 @@ def flight_visit_counts(
     return counts / float(n_flights)
 
 
+@legacy_api(
+    positional=("horizon", "n", "radius", "rng", "at_time_only", "return_counts"),
+    renames=_FLIGHT_RENAMES,
+)
 def flight_occupation_grid(
     jumps: Union[BatchJumpSampler, JumpDistribution],
-    n_jumps: int,
-    n_flights: int,
+    *,
+    horizon: int,
+    n: int,
     radius: int,
     rng: SeedLike = None,
     at_time_only: bool = False,
@@ -81,18 +93,19 @@ def flight_occupation_grid(
 
     Returns a float array ``grid`` of shape ``(2 radius + 1, 2 radius + 1)``
     where ``grid[x + radius, y + radius]`` estimates either the expected
-    number of visits to ``(x, y)`` within ``n_jumps`` jumps (default), or
-    ``P(J_{n_jumps} = (x, y))`` when ``at_time_only`` is True.  The latter
+    number of visits to ``(x, y)`` within ``horizon`` jumps (default), or
+    ``P(J_horizon = (x, y))`` when ``at_time_only`` is True.  The latter
     is what Lemma 3.9's monotonicity property constrains.
 
     With ``return_counts=True`` the raw int64 *count* grid is returned
     instead of the per-flight average.  Counts are what interval
     estimators need: a Wilson CI rebuilt from a rounded frequency times
-    ``n_flights`` is lossy, whereas the count grid feeds
+    ``n`` is lossy, whereas the count grid feeds
     :func:`repro.analysis.estimators.wilson_bounds` exactly.
     """
     sampler = _as_sampler(jumps)
     rng = as_generator(rng)
+    n_jumps, n_flights = int(horizon), int(n)
     side = 2 * radius + 1
     grid = np.zeros((side, side), dtype=np.int64)
     pos = np.zeros((n_flights, 2), dtype=np.int64)
@@ -114,15 +127,18 @@ def flight_occupation_grid(
     return grid / float(n_flights)
 
 
+@legacy_api(positional=("horizon", "n", "rng"), renames=_FLIGHT_RENAMES)
 def flight_positions_after(
     jumps: Union[BatchJumpSampler, JumpDistribution],
-    n_jumps: int,
-    n_flights: int,
+    *,
+    horizon: int,
+    n: int,
     rng: SeedLike = None,
 ) -> np.ndarray:
-    """Positions of ``n_flights`` independent flights after ``n_jumps`` jumps."""
+    """Positions of ``n`` independent flights after ``horizon`` jumps."""
     sampler = _as_sampler(jumps)
     rng = as_generator(rng)
+    n_jumps, n_flights = int(horizon), int(n)
     pos = np.zeros((n_flights, 2), dtype=np.int64)
     indices = np.arange(n_flights)
     for _ in range(n_jumps):
@@ -132,12 +148,17 @@ def flight_positions_after(
     return pos
 
 
+@legacy_api(
+    positional=("box_radius", "far_radius", "horizon", "n", "rng"),
+    renames=_FLIGHT_RENAMES,
+)
 def flight_region_visits(
     jumps: Union[BatchJumpSampler, JumpDistribution],
+    *,
     box_radius: int,
     far_radius: int,
-    n_jumps: int,
-    n_flights: int,
+    horizon: int,
+    n: int,
     rng: SeedLike = None,
 ) -> np.ndarray:
     """Average visits to the ``A1 / A2 / A3`` regions of Lemma 4.12.
@@ -145,19 +166,20 @@ def flight_region_visits(
     The proof of Lemma 4.5 splits Z^2 into ``A1 = Q_box_radius(0)`` (the
     box around the origin), ``A3`` (nodes with L1 norm at least
     ``far_radius``), and the annulus ``A2`` in between, then accounts for
-    the flight's ``n_jumps`` visits across them: at most a constant
+    the flight's ``horizon`` visits across them: at most a constant
     fraction falls in ``A1`` (Lemma 4.8), a vanishing fraction in ``A3``
     (Lemma 4.11), so a constant fraction must land in ``A2`` -- the
     annulus containing the target, which yields the hitting-probability
     lower bound.
 
     Returns ``[visits_A1, visits_A2, visits_A3]`` averaged over flights
-    (their sum is ``n_jumps``).
+    (their sum is ``horizon``).
     """
     if far_radius <= box_radius:
         raise ValueError("far_radius must exceed box_radius")
     sampler = _as_sampler(jumps)
     rng = as_generator(rng)
+    n_jumps, n_flights = int(horizon), int(n)
     pos = np.zeros((n_flights, 2), dtype=np.int64)
     indices = np.arange(n_flights)
     counts = np.zeros(3, dtype=np.int64)
@@ -175,15 +197,17 @@ def flight_region_visits(
     return counts / float(n_flights)
 
 
+@legacy_api(positional=("n", "rng"), renames={"n_walks": "n"})
 def walk_displacement_snapshots(
     jumps: Union[BatchJumpSampler, JumpDistribution],
     snapshot_steps: Sequence[int],
-    n_walks: int,
+    *,
+    n: int,
     rng: SeedLike = None,
 ) -> np.ndarray:
     """Positions of Levy *walks* at the given step counts.
 
-    Returns an int64 array of shape ``(len(snapshot_steps), n_walks, 2)``:
+    Returns an int64 array of shape ``(len(snapshot_steps), n, 2)``:
     slice ``s`` holds each walk's position at step ``snapshot_steps[s]``.
 
     The engine advances whole jump phases and, when a snapshot step falls
@@ -195,6 +219,7 @@ def walk_displacement_snapshots(
     """
     sampler = _as_sampler(jumps)
     rng = as_generator(rng)
+    n_walks = int(n)
     snaps = np.asarray(sorted(int(s) for s in snapshot_steps), dtype=np.int64)
     if snaps.size and snaps[0] < 0:
         raise ValueError("snapshot steps must be non-negative")

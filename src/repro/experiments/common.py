@@ -126,9 +126,14 @@ def sample_hitting_times(
             from repro.engine.vectorized import flight_hitting_times, walk_hitting_times
 
             if flight:
-                return flight_hitting_times(jumps, target, horizon, n_walks, rng)
+                return flight_hitting_times(jumps, target, horizon=horizon, n=n_walks, rng=rng)
             return walk_hitting_times(
-                jumps, target, horizon, n_walks, rng, detect_during_jump=detect_during_jump
+                jumps,
+                target,
+                horizon=horizon,
+                n=n_walks,
+                rng=rng,
+                detect_during_jump=detect_during_jump,
             )
         from repro.runner.tasks import HittingTimeTask
 
@@ -162,7 +167,7 @@ def sample_foraging(
         if runner is None:
             from repro.engine.multi_target import multi_target_search
 
-            return multi_target_search(jumps, targets, horizon, n_walks, rng)
+            return multi_target_search(jumps, targets, horizon=horizon, n=n_walks, rng=rng)
         from repro.runner.tasks import ForagingTask
 
         task = ForagingTask.with_targets(jumps, targets, int(horizon))

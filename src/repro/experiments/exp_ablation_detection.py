@@ -65,10 +65,10 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
         law = ZetaJumpDistribution(alpha)
         horizon = max(l, int(math.ceil(4 * mu_factor(alpha, l) * l ** (alpha - 1.0))))
         full = walk_hitting_times(
-            law, target, horizon, n_walks, rng, detect_during_jump=True
+            law, target, horizon=horizon, n=n_walks, rng=rng, detect_during_jump=True
         )
         endpoint = walk_hitting_times(
-            law, target, horizon, n_walks, rng, detect_during_jump=False
+            law, target, horizon=horizon, n=n_walks, rng=rng, detect_during_jump=False
         )
         ratio = (
             full.hit_fraction / endpoint.hit_fraction

@@ -75,7 +75,7 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
         cost = steps_per_real_jump(laziness)
         scaled_budget = int(math.ceil(base_budget * cost / reference_cost))
         horizon = max(scaled_budget, base_budget)
-        sample = walk_hitting_times(law, target, horizon, n_walks, rng)
+        sample = walk_hitting_times(law, target, horizon=horizon, n=n_walks, rng=rng)
         scaled_probs[laziness] = sample.probability_by(scaled_budget)
         raw_probs[laziness] = sample.probability_by(base_budget)
         table.add_row(

@@ -70,8 +70,12 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
     for l in l_grid:
         horizon = max(l, int(math.ceil(2.0 * l ** (_ALPHA - 1.0))))
         target = default_target(l)
-        p_levy = walk_hitting_times(levy, target, horizon, n_walks, rng).hit_fraction
-        p_geom = walk_hitting_times(geometric, target, horizon, n_walks, rng).hit_fraction
+        p_levy = walk_hitting_times(
+            levy, target, horizon=horizon, n=n_walks, rng=rng
+        ).hit_fraction
+        p_geom = walk_hitting_times(
+            geometric, target, horizon=horizon, n=n_walks, rng=rng
+        ).hit_fraction
         ratio = p_levy / p_geom if p_geom > 0 else float("inf")
         ratios.append(ratio)
         table.add_row(l, horizon, p_levy, p_geom, ratio)

@@ -24,18 +24,15 @@ from __future__ import annotations
 
 import math
 
-from repro.distributions.zeta import ZetaJumpDistribution
-from repro.engine.vectorized import walk_hitting_times
 from repro.experiments.common import (
     Check,
     ExperimentResult,
-    default_target,
     experiment_main,
     validate_scale,
 )
 from repro.reporting.table import Table
 from repro.rng import as_generator
-from repro.walks.composite import ccrw_hitting_times
+from repro.sweep import SweepSpec, run_sweep
 
 EXPERIMENT_ID = "EXT-CCRW"
 TITLE = "Composite correlated walks are scale-bound; Levy walks are not  [cf. [39]]"
@@ -51,12 +48,36 @@ _CONFIG = {
 }
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+def _budget(params) -> int:
+    """The shared step budget ~2 l^1.5 (between l and the l^2 regime)."""
+    l = params["l"]
+    return max(4 * l, int(math.ceil(2.0 * l**1.5)))
+
+
+def run(scale: str = "small", seed: int = 0, runner=None) -> ExperimentResult:
     """Sweep CCRW bout lengths per distance; compare to an untuned Levy walk."""
     scale = validate_scale(scale)
     rng = as_generator(seed)
     l_grid, bout_grid, n_walks, penalty = _CONFIG[scale]
-    levy = ZetaJumpDistribution(_ALPHA)
+    # Two declarative grids sharing the distance axis and budget policy:
+    # the CCRW over l x bout, and the untuned Levy walk over l alone.
+    ccrw_spec = SweepSpec(
+        axes={"l": list(l_grid), "bout": [float(b) for b in bout_grid]},
+        n=n_walks,
+        horizon=_budget,
+    )
+    levy_spec = SweepSpec(
+        axes={"l": list(l_grid)},
+        defaults={"alpha": _ALPHA},
+        n=n_walks,
+        horizon=_budget,
+    )
+    ccrw_sweep = run_sweep(
+        ccrw_spec, seed=int(rng.integers(2**63 - 1)), runner=runner, label="ext-ccrw"
+    )
+    levy_sweep = run_sweep(
+        levy_spec, seed=int(rng.integers(2**63 - 1)), runner=runner, label="ext-ccrw-levy"
+    )
     table = Table(
         ["l", "budget"]
         + [f"CCRW bout={b}" for b in bout_grid]
@@ -68,21 +89,16 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
     ccrw_p = {}
     levy_p = {}
     for l in l_grid:
-        target = default_target(l)
-        budget = max(4 * l, int(math.ceil(2.0 * l**1.5)))
-        row = []
-        for bout in bout_grid:
-            times = ccrw_hitting_times(
-                target, budget, n_walks, rng, extensive_bout_mean=float(bout)
-            )
-            p = float((times >= 0).mean())
+        row = [
+            point.sample.hit_fraction for point in ccrw_sweep.select(l=l)
+        ]
+        for bout, p in zip(bout_grid, row):
             ccrw_p[(l, bout)] = p
-            row.append(p)
         best_index = max(range(len(row)), key=row.__getitem__)
         oracle_bout[l] = bout_grid[best_index]
         oracle_p[l] = row[best_index]
-        levy_p[l] = walk_hitting_times(levy, target, budget, n_walks, rng).hit_fraction
-        table.add_row(l, budget, *row, oracle_bout[l], levy_p[l])
+        levy_p[l] = levy_sweep.one(l=l).sample.hit_fraction
+        table.add_row(l, _budget({"l": l}), *row, oracle_bout[l], levy_p[l])
     near, far = l_grid[0], l_grid[-1]
     checks = [
         Check(

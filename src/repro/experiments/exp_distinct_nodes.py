@@ -58,7 +58,7 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
     for label, law in _LAWS:
         row = []
         for t in budgets:
-            trajectories = walk_trajectories(law, t, n_walks, rng)
+            trajectories = walk_trajectories(law, horizon=t, n=n_walks, rng=rng)
             distinct = distinct_nodes_visited(trajectories)
             row.append(float(np.mean((distinct - 1) / t)))
         fractions[label] = row

@@ -49,7 +49,7 @@ _FIXED = (2.1, 2.9)
 def _collect(alphas: np.ndarray, field, horizon, rng):
     sampler = HeterogeneousZetaSampler(alphas)
     return multi_target_search(
-        sampler, field, horizon=horizon, n_walks=alphas.shape[0], rng=rng
+        sampler, field, horizon=horizon, n=alphas.shape[0], rng=rng
     )
 
 

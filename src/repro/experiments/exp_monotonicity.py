@@ -57,7 +57,7 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
     # Raw counts, not frequencies: the Wilson bounds below need the exact
     # success counts (rebuilding them as round(p * n) is lossy).
     count_grid = flight_occupation_grid(
-        law, n_jumps=n_jumps, n_flights=n_flights, radius=radius, rng=rng,
+        law, horizon=n_jumps, n=n_flights, radius=radius, rng=rng,
         at_time_only=True, return_counts=True,
     )
     l1 = _l1_grid(radius)

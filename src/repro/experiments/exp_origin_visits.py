@@ -49,7 +49,7 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
         for t in t_grid:
             capped = law.capped(law.lemma_4_5_cap(t))
             visits = flight_visit_counts(
-                capped, [(0, 0)], n_jumps=t, n_flights=n_flights, rng=rng
+                capped, [(0, 0)], horizon=t, n=n_flights, rng=rng
             )
             row.append(float(visits[0]))
         results[alpha] = row

@@ -52,7 +52,7 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
     # no long scales cannot compensate by diffusing.
     horizon = max(l, int(math.ceil(2.0 * l ** (_ALPHA - 1.0))))
     truth = walk_hitting_times(
-        ZetaJumpDistribution(_ALPHA), target, horizon, n_walks, rng
+        ZetaJumpDistribution(_ALPHA), target, horizon=horizon, n=n_walks, rng=rng
     ).hit_fraction
     table = Table(
         ["levels m", "max jump 2^(m-1)", "P(hit)", "fraction of true walk"],
@@ -61,7 +61,7 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
     fractions = {}
     for m in levels_grid:
         law = QuantizedZetaJumpDistribution(_ALPHA, m)
-        p = walk_hitting_times(law, target, horizon, n_walks, rng).hit_fraction
+        p = walk_hitting_times(law, target, horizon=horizon, n=n_walks, rng=rng).hit_fraction
         fractions[m] = p / truth if truth > 0 else float("nan")
         table.add_row(m, 2 ** (m - 1), p, fractions[m])
     enough = [m for m in levels_grid if 2 ** (m - 1) >= l]

@@ -70,8 +70,8 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
                 law.capped(cap),
                 box_radius=l,
                 far_radius=far_radius,
-                n_jumps=t,
-                n_flights=n_flights,
+                horizon=t,
+                n=n_flights,
                 rng=rng,
             )
             fractions = visits / t

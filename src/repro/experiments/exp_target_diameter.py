@@ -65,10 +65,12 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
         midjump[alpha] = {}
         for r in radii:
             endpoint[alpha][r] = ball_hitting_times(
-                law, target, r, budget, n_walks, rng, detect_during_jump=False
+                law, target, radius=r, horizon=budget, n=n_walks, rng=rng,
+                detect_during_jump=False,
             ).hit_fraction
             midjump[alpha][r] = ball_hitting_times(
-                law, target, r, budget, n_walks, rng, detect_during_jump=True
+                law, target, radius=r, horizon=budget, n=n_walks, rng=rng,
+                detect_during_jump=True,
             ).hit_fraction
         table.add_row(alpha, "endpoint-only", *[endpoint[alpha][r] for r in radii])
         table.add_row(alpha, "mid-jump", *[midjump[alpha][r] for r in radii])

@@ -32,18 +32,20 @@ from repro.runner.faults import MODES as FAULT_MODES
 from repro.runner.faults import FaultInjected, FaultInjector, arm
 from repro.runner.runner import (
     ChunkFailedError,
+    Job,
     RunOutcome,
     Runner,
     stop_requested,
     trap_signals,
 )
-from repro.runner.tasks import ForagingTask, HittingTimeTask, fingerprint
+from repro.runner.tasks import CCRWTask, ForagingTask, HittingTimeTask, fingerprint
 
 __all__ = [
     "SCHEMA_VERSION",
     "CheckpointError",
     "CheckpointExistsError",
     "CheckpointMismatchError",
+    "CCRWTask",
     "CheckpointStore",
     "ChunkFailedError",
     "ChunkPlan",
@@ -52,6 +54,7 @@ __all__ = [
     "FaultInjector",
     "ForagingTask",
     "HittingTimeTask",
+    "Job",
     "RunOutcome",
     "Runner",
     "RunnerState",

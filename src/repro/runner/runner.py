@@ -35,7 +35,7 @@ from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.runner import tasks as _tasks
 from repro.runner.checkpoint import SCHEMA_VERSION, CheckpointStore
@@ -98,6 +98,48 @@ def _execute_chunk(task, index: int, n: int, seed, injector: Optional[FaultInjec
     if injector is not None:
         injector.in_worker(index)
     return index, task(n, seed)
+
+
+@dataclass(frozen=True)
+class Job:
+    """One task execution request for :meth:`Runner.run_many`.
+
+    A job is the unit the grid scheduler works with: a picklable task, a
+    sample size, a root seed, and a label naming its checkpoint
+    subdirectory and telemetry stream.  ``Runner.run(task, n, seed)`` is
+    exactly ``run_many([Job(task, n, seed)])[0]``.
+    """
+
+    task: Any
+    n_total: int
+    seed: int
+    label: str = "sample"
+
+
+@dataclass
+class _JobState:
+    """Mutable per-job bookkeeping shared by the scheduling loops."""
+
+    task: Any
+    plan: ChunkPlan
+    label: str
+    store: Optional[CheckpointStore]
+    completed: Dict[int, Any]
+    quarantined: List[str]
+    notes: List[str]
+    resumed: int
+    monitor: Any
+    sizes: List[int]
+    seeds: List[Any]
+    started: float
+    retries: int = 0
+    #: Per-job stop reason ("converged"); global stops are passed separately.
+    reason: Optional[str] = None
+    attempts: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def stopped(self) -> bool:
+        return self.reason is not None
 
 
 @dataclass
@@ -279,29 +321,21 @@ class Runner:
             monitor.observe_resumed(completed[index])
         return monitor
 
-    # ------------------------------------------------------------------- run
+    # ----------------------------------------------------- prepare / finalize
 
-    def run(self, task, n_total: int, seed: int, label: str = "sample") -> RunOutcome:
-        """Execute ``task`` over ``n_total`` walks and merge the chunks.
-
-        Deterministic for fixed ``(seed, n_total, n_chunks)`` regardless of
-        interruption, resume, or worker count.  Returns a
-        :class:`RunOutcome`; a deadline or signal yields a *partial* merged
-        payload with ``degraded``/``interrupted`` set instead of raising.
-        """
-        self._start_clock()
-        rec = self._recorder if self._recorder is not None else get_recorder()
+    def _prepare(self, job: Job, rec) -> _JobState:
+        """Build a job's plan/store/monitor and emit its ``run_start``."""
         started = time.monotonic()
         plan = ChunkPlan(
-            n_total=int(n_total),
-            n_chunks=clamp_chunks(n_total, self.n_chunks),
-            seed=int(seed),
+            n_total=int(job.n_total),
+            n_chunks=clamp_chunks(job.n_total, self.n_chunks),
+            seed=int(job.seed),
         )
-        label = self._unique_label(label)
+        label = self._unique_label(job.label)
         rec.event(
             "run_start",
             label=label,
-            kind=task.kind,
+            kind=job.task.kind,
             n_total=plan.n_total,
             n_chunks=plan.n_chunks,
             seed=plan.seed,
@@ -314,13 +348,13 @@ class Runner:
         if store is not None:
             manifest = {
                 "schema_version": SCHEMA_VERSION,
-                "kind": task.kind,
-                "task": _tasks.fingerprint(task),
+                "kind": job.task.kind,
+                "task": _tasks.fingerprint(job.task),
                 **plan.describe(),
             }
             had_checkpoint = store.initialise(manifest, resume=self.resume)
             if had_checkpoint:
-                state = store.load_completed(task.kind)
+                state = store.load_completed(job.task.kind)
                 completed = {
                     index: payload
                     for index, payload in state.completed.items()
@@ -345,22 +379,26 @@ class Runner:
                 total=plan.n_chunks,
             )
             rec.metrics.counter("runner.chunks_resumed").add(resumed)
-        pending = [i for i in range(plan.n_chunks) if i not in completed]
-        sizes, seeds = plan.sizes(), plan.child_seeds()
         monitor = self._build_monitor(rec, label, completed)
+        return _JobState(
+            task=job.task,
+            plan=plan,
+            label=label,
+            store=store,
+            completed=completed,
+            quarantined=quarantined,
+            notes=notes,
+            resumed=resumed,
+            monitor=monitor,
+            sizes=list(plan.sizes()),
+            seeds=list(plan.child_seeds()),
+            started=started,
+        )
 
-        retries = 0
-        reason: Optional[str] = None
-        if pending:
-            if self.workers >= 1:
-                retries, reason = self._run_pooled(
-                    task, store, pending, sizes, seeds, completed, notes, rec, label,
-                    monitor,
-                )
-            else:
-                reason = self._run_serial(
-                    task, store, pending, sizes, seeds, completed, rec, label, monitor
-                )
+    def _finalize(self, state: _JobState, rec, global_reason: Optional[str]) -> RunOutcome:
+        """Merge a job's chunks, classify the outcome, emit ``run_end``."""
+        plan, completed, notes = state.plan, state.completed, state.notes
+        reason = state.reason or global_reason
         converged = reason == "converged"
         interrupted = reason is not None and not converged and stop_requested()
         degraded = len(completed) < plan.n_chunks and not interrupted and not converged
@@ -382,22 +420,22 @@ class Runner:
         self.degraded = self.degraded or degraded
         self.interrupted = self.interrupted or interrupted
         self.converged = self.converged or converged
-        run_seconds = time.monotonic() - started
+        run_seconds = time.monotonic() - state.started
         rec.event(
             "run_end",
-            label=label,
+            label=state.label,
             completed=len(completed),
             total=plan.n_chunks,
-            resumed=resumed,
-            retries=retries,
-            quarantined=len(quarantined),
+            resumed=state.resumed,
+            retries=state.retries,
+            quarantined=len(state.quarantined),
             degraded=degraded,
             interrupted=interrupted,
             converged=converged,
             seconds=round(run_seconds, 6),
         )
         if rec.enabled:
-            walks_done = sum(sizes[i] for i in completed)
+            walks_done = sum(state.sizes[i] for i in completed)
             rec.metrics.counter("runner.runs").add()
             rec.metrics.counter("runner.walks_completed").add(walks_done)
             if run_seconds > 0:
@@ -405,41 +443,109 @@ class Runner:
                     round(walks_done / run_seconds, 3)
                 )
         return RunOutcome(
-            payload=task.merge(plan, completed),
+            payload=state.task.merge(plan, completed),
             plan=plan,
             completed_chunks=len(completed),
             total_chunks=plan.n_chunks,
-            resumed_chunks=resumed,
+            resumed_chunks=state.resumed,
             degraded=degraded,
             interrupted=interrupted,
             converged=converged,
-            quarantined=quarantined,
-            retries=retries,
+            quarantined=state.quarantined,
+            retries=state.retries,
             notes=notes,
         )
 
-    # ------------------------------------------------------------ serial mode
+    # ------------------------------------------------------------------- run
 
-    def _run_serial(
-        self, task, store, pending, sizes, seeds, completed, rec, label, monitor
-    ) -> Optional[str]:
-        """Run chunks in-process; returns the early-stop reason, if any."""
-        total = len(completed) + len(pending)
-        for index in pending:
-            reason = self._stop_reason(rec, label, len(completed), total)
+    def run(self, task, n_total: int, seed: int, label: str = "sample") -> RunOutcome:
+        """Execute ``task`` over ``n_total`` walks and merge the chunks.
+
+        Deterministic for fixed ``(seed, n_total, n_chunks)`` regardless of
+        interruption, resume, or worker count.  Returns a
+        :class:`RunOutcome`; a deadline or signal yields a *partial* merged
+        payload with ``degraded``/``interrupted`` set instead of raising.
+        """
+        job = Job(task=task, n_total=int(n_total), seed=int(seed), label=label)
+        return self.run_many([job])[0]
+
+    def run_many(self, jobs: Sequence[Job]) -> List[RunOutcome]:
+        """Execute several jobs over one shared pool, deadline, and stream.
+
+        This is the grid scheduler behind :mod:`repro.sweep`: all jobs'
+        chunks feed one queue, interleaved round-robin (chunk 0 of every
+        job, then chunk 1, ...), so every grid point makes early progress
+        and a per-job convergence monitor that resolves a point frees its
+        remaining chunks' worker slots for unresolved points.  Outcomes
+        are returned in job order.
+
+        Per-job results are bit-identical to running each job alone (same
+        ``(seed, n_total, n_chunks)``), serial or pooled: every chunk's
+        seed is a pure function of its own job's plan, never of the
+        scheduling order.
+        """
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        self._start_clock()
+        rec = self._recorder if self._recorder is not None else get_recorder()
+        states = [self._prepare(job, rec) for job in jobs]
+        global_reason: Optional[str] = None
+        if any(len(s.completed) < s.plan.n_chunks for s in states):
+            if self.workers >= 1:
+                global_reason = self._run_pooled(states, rec)
+            else:
+                global_reason = self._run_serial(states, rec)
+        return [self._finalize(state, rec, global_reason) for state in states]
+
+    # ------------------------------------------------------------ scheduling
+
+    @staticmethod
+    def _interleaved(states: Sequence[_JobState]) -> List[Tuple[_JobState, int]]:
+        """Round-robin (job, chunk) schedule over all pending chunks."""
+        queue: List[Tuple[_JobState, int]] = []
+        max_chunks = max((s.plan.n_chunks for s in states), default=0)
+        for chunk in range(max_chunks):
+            for state in states:
+                if chunk < state.plan.n_chunks and chunk not in state.completed:
+                    queue.append((state, chunk))
+        return queue
+
+    def _run_serial(self, states: Sequence[_JobState], rec) -> Optional[str]:
+        """Run all pending chunks in-process; returns a global stop reason."""
+        for state, index in self._interleaved(states):
+            if state.stopped:
+                continue
+            reason = self._stop_reason(
+                rec, state.label, len(state.completed), state.plan.n_chunks
+            )
             if reason is not None:
                 return reason
-            if monitor is not None and monitor.should_stop():
-                return self._converged_stop(rec, label, monitor, len(completed), total)
-            rec.event("chunk_start", label=label, chunk=index, n=sizes[index], attempt=1)
+            if state.monitor is not None and state.monitor.should_stop():
+                state.reason = self._converged_stop(
+                    rec, state.label, state.monitor,
+                    len(state.completed), state.plan.n_chunks,
+                )
+                continue
+            rec.event(
+                "chunk_start", label=state.label, chunk=index,
+                n=state.sizes[index], attempt=1,
+            )
             chunk_started = time.monotonic()
-            _, payload = _execute_chunk(task, index, sizes[index], seeds[index], None)
-            self._write_checkpoint(store, task, index, payload, sizes[index], rec, label)
-            completed[index] = payload
+            _, payload = _execute_chunk(
+                state.task, index, state.sizes[index], state.seeds[index], None
+            )
+            self._write_checkpoint(
+                state.store, state.task, index, payload, state.sizes[index],
+                rec, state.label,
+            )
+            state.completed[index] = payload
             chunk_seconds = time.monotonic() - chunk_started
-            self._record_chunk_end(rec, label, index, sizes[index], chunk_seconds, 1)
-            if monitor is not None:
-                monitor.observe_chunk(index, payload, chunk_seconds)
+            self._record_chunk_end(
+                rec, state.label, index, state.sizes[index], chunk_seconds, 1
+            )
+            if state.monitor is not None:
+                state.monitor.observe_chunk(index, payload, chunk_seconds)
         return "signal" if stop_requested() else None
 
     def _record_chunk_end(
@@ -466,126 +572,163 @@ class Runner:
             process.kill()
         executor.shutdown(wait=False, cancel_futures=True)
 
-    def _run_pooled(
-        self, task, store, pending, sizes, seeds, completed, notes, rec, label, monitor
-    ):
-        """Run chunks in a process pool; returns (retries, stop reason or None)."""
-        queue = list(pending)
-        attempts: Dict[int, int] = {}
-        retries = 0
-        total = len(completed) + len(pending)
+    def _run_pooled(self, states: Sequence[_JobState], rec) -> Optional[str]:
+        """Run all pending chunks over one shared process pool.
+
+        Returns a global stop reason ("deadline"/"signal") or None; per-job
+        convergence stops are recorded on each job's ``_JobState.reason``
+        and simply release that job's queued chunks back to the pool.
+        """
+        queue = self._interleaved(states)
         executor: Optional[ProcessPoolExecutor] = None
-        inflight: Dict[Any, tuple] = {}  # future -> (chunk index, submit time)
+        # future -> (job state, chunk index, submit time)
+        inflight: Dict[Any, Tuple[_JobState, int, float]] = {}
         poll = 0.05 if self.chunk_timeout is None else min(0.05, self.chunk_timeout / 4)
 
-        def requeue(indices, reason: str) -> bool:
-            """Re-queue failed chunks; False when a retry budget is blown."""
-            nonlocal retries
-            for index in indices:
-                attempts[index] = attempts.get(index, 0) + 1
-                if attempts[index] > self.max_retries:
+        def requeue(entries, reason: str) -> None:
+            """Re-queue failed (job, chunk) pairs; raises past the budget."""
+            max_attempt = 1
+            for state, index in entries:
+                if state.stopped:
+                    continue
+                state.attempts[index] = state.attempts.get(index, 0) + 1
+                if state.attempts[index] > self.max_retries:
                     raise ChunkFailedError(
-                        f"chunk {index} failed {attempts[index]} times (last: {reason})"
+                        f"chunk {index} failed {state.attempts[index]} times "
+                        f"(last: {reason})"
                     )
-                retries += 1
-                notes.append(f"retrying chunk {index} (attempt {attempts[index]}: {reason})")
+                state.retries += 1
+                state.notes.append(
+                    f"retrying chunk {index} (attempt {state.attempts[index]}: {reason})"
+                )
                 rec.event(
                     "retry",
-                    label=label,
+                    label=state.label,
                     chunk=index,
-                    attempt=attempts[index],
+                    attempt=state.attempts[index],
                     reason=reason,
                 )
                 rec.metrics.counter("runner.retries").add()
-                queue.insert(0, index)
-            backoff = self.backoff_base * (2 ** (max(attempts.values(), default=1) - 1))
+                queue.insert(0, (state, index))
+                max_attempt = max(max_attempt, state.attempts[index])
+            backoff = self.backoff_base * (2 ** (max_attempt - 1))
             time.sleep(min(backoff, 5.0))
-            return True
 
-        def rebuild_pool(reason: str) -> None:
+        def rebuild_pool(label: str, reason: str) -> None:
             rec.event("pool_rebuild", label=label, reason=reason)
             rec.metrics.counter("runner.pool_rebuilds").add()
 
         try:
             while queue or inflight:
-                reason = self._stop_reason(rec, label, len(completed), total)
+                probe = next((s for s in states if not s.stopped), states[0])
+                reason = self._stop_reason(
+                    rec, probe.label, len(probe.completed), probe.plan.n_chunks
+                )
                 if reason is not None:
-                    return retries, reason
-                if monitor is not None and monitor.should_stop():
-                    # In-flight chunks are abandoned (the finally block
-                    # kills the pool); everything completed is checkpointed.
-                    return retries, self._converged_stop(
-                        rec, label, monitor, len(completed), total
-                    )
+                    return reason
+                newly_stopped = False
+                for state in states:
+                    if state.stopped or state.monitor is None:
+                        continue
+                    if state.monitor.should_stop():
+                        # The job's in-flight chunks are left to finish (or
+                        # die with the pool); its queued chunks are dropped
+                        # so the freed slots go to unresolved jobs.
+                        state.reason = self._converged_stop(
+                            rec, state.label, state.monitor,
+                            len(state.completed), state.plan.n_chunks,
+                        )
+                        newly_stopped = True
+                if newly_stopped:
+                    queue = [(s, i) for s, i in queue if not s.stopped]
+                if all(s.stopped for s in states):
+                    # Every job resolved: abandon in-flight chunks (the
+                    # finally block kills the pool); completed chunks are
+                    # checkpointed.
+                    return None
                 if executor is None:
                     executor = ProcessPoolExecutor(max_workers=self.workers)
                 while queue and len(inflight) < self.workers:
-                    index = queue.pop(0)
+                    state, index = queue.pop(0)
                     future = executor.submit(
                         _execute_chunk,
-                        task,
+                        state.task,
                         index,
-                        sizes[index],
-                        seeds[index],
+                        state.sizes[index],
+                        state.seeds[index],
                         self.fault_injector,
                     )
-                    inflight[future] = (index, time.monotonic())
+                    inflight[future] = (state, index, time.monotonic())
                     rec.event(
                         "chunk_start",
-                        label=label,
+                        label=state.label,
                         chunk=index,
-                        n=sizes[index],
-                        attempt=attempts.get(index, 0) + 1,
+                        n=state.sizes[index],
+                        attempt=state.attempts.get(index, 0) + 1,
                     )
                 done, _ = wait(list(inflight), timeout=poll, return_when=FIRST_COMPLETED)
-                broken: List[int] = []
+                broken: List[Tuple[_JobState, int]] = []
                 for future in done:
-                    index, _submitted = inflight.pop(future)
+                    state, index, _submitted = inflight.pop(future)
                     try:
                         _, payload = future.result()
                     except BrokenProcessPool:
-                        broken.append(index)
+                        broken.append((state, index))
                         continue
                     except Exception as exc:  # task error inside the worker
-                        requeue([index], f"{type(exc).__name__}: {exc}")
+                        requeue([(state, index)], f"{type(exc).__name__}: {exc}")
                         continue
-                    self._write_checkpoint(store, task, index, payload, sizes[index], rec, label)
-                    completed[index] = payload
+                    self._write_checkpoint(
+                        state.store, state.task, index, payload,
+                        state.sizes[index], rec, state.label,
+                    )
+                    state.completed[index] = payload
                     chunk_seconds = time.monotonic() - _submitted
                     self._record_chunk_end(
-                        rec, label, index, sizes[index], chunk_seconds,
-                        attempts.get(index, 0) + 1,
+                        rec, state.label, index, state.sizes[index], chunk_seconds,
+                        state.attempts.get(index, 0) + 1,
                     )
-                    if monitor is not None:
-                        monitor.observe_chunk(index, payload, chunk_seconds)
+                    if state.monitor is not None:
+                        state.monitor.observe_chunk(index, payload, chunk_seconds)
                 if broken:
                     # The pool is poisoned: every other in-flight chunk is
                     # lost with it.  Rebuild and retry them all.
-                    broken.extend(index for index, _ in inflight.values())
+                    broken.extend(
+                        (state, index) for state, index, _ in inflight.values()
+                    )
                     inflight.clear()
                     self._kill_pool(executor)
                     executor = None
-                    rebuild_pool("worker process died")
-                    requeue(sorted(set(broken)), "worker process died")
+                    rebuild_pool(probe.label, "worker process died")
+                    lost, seen = [], set()
+                    for state, index in broken:
+                        if (id(state), index) not in seen:
+                            seen.add((id(state), index))
+                            lost.append((state, index))
+                    requeue(lost, "worker process died")
                     continue
                 if self.chunk_timeout is not None:
                     now = time.monotonic()
-                    timed_out = [
-                        index
-                        for future, (index, submitted) in inflight.items()
-                        if now - submitted > self.chunk_timeout
-                    ]
+                    timed_out = any(
+                        now - submitted > self.chunk_timeout
+                        for _, _, submitted in inflight.values()
+                    )
                     if timed_out:
-                        hung = sorted(
-                            set(timed_out)
-                            | {index for index, _ in inflight.values()}
-                        )
+                        # A hung worker takes the whole pool with it: retry
+                        # every in-flight chunk against a fresh pool.
+                        hung = [
+                            (state, index)
+                            for state, index, _ in inflight.values()
+                        ]
                         inflight.clear()
                         self._kill_pool(executor)
                         executor = None
-                        rebuild_pool(f"chunk exceeded {self.chunk_timeout}s timeout")
+                        rebuild_pool(
+                            probe.label,
+                            f"chunk exceeded {self.chunk_timeout}s timeout",
+                        )
                         requeue(hung, f"chunk exceeded {self.chunk_timeout}s timeout")
-            return retries, ("signal" if stop_requested() else None)
+            return "signal" if stop_requested() else None
         finally:
             if executor is not None:
                 if inflight:

@@ -73,14 +73,14 @@ class HittingTimeTask:
         rng = np.random.default_rng(seed)
         if self.flight:
             return flight_hitting_times(
-                self.jumps, self.target, self.horizon, n, rng, start=self.start
+                self.jumps, self.target, horizon=self.horizon, n=n, rng=rng, start=self.start
             )
         return walk_hitting_times(
             self.jumps,
             self.target,
-            self.horizon,
-            n,
-            rng,
+            horizon=self.horizon,
+            n=n,
+            rng=rng,
             start=self.start,
             detect_during_jump=self.detect_during_jump,
         )
@@ -99,6 +99,54 @@ class HittingTimeTask:
                 times=np.empty(0, dtype=np.int64), horizon=self.horizon
             )
         times = np.concatenate([np.asarray(chunks[i].times, dtype=np.int64) for i in indices])
+        return HittingTimeSample(times=times, horizon=self.horizon)
+
+
+@dataclass(frozen=True)
+class CCRWTask:
+    """Chunked hitting-time sampling for the composite correlated walk.
+
+    Wraps :func:`repro.walks.composite.ccrw_hitting_times` (the
+    two-mode Levy-walk rival swept by EXT-CCRW) into the runner's task
+    protocol; payloads are ordinary :class:`HittingTimeSample` objects,
+    so checkpoints reuse the ``hitting`` codec.
+    """
+
+    target: IntPoint
+    horizon: int
+    extensive_bout_mean: float = 32.0
+    intensive_turn_probability: float = 0.5
+    switch_to_extensive: float = 0.05
+
+    kind = "hitting"
+
+    def __call__(self, n: int, seed: np.random.SeedSequence) -> HittingTimeSample:
+        from repro.walks.composite import ccrw_hitting_times
+
+        rng = np.random.default_rng(seed)
+        times = ccrw_hitting_times(
+            self.target,
+            self.horizon,
+            n,
+            rng,
+            intensive_turn_probability=self.intensive_turn_probability,
+            extensive_bout_mean=self.extensive_bout_mean,
+            switch_to_extensive=self.switch_to_extensive,
+        )
+        return HittingTimeSample(times=times, horizon=self.horizon)
+
+    def merge(
+        self, plan: ChunkPlan, chunks: Dict[int, HittingTimeSample]
+    ) -> HittingTimeSample:
+        """Concatenate chunk samples in chunk-index order."""
+        indices = sorted(chunks)
+        if not indices:
+            return HittingTimeSample(
+                times=np.empty(0, dtype=np.int64), horizon=self.horizon
+            )
+        times = np.concatenate(
+            [np.asarray(chunks[i].times, dtype=np.int64) for i in indices]
+        )
         return HittingTimeSample(times=times, horizon=self.horizon)
 
 
@@ -126,7 +174,7 @@ class ForagingTask:
     def __call__(self, n: int, seed: np.random.SeedSequence) -> ForagingResult:
         rng = np.random.default_rng(seed)
         return multi_target_search(
-            self.jumps, list(self.targets), self.horizon, n, rng, start=self.start
+            self.jumps, list(self.targets), horizon=self.horizon, n=n, rng=rng, start=self.start
         )
 
     def merge(self, plan: ChunkPlan, chunks: Dict[int, ForagingResult]) -> ForagingResult:

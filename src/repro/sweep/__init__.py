@@ -1,0 +1,28 @@
+"""Declarative parameter sweeps over the paper's grids.
+
+A sweep is declared once as a :class:`~repro.sweep.spec.SweepSpec` --
+axes over the exponent law, target distance, group size and detection
+mode, plus per-point sample-size and horizon policies -- and executed by
+:func:`~repro.sweep.scheduler.run_sweep`, which shards every grid
+point's chunks across ONE shared :class:`repro.runner.Runner` pool: one
+deadline, one checkpoint store, one telemetry stream, and per-point
+sequential stopping (``--stop-when-ci``) so resolved points free their
+workers for unresolved ones.
+
+Seeding contract (see ``docs/sweep.md``): grid point ``i`` draws its
+simulation seed from ``SeedSequence(seed).spawn(n_points)[i]`` -- a pure
+function of ``(seed, i)`` -- so per-point samples are bit-identical
+across ``workers=0``, ``workers=N`` and checkpoint-resumed executions.
+"""
+
+from repro.sweep.result import PointResult, SweepResult
+from repro.sweep.scheduler import run_sweep
+from repro.sweep.spec import GridPoint, SweepSpec
+
+__all__ = [
+    "GridPoint",
+    "PointResult",
+    "SweepResult",
+    "SweepSpec",
+    "run_sweep",
+]

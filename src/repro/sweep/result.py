@@ -1,0 +1,182 @@
+"""Sweep results: per-point samples, parallel estimates, provenance.
+
+A :class:`SweepResult` keeps the grid's :class:`PointResult` objects in
+expansion order.  Each point carries its censored single-walk
+:class:`~repro.engine.results.HittingTimeSample`, the runner's
+:class:`~repro.runner.runner.RunOutcome` (resume/retry/convergence
+provenance), and -- when the spec declared a group size ``k`` -- the
+derived parallel hitting-time estimates
+(:func:`~repro.engine.results.group_minimum` over consecutive blocks, or
+:func:`~repro.engine.results.bootstrap_parallel` resamples when
+``n_groups`` was set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Mapping, Optional
+
+import numpy as np
+
+from repro.engine.results import bootstrap_parallel, group_minimum
+from repro.reporting.table import Table
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """Everything one grid point produced.
+
+    ``analysis_seed`` is the point's second spawned seed (the first
+    drives the simulation), so derived estimates -- e.g. bootstrap
+    groupings at a different ``k`` -- are reproducible per point without
+    threading generators through the scheduler.
+    """
+
+    point: Any  # GridPoint
+    sample: Any  # HittingTimeSample
+    outcome: Any  # RunOutcome
+    parallel: Optional[np.ndarray]
+    analysis_seed: int
+
+    @property
+    def params(self) -> Mapping[str, Any]:
+        return self.point.params
+
+    @property
+    def group_success(self) -> float:
+        """Fraction of parallel groups that found the target (nan if no k)."""
+        if self.parallel is None or self.parallel.size == 0:
+            return float("nan")
+        return float((self.parallel >= 0).mean())
+
+    def bootstrap(self, k: int, n_groups: int, rng=None) -> np.ndarray:
+        """Resampled parallel times at an arbitrary group size ``k``.
+
+        With ``rng=None`` the point's own analysis seed drives the
+        resampling, so repeated calls with the same arguments are
+        deterministic.
+        """
+        if rng is None:
+            rng = np.random.default_rng(self.analysis_seed)
+        return bootstrap_parallel(self.sample.times, k, n_groups, rng)
+
+    def group_minimum(self, k: int) -> np.ndarray:
+        """Exact parallel times over consecutive blocks of ``k`` walks."""
+        times = np.asarray(self.sample.times)
+        usable = (times.shape[0] // k) * k
+        return group_minimum(times[:usable], k)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """An executed sweep: point results in grid-expansion order."""
+
+    seed: int
+    label: str
+    results: List[PointResult]
+
+    def __iter__(self) -> Iterator[PointResult]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def degraded(self) -> bool:
+        return any(r.outcome.degraded for r in self.results)
+
+    @property
+    def interrupted(self) -> bool:
+        return any(r.outcome.interrupted for r in self.results)
+
+    @property
+    def converged(self) -> int:
+        """Number of points that stopped early on their CI target."""
+        return sum(1 for r in self.results if r.outcome.converged)
+
+    def select(self, **fixed: Any) -> List[PointResult]:
+        """Points whose params match every ``fixed`` item, in grid order."""
+        return [
+            r
+            for r in self.results
+            if all(r.params.get(key) == value for key, value in fixed.items())
+        ]
+
+    def one(self, **fixed: Any) -> PointResult:
+        """The unique point matching ``fixed``; raises otherwise."""
+        matches = self.select(**fixed)
+        if len(matches) != 1:
+            raise KeyError(
+                f"expected exactly one point matching {fixed}, found {len(matches)}"
+            )
+        return matches[0]
+
+    def summary_table(self) -> Table:
+        """One row per point: params, hit fraction, group success, status."""
+        table = Table(
+            [
+                "point",
+                "params",
+                "n",
+                "horizon",
+                "P(hit)",
+                "group success",
+                "chunks",
+                "status",
+            ],
+            title=f"sweep {self.label!r} (seed {self.seed}, {len(self.results)} points)",
+        )
+        for r in self.results:
+            out = r.outcome
+            if out.interrupted:
+                status = "interrupted"
+            elif out.converged:
+                status = "converged"
+            elif out.degraded:
+                status = "degraded"
+            else:
+                status = "complete"
+            table.add_row(
+                r.point.index,
+                r.point.describe(),
+                r.sample.n,
+                r.point.horizon,
+                r.sample.hit_fraction if r.sample.n else float("nan"),
+                r.group_success,
+                f"{out.completed_chunks}/{out.total_chunks}",
+                status,
+            )
+        return table
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary (samples reduced to statistics)."""
+        points = []
+        for r in self.results:
+            points.append(
+                {
+                    "index": r.point.index,
+                    "params": {
+                        key: value
+                        for key, value in r.params.items()
+                        if isinstance(value, (int, float, str, bool))
+                    },
+                    "n": r.sample.n,
+                    "horizon": r.point.horizon,
+                    "hit_fraction": r.sample.hit_fraction if r.sample.n else None,
+                    "group_success": (
+                        None if r.parallel is None else r.group_success
+                    ),
+                    "completed_chunks": r.outcome.completed_chunks,
+                    "total_chunks": r.outcome.total_chunks,
+                    "degraded": r.outcome.degraded,
+                    "interrupted": r.outcome.interrupted,
+                    "converged": r.outcome.converged,
+                    "retries": r.outcome.retries,
+                }
+            )
+        return {
+            "label": self.label,
+            "seed": self.seed,
+            "n_points": len(self.results),
+            "points": points,
+        }

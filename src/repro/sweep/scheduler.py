@@ -1,0 +1,127 @@
+"""Execute a sweep spec over one shared runner pool.
+
+:func:`run_sweep` expands the spec, derives one ``SeedSequence`` child
+per grid point, wraps every point as a :class:`repro.runner.Job`, and
+hands the whole batch to :meth:`repro.runner.Runner.run_many` -- the
+grid scheduler.  All points therefore share ONE process pool, walltime
+deadline, checkpoint root, convergence monitor family and telemetry
+stream; the runner interleaves chunks round-robin so every point makes
+early progress, and a point whose CI target converges releases its
+remaining chunks' worker slots to unresolved points.
+
+Seeding contract
+----------------
+Point ``i``'s simulation seed and analysis seed are the two words of
+``SeedSequence(seed).spawn(n_points)[i].generate_state(2)`` -- a pure
+function of ``(seed, i)``.  Adding, removing or reordering points
+changes indices (and therefore samples); changing worker counts,
+resuming from checkpoints, or interleaving differently does not.  When
+every chunk of every point completes, results are bit-identical across
+``workers=0``, ``workers=N`` and resumed executions.  A sweep stopped
+early (convergence, deadline, signal) returns the chunks that finished
+-- still valid censored samples, but *which* chunks finished does
+depend on scheduling, so determinism claims apply to complete runs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.runner import Job, Runner
+from repro.sweep.result import PointResult, SweepResult
+from repro.sweep.spec import SweepSpec
+from repro.telemetry.recorder import get_recorder
+
+
+def point_seeds(seed: int, n_points: int) -> List[Tuple[int, int]]:
+    """Per-point ``(simulation seed, analysis seed)`` pairs.
+
+    Pure in ``(seed, index)``: the sweep scheduler, worker count and
+    resume history never touch the seed path.
+    """
+    children = np.random.SeedSequence(int(seed)).spawn(n_points)
+    pairs = []
+    for child in children:
+        words = child.generate_state(2, dtype=np.uint64)
+        pairs.append((int(words[0] >> 1), int(words[1] >> 1)))
+    return pairs
+
+
+def run_sweep(
+    spec: SweepSpec,
+    seed: int = 0,
+    runner: Optional[Runner] = None,
+    label: str = "sweep",
+) -> SweepResult:
+    """Execute every grid point of ``spec`` and aggregate the results.
+
+    With ``runner=None`` a plain in-process :class:`Runner` is used (no
+    checkpoints, no pool) -- the zero-infrastructure path.  Passing a
+    configured runner adds checkpointing/resume, a process pool, a
+    shared deadline and per-point sequential stopping, without changing
+    any point's sample (complete runs are bit-identical; see the module
+    docstring).
+    """
+    points = spec.expand()
+    rec = get_recorder()
+    if runner is None:
+        runner = Runner()
+    rec.event(
+        "sweep_start",
+        label=label,
+        points=len(points),
+        seed=int(seed),
+        workers=runner.workers,
+    )
+    if not points:
+        rec.event("sweep_end", label=label, points=0, converged=0)
+        return SweepResult(seed=int(seed), label=label, results=[])
+    seeds = point_seeds(seed, len(points))
+    jobs = [
+        Job(
+            task=spec.build_task(point),
+            n_total=point.n,
+            seed=sim_seed,
+            label=f"{label}-{point.label}",
+        )
+        for point, (sim_seed, _) in zip(points, seeds)
+    ]
+    outcomes = runner.run_many(jobs)
+    results = []
+    for point, (_, analysis_seed), outcome in zip(points, seeds, outcomes):
+        sample = outcome.payload
+        parallel = None
+        if point.k is not None and sample.n:
+            rng = np.random.default_rng(analysis_seed)
+            if point.n_groups is not None:
+                from repro.engine.results import bootstrap_parallel
+
+                parallel = bootstrap_parallel(
+                    sample.times, point.k, point.n_groups, rng
+                )
+            else:
+                from repro.engine.results import group_minimum
+
+                usable = (sample.n // point.k) * point.k
+                if usable:
+                    parallel = group_minimum(sample.times[:usable], point.k)
+        results.append(
+            PointResult(
+                point=point,
+                sample=sample,
+                outcome=outcome,
+                parallel=parallel,
+                analysis_seed=analysis_seed,
+            )
+        )
+    rec.event(
+        "sweep_end",
+        label=label,
+        points=len(points),
+        converged=sum(1 for r in results if r.outcome.converged),
+        degraded=sum(1 for r in results if r.outcome.degraded),
+        interrupted=sum(1 for r in results if r.outcome.interrupted),
+    )
+    return SweepResult(seed=int(seed), label=label, results=results)

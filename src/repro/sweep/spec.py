@@ -1,0 +1,234 @@
+"""The declarative sweep specification: axes, policies, task expansion.
+
+A :class:`SweepSpec` describes a parameter grid *as data*: named axes
+whose cartesian product (in declaration order) enumerates the grid, an
+optional ``where`` predicate to drop cells, per-point policies for the
+sample size and horizon, and optional aggregation parameters (``k``,
+``n_groups``) for parallel-time estimates.  ``expand()`` turns the spec
+into an ordered list of :class:`GridPoint`; ``build_task(point)`` turns
+one point into a picklable runner task
+(:class:`~repro.runner.tasks.HittingTimeTask` or
+:class:`~repro.runner.tasks.CCRWTask` by default).
+
+Reserved axis names understood by the default task builder:
+
+``alpha``
+    Levy exponent; the point samples a ``ZetaJumpDistribution(alpha)``.
+``law``
+    An explicit :class:`~repro.distributions.base.JumpDistribution`
+    (overrides ``alpha`` for the simulation; ``alpha`` stays in the
+    point's params for reporting).
+``l``
+    Target distance; the target node is ``default_target(l)`` unless a
+    ``target`` param is given.
+``detect``
+    ``True`` for the paper's during-jump detection, ``False`` for
+    endpoint-only (the intermittent model).
+``flight``
+    ``True`` to count jumps instead of steps (flight semantics).
+``bout``
+    Mean relocation-bout length; the point samples the CCRW baseline
+    (:class:`~repro.runner.tasks.CCRWTask`) instead of a Levy walk.
+``k`` / ``n_groups``
+    Aggregation-only: never passed to the engine, consumed by the
+    scheduler to reduce single-walk samples to parallel estimates.
+
+An axis *value* that is a mapping is merged into the point's params
+instead of being bound to the axis name -- this declares zipped
+sub-grids, e.g. ``axes={"cell": [{"k": 32, "l": 64}, {"k": 48, "l":
+96}], "alpha": (2.0, 2.5)}`` sweeps alpha within each (k, l) cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+IntPoint = Tuple[int, int]
+#: A per-point policy: either a constant or a function of the point's params.
+Policy = Union[int, float, Callable[[Mapping[str, Any]], Any]]
+
+#: Axis names consumed by the sweep machinery itself (aggregation), never
+#: forwarded to the simulation task.
+AGGREGATION_KEYS = ("k", "n_groups")
+
+
+def resolve(policy: Optional[Policy], params: Mapping[str, Any]) -> Any:
+    """Evaluate a policy for one point (constants pass through)."""
+    if callable(policy):
+        return policy(params)
+    return policy
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One fully resolved cell of a sweep grid.
+
+    ``index`` is the point's position in the spec's expansion order --
+    the seeding key, so a point's sample depends only on ``(sweep seed,
+    index)``, never on how workers interleave chunks.
+    """
+
+    index: int
+    params: Mapping[str, Any]
+    n: int
+    horizon: int
+    k: Optional[int] = None
+    n_groups: Optional[int] = None
+
+    @property
+    def label(self) -> str:
+        return f"point-{self.index:04d}"
+
+    def describe(self) -> str:
+        """Compact ``axis=value`` rendering for tables and logs."""
+        parts = []
+        for key, value in self.params.items():
+            if isinstance(value, float):
+                parts.append(f"{key}={value:g}")
+            else:
+                parts.append(f"{key}={value}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative parameter sweep.
+
+    Parameters
+    ----------
+    axes:
+        Ordered mapping ``name -> values``; the grid is the cartesian
+        product in declaration order (last axis varies fastest).  Mapping
+        values are merged into the point's params (zipped sub-grids).
+    n:
+        Sample-size policy: walks simulated per point.
+    horizon:
+        Horizon policy: censoring step (or jump) budget per point.
+    defaults:
+        Params merged under every point (overridden by axes).
+    where:
+        Optional predicate on the merged params; cells where it returns
+        False are dropped *before* indices are assigned.
+    k:
+        Optional group-size policy; points with ``k`` get parallel-time
+        estimates (see :class:`~repro.sweep.result.PointResult`).
+    n_groups:
+        Optional bootstrap-resample count policy.  With ``n_groups`` the
+        parallel estimate resamples groups from the single-walk pool;
+        without it, consecutive blocks of ``k`` walks are reduced exactly
+        (:func:`~repro.engine.results.group_minimum`).
+    task:
+        Optional override ``(params, horizon) -> picklable task`` for
+        grids the reserved axes cannot express.
+    """
+
+    axes: Mapping[str, Sequence[Any]]
+    n: Policy
+    horizon: Policy
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+    where: Optional[Callable[[Mapping[str, Any]], bool]] = None
+    k: Optional[Policy] = None
+    n_groups: Optional[Policy] = None
+    task: Optional[Callable[[Mapping[str, Any], int], Any]] = None
+
+    # ---------------------------------------------------------- expansion
+
+    def _cells(self) -> List[Dict[str, Any]]:
+        cells: List[Dict[str, Any]] = [dict(self.defaults)]
+        for name, values in self.axes.items():
+            if not values:
+                raise ValueError(f"axis {name!r} has no values")
+            expanded = []
+            for cell in cells:
+                for value in values:
+                    merged = dict(cell)
+                    if isinstance(value, Mapping):
+                        merged.update(value)
+                    else:
+                        merged[name] = value
+                    expanded.append(merged)
+            cells = expanded
+        return cells
+
+    def expand(self) -> List[GridPoint]:
+        """Enumerate the grid in declaration order, indices assigned after
+        ``where`` filtering."""
+        points: List[GridPoint] = []
+        for cell in self._cells():
+            if self.where is not None and not self.where(cell):
+                continue
+            n = int(resolve(self.n, cell))
+            horizon = int(resolve(self.horizon, cell))
+            if n < 1:
+                raise ValueError(f"n policy produced {n} for params {cell}")
+            if horizon < 0:
+                raise ValueError(
+                    f"horizon policy produced {horizon} for params {cell}"
+                )
+            k = resolve(self.k, cell)
+            n_groups = resolve(self.n_groups, cell)
+            points.append(
+                GridPoint(
+                    index=len(points),
+                    params=cell,
+                    n=n,
+                    horizon=horizon,
+                    k=None if k is None else int(k),
+                    n_groups=None if n_groups is None else int(n_groups),
+                )
+            )
+        return points
+
+    # ------------------------------------------------------------- tasks
+
+    def build_task(self, point: GridPoint) -> Any:
+        """Expand one grid point into a picklable runner task."""
+        if self.task is not None:
+            return self.task(point.params, point.horizon)
+        return default_task(point.params, point.horizon)
+
+
+def default_task(params: Mapping[str, Any], horizon: int) -> Any:
+    """The reserved-axis task builder (see the module docstring)."""
+    from repro.experiments.common import default_target
+
+    target = params.get("target")
+    if target is None:
+        if "l" not in params:
+            raise ValueError(
+                "point needs an 'l' or 'target' param to place the target; "
+                f"got {dict(params)}"
+            )
+        target = default_target(int(params["l"]))
+    target = (int(target[0]), int(target[1]))
+
+    if "bout" in params:
+        from repro.runner.tasks import CCRWTask
+
+        return CCRWTask(
+            target=target,
+            horizon=int(horizon),
+            extensive_bout_mean=float(params["bout"]),
+        )
+
+    law = params.get("law")
+    if law is None:
+        if "alpha" not in params:
+            raise ValueError(
+                "point needs an 'alpha', 'law' or 'bout' param to pick the "
+                f"walk; got {dict(params)}"
+            )
+        from repro.distributions.zeta import ZetaJumpDistribution
+
+        law = ZetaJumpDistribution(float(params["alpha"]))
+
+    from repro.runner.tasks import HittingTimeTask
+
+    return HittingTimeTask(
+        jumps=law,
+        target=target,
+        horizon=int(horizon),
+        detect_during_jump=bool(params.get("detect", True)),
+        flight=bool(params.get("flight", False)),
+    )

@@ -1,0 +1,109 @@
+"""The ``repro.api`` facade and the legacy engine-spelling shims.
+
+``repro.api`` is the documented stable import surface (README): every
+name in ``__all__`` must import and resolve to the same object as its
+home module.  The engine entry points behind it follow the unified
+``horizon``/``n`` keyword-only convention; each legacy spelling keeps
+working for one release and emits exactly one DeprecationWarning.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.api as api
+from repro.api import SweepSpec, ZetaJumpDistribution, walk_hitting_times
+
+
+def test_all_names_resolve():
+    assert len(api.__all__) == len(set(api.__all__))
+    for name in api.__all__:
+        assert getattr(api, name) is not None
+    # The headline spellings from the README example.
+    assert SweepSpec is api.SweepSpec
+    assert walk_hitting_times is api.walk_hitting_times
+
+
+def test_facade_matches_home_modules():
+    from repro.engine.vectorized import walk_hitting_times as home_engine
+    from repro.runner import Runner as home_runner
+    from repro.sweep import run_sweep as home_sweep
+
+    assert api.walk_hitting_times is home_engine
+    assert api.Runner is home_runner
+    assert api.run_sweep is home_sweep
+
+
+JUMPS = ZetaJumpDistribution(2.5)
+
+#: (callable, new-style kwargs, the same call in a legacy spelling).
+_SPELLINGS = [
+    (
+        api.walk_hitting_times,
+        dict(horizon=50, n=4, rng=0),
+        dict(horizon=50, n_walks=4, rng=0),
+    ),
+    (
+        api.flight_hitting_times,
+        dict(horizon=50, n=4, rng=0),
+        dict(horizon_jumps=50, n_flights=4, rng=0),
+    ),
+    (
+        api.walk_trajectories,
+        dict(horizon=20, n=3, rng=0),
+        dict(n_steps=20, n_walks=3, rng=0),
+    ),
+    (
+        api.ball_hitting_times,
+        dict(radius=2, horizon=50, n=4, rng=0),
+        dict(radius=2, horizon=50, n_walks=4, rng=0),
+    ),
+    (
+        api.multi_target_search,
+        dict(horizon=50, n=4, rng=0),
+        dict(horizon=50, n_walks=4, rng=0),
+    ),
+]
+
+
+def _lead_args(func):
+    if func is api.walk_trajectories:
+        return (JUMPS,)
+    if func is api.multi_target_search:
+        return (JUMPS, [(3, 0), (0, 5)])
+    return (JUMPS, (3, 4))
+
+
+@pytest.mark.parametrize(
+    "func,new,legacy", _SPELLINGS, ids=lambda v: getattr(v, "__name__", "")
+)
+def test_legacy_spelling_warns_once_and_matches(func, new, legacy):
+    lead = _lead_args(func)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # new spelling: no warning at all
+        expected = func(*lead, **new)
+    with pytest.warns(DeprecationWarning) as caught:
+        got = func(*lead, **legacy)
+    assert len(caught) == 1
+    assert "legacy call spelling" in str(caught[0].message)
+    def payload(result):
+        for attr in ("times", "discovery_times"):
+            if hasattr(result, attr):
+                return getattr(result, attr)
+        return result
+
+    np.testing.assert_array_equal(payload(got), payload(expected))
+
+
+def test_legacy_positional_warns_once():
+    with pytest.warns(DeprecationWarning) as caught:
+        sample = api.walk_hitting_times(JUMPS, (3, 4), 50, 4, 0)
+    assert len(caught) == 1
+    assert "keyword-only" in str(caught[0].message)
+    assert sample.n == 4
+
+
+def test_legacy_and_new_name_conflict_is_an_error():
+    with pytest.raises(TypeError):
+        api.walk_hitting_times(JUMPS, (3, 4), horizon=50, n=4, n_walks=4)

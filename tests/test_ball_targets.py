@@ -11,7 +11,7 @@ from repro.engine.vectorized import walk_hitting_times
 
 def test_start_inside_ball(rng):
     sample = ball_hitting_times(
-        ZetaJumpDistribution(2.5), (2, 1), radius=3, horizon=50, n_walks=7, rng=rng
+        ZetaJumpDistribution(2.5), (2, 1), radius=3, horizon=50, n=7, rng=rng
     )
     np.testing.assert_array_equal(sample.times, np.zeros(7))
 
@@ -19,19 +19,19 @@ def test_start_inside_ball(rng):
 def test_validation(rng):
     law = ZetaJumpDistribution(2.5)
     with pytest.raises(ValueError):
-        ball_hitting_times(law, (5, 0), -1, 10, 5, rng)
+        ball_hitting_times(law, (5, 0), radius=-1, horizon=10, n=5, rng=rng)
     with pytest.raises(ValueError):
-        ball_hitting_times(law, (5, 0), 1, -1, 5, rng)
+        ball_hitting_times(law, (5, 0), radius=1, horizon=-1, n=5, rng=rng)
     with pytest.raises(ValueError):
-        ball_hitting_times(law, (5, 0), 1, 10, 0, rng)
+        ball_hitting_times(law, (5, 0), radius=1, horizon=10, n=0, rng=rng)
 
 
 def test_radius_zero_matches_point_engine(rng):
     """r = 0 must reproduce the point-target law (statistically)."""
     law = ZetaJumpDistribution(2.4)
     target, horizon, n = (5, 3), 150, 30_000
-    ball = ball_hitting_times(law, target, 0, horizon, n, rng)
-    point = walk_hitting_times(law, target, horizon, n, rng)
+    ball = ball_hitting_times(law, target, radius=0, horizon=horizon, n=n, rng=rng)
+    point = walk_hitting_times(law, target, horizon=horizon, n=n, rng=rng)
     gap = 4.0 * (point.hit_fraction * (1 - point.hit_fraction) * 2 / n) ** 0.5 + 1e-3
     assert abs(ball.hit_fraction - point.hit_fraction) < gap
     if ball.n_hits > 100 and point.n_hits > 100:
@@ -43,7 +43,7 @@ def test_radius_zero_matches_point_engine(rng):
 def test_hit_time_lower_bound_is_distance_to_boundary(rng):
     """A walk needs at least l - r steps to touch B_r at center distance l."""
     sample = ball_hitting_times(
-        ZetaJumpDistribution(1.8), (10, 6), radius=3, horizon=200, n_walks=4_000, rng=rng
+        ZetaJumpDistribution(1.8), (10, 6), radius=3, horizon=200, n=4_000, rng=rng
     )
     assert sample.hit_times().min() >= 16 - 3
 
@@ -51,8 +51,8 @@ def test_hit_time_lower_bound_is_distance_to_boundary(rng):
 def test_larger_balls_hit_more(rng):
     law = ZetaJumpDistribution(2.5)
     target, horizon, n = (12, 8), 300, 8_000
-    small = ball_hitting_times(law, target, 0, horizon, n, rng).hit_fraction
-    large = ball_hitting_times(law, target, 4, horizon, n, rng).hit_fraction
+    small = ball_hitting_times(law, target, radius=0, horizon=horizon, n=n, rng=rng).hit_fraction
+    large = ball_hitting_times(law, target, radius=4, horizon=horizon, n=n, rng=rng).hit_fraction
     assert large > small
 
 
@@ -61,10 +61,10 @@ def test_midjump_dominates_endpoint(rng):
     target, horizon, n = (14, 6), 200, 12_000
     seed_rng = np.random.default_rng(11)
     mid = ball_hitting_times(
-        law, target, 2, horizon, n, np.random.default_rng(1), detect_during_jump=True
+        law, target, radius=2, horizon=horizon, n=n, rng=np.random.default_rng(1), detect_during_jump=True
     ).hit_fraction
     end = ball_hitting_times(
-        law, target, 2, horizon, n, np.random.default_rng(1), detect_during_jump=False
+        law, target, radius=2, horizon=horizon, n=n, rng=np.random.default_rng(1), detect_during_jump=False
     ).hit_fraction
     assert mid > end
     del seed_rng
@@ -75,7 +75,7 @@ def test_constant_jump_crossing_geometry(rng):
     direct path passes within distance 2 of (10, 0); hits occur at steps
     8..12 only."""
     sample = ball_hitting_times(
-        ConstantJumpDistribution(20), (10, 0), radius=2, horizon=20, n_walks=30_000, rng=rng
+        ConstantJumpDistribution(20), (10, 0), radius=2, horizon=20, n=30_000, rng=rng
     )
     hits = sample.hit_times()
     assert hits.size > 0
@@ -89,7 +89,7 @@ def test_first_entry_step_recorded(rng):
     # Constant jump 30 from origin; ball B_1((15, 0)).  Conditioned on the
     # path passing through (14..16, 0)-ish, the first entry is at ring 14.
     sample = ball_hitting_times(
-        ConstantJumpDistribution(30), (15, 0), radius=1, horizon=30, n_walks=50_000, rng=rng
+        ConstantJumpDistribution(30), (15, 0), radius=1, horizon=30, n=50_000, rng=rng
     )
     hits = sample.hit_times()
     assert hits.size > 0
@@ -104,7 +104,7 @@ def test_ball_engine_matches_object_level(rng):
     alpha = 2.3
     center, radius, horizon = (6, 4), 2, 80
     fast = ball_hitting_times(
-        ZetaJumpDistribution(alpha), center, radius, horizon, 30_000, rng
+        ZetaJumpDistribution(alpha), center, radius=radius, horizon=horizon, n=30_000, rng=rng
     )
     hits = 0
     n_ref = 2_500

@@ -30,9 +30,9 @@ def _two_proportion_gap(p1, n1, p2, n2):
 ])
 def test_walk_engine_matches_reference(alpha, target, horizon, rng):
     n_fast, n_ref = 40_000, 4_000
-    fast = walk_hitting_times(ZetaJumpDistribution(alpha), target, horizon, n_fast, rng)
+    fast = walk_hitting_times(ZetaJumpDistribution(alpha), target, horizon=horizon, n=n_fast, rng=rng)
     ref = reference_hitting_times(
-        lambda g: LevyWalk(alpha, rng=g), target, horizon, n_ref, rng
+        lambda g: LevyWalk(alpha, rng=g), target, horizon=horizon, n=n_ref, rng=rng
     )
     gap = _two_proportion_gap(fast.hit_fraction, n_fast, ref.hit_fraction, n_ref)
     assert abs(fast.hit_fraction - ref.hit_fraction) < gap
@@ -46,9 +46,9 @@ def test_walk_engine_matches_reference(alpha, target, horizon, rng):
 def test_srw_engine_matches_reference(rng):
     n_fast, n_ref = 40_000, 4_000
     target, horizon = (2, 1), 40
-    fast = walk_hitting_times(UnitJumpDistribution(), target, horizon, n_fast, rng)
+    fast = walk_hitting_times(UnitJumpDistribution(), target, horizon=horizon, n=n_fast, rng=rng)
     ref = reference_hitting_times(
-        lambda g: SimpleRandomWalk(rng=g), target, horizon, n_ref, rng
+        lambda g: SimpleRandomWalk(rng=g), target, horizon=horizon, n=n_ref, rng=rng
     )
     gap = _two_proportion_gap(fast.hit_fraction, n_fast, ref.hit_fraction, n_ref)
     assert abs(fast.hit_fraction - ref.hit_fraction) < gap
@@ -58,9 +58,9 @@ def test_flight_engine_matches_reference(rng):
     n_fast, n_ref = 40_000, 4_000
     target, horizon = (2, 1), 30
     alpha = 2.2
-    fast = flight_hitting_times(ZetaJumpDistribution(alpha), target, horizon, n_fast, rng)
+    fast = flight_hitting_times(ZetaJumpDistribution(alpha), target, horizon=horizon, n=n_fast, rng=rng)
     ref = reference_hitting_times(
-        lambda g: LevyFlight(alpha, rng=g), target, horizon, n_ref, rng
+        lambda g: LevyFlight(alpha, rng=g), target, horizon=horizon, n=n_ref, rng=rng
     )
     gap = _two_proportion_gap(fast.hit_fraction, n_fast, ref.hit_fraction, n_ref)
     assert abs(fast.hit_fraction - ref.hit_fraction) < gap
@@ -78,13 +78,13 @@ def test_walk_and_flight_endpoint_semantics_agree(rng):
     # The walk needs ~E[max(d,1)] steps per jump.
     steps_per_jump = law.expected_steps_per_jump()
     n_jumps = 40
-    flight = flight_hitting_times(law, target, n_jumps, n, rng)
+    flight = flight_hitting_times(law, target, horizon=n_jumps, n=n, rng=rng)
     walk = walk_hitting_times(
         law,
         target,
-        int(n_jumps * steps_per_jump * 3),
-        n,
-        rng,
+        horizon=int(n_jumps * steps_per_jump * 3),
+        n=n,
+        rng=rng,
         detect_during_jump=False,
     )
     # The walk's budget is generous, so it should land at least as often.

@@ -22,7 +22,7 @@ targets = st.tuples(small_coords, small_coords)
 @given(alphas, targets, st.integers(0, 200), st.integers(1, 64))
 def test_walk_hit_times_respect_distance_and_horizon(alpha, target, horizon, n):
     rng = np.random.default_rng(7)
-    sample = walk_hitting_times(ZetaJumpDistribution(alpha), target, horizon, n, rng)
+    sample = walk_hitting_times(ZetaJumpDistribution(alpha), target, horizon=horizon, n=n, rng=rng)
     distance = abs(target[0]) + abs(target[1])
     assert sample.n == n
     assert sample.horizon == horizon
@@ -41,7 +41,7 @@ def test_walk_hit_times_respect_distance_and_horizon(alpha, target, horizon, n):
 @given(alphas, targets, st.integers(0, 100), st.integers(1, 32))
 def test_flight_hit_times_in_jump_units(alpha, target, horizon, n):
     rng = np.random.default_rng(11)
-    sample = flight_hitting_times(ZetaJumpDistribution(alpha), target, horizon, n, rng)
+    sample = flight_hitting_times(ZetaJumpDistribution(alpha), target, horizon=horizon, n=n, rng=rng)
     hits = sample.hit_times()
     assert np.all(hits >= (1 if target != (0, 0) else 0))
     assert np.all(hits <= horizon)
@@ -52,7 +52,7 @@ def test_flight_hit_times_in_jump_units(alpha, target, horizon, n):
 def test_ball_hit_times_respect_boundary_distance(alpha, center, radius, horizon, n):
     rng = np.random.default_rng(13)
     sample = ball_hitting_times(
-        ZetaJumpDistribution(alpha), center, radius, horizon, n, rng
+        ZetaJumpDistribution(alpha), center, radius=radius, horizon=horizon, n=n, rng=rng
     )
     distance = abs(center[0]) + abs(center[1])
     hits = sample.hit_times()
@@ -90,7 +90,7 @@ def test_restricted_is_monotone_in_horizon(alpha, distance, horizon):
     rng = np.random.default_rng(17)
     target = (distance, 0)
     sample = walk_hitting_times(
-        ZetaJumpDistribution(alpha), target, horizon, 200, rng
+        ZetaJumpDistribution(alpha), target, horizon=horizon, n=200, rng=rng
     )
     half = sample.restricted(horizon // 2)
     assert half.n_hits <= sample.n_hits

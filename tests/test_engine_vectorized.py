@@ -14,13 +14,13 @@ from repro.engine.vectorized import flight_hitting_times, walk_hitting_times
 
 def test_walk_target_at_start(rng):
     sample = walk_hitting_times(
-        ZetaJumpDistribution(2.5), (3, 3), 100, 50, rng, start=(3, 3)
+        ZetaJumpDistribution(2.5), (3, 3), horizon=100, n=50, rng=rng, start=(3, 3)
     )
     np.testing.assert_array_equal(sample.times, np.zeros(50))
 
 
 def test_walk_times_within_horizon(rng):
-    sample = walk_hitting_times(ZetaJumpDistribution(2.5), (4, 2), 200, 2_000, rng)
+    sample = walk_hitting_times(ZetaJumpDistribution(2.5), (4, 2), horizon=200, n=2_000, rng=rng)
     hits = sample.hit_times()
     assert hits.size > 0
     assert hits.min() >= 6  # at least l steps are needed (l = 6)
@@ -30,26 +30,26 @@ def test_walk_times_within_horizon(rng):
 def test_walk_lower_bounds_distance(rng):
     """No walk can hit a target at distance l before step l."""
     target = (7, 5)
-    sample = walk_hitting_times(ZetaJumpDistribution(1.5), target, 400, 4_000, rng)
+    sample = walk_hitting_times(ZetaJumpDistribution(1.5), target, horizon=400, n=4_000, rng=rng)
     assert sample.hit_times().min() >= 12
 
 
 def test_walk_horizon_zero(rng):
-    sample = walk_hitting_times(ZetaJumpDistribution(2.5), (1, 0), 0, 10, rng)
+    sample = walk_hitting_times(ZetaJumpDistribution(2.5), (1, 0), horizon=0, n=10, rng=rng)
     assert sample.n_hits == 0
 
 
 def test_walk_validation(rng):
     with pytest.raises(ValueError):
-        walk_hitting_times(ZetaJumpDistribution(2.5), (1, 0), -1, 10, rng)
+        walk_hitting_times(ZetaJumpDistribution(2.5), (1, 0), horizon=-1, n=10, rng=rng)
     with pytest.raises(ValueError):
-        walk_hitting_times(ZetaJumpDistribution(2.5), (1, 0), 10, 0, rng)
+        walk_hitting_times(ZetaJumpDistribution(2.5), (1, 0), horizon=10, n=0, rng=rng)
 
 
 def test_walk_unit_law_is_srw(rng):
     """With unit jumps the engine is a lazy SRW: hitting a neighbor is
     frequent and fast."""
-    sample = walk_hitting_times(UnitJumpDistribution(), (1, 0), 50, 4_000, rng)
+    sample = walk_hitting_times(UnitJumpDistribution(), (1, 0), horizon=50, n=4_000, rng=rng)
     assert sample.hit_fraction > 0.45
     # First possible hit is step 1, and it happens with probability 1/8.
     assert sample.hit_times().min() == 1
@@ -61,7 +61,7 @@ def test_walk_constant_jump_deterministic_time(rng):
     """Constant jump length 1: the walk is a non-lazy SRW; hits of (2,0)
     can only occur at even steps >= 2... actually any step >= 2 with the
     right parity.  We just check reachability and the parity invariant."""
-    sample = walk_hitting_times(ConstantJumpDistribution(1), (2, 0), 60, 3_000, rng)
+    sample = walk_hitting_times(ConstantJumpDistribution(1), (2, 0), horizon=60, n=3_000, rng=rng)
     hits = sample.hit_times()
     assert hits.size > 0
     # Parity: position parity == step parity for a non-lazy unit walk.
@@ -73,10 +73,10 @@ def test_walk_intermittent_detection_is_weaker(rng):
     law = ZetaJumpDistribution(2.2)
     seed = 99
     full = walk_hitting_times(
-        law, (10, 6), 600, 6_000, np.random.default_rng(seed), detect_during_jump=True
+        law, (10, 6), horizon=600, n=6_000, rng=np.random.default_rng(seed), detect_during_jump=True
     )
     endpoint_only = walk_hitting_times(
-        law, (10, 6), 600, 6_000, np.random.default_rng(seed), detect_during_jump=False
+        law, (10, 6), horizon=600, n=6_000, rng=np.random.default_rng(seed), detect_during_jump=False
     )
     assert endpoint_only.hit_fraction < full.hit_fraction
 
@@ -84,7 +84,7 @@ def test_walk_intermittent_detection_is_weaker(rng):
 def test_walk_heterogeneous_sampler(rng):
     alphas = np.concatenate([np.full(2_000, 2.1), np.full(2_000, 3.8)])
     sampler = HeterogeneousZetaSampler(alphas)
-    sample = walk_hitting_times(sampler, (16, 8), 24 * 24, 4_000, rng)
+    sample = walk_hitting_times(sampler, (16, 8), horizon=24 * 24, n=4_000, rng=rng)
     # Both exponent groups participate; ballistic-ish walks hit earlier on
     # average when they hit at all.
     assert sample.n_hits > 0
@@ -93,7 +93,7 @@ def test_walk_heterogeneous_sampler(rng):
 def test_walk_mid_jump_hit_times(rng):
     """A constant-6 jump law from the origin toward (3,0)... the target at
     distance 3 is hit mid-jump at exactly step 3 when the path crosses it."""
-    sample = walk_hitting_times(ConstantJumpDistribution(6), (3, 0), 6, 20_000, rng)
+    sample = walk_hitting_times(ConstantJumpDistribution(6), (3, 0), horizon=6, n=20_000, rng=rng)
     hits = sample.hit_times()
     assert hits.size > 0
     assert np.all(hits == 3)
@@ -103,7 +103,7 @@ def test_walk_mid_jump_hit_times(rng):
 
 
 def test_flight_counts_jumps_not_steps(rng):
-    sample = flight_hitting_times(ConstantJumpDistribution(5), (5, 0), 1, 20_000, rng)
+    sample = flight_hitting_times(ConstantJumpDistribution(5), (5, 0), horizon=1, n=20_000, rng=rng)
     hits = sample.hit_times()
     assert hits.size > 0
     assert np.all(hits == 1)
@@ -112,20 +112,20 @@ def test_flight_counts_jumps_not_steps(rng):
 
 
 def test_flight_target_at_start(rng):
-    sample = flight_hitting_times(ZetaJumpDistribution(2.5), (0, 0), 10, 7, rng)
+    sample = flight_hitting_times(ZetaJumpDistribution(2.5), (0, 0), horizon=10, n=7, rng=rng)
     np.testing.assert_array_equal(sample.times, np.zeros(7))
 
 
 def test_flight_cannot_hit_mid_jump(rng):
     """A flight with constant jump 2 can never land on an odd-distance
     node at odd time... more simply: it can never land on (1, 0)."""
-    sample = flight_hitting_times(ConstantJumpDistribution(2), (1, 0), 50, 2_000, rng)
+    sample = flight_hitting_times(ConstantJumpDistribution(2), (1, 0), horizon=50, n=2_000, rng=rng)
     assert sample.n_hits == 0
 
 
 def test_flight_validation(rng):
     with pytest.raises(ValueError):
-        flight_hitting_times(ZetaJumpDistribution(2.5), (1, 0), -2, 5, rng)
+        flight_hitting_times(ZetaJumpDistribution(2.5), (1, 0), horizon=-2, n=5, rng=rng)
 
 
 def test_homogeneous_sampler_wrapper(rng):

@@ -15,7 +15,7 @@ from repro.engine.visits import (
 
 def test_visit_counts_shape_and_range(rng):
     counts = flight_visit_counts(
-        ZetaJumpDistribution(2.5), [(0, 0), (1, 0)], n_jumps=10, n_flights=500, rng=rng
+        ZetaJumpDistribution(2.5), [(0, 0), (1, 0)], horizon=10, n=500, rng=rng
     )
     assert counts.shape == (2,)
     assert np.all(counts >= 0)
@@ -24,21 +24,21 @@ def test_visit_counts_shape_and_range(rng):
 
 def test_visit_counts_validation(rng):
     with pytest.raises(ValueError):
-        flight_visit_counts(ZetaJumpDistribution(2.5), [(0, 0, 0)], 5, 10, rng)
+        flight_visit_counts(ZetaJumpDistribution(2.5), [(0, 0, 0)], horizon=5, n=10, rng=rng)
 
 
 def test_visit_counts_lazy_origin(rng):
     """A fully lazy-ish law: constant jump 1 never revisits... instead use
     the exact one-jump case: after 1 jump, P(at origin) = 1/2 (lazy)."""
     counts = flight_visit_counts(
-        ZetaJumpDistribution(2.5), [(0, 0)], n_jumps=1, n_flights=20_000, rng=rng
+        ZetaJumpDistribution(2.5), [(0, 0)], horizon=1, n=20_000, rng=rng
     )
     assert abs(counts[0] - 0.5) < 0.02
 
 
 def test_occupation_grid_mass(rng):
     grid = flight_occupation_grid(
-        ZetaJumpDistribution(2.5), n_jumps=3, n_flights=5_000, radius=30, rng=rng
+        ZetaJumpDistribution(2.5), horizon=3, n=5_000, radius=30, rng=rng
     )
     assert grid.shape == (61, 61)
     # Total mass = expected visits inside the box <= n_jumps.
@@ -48,8 +48,8 @@ def test_occupation_grid_mass(rng):
 def test_occupation_grid_at_time_only(rng):
     grid = flight_occupation_grid(
         ZetaJumpDistribution(2.5),
-        n_jumps=4,
-        n_flights=5_000,
+        horizon=4,
+        n=5_000,
         radius=40,
         rng=rng,
         at_time_only=True,
@@ -60,13 +60,13 @@ def test_occupation_grid_at_time_only(rng):
 
 
 def test_positions_after_shape(rng):
-    pos = flight_positions_after(ZetaJumpDistribution(2.5), 5, 100, rng)
+    pos = flight_positions_after(ZetaJumpDistribution(2.5), horizon=5, n=100, rng=rng)
     assert pos.shape == (100, 2)
     assert pos.dtype == np.int64
 
 
 def test_positions_after_zero_jumps(rng):
-    pos = flight_positions_after(ZetaJumpDistribution(2.5), 0, 10, rng)
+    pos = flight_positions_after(ZetaJumpDistribution(2.5), horizon=0, n=10, rng=rng)
     np.testing.assert_array_equal(pos, np.zeros((10, 2)))
 
 
@@ -75,7 +75,7 @@ def test_positions_after_zero_jumps(rng):
 
 def test_snapshots_shape_and_zero(rng):
     snaps = walk_displacement_snapshots(
-        ZetaJumpDistribution(2.5), [0, 4, 16], n_walks=200, rng=rng
+        ZetaJumpDistribution(2.5), [0, 4, 16], n=200, rng=rng
     )
     assert snaps.shape == (3, 200, 2)
     np.testing.assert_array_equal(snaps[0], np.zeros((200, 2)))
@@ -85,7 +85,7 @@ def test_snapshots_exact_displacement_unit_law(rng):
     """Non-lazy unit jumps: after t steps the L1 displacement has the
     parity of t and is at most t."""
     snaps = walk_displacement_snapshots(
-        ConstantJumpDistribution(1), [5, 10], n_walks=800, rng=rng
+        ConstantJumpDistribution(1), [5, 10], n=800, rng=rng
     )
     for index, t in enumerate((5, 10)):
         l1 = np.abs(snaps[index, :, 0]) + np.abs(snaps[index, :, 1])
@@ -97,7 +97,7 @@ def test_snapshots_ballistic_exact(rng):
     """A constant-100 jump law is mid-first-jump at step 7: displacement
     exactly 7."""
     snaps = walk_displacement_snapshots(
-        ConstantJumpDistribution(100), [7], n_walks=500, rng=rng
+        ConstantJumpDistribution(100), [7], n=500, rng=rng
     )
     l1 = np.abs(snaps[0, :, 0]) + np.abs(snaps[0, :, 1])
     np.testing.assert_array_equal(l1, np.full(500, 7))
@@ -105,7 +105,7 @@ def test_snapshots_ballistic_exact(rng):
 
 def test_snapshots_unsorted_input(rng):
     snaps = walk_displacement_snapshots(
-        UnitJumpDistribution(), [16, 4, 8], n_walks=100, rng=rng
+        UnitJumpDistribution(), [16, 4, 8], n=100, rng=rng
     )
     # Returned in sorted order; displacement grows stochastically.
     l1 = np.abs(snaps[:, :, 0]) + np.abs(snaps[:, :, 1])
@@ -114,12 +114,12 @@ def test_snapshots_unsorted_input(rng):
 
 def test_snapshots_negative_rejected(rng):
     with pytest.raises(ValueError):
-        walk_displacement_snapshots(UnitJumpDistribution(), [-1], 10, rng)
+        walk_displacement_snapshots(UnitJumpDistribution(), [-1], n=10, rng=rng)
 
 
 def test_snapshots_lazy_walk_slower_than_nonlazy(rng):
-    lazy = walk_displacement_snapshots(UnitJumpDistribution(0.5), [64], 2_000, rng)
-    brisk = walk_displacement_snapshots(ConstantJumpDistribution(1), [64], 2_000, rng)
+    lazy = walk_displacement_snapshots(UnitJumpDistribution(0.5), [64], n=2_000, rng=rng)
+    brisk = walk_displacement_snapshots(ConstantJumpDistribution(1), [64], n=2_000, rng=rng)
     lazy_l1 = (np.abs(lazy[0]).sum(axis=1)).mean()
     brisk_l1 = (np.abs(brisk[0]).sum(axis=1)).mean()
     assert lazy_l1 < brisk_l1
@@ -133,7 +133,7 @@ def test_snapshots_match_object_level_walk(rng):
 
     alpha, step = 2.5, 48
     snaps = walk_displacement_snapshots(
-        ZetaJumpDistribution(alpha), [step], n_walks=4_000, rng=rng
+        ZetaJumpDistribution(alpha), [step], n=4_000, rng=rng
     )
     engine_l1 = np.abs(snaps[0, :, 0]) + np.abs(snaps[0, :, 1])
     reference_l1 = []

@@ -69,7 +69,7 @@ def test_origin_visits_match_monte_carlo(rng):
     law = ZetaJumpDistribution(2.5, cap=8)
     t = 6
     exact = flight_occupation_exact(law, t)
-    mc = flight_visit_counts(law, [(0, 0)], n_jumps=t, n_flights=60_000, rng=rng)
+    mc = flight_visit_counts(law, [(0, 0)], horizon=t, n=60_000, rng=rng)
     assert abs(exact.origin_visits - float(mc[0])) < 0.03
 
 
@@ -78,7 +78,7 @@ def test_grid_matches_monte_carlo(rng):
     t = 4
     exact = flight_occupation_exact(law, t)
     mc = flight_occupation_grid(
-        law, n_jumps=t, n_flights=200_000, radius=6, rng=rng, at_time_only=True
+        law, horizon=t, n=200_000, radius=6, rng=rng, at_time_only=True
     )
     for node in [(0, 0), (1, 0), (2, 1), (-3, 2)]:
         p_exact = exact.probability_at(node)
@@ -150,7 +150,7 @@ def test_exact_hitting_matches_monte_carlo(rng):
     law = ZetaJumpDistribution(2.5, cap=5)
     target, jumps = (2, 1), 7
     exact = flight_hitting_probability_exact(law, target, jumps)
-    mc = flight_hitting_times(law, target, jumps, 120_000, rng)
+    mc = flight_hitting_times(law, target, horizon=jumps, n=120_000, rng=rng)
     measured = mc.hit_fraction
     se = (exact[-1] * (1 - exact[-1]) / 120_000) ** 0.5
     assert abs(measured - exact[-1]) < 4.5 * se + 1e-4

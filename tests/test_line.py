@@ -61,7 +61,7 @@ def test_line_walk_beats_2d_walk(rng):
 
     law = ZetaJumpDistribution(2.0)
     p_line = line_walk_hitting_times(law, 32, 128, 10_000, rng).hit_fraction
-    p_plane = walk_hitting_times(law, (32, 0), 128, 10_000, rng).hit_fraction
+    p_plane = walk_hitting_times(law, (32, 0), horizon=128, n=10_000, rng=rng).hit_fraction
     assert p_line > 5 * p_plane
 
 

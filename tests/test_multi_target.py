@@ -16,7 +16,7 @@ from repro.engine.vectorized import walk_hitting_times
 
 def test_item_at_start_collected_at_zero(rng):
     result = multi_target_search(
-        ZetaJumpDistribution(2.5), [(0, 0), (5, 5)], horizon=50, n_walks=3, rng=rng
+        ZetaJumpDistribution(2.5), [(0, 0), (5, 5)], horizon=50, n=3, rng=rng
     )
     assert result.discovery_times[0] == 0
     assert result.discoverer[0] == 0
@@ -24,17 +24,17 @@ def test_item_at_start_collected_at_zero(rng):
 
 def test_validation(rng):
     with pytest.raises(ValueError):
-        multi_target_search(ZetaJumpDistribution(2.5), [(1, 2, 3)], 10, 2, rng)
+        multi_target_search(ZetaJumpDistribution(2.5), [(1, 2, 3)], horizon=10, n=2, rng=rng)
     with pytest.raises(ValueError):
-        multi_target_search(ZetaJumpDistribution(2.5), [(1, 2)], -1, 2, rng)
+        multi_target_search(ZetaJumpDistribution(2.5), [(1, 2)], horizon=-1, n=2, rng=rng)
     with pytest.raises(ValueError):
-        multi_target_search(ZetaJumpDistribution(2.5), [(1, 2)], 10, 0, rng)
+        multi_target_search(ZetaJumpDistribution(2.5), [(1, 2)], horizon=10, n=0, rng=rng)
 
 
 def test_discovery_times_respect_distance(rng):
     targets = [(3, 0), (10, 10), (0, -4)]
     result = multi_target_search(
-        ZetaJumpDistribution(2.2), targets, horizon=300, n_walks=16, rng=rng
+        ZetaJumpDistribution(2.2), targets, horizon=300, n=16, rng=rng
     )
     distances = [3, 20, 4]
     for time, distance in zip(result.discovery_times, distances):
@@ -44,7 +44,7 @@ def test_discovery_times_respect_distance(rng):
 
 def test_collected_properties(rng):
     result = multi_target_search(
-        ZetaJumpDistribution(2.5), [(2, 1), (40, 40)], horizon=30, n_walks=8, rng=rng
+        ZetaJumpDistribution(2.5), [(2, 1), (40, 40)], horizon=30, n=8, rng=rng
     )
     assert result.n_items == 2
     assert result.discovery_times[1] == CENSORED  # unreachable in 30 steps
@@ -55,7 +55,7 @@ def test_collected_properties(rng):
 def test_collection_curve_monotone(rng):
     field = scatter_poisson_field(0.05, 12, rng)
     result = multi_target_search(
-        ZetaJumpDistribution(2.5), field, horizon=400, n_walks=12, rng=rng
+        ZetaJumpDistribution(2.5), field, horizon=400, n=12, rng=rng
     )
     curve = result.collection_curve([10, 50, 100, 400])
     assert list(curve) == sorted(curve)
@@ -65,7 +65,7 @@ def test_collection_curve_monotone(rng):
 def test_collections_per_walk_sums(rng):
     field = scatter_poisson_field(0.05, 10, rng)
     result = multi_target_search(
-        ZetaJumpDistribution(2.5), field, horizon=300, n_walks=6, rng=rng
+        ZetaJumpDistribution(2.5), field, horizon=300, n=6, rng=rng
     )
     per_walk = result.collections_per_walk(6)
     assert per_walk.sum() == result.n_collected
@@ -79,13 +79,13 @@ def test_single_item_matches_single_target_engine(rng):
     n = 6_000
     law = ZetaJumpDistribution(2.4)
     multi_times = np.empty(n, dtype=np.int64)
-    # Run n single-walk multi-target searches in batches via n_walks=1.
+    # Run n single-walk multi-target searches in batches via n=1.
     for i in range(0, n, 1000):
         batch = min(1000, n - i)
         for j in range(batch):
-            result = multi_target_search(law, [target], horizon, 1, rng)
+            result = multi_target_search(law, [target], horizon=horizon, n=1, rng=rng)
             multi_times[i + j] = result.discovery_times[0]
-    single = walk_hitting_times(law, target, horizon, n, rng)
+    single = walk_hitting_times(law, target, horizon=horizon, n=n, rng=rng)
     p_multi = float((multi_times != CENSORED).mean())
     gap = 4.0 * (p_multi * (1 - p_multi) / n + 0.25 / n) ** 0.5 + 1e-3
     assert abs(p_multi - single.hit_fraction) < gap
@@ -97,14 +97,14 @@ def test_multi_walk_first_discovery_is_min(rng):
     target = (6, 3)
     horizon = 200
     law = ZetaJumpDistribution(2.4)
-    one = multi_target_search(law, [target] * 1, horizon, 1, rng)
+    one = multi_target_search(law, [target] * 1, horizon=horizon, n=1, rng=rng)
     many_found = 0
     one_found = 0
     trials = 300
     for _ in range(trials):
-        many = multi_target_search(law, [target], horizon, 16, rng)
+        many = multi_target_search(law, [target], horizon=horizon, n=16, rng=rng)
         many_found += int(many.discovery_times[0] != CENSORED)
-        solo = multi_target_search(law, [target], horizon, 1, rng)
+        solo = multi_target_search(law, [target], horizon=horizon, n=1, rng=rng)
         one_found += int(solo.discovery_times[0] != CENSORED)
     assert many_found > one_found
     del one
@@ -118,7 +118,7 @@ def test_same_ring_items_share_crossing(rng):
     items = [(3, 0), (0, 3)]  # both on ring 3
     both = 0
     for _ in range(400):
-        result = multi_target_search(law, items, horizon=6, n_walks=1, rng=rng)
+        result = multi_target_search(law, items, horizon=6, n=1, rng=rng)
         found = result.discovery_times != CENSORED
         if found.all():
             both += 1
@@ -127,7 +127,7 @@ def test_same_ring_items_share_crossing(rng):
 
 def test_unit_law_walk(rng):
     result = multi_target_search(
-        UnitJumpDistribution(), [(1, 0), (0, 1)], horizon=40, n_walks=4, rng=rng
+        UnitJumpDistribution(), [(1, 0), (0, 1)], horizon=40, n=4, rng=rng
     )
     assert result.n_collected >= 1
 

@@ -88,7 +88,7 @@ def test_quantized_plugs_into_walk_engine(rng):
     from repro.walks import LevyWalk
 
     law = QuantizedZetaJumpDistribution(2.5, 6)
-    sample = walk_hitting_times(law, (10, 5), 400, 3_000, rng)
+    sample = walk_hitting_times(law, (10, 5), horizon=400, n=3_000, rng=rng)
     assert sample.n_hits > 0
     assert sample.hit_times().min() >= 15
     walk = LevyWalk(law, rng=rng)

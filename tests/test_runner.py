@@ -93,7 +93,7 @@ def test_chunked_equals_manual_per_chunk_execution(reference):
     plan = ChunkPlan(n_total=N_WALKS, n_chunks=N_CHUNKS, seed=SEED)
     pieces = [
         walk_hitting_times(
-            LAW, TARGET, HORIZON, size, np.random.default_rng(child)
+            LAW, TARGET, horizon=HORIZON, n=size, rng=np.random.default_rng(child)
         ).times
         for size, child in zip(plan.sizes(), plan.child_seeds())
     ]
@@ -399,7 +399,7 @@ def test_foraging_chunks_merge_like_one_big_run():
     best_walk = np.full(len(targets), -1, dtype=np.int64)
     for offset, size, child in zip(plan.offsets(), plan.sizes(), plan.child_seeds()):
         result = multi_target_search(
-            LAW, list(targets), HORIZON, size, np.random.default_rng(child)
+            LAW, list(targets), horizon=HORIZON, n=size, rng=np.random.default_rng(child)
         )
         observed = np.where(
             result.discovery_times < 0, np.iinfo(np.int64).max, result.discovery_times

@@ -375,8 +375,8 @@ def test_pool_run_emits_chunk_events(tmp_path):
 
 def test_engine_metrics_recorded_when_enabled():
     with use_recorder(TelemetryRecorder()) as recorder:
-        walk_hitting_times(LAW, (5, 3), 100, 200, np.random.default_rng(0))
-        flight_hitting_times(LAW, (5, 3), 50, 200, np.random.default_rng(1))
+        walk_hitting_times(LAW, (5, 3), horizon=100, n=200, rng=np.random.default_rng(0))
+        flight_hitting_times(LAW, (5, 3), horizon=50, n=200, rng=np.random.default_rng(1))
     snapshot = recorder.metrics.snapshot()
     assert snapshot["engine.walk.samples"]["value"] == 200
     assert snapshot["engine.flight.samples"]["value"] == 200
@@ -389,14 +389,14 @@ def test_engine_metrics_recorded_when_enabled():
 def test_engine_records_nothing_when_disabled():
     recorder = get_recorder()
     assert recorder.enabled is False
-    walk_hitting_times(LAW, (5, 3), 100, 200, np.random.default_rng(0))
+    walk_hitting_times(LAW, (5, 3), horizon=100, n=200, rng=np.random.default_rng(0))
     assert recorder.metrics.snapshot() == {}
 
 
 def test_telemetry_does_not_perturb_results():
-    baseline = walk_hitting_times(LAW, (5, 3), 150, 300, np.random.default_rng(7))
+    baseline = walk_hitting_times(LAW, (5, 3), horizon=150, n=300, rng=np.random.default_rng(7))
     with use_recorder(TelemetryRecorder()):
-        traced = walk_hitting_times(LAW, (5, 3), 150, 300, np.random.default_rng(7))
+        traced = walk_hitting_times(LAW, (5, 3), horizon=150, n=300, rng=np.random.default_rng(7))
     np.testing.assert_array_equal(baseline.times, traced.times)
 
 

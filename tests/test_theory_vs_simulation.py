@@ -25,7 +25,7 @@ from repro.theory.predictions import (
 def _hit_probability(alpha, l, horizon_factor, n, rng):
     horizon = max(l, int(horizon_factor * mu_factor(alpha, l) * l ** (alpha - 1.0)))
     return walk_hitting_times(
-        ZetaJumpDistribution(alpha), default_target(l), horizon, n, rng
+        ZetaJumpDistribution(alpha), default_target(l), horizon=horizon, n=n, rng=rng
     ).hit_fraction
 
 
@@ -59,7 +59,7 @@ def test_early_time_bound_is_actually_an_upper_bound(rng):
     alpha, l = 2.5, 32
     horizon = 4 * l
     measured = walk_hitting_times(
-        ZetaJumpDistribution(alpha), default_target(l), horizon, 40_000, rng
+        ZetaJumpDistribution(alpha), default_target(l), horizon=horizon, n=40_000, rng=rng
     ).hit_fraction
     bound = thm_1_1b_probability(alpha, l, horizon)
     assert measured <= 10.0 * bound

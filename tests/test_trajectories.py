@@ -9,7 +9,7 @@ from repro.engine.trajectories import distinct_nodes_visited, walk_trajectories
 
 
 def test_shape_and_start(rng):
-    out = walk_trajectories(ZetaJumpDistribution(2.5), 20, 7, rng, start=(3, -1))
+    out = walk_trajectories(ZetaJumpDistribution(2.5), horizon=20, n=7, rng=rng, start=(3, -1))
     assert out.shape == (7, 21, 2)
     np.testing.assert_array_equal(out[:, 0, 0], np.full(7, 3))
     np.testing.assert_array_equal(out[:, 0, 1], np.full(7, -1))
@@ -17,21 +17,21 @@ def test_shape_and_start(rng):
 
 def test_validation(rng):
     with pytest.raises(ValueError):
-        walk_trajectories(ZetaJumpDistribution(2.5), -1, 3, rng)
+        walk_trajectories(ZetaJumpDistribution(2.5), horizon=-1, n=3, rng=rng)
     with pytest.raises(ValueError):
-        walk_trajectories(ZetaJumpDistribution(2.5), 5, 0, rng)
+        walk_trajectories(ZetaJumpDistribution(2.5), horizon=5, n=0, rng=rng)
 
 
 def test_trajectories_are_lattice_paths(rng):
     """Every consecutive pair moves by L1 distance <= 1 (exactly 1 unless
     the lazy step fires) -- the defining property of a Levy WALK."""
-    out = walk_trajectories(ZetaJumpDistribution(2.1), 120, 40, rng)
+    out = walk_trajectories(ZetaJumpDistribution(2.1), horizon=120, n=40, rng=rng)
     steps = np.abs(np.diff(out, axis=1)).sum(axis=2)
     assert steps.max() <= 1
 
 
 def test_nonlazy_constant_walk_moves_every_step(rng):
-    out = walk_trajectories(ConstantJumpDistribution(7), 50, 30, rng)
+    out = walk_trajectories(ConstantJumpDistribution(7), horizon=50, n=30, rng=rng)
     steps = np.abs(np.diff(out, axis=1)).sum(axis=2)
     assert np.all(steps == 1)
     # Positions along a phase are at increasing ring distances from the
@@ -41,7 +41,7 @@ def test_nonlazy_constant_walk_moves_every_step(rng):
 
 
 def test_lazy_fraction_matches_law(rng):
-    out = walk_trajectories(UnitJumpDistribution(0.5), 400, 200, rng)
+    out = walk_trajectories(UnitJumpDistribution(0.5), horizon=400, n=200, rng=rng)
     steps = np.abs(np.diff(out, axis=1)).sum(axis=2)
     lazy_fraction = float((steps == 0).mean())
     assert abs(lazy_fraction - 0.5) < 0.02
@@ -54,7 +54,7 @@ def test_matches_object_level_displacement(rng):
     from repro.walks import LevyWalk
 
     alpha, T = 2.5, 64
-    out = walk_trajectories(ZetaJumpDistribution(alpha), T, 2_500, rng)
+    out = walk_trajectories(ZetaJumpDistribution(alpha), horizon=T, n=2_500, rng=rng)
     engine_l1 = np.abs(out[:, T]).sum(axis=1)
     reference = []
     for child in spawn(rng, 500):
@@ -88,6 +88,6 @@ def test_distinct_nodes_negative_coordinates():
 def test_ballistic_law_visits_everything_once(rng):
     """With huge constant jumps, a T-step prefix is one straight phase:
     T+1 distinct nodes."""
-    out = walk_trajectories(ConstantJumpDistribution(10_000), 64, 50, rng)
+    out = walk_trajectories(ConstantJumpDistribution(10_000), horizon=64, n=50, rng=rng)
     counts = distinct_nodes_visited(out)
     np.testing.assert_array_equal(counts, np.full(50, 65))
