@@ -8,11 +8,22 @@ end-to-end walk/flight hitting-time engines.
 Each test persists its mean runtime into ``BENCH_engine.json`` at the repo
 root (see benchmarks/bench_utils.py), so hot-path perf is diffable per
 commit.
+
+The walk and ball engines are additionally recorded as *paired* timings:
+``*_fused_mean_seconds`` is the current fused-kernel engine (same
+measurement as the headline ``*_mean_seconds`` key) and
+``*_legacy_mean_seconds`` re-times the frozen pre-fusing implementations
+(benchmarks/legacy_engines.py) under
+:func:`repro.distributions.cdf_table.legacy_sampling` on the same
+machine in the same run.  bench-history hard-gates the fused keys and
+warns when fused is not comfortably ahead of legacy (docs/performance.md).
 """
 
 import numpy as np
 
 from bench_utils import record_bench
+from legacy_engines import legacy_ball_hitting_times, legacy_walk_hitting_times
+from repro.distributions.cdf_table import get_table, legacy_sampling
 from repro.distributions.zeta import ZetaJumpDistribution
 from repro.distributions.zipf_sampler import rejection_conditional_zipf
 from repro.engine.samplers import HeterogeneousZetaSampler
@@ -68,6 +79,7 @@ def test_direct_path_marginal_sampler(benchmark):
 
 def test_walk_engine_end_to_end(benchmark):
     law = ZetaJumpDistribution(2.5)
+    get_table(law.alpha, law.lazy_probability, law.cap)  # build outside the timer
 
     def run():
         rng = np.random.default_rng(3)
@@ -75,6 +87,23 @@ def test_walk_engine_end_to_end(benchmark):
 
     sample = benchmark(run)
     _persist(benchmark, "walk_engine_end_to_end")
+    _persist(benchmark, "walk_engine_end_to_end_fused")
+    assert sample.n == 2_000
+
+
+def test_walk_engine_end_to_end_legacy(benchmark):
+    """The frozen pre-fusing walk engine, for the paired comparison."""
+    law = ZetaJumpDistribution(2.5)
+
+    def run():
+        rng = np.random.default_rng(3)
+        with legacy_sampling():
+            return legacy_walk_hitting_times(
+                law, (24, 12), horizon=1_000, n=2_000, rng=rng
+            )
+
+    sample = benchmark(run)
+    _persist(benchmark, "walk_engine_end_to_end_legacy")
     assert sample.n == 2_000
 
 
@@ -94,6 +123,7 @@ def test_ball_target_engine(benchmark):
     from repro.engine.ball_targets import ball_hitting_times
 
     law = ZetaJumpDistribution(2.5)
+    get_table(law.alpha, law.lazy_probability, law.cap)  # build outside the timer
 
     def run():
         rng = np.random.default_rng(5)
@@ -101,6 +131,23 @@ def test_ball_target_engine(benchmark):
 
     sample = benchmark(run)
     _persist(benchmark, "ball_target_engine")
+    _persist(benchmark, "ball_target_engine_fused")
+    assert sample.n == 2_000
+
+
+def test_ball_target_engine_legacy(benchmark):
+    """The frozen pre-fusing ball engine, for the paired comparison."""
+    law = ZetaJumpDistribution(2.5)
+
+    def run():
+        rng = np.random.default_rng(5)
+        with legacy_sampling():
+            return legacy_ball_hitting_times(
+                law, (24, 12), radius=4, horizon=1_000, n=2_000, rng=rng
+            )
+
+    sample = benchmark(run)
+    _persist(benchmark, "ball_target_engine_legacy")
     assert sample.n == 2_000
 
 

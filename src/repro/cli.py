@@ -215,7 +215,10 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--warn-only",
         action="store_true",
-        help="report regressions but always exit 0 (CI's engine-timing mode)",
+        help=(
+            "report regressions without failing (CI's engine-timing mode); "
+            "*_fused_mean_seconds regressions still fail"
+        ),
     )
     return parser
 
@@ -395,7 +398,7 @@ def _bench_history(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
     try:
-        text, regressed = compare_files(
+        text, regressed, hard = compare_files(
             args.baseline, args.current, threshold, warn_only=args.warn_only
         )
     except FileNotFoundError as exc:
@@ -405,7 +408,8 @@ def _bench_history(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
     print(text)
-    if regressed and not args.warn_only:
+    # Gated fused-kernel regressions fail even under --warn-only.
+    if hard or (regressed and not args.warn_only):
         return EXIT_FAILED
     return EXIT_OK
 

@@ -33,6 +33,7 @@ import numpy as np
 from scipy import special
 
 from repro.distributions.base import JumpDistribution
+from repro.distributions.cdf_table import get_table
 from repro.distributions.zipf_sampler import rejection_conditional_zipf
 
 #: Exponents this close to 1 make the normalizing series effectively
@@ -190,14 +191,37 @@ class ZetaJumpDistribution(JumpDistribution):
             hi = np.where(bad, hi * 2, hi)
         return hi
 
-    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+    def sample(
+        self,
+        rng: np.random.Generator,
+        size: int,
+        u: Optional[np.ndarray] = None,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         """Draw ``size`` exact samples of the jump distance.
 
-        Uncapped laws use Devroye rejection (fast path); capped laws use
-        inverse-CDF bisection, whose bracket is the cap itself.
+        The fast path is the cached inverse-CDF table
+        (:mod:`repro.distributions.cdf_table`): one ``searchsorted`` per
+        call, exact tail fallback beyond the table.  Laws too heavy-tailed
+        to tabulate -- and every law inside a
+        :func:`~repro.distributions.cdf_table.legacy_sampling` block --
+        use the original samplers: Devroye rejection when uncapped,
+        inverse-CDF bisection (bracketed by the cap) when capped.
+
+        ``u`` optionally supplies the per-draw uniforms (engines batch one
+        ``rng.random`` call per round and fuse the lazy phase into it);
+        ``out`` is an optional int64 destination buffer.
         """
-        out = np.zeros(size, dtype=np.int64)
-        lazy = rng.random(size) < self.lazy_probability
+        table = get_table(self.alpha, self.lazy_probability, self.cap)
+        if table is not None:
+            return table.sample(rng, size, u=u, out=out)
+        if u is None:
+            u = rng.random(size)
+        if out is None:
+            out = np.zeros(size, dtype=np.int64)
+        else:
+            out[:] = 0
+        lazy = u < self.lazy_probability
         n_positive = int(size - lazy.sum())
         if n_positive == 0:
             return out

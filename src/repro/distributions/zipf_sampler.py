@@ -28,6 +28,8 @@ discretization of ultra-long jumps; see DESIGN.md Section 3.3.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 from scipy import special
 
@@ -39,17 +41,24 @@ _MAX_REJECTION_ROUNDS = 256
 
 
 def bisection_conditional_zipf(
-    alphas: np.ndarray, rng: np.random.Generator, size: int
+    alphas: np.ndarray,
+    rng: np.random.Generator,
+    size: int,
+    u: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Inverse-CDF draws of the conditional Zipf law (exact, slow).
 
     ``alphas`` is broadcast to ``size``; each draw uses its own exponent.
     The CDF is inverted through ``P(d >= i | d >= 1) = zeta(a, i) /
-    zeta(a, 1)`` with bracketed integer bisection.
+    zeta(a, 1)`` with bracketed integer bisection.  ``u``, when given,
+    supplies the tail-uniform draws in ``(0, 1]`` (the draw is
+    ``max{i : G(i) >= u}``) instead of consuming ``rng`` -- the CDF-table
+    sampler uses this to invert its own leftover uniforms exactly.
     """
     a = np.broadcast_to(np.asarray(alphas, dtype=float), (size,))
     mass = special.zeta(a, 1.0)
-    v = 1.0 - rng.random(size)  # in (0, 1]; the draw is max{i : G(i) >= v}
+    # in (0, 1]; the draw is max{i : G(i) >= v}
+    v = 1.0 - rng.random(size) if u is None else np.asarray(u, dtype=float)
     # Bracket from zeta(a, q) <= 2 q^(1-a) / (a-1):
     bound = (2.0 / ((a - 1.0) * mass * v)) ** (1.0 / (a - 1.0))
     hi = np.minimum(np.ceil(bound), float(2 * JUMP_CLIP)).astype(np.int64) + 2
@@ -98,6 +107,62 @@ def rejection_conditional_zipf(
         x = np.minimum(x, float(JUMP_CLIP))
         t = (1.0 + 1.0 / x) ** am1[pending]
         accept = v * x * (t - 1.0) / (b[pending] - 1.0) <= t / b[pending]
+        hits = pending[accept]
+        out[hits] = x[accept].astype(np.int64)
+        pending = pending[~accept]
+    return out
+
+
+def rejection_conditional_zipf_tail(
+    alphas: np.ndarray, lower: int, rng: np.random.Generator, size: int
+) -> np.ndarray:
+    """Exact draws of ``P(d = i) ∝ i^-alpha`` conditioned on ``i > lower``.
+
+    This is Devroye's rejection algorithm shifted to the tail: with
+    ``s = lower + 1`` the proposal is ``X = floor(s * U**(-1/(a-1)))``
+    (the floor of a continuous Pareto supported on ``[s, inf)``), whose
+    mass at ``x`` is ``(x/s)**(1-a) - ((x+1)/s)**(1-a)``.  The target/
+    proposal ratio ``T / (x (T - 1))`` with ``T = (1 + 1/x)**(a-1)`` is
+    decreasing in ``x``, so it is maximised at ``x = s`` where it equals
+    ``b_s / (s (b_s - 1))`` with ``b_s = (1 + 1/s)**(a-1)``; the accept
+    test below is that ratio normalised by its maximum.  For ``lower = 0``
+    this reduces exactly to :func:`rejection_conditional_zipf`.  The
+    acceptance probability *increases* with ``lower`` (the discrete law
+    hugs its continuous envelope ever closer), so the expected number of
+    rounds stays uniformly bounded.
+
+    Used by the CDF-table sampler for the ``< 1e-6`` of draws that fall
+    beyond the precomputed table.
+    """
+    if lower < 0:
+        raise ValueError(f"lower must be non-negative, got {lower}")
+    a = np.broadcast_to(np.asarray(alphas, dtype=float), (size,))
+    s = float(lower + 1)
+    out = np.empty(size, dtype=np.int64)
+    pending = np.arange(size)
+    am1 = a - 1.0
+    b = (1.0 + 1.0 / s) ** am1
+    rounds = 0
+    while pending.size:
+        rounds += 1
+        if rounds > _MAX_REJECTION_ROUNDS:
+            # Guaranteed-terminating fallback: invert the tail CDF with a
+            # uniform squeezed into the tail's conditional range
+            # (G(s) = P(d >= s | d >= 1), draws land in {s, s+1, ...}).
+            mass = special.zeta(a[pending], 1.0)
+            g_s = special.zeta(a[pending], s) / mass
+            v = g_s * (1.0 - rng.random(pending.size))  # in (0, G(s)]
+            out[pending] = bisection_conditional_zipf(
+                a[pending], rng, int(pending.size), u=v
+            )
+            break
+        inv_exp = -1.0 / am1[pending]
+        u = 1.0 - rng.random(pending.size)  # in (0, 1], avoids u = 0
+        v = rng.random(pending.size)
+        x = np.floor(s * u**inv_exp)
+        x = np.minimum(x, float(JUMP_CLIP))
+        t = (1.0 + 1.0 / x) ** am1[pending]
+        accept = v * x * (t - 1.0) / (b[pending] - 1.0) <= t / b[pending] * s
         hits = pending[accept]
         out[hits] = x[accept].astype(np.int64)
         pending = pending[~accept]

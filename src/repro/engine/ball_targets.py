@@ -23,6 +23,7 @@ exact; the hit step is the *first* crossing ring inside the ball.
 
 from __future__ import annotations
 
+import time
 from typing import Tuple, Union
 
 import numpy as np
@@ -31,10 +32,11 @@ from repro.distributions.base import JumpDistribution
 from repro.engine._compat import legacy_api
 from repro.engine.results import CENSORED, HittingTimeSample
 from repro.engine.samplers import BatchJumpSampler
-from repro.engine.vectorized import _as_sampler
+from repro.engine.vectorized import _as_sampler, _record_engine_sample
 from repro.lattice.direct_path import sample_direct_path_nodes
 from repro.lattice.rings import sample_ring_offsets
 from repro.rng import SeedLike, as_generator
+from repro.telemetry.recorder import get_recorder
 
 IntPoint = Tuple[int, int]
 
@@ -75,53 +77,106 @@ def ball_hitting_times(
     if start_distance <= radius:
         return HittingTimeSample(times=np.zeros(n_walks, np.int64), horizon=horizon)
 
-    pos = np.empty((n_walks, 2), dtype=np.int64)
+    # Same compacted state machine and preallocated round buffers as
+    # `walk_hitting_times`: row j belongs to walk idx[j], dead rows jump
+    # with d = 0 until >= 1/8 of rows died, positions ping-pong between
+    # two blocks, and each round draws all its uniforms in one call.
+    idx = np.arange(n_walks)
+    pos_buf = np.empty((n_walks, 2), dtype=np.int64)
+    end_buf = np.empty((n_walks, 2), dtype=np.int64)
+    d_buf = np.empty(n_walks, dtype=np.int64)
+    off_buf = np.empty((n_walks, 2), dtype=np.int64)
+    u_buf = np.empty(2 * n_walks, dtype=np.float64)
+    pos = pos_buf[:n_walks]
     pos[:, 0] = int(start[0])
     pos[:, 1] = int(start[1])
     elapsed = np.zeros(n_walks, dtype=np.int64)
-    active = np.arange(n_walks)
+    alive = np.ones(n_walks, dtype=bool)
+    n_dead = 0
+    track = get_recorder().enabled
+    steps_simulated = 0
+    started = time.perf_counter() if track else 0.0
 
-    while active.size:
-        d = sampler.sample(rng, active)
-        offsets = sample_ring_offsets(d, rng)
-        u = pos[active]
-        v = u + offsets
-        m = np.abs(cx - u[:, 0]) + np.abs(cy - u[:, 1])
+    while idx.size:
+        k = idx.size
+        uniforms = u_buf[: 2 * k]
+        rng.random(out=uniforms)
+        d = sampler.sample(rng, idx, u=uniforms[:k], out=d_buf[:k])
+        d[~alive] = 0  # dead rows are carried until the next compaction
+        if track:
+            steps_simulated += int(np.maximum(d, 1)[alive].sum())
+        off = sample_ring_offsets(d, rng, u=uniforms[k:], out=off_buf[:k])
+        v = np.add(pos, off, out=end_buf[:k])
+        m = np.abs(cx - pos[:, 0]) + np.abs(cy - pos[:, 1])
         if detect_during_jump:
-            hit = np.zeros(active.shape[0], dtype=bool)
-            hit_step = np.zeros(active.shape[0], dtype=np.int64)
-            # Rings i in [m - radius, min(d, m + radius)] can touch the
-            # ball; test them nearest-first so the recorded step is the
-            # first entry.
+            hit = np.zeros(k, dtype=bool)
+            hit_step = np.zeros(k, dtype=np.int64)
+            # Rings i in [max(m - radius, 1), min(d, m + radius)] can
+            # touch the ball.  Every live row has m > radius (a walk
+            # ending a phase inside the ball always detects it at ring d,
+            # where the marginal is the endpoint itself), and dead rows
+            # have d = 0, so their count comes out non-positive.
             low = np.maximum(m - radius, 1)
             high = np.minimum(d, m + radius)
-            reachable = low <= high
-            if np.any(reachable):
-                rows = np.flatnonzero(reachable)
-                for offset_index in range(2 * radius + 1):
-                    ring = low[rows] + offset_index
-                    valid = ring <= high[rows]
-                    test_rows = rows[valid & ~hit[rows]]
-                    if test_rows.size == 0:
-                        continue
-                    nodes = sample_direct_path_nodes(
-                        u[test_rows], v[test_rows], (low + offset_index)[test_rows], rng
+            counts = np.maximum(high - low + 1, 0)
+            rows = np.flatnonzero(counts)
+            if rows.size:
+                # Flatten all (row, ring) pairs into one direct-path
+                # marginal call.  Marginals at distinct rings of one phase
+                # are jointly independent, so sampling every candidate
+                # ring at once and keeping each row's *first* in-ball ring
+                # has exactly the law of nearest-first sequential testing.
+                reps = counts[rows]
+                total = int(reps.sum())
+                row_rep = np.repeat(rows, reps)
+                block_starts = np.cumsum(reps) - reps
+                intra = np.arange(total) - np.repeat(block_starts, reps)
+                ring_rep = low[row_rep] + intra
+                nodes = sample_direct_path_nodes(
+                    pos[row_rep], v[row_rep], ring_rep, rng
+                )
+                inside = (
+                    np.abs(nodes[:, 0] - cx) + np.abs(nodes[:, 1] - cy)
+                ) <= radius
+                if np.any(inside):
+                    where_inside = np.flatnonzero(inside)
+                    # Rings ascend within each row's block, so the first
+                    # occurrence per row is its first-entry ring.
+                    first_rows, first_at = np.unique(
+                        row_rep[where_inside], return_index=True
                     )
-                    inside = (
-                        np.abs(nodes[:, 0] - cx) + np.abs(nodes[:, 1] - cy)
-                    ) <= radius
-                    newly = test_rows[inside]
-                    hit[newly] = True
-                    hit_step[newly] = elapsed[active[newly]] + (low + offset_index)[newly]
+                    hit[first_rows] = True
+                    hit_step[first_rows] = (
+                        elapsed[first_rows] + ring_rep[where_inside[first_at]]
+                    )
         else:
             end_distance = np.abs(v[:, 0] - cx) + np.abs(v[:, 1] - cy)
-            hit = end_distance <= radius
-            hit_step = elapsed[active] + np.maximum(d, 1)
+            # Dead rows sit where they died (possibly inside the ball
+            # under a hit at step > horizon); mask them out.
+            hit = alive & (end_distance <= radius)
+            hit_step = elapsed + np.maximum(d, 1)
         success = hit & (hit_step <= horizon)
-        times[active[success]] = hit_step[success]
-        elapsed[active] += np.maximum(d, 1)
-        pos[active] = v
-        survivors = ~success & (elapsed[active] < horizon)
-        active = active[survivors]
-    sampler.flush_jump_accounting()
+        if np.any(success):
+            times[idx[success]] = hit_step[success]
+        elapsed += np.maximum(d, 1)
+        pos_buf, end_buf = end_buf, pos_buf
+        pos = v
+        died = alive & (success | (elapsed >= horizon))
+        if np.any(died):
+            alive &= ~died
+            n_dead += int(died.sum())
+            if n_dead * 8 >= idx.size:
+                idx = idx[alive]
+                survivors = pos[alive]
+                pos = pos_buf[: idx.size]
+                pos[:] = survivors
+                elapsed = elapsed[alive]
+                alive = np.ones(idx.size, dtype=bool)
+                n_dead = 0
+
+    if track:
+        sampler.flush_jump_accounting()
+        _record_engine_sample(
+            "ball", n_walks, steps_simulated, time.perf_counter() - started
+        )
     return HittingTimeSample(times=times, horizon=horizon)

@@ -8,10 +8,15 @@ distance per *active* walk.  Two situations arise:
   ``sample``;
 * every walk has its *own* exponent (the paper's randomized strategy of
   Theorem 1.6 draws each walk's ``alpha`` uniformly from ``(2, 3)``):
-  :class:`HeterogeneousZetaSampler` runs the exact inverse-CDF bisection
-  of :class:`~repro.distributions.zeta.ZetaJumpDistribution` with a
-  *per-element* exponent, which the Hurwitz zeta implementation
-  vectorizes natively.
+  :class:`HeterogeneousZetaSampler` keeps a per-walk bulk CDF matrix
+  covering the first :data:`_BULK_CDF_COLUMNS` distances and falls back
+  to exact tail rejection for the few percent of draws beyond it.
+
+Both samplers accept the engines' batched per-round uniforms (``u=``) so
+one ``rng.random`` call per round feeds the lazy phase and the in-table
+inversion; see :mod:`repro.distributions.cdf_table`.  The
+:func:`~repro.distributions.cdf_table.legacy_sampling` escape hatch
+restores the original per-call samplers for ground-truth tests.
 """
 
 from __future__ import annotations
@@ -23,7 +28,12 @@ import numpy as np
 from scipy import special
 
 from repro.distributions.base import JumpDistribution
-from repro.distributions.zipf_sampler import rejection_conditional_zipf
+from repro.distributions.cdf_table import table_sampling_enabled
+from repro.distributions.zeta import ZetaJumpDistribution
+from repro.distributions.zipf_sampler import (
+    rejection_conditional_zipf,
+    rejection_conditional_zipf_tail,
+)
 from repro.telemetry.metrics import DECADE_BOUNDS
 from repro.telemetry.recorder import get_recorder
 
@@ -52,8 +62,23 @@ class BatchJumpSampler(abc.ABC):
     _pending_decades: Optional[np.ndarray] = None
 
     @abc.abstractmethod
-    def sample(self, rng: np.random.Generator, walk_indices: np.ndarray) -> np.ndarray:
-        """Return an int64 array of jump distances, one per index."""
+    def sample(
+        self,
+        rng: np.random.Generator,
+        walk_indices: np.ndarray,
+        u: Optional[np.ndarray] = None,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Return an int64 array of jump distances, one per index.
+
+        ``u``, when given, supplies one uniform per index from the
+        engine's batched per-round draw; samplers that cannot consume it
+        (arbitrary :class:`JumpDistribution` laws) may ignore it -- the
+        uniforms are i.i.d. and unused elsewhere, so dropping them is
+        distributionally harmless.  ``out``, when given, is a preallocated
+        int64 destination buffer; implementations may ignore it, so
+        callers must use the *returned* array.
+        """
 
     def _account_jumps(self, distances: np.ndarray) -> None:
         """Accumulate one batch of jump distances by length decade.
@@ -97,16 +122,43 @@ class HomogeneousSampler(BatchJumpSampler):
 
     def __init__(self, distribution: JumpDistribution) -> None:
         self.distribution = distribution
+        # Only the zeta law knows how to consume pre-drawn uniforms (its
+        # table fuses the lazy phase into them); other laws draw their own.
+        self._accepts_uniforms = isinstance(distribution, ZetaJumpDistribution)
 
-    def sample(self, rng: np.random.Generator, walk_indices: np.ndarray) -> np.ndarray:
-        out = self.distribution.sample(rng, int(walk_indices.shape[0]))
+    def sample(
+        self,
+        rng: np.random.Generator,
+        walk_indices: np.ndarray,
+        u: Optional[np.ndarray] = None,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        n = int(walk_indices.shape[0])
+        if self._accepts_uniforms:
+            out = self.distribution.sample(rng, n, u=u, out=out)
+        else:
+            out = self.distribution.sample(rng, n)
         if get_recorder().enabled:
             self._account_jumps(out)
         return out
 
 
+#: Columns of the per-walk bulk CDF matrix: enough that only the few
+#: percent of draws beyond distance 32 need the exact tail rejection
+#: (for ``alpha = 2`` the escape mass is ``zeta(2, 33)/zeta(2) ~ 1.9%``).
+_BULK_CDF_COLUMNS = 32
+
+
 class HeterogeneousZetaSampler(BatchJumpSampler):
     """Each walk has its own power-law exponent (Eq. 3 law per walk).
+
+    The fast path precomputes (lazily, on first sample) an
+    ``(n_walks, 32)`` matrix of per-walk conditional CDFs and inverts it
+    with one vectorized comparison per round; the draws escaping the
+    matrix use the exact tail rejection sampler.  The matrix is derived
+    state -- it is excluded from pickling so pooled Runner workers and
+    task fingerprints see only the law parameters, and rebuilt on first
+    use in each process.
 
     Parameters
     ----------
@@ -129,10 +181,56 @@ class HeterogeneousZetaSampler(BatchJumpSampler):
         self.lazy_probability = float(lazy_probability)
         # zeta(alpha) per walk: the conditional tail is zeta(a, i)/zeta(a, 1).
         self._series_mass = special.zeta(alphas, 1.0)
+        self._bulk_cdf: Optional[np.ndarray] = None
 
-    def sample(self, rng: np.random.Generator, walk_indices: np.ndarray) -> np.ndarray:
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_bulk_cdf"] = None
+        return state
+
+    def _bulk(self) -> np.ndarray:
+        """``bulk[w, k] = P(d <= k + 1 | d >= 1)`` for walk ``w``."""
+        if self._bulk_cdf is None:
+            k = np.arange(1, _BULK_CDF_COLUMNS + 1, dtype=float)
+            weights = k[None, :] ** (-self.alphas[:, None])
+            self._bulk_cdf = np.cumsum(weights, axis=1) / self._series_mass[:, None]
+        return self._bulk_cdf
+
+    def sample(
+        self,
+        rng: np.random.Generator,
+        walk_indices: np.ndarray,
+        u: Optional[np.ndarray] = None,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         n = int(walk_indices.shape[0])
-        out = np.zeros(n, dtype=np.int64)
+        if out is None:
+            out = np.zeros(n, dtype=np.int64)
+        else:
+            out[:] = 0
+        if table_sampling_enabled():
+            if u is None:
+                u = rng.random(n)
+            p = self.lazy_probability
+            moving = u >= p
+            # u | u >= p rescaled to [0, 1); independent of the lazy mask.
+            v = (u[moving] - p) / (1.0 - p) if p > 0.0 else u
+            rows = walk_indices[moving]
+            bulk = self._bulk()
+            # First column with cdf >= v, per row (rows are sorted
+            # ascending, so this is a vectorized searchsorted).
+            idx = (bulk[rows] < v[:, None]).sum(axis=1)
+            drawn = idx.astype(np.int64) + 1
+            tail = idx >= _BULK_CDF_COLUMNS
+            n_tail = int(tail.sum())
+            if n_tail:
+                drawn[tail] = rejection_conditional_zipf_tail(
+                    self.alphas[rows[tail]], _BULK_CDF_COLUMNS, rng, n_tail
+                )
+            out[moving] = drawn
+            if get_recorder().enabled:
+                self._account_jumps(out)
+            return out
         lazy = rng.random(n) < self.lazy_probability
         moving = ~lazy
         n_moving = int(moving.sum())

@@ -121,7 +121,18 @@ def walk_hitting_times(
     # Finished walks are dropped lazily (only when >= 1/8 of rows died),
     # so the common all-survive round costs no gather/scatter.
     idx = np.arange(n_walks)
-    pos = np.empty((n_walks, 2), dtype=np.int64)
+    # Preallocated round buffers: positions ping-pong between two (n, 2)
+    # blocks (current round reads `pos`, writes endpoints into the other
+    # block), jump distances/ring offsets write into fixed buffers, and
+    # the round's uniforms -- one per walk for the fused lazy+distance
+    # draw, one for the ring index -- come from a single `rng.random`
+    # call into a flat slice.  Compaction shrinks the live views.
+    pos_buf = np.empty((n_walks, 2), dtype=np.int64)
+    end_buf = np.empty((n_walks, 2), dtype=np.int64)
+    d_buf = np.empty(n_walks, dtype=np.int64)
+    off_buf = np.empty((n_walks, 2), dtype=np.int64)
+    u_buf = np.empty(2 * n_walks, dtype=np.float64)
+    pos = pos_buf[:n_walks]
     pos[:, 0] = int(start[0])
     pos[:, 1] = int(start[1])
     elapsed = np.zeros(n_walks, dtype=np.int64)
@@ -134,15 +145,19 @@ def walk_hitting_times(
     started = time.perf_counter() if track else 0.0
 
     while idx.size:
-        d = sampler.sample(rng, idx)
+        k = idx.size
+        u = u_buf[: 2 * k]
+        rng.random(out=u)
+        d = sampler.sample(rng, idx, u=u[:k], out=d_buf[:k])
         d[~alive] = 0  # dead rows are carried until the next compaction
         if track:
             steps_simulated += int(np.maximum(d, 1)[alive].sum())
-        v = pos + sample_ring_offsets(d, rng)
+        off = sample_ring_offsets(d, rng, u=u[k:], out=off_buf[:k])
+        v = np.add(pos, off, out=end_buf[:k])
         m = np.abs(tx - pos[:, 0]) + np.abs(ty - pos[:, 1])
         if detect_during_jump:
             reach = alive & (m <= d)
-            hit = np.zeros(idx.shape[0], dtype=bool)
+            hit = np.zeros(k, dtype=bool)
             if np.any(reach):
                 nodes = sample_direct_path_nodes(pos[reach], v[reach], m[reach], rng)
                 hit[reach] = (nodes[:, 0] == tx) & (nodes[:, 1] == ty)
@@ -154,6 +169,7 @@ def walk_hitting_times(
         if np.any(success):
             times[idx[success]] = hit_step[success]
         elapsed += np.maximum(d, 1)
+        pos_buf, end_buf = end_buf, pos_buf
         pos = v
         died = alive & (success | (elapsed >= horizon))
         if np.any(died):
@@ -161,7 +177,9 @@ def walk_hitting_times(
             n_dead += int(died.sum())
             if n_dead * 8 >= idx.size:
                 idx = idx[alive]
-                pos = pos[alive]
+                survivors = pos[alive]
+                pos = pos_buf[: idx.size]
+                pos[:] = survivors
                 elapsed = elapsed[alive]
                 alive = np.ones(idx.size, dtype=bool)
                 n_dead = 0
@@ -208,25 +226,45 @@ def flight_hitting_times(
         return HittingTimeSample(
             times=np.zeros(n_flights, dtype=np.int64), horizon=horizon_jumps
         )
+    # Same compacted state machine and preallocated round buffers as
+    # `walk_hitting_times`: dead rows jump with d = 0 (so their position
+    # is frozen) until >= 1/8 of rows died, then the live views shrink.
+    idx = np.arange(n_flights)
     pos = np.empty((n_flights, 2), dtype=np.int64)
     pos[:, 0] = int(start[0])
     pos[:, 1] = int(start[1])
-    active = np.arange(n_flights)
+    d_buf = np.empty(n_flights, dtype=np.int64)
+    off_buf = np.empty((n_flights, 2), dtype=np.int64)
+    u_buf = np.empty(2 * n_flights, dtype=np.float64)
+    alive = np.ones(n_flights, dtype=bool)
+    n_dead = 0
     track = get_recorder().enabled
     jumps_simulated = 0
     started = time.perf_counter() if track else 0.0
     for jump_index in range(1, horizon_jumps + 1):
-        if not active.size:
+        if not idx.size:
             break
-        d = sampler.sample(rng, active)
+        k = idx.size
+        u = u_buf[: 2 * k]
+        rng.random(out=u)
+        d = sampler.sample(rng, idx, u=u[:k], out=d_buf[:k])
+        d[~alive] = 0  # dead rows are carried until the next compaction
         if track:
-            jumps_simulated += int(active.size)
-        offsets = sample_ring_offsets(d, rng)
-        v = pos[active] + offsets
-        pos[active] = v
-        hit = (v[:, 0] == tx) & (v[:, 1] == ty)
-        times[active[hit]] = jump_index
-        active = active[~hit]
+            jumps_simulated += int(alive.sum())
+        off = sample_ring_offsets(d, rng, u=u[k:], out=off_buf[:k])
+        pos += off
+        # A dead row sits on the target with d = 0; mask by `alive` so it
+        # is not re-detected.
+        hit = alive & (pos[:, 0] == tx) & (pos[:, 1] == ty)
+        if np.any(hit):
+            times[idx[hit]] = jump_index
+            alive &= ~hit
+            n_dead += int(hit.sum())
+            if n_dead * 8 >= idx.size:
+                idx = idx[alive]
+                pos = pos[alive]
+                alive = np.ones(idx.size, dtype=bool)
+                n_dead = 0
     if track:
         sampler.flush_jump_accounting()
         _record_engine_sample(

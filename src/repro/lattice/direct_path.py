@@ -41,7 +41,7 @@ These facts are verified by exhaustive enumeration in the test suite.
 from __future__ import annotations
 
 from itertools import product
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -158,6 +158,7 @@ def sample_direct_path_nodes(
     ends: np.ndarray,
     rings: np.ndarray,
     rng: np.random.Generator,
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Vectorized ring-marginal sampler (the fast engine's hit detector).
 
@@ -176,6 +177,8 @@ def sample_direct_path_nodes(
         ``[0, ||ends[j] - starts[j]||_1]``.
     rng:
         Source of randomness for tie-breaking.
+    out:
+        Optional int64 destination buffer of shape ``(n, 2)``.
     """
     starts = np.asarray(starts, dtype=np.int64)
     ends = np.asarray(ends, dtype=np.int64)
@@ -185,7 +188,8 @@ def sample_direct_path_nodes(
     d = adx + np.abs(delta[:, 1])
     if np.any(m < 0) or np.any(m > d):
         raise ValueError("ring index out of range")
-    out = np.empty_like(starts)
+    if out is None:
+        out = np.empty_like(starts)
     zero_jump = d == 0
     out[zero_jump] = starts[zero_jump]
     moving = ~zero_jump

@@ -25,7 +25,7 @@ where ``r = index mod d``.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -124,7 +124,12 @@ def iter_ring_offsets(d: int) -> Iterator[IntPoint]:
         yield ring_index_to_offset(d, index)
 
 
-def sample_ring_offsets(distances: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+def sample_ring_offsets(
+    distances: np.ndarray,
+    rng: np.random.Generator,
+    u: Optional[np.ndarray] = None,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
     """Sample, for each ``d`` in ``distances``, a uniform offset on ``R_d(0)``.
 
     This is the vectorized destination sampler used by Definitions 3.3/3.4:
@@ -137,6 +142,12 @@ def sample_ring_offsets(distances: np.ndarray, rng: np.random.Generator) -> np.n
         Integer array of shape ``(n,)`` with non-negative entries.
     rng:
         Source of randomness.
+    u:
+        Optional pre-drawn uniforms of shape ``(n,)`` in ``[0, 1)``; the
+        engines batch one ``rng.random`` call per round and hand each
+        consumer its slice.
+    out:
+        Optional int64 destination buffer of shape ``(n, 2)``.
 
     Returns
     -------
@@ -150,13 +161,15 @@ def sample_ring_offsets(distances: np.ndarray, rng: np.random.Generator) -> np.n
     if np.any(d < 0):
         raise ValueError("distances must be non-negative")
     n = d.shape[0]
-    # Uniform index in [0, 4d): draw u ~ U[0,1) and scale, which is exact
-    # for int64 ranges well below 2**53; clip guards the measure-zero
-    # rounding case index == 4d.  For d == 0 the index is 0 and the
-    # branch-free formulas below yield (0, 0) via the final where.
+    if u is None:
+        u = rng.random(n)
+    # Uniform index in [0, 4d): scale u ~ U[0,1), which is exact for int64
+    # ranges well below 2**53; clip guards the measure-zero rounding case
+    # index == 4d.  For d == 0 the index is 0 and the branch-free formulas
+    # below yield (0, 0) via the final where.
     four_d = 4 * d
     index = np.minimum(
-        (rng.random(n) * four_d).astype(np.int64), np.maximum(four_d - 1, 0)
+        (u * four_d).astype(np.int64), np.maximum(four_d - 1, 0)
     )
     # Branch-free diamond walk, counter-clockwise from (d, 0):
     # indices [0, 2d] sweep x from d down to -d on the y >= 0 side,
@@ -165,7 +178,8 @@ def sample_ring_offsets(distances: np.ndarray, rng: np.random.Generator) -> np.n
     x = np.where(upper, d - index, index - 3 * d)
     y_mag = d - np.abs(x)
     y = np.where(upper, y_mag, -y_mag)
-    out = np.empty((n, 2), dtype=np.int64)
+    if out is None:
+        out = np.empty((n, 2), dtype=np.int64)
     out[:, 0] = x
     out[:, 1] = y
     return out

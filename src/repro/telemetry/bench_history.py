@@ -19,6 +19,18 @@ Comparison semantics, by metric-name suffix:
   configuration: differing values make every timing comparison
   apples-to-oranges, so they are reported as config drift (never a
   regression by themselves, but a loud warning).
+
+Two extra rules guard the fused engine kernels (docs/performance.md):
+
+* ``*_fused_mean_seconds`` keys are **gated**: a regression past the
+  threshold fails the command even under ``--warn-only`` (absolute
+  engine walltimes are noisy on CI, but the fused keys are the whole
+  point of the kernel layer, so they hard-fail);
+* every ``X_fused_mean_seconds`` with a sibling ``X_legacy_mean_seconds``
+  in the *current* snapshot is checked for a minimum speedup of
+  :data:`MIN_FUSED_SPEEDUP`; falling short warns (the paired timings
+  come from the same run on the same machine, so the ratio is stable
+  even where absolute times are not).
 """
 
 from __future__ import annotations
@@ -29,6 +41,16 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.reporting.table import Table
+
+#: Suffix of the paired fused-kernel timing keys; these gate CI even
+#: under ``--warn-only``.
+FUSED_SUFFIX = "_fused_mean_seconds"
+
+#: Suffix of the frozen pre-fusing timings recorded alongside.
+LEGACY_SUFFIX = "_legacy_mean_seconds"
+
+#: Minimum legacy/fused ratio before the comparison warns.
+MIN_FUSED_SPEEDUP = 1.3
 
 
 def parse_threshold(text: str) -> float:
@@ -56,6 +78,8 @@ class MetricDelta:
     delta: Optional[float]
     regressed: bool
     note: str = ""
+    #: Gated metrics (``*_fused_mean_seconds``) fail even with --warn-only.
+    gated: bool = False
 
 
 def _numeric_metrics(snapshot: Dict) -> Dict[str, float]:
@@ -104,8 +128,41 @@ def compare_snapshots(
             delta = c - b
             regressed = False
             note = "config drift -- timings not comparable" if b != c else ""
-        deltas.append(MetricDelta(name, b, c, kind, delta, regressed, note))
+        deltas.append(
+            MetricDelta(
+                name, b, c, kind, delta, regressed, note,
+                gated=name.endswith(FUSED_SUFFIX),
+            )
+        )
     return deltas
+
+
+def fused_speedup_warnings(
+    current: Dict, min_ratio: float = MIN_FUSED_SPEEDUP
+) -> List[str]:
+    """Warnings for fused timings not comfortably ahead of their legacy pair.
+
+    Looks only at the *current* snapshot: each ``X_fused_mean_seconds``
+    with a sibling ``X_legacy_mean_seconds`` must show
+    ``legacy / fused >= min_ratio``.
+    """
+    metrics = _numeric_metrics(current)
+    warnings: List[str] = []
+    for name in sorted(metrics):
+        if not name.endswith(FUSED_SUFFIX):
+            continue
+        stem = name[: -len(FUSED_SUFFIX)]
+        fused = metrics[name]
+        legacy = metrics.get(stem + LEGACY_SUFFIX)
+        if legacy is None or fused <= 0:
+            continue
+        ratio = legacy / fused
+        if ratio < min_ratio:
+            warnings.append(
+                f"warning: {stem} fused path is only {ratio:.2f}x faster than "
+                f"its recorded legacy timing (expected >= {min_ratio:.1f}x)"
+            )
+    return warnings
 
 
 def render_comparison(
@@ -121,7 +178,9 @@ def render_comparison(
     for delta in deltas:
         if delta.regressed:
             regressed.append(delta.name)
-            verdict = "WARN" if warn_only else "REGRESSED"
+            # Gated (fused-kernel) metrics stay hard failures even in
+            # warn-only mode.
+            verdict = "WARN" if warn_only and not delta.gated else "REGRESSED"
         elif delta.kind == "config" and delta.note:
             verdict = "DRIFT"
             drifted = True
@@ -138,13 +197,25 @@ def render_comparison(
             "warning: benchmark configuration drifted between snapshots; "
             "timing verdicts compare different workloads"
         )
-    if regressed:
-        word = "warning" if warn_only else "FAIL"
+    hard = [d.name for d in deltas if d.regressed and d.gated]
+    soft = [name for name in regressed if name not in hard]
+    if warn_only:
+        if soft:
+            lines.append(
+                f"warning: {len(soft)} metric(s) past the {threshold:.0%} "
+                f"threshold: {', '.join(soft)}"
+            )
+        if hard:
+            lines.append(
+                f"FAIL: {len(hard)} fused metric(s) past the {threshold:.0%} "
+                f"threshold (gated even with --warn-only): {', '.join(hard)}"
+            )
+    elif regressed:
         lines.append(
-            f"{word}: {len(regressed)} metric(s) past the {threshold:.0%} "
+            f"FAIL: {len(regressed)} metric(s) past the {threshold:.0%} "
             f"threshold: {', '.join(regressed)}"
         )
-    else:
+    if not regressed:
         lines.append("no regressions past the threshold")
     return "\n".join(lines), regressed
 
@@ -160,9 +231,20 @@ def load_snapshot(path) -> Dict:
 
 def compare_files(
     baseline_path, current_path, threshold: float, warn_only: bool = False
-) -> Tuple[str, List[str]]:
-    """File-level entry point used by the CLI; see :func:`compare_snapshots`."""
+) -> Tuple[str, List[str], List[str]]:
+    """File-level entry point used by the CLI.
+
+    Returns ``(text, regressed, hard)`` where ``hard`` lists the gated
+    (``*_fused_mean_seconds``) regressions that must fail the command
+    regardless of ``--warn-only``; fused-vs-legacy speedup warnings are
+    appended to ``text``.
+    """
     baseline = load_snapshot(baseline_path)
     current = load_snapshot(current_path)
     deltas = compare_snapshots(baseline, current, threshold)
-    return render_comparison(deltas, threshold, warn_only=warn_only)
+    text, regressed = render_comparison(deltas, threshold, warn_only=warn_only)
+    speedup_lines = fused_speedup_warnings(current)
+    if speedup_lines:
+        text = "\n".join([text, *speedup_lines])
+    hard = [d.name for d in deltas if d.regressed and d.gated]
+    return text, regressed, hard

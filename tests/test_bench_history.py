@@ -137,6 +137,46 @@ def test_cli_bench_history_usage_errors(tmp_path, capsys):
     )
 
 
+def test_cli_fused_keys_hard_fail_even_with_warn_only(tmp_path, capsys):
+    base = write_snapshot(
+        tmp_path / "base.json",
+        {"walk_fused_mean_seconds": 1.0, "walk_mean_seconds": 1.0},
+    )
+    cur = write_snapshot(
+        tmp_path / "cur.json",
+        {"walk_fused_mean_seconds": 2.0, "walk_mean_seconds": 2.0},
+    )
+    # Both keys regressed, but only the fused one gates --warn-only.
+    assert main(["bench-history", str(base), str(cur), "--warn-only"]) == 1
+    out = capsys.readouterr().out
+    assert "gated" in out and "walk_fused_mean_seconds" in out
+    # Without the fused key the same regression stays a warning.
+    base2 = write_snapshot(tmp_path / "base2.json", {"walk_mean_seconds": 1.0})
+    cur2 = write_snapshot(tmp_path / "cur2.json", {"walk_mean_seconds": 2.0})
+    assert main(["bench-history", str(base2), str(cur2), "--warn-only"]) == 0
+
+
+def test_cli_fused_speedup_warning_when_below_ratio(tmp_path, capsys):
+    snapshot = {
+        "ball_fused_mean_seconds": 1.0,
+        "ball_legacy_mean_seconds": 1.1,  # only 1.1x faster: warn
+    }
+    base = write_snapshot(tmp_path / "base.json", snapshot)
+    cur = write_snapshot(tmp_path / "cur.json", snapshot)
+    assert main(["bench-history", str(base), str(cur)]) == 0
+    out = capsys.readouterr().out
+    assert "only 1.10x faster" in out
+    # A healthy pair emits no speedup warning.
+    healthy = {
+        "ball_fused_mean_seconds": 1.0,
+        "ball_legacy_mean_seconds": 2.0,
+    }
+    base2 = write_snapshot(tmp_path / "base2.json", healthy)
+    cur2 = write_snapshot(tmp_path / "cur2.json", healthy)
+    assert main(["bench-history", str(base2), str(cur2)]) == 0
+    assert "faster" not in capsys.readouterr().out
+
+
 def test_cli_bench_history_real_snapshot_shape(tmp_path):
     """The committed BENCH_runner.json shape round-trips through the diff."""
     snapshot = {
