@@ -15,7 +15,12 @@ Two numbers are recorded:
 * **telemetry overhead** (informational): the checkpointed run with a live
   event log + metrics recorder vs without.  The seam is a no-op recorder
   by default, so the guarded numbers above always measure the
-  telemetry-disabled path.
+  telemetry-disabled path;
+* **supervision overhead** (guarded, target < 5%): a pooled run with the
+  heartbeat/watchdog armed (``chunk_timeout``) vs the identical pooled run
+  without.  Heartbeats ride the engines' existing per-round ``tick()``
+  seam and the watchdog is one mtime scan per poll in the parent, so the
+  supervised path must stay within noise of the unsupervised one.
 
 All timings are persisted to ``BENCH_runner.json`` at the repo root (see
 benchmarks/bench_utils.py) so perf trajectories are diffable per commit.
@@ -39,6 +44,9 @@ _N_CHUNKS = 4
 _SEED = 0
 #: CI guard on the checkpoint path; the printed number is the tracked one.
 _MAX_CHECKPOINT_OVERHEAD = 0.25
+#: CI guard on the heartbeat + watchdog path (ISSUE target: <= 5%, with
+#: headroom for shared-runner noise on pool scheduling).
+_MAX_SUPERVISION_OVERHEAD = 0.25
 
 
 def _single_shot() -> None:
@@ -50,6 +58,14 @@ def _single_shot() -> None:
 def _chunked(checkpoint_dir) -> None:
     task = HittingTimeTask(jumps=_LAW, target=_TARGET, horizon=_HORIZON)
     Runner(checkpoint_dir=checkpoint_dir, n_chunks=_N_CHUNKS).run(
+        task, _N_WALKS, _SEED, label=f"bench-{time.monotonic_ns()}"
+    )
+
+
+def _pooled(chunk_timeout) -> None:
+    """One pooled run, optionally supervised (heartbeats + watchdog)."""
+    task = HittingTimeTask(jumps=_LAW, target=_TARGET, horizon=_HORIZON)
+    Runner(n_chunks=_N_CHUNKS, workers=1, chunk_timeout=chunk_timeout).run(
         task, _N_WALKS, _SEED, label=f"bench-{time.monotonic_ns()}"
     )
 
@@ -90,18 +106,24 @@ def test_runner_checkpoint_overhead(benchmark, tmp_path):
     telemetry_seconds = _chunked_with_telemetry(
         tmp_path / "bench-telemetry", tmp_path / "events.jsonl"
     )
+    _pooled(None)  # warm-up: process pool spawn, worker imports
+    pooled_seconds = _timed(_pooled, None)
+    supervised_seconds = _timed(_pooled, 300.0)
     # Clamp at zero: an extra code path cannot truly be faster, so a
     # negative ratio is timing noise and would poison the bench history.
     checkpoint_overhead = max(0.0, checkpointed_seconds / chunked_seconds - 1.0)
     chunking_overhead = max(0.0, chunked_seconds / single_seconds - 1.0)
     telemetry_overhead = max(0.0, telemetry_seconds / checkpointed_seconds - 1.0)
+    supervision_overhead = max(0.0, supervised_seconds / pooled_seconds - 1.0)
     print(
         f"\nsingle-shot {single_seconds:.3f}s | chunked x{_N_CHUNKS} "
         f"{chunked_seconds:.3f}s ({100 * chunking_overhead:+.1f}% engine "
         f"economics) | +checkpointing {checkpointed_seconds:.3f}s "
         f"({100 * checkpoint_overhead:+.1f}% checkpoint path, target < 5%) | "
         f"+telemetry {telemetry_seconds:.3f}s "
-        f"({100 * telemetry_overhead:+.1f}%)"
+        f"({100 * telemetry_overhead:+.1f}%) | pooled {pooled_seconds:.3f}s "
+        f"-> supervised {supervised_seconds:.3f}s "
+        f"({100 * supervision_overhead:+.1f}% heartbeat+watchdog, target < 5%)"
     )
     record_bench(
         "runner",
@@ -110,9 +132,12 @@ def test_runner_checkpoint_overhead(benchmark, tmp_path):
             "chunked_seconds": chunked_seconds,
             "checkpointed_seconds": checkpointed_seconds,
             "telemetry_seconds": telemetry_seconds,
+            "pooled_seconds": pooled_seconds,
+            "supervised_seconds": supervised_seconds,
             "chunking_overhead": chunking_overhead,
             "checkpoint_overhead": checkpoint_overhead,
             "telemetry_overhead": telemetry_overhead,
+            "supervision_overhead": supervision_overhead,
             "n_walks": _N_WALKS,
             "n_chunks": _N_CHUNKS,
         },
@@ -120,4 +145,8 @@ def test_runner_checkpoint_overhead(benchmark, tmp_path):
     assert checkpoint_overhead < _MAX_CHECKPOINT_OVERHEAD, (
         f"checkpoint path overhead {100 * checkpoint_overhead:.1f}% exceeds "
         f"{100 * _MAX_CHECKPOINT_OVERHEAD:.0f}% guard"
+    )
+    assert supervision_overhead < _MAX_SUPERVISION_OVERHEAD, (
+        f"supervision overhead {100 * supervision_overhead:.1f}% exceeds "
+        f"{100 * _MAX_SUPERVISION_OVERHEAD:.0f}% guard"
     )

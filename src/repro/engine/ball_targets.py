@@ -93,11 +93,14 @@ def ball_hitting_times(
     elapsed = np.zeros(n_walks, dtype=np.int64)
     alive = np.ones(n_walks, dtype=bool)
     n_dead = 0
-    track = get_recorder().enabled
+    recorder = get_recorder()
+    track = recorder.enabled
+    tick = recorder.tick
     steps_simulated = 0
     started = time.perf_counter() if track else 0.0
 
     while idx.size:
+        tick()
         k = idx.size
         uniforms = u_buf[: 2 * k]
         rng.random(out=uniforms)

@@ -156,11 +156,14 @@ def multi_target_search(
     elapsed = np.zeros(n_walks, dtype=np.int64)
     alive = np.ones(n_walks, dtype=bool)
     n_dead = 0
-    track = get_recorder().enabled
+    recorder = get_recorder()
+    track = recorder.enabled
+    tick = recorder.tick
     steps_simulated = 0
     started = time.perf_counter() if track else 0.0
 
     while idx.size:
+        tick()
         # An item is contestable while some live walk might still cross
         # it earlier than the recorded time.
         frontier = int(elapsed[alive].min())

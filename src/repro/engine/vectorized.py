@@ -139,12 +139,17 @@ def walk_hitting_times(
     alive = np.ones(n_walks, dtype=bool)
     n_dead = 0
     # Telemetry: one flag check per call when disabled; step accounting
-    # only accumulates when a live recorder is installed.
-    track = get_recorder().enabled
+    # only accumulates when a live recorder is installed.  `tick` is the
+    # per-round liveness pulse -- a no-op everywhere except inside pool
+    # workers, where it touches the chunk's heartbeat file.
+    recorder = get_recorder()
+    track = recorder.enabled
+    tick = recorder.tick
     steps_simulated = 0
     started = time.perf_counter() if track else 0.0
 
     while idx.size:
+        tick()
         k = idx.size
         u = u_buf[: 2 * k]
         rng.random(out=u)
@@ -238,12 +243,15 @@ def flight_hitting_times(
     u_buf = np.empty(2 * n_flights, dtype=np.float64)
     alive = np.ones(n_flights, dtype=bool)
     n_dead = 0
-    track = get_recorder().enabled
+    recorder = get_recorder()
+    track = recorder.enabled
+    tick = recorder.tick
     jumps_simulated = 0
     started = time.perf_counter() if track else 0.0
     for jump_index in range(1, horizon_jumps + 1):
         if not idx.size:
             break
+        tick()
         k = idx.size
         u = u_buf[: 2 * k]
         rng.random(out=u)

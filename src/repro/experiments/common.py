@@ -229,6 +229,49 @@ def add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         dest="min_chunks",
         help="never stop before this many chunks completed (with --stop-when-ci)",
     )
+    parser.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        dest="chunk_timeout",
+        help="hung-chunk watchdog: kill and reschedule any pooled chunk "
+        "whose worker heartbeat goes silent for this many seconds",
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        dest="max_attempts",
+        help="retry budget per chunk including the first try (default 4); "
+        "backoff between attempts is exponential with seeded jitter",
+    )
+    parser.add_argument(
+        "--quarantine-after",
+        type=int,
+        default=None,
+        dest="quarantine_after",
+        metavar="N",
+        help="circuit breaker: quarantine a grid point after N chunk "
+        "failures instead of failing the whole run (exit code 4)",
+    )
+    parser.add_argument(
+        "--min-disk-mb",
+        type=float,
+        default=None,
+        dest="min_disk_mb",
+        metavar="MB",
+        help="degrade checkpointing to manifest-only mode when free disk "
+        "in the checkpoint directory drops below MB",
+    )
+    parser.add_argument(
+        "--min-memory-mb",
+        type=float,
+        default=None,
+        dest="min_memory_mb",
+        metavar="MB",
+        help="degrade checkpointing to manifest-only mode when available "
+        "memory drops below MB",
+    )
 
 
 def add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
@@ -301,6 +344,11 @@ def runner_from_args(args: argparse.Namespace):
     keep the zero-overhead direct engine path.
     """
     stop_when_ci = getattr(args, "stop_when_ci", None)
+    chunk_timeout = getattr(args, "chunk_timeout", None)
+    max_attempts = getattr(args, "max_attempts", None)
+    quarantine_after = getattr(args, "quarantine_after", None)
+    min_disk_mb = getattr(args, "min_disk_mb", None)
+    min_memory_mb = getattr(args, "min_memory_mb", None)
     wants_runner = (
         args.checkpoint_dir is not None
         or args.resume
@@ -308,6 +356,11 @@ def runner_from_args(args: argparse.Namespace):
         or args.workers
         or args.chunks is not None
         or stop_when_ci is not None
+        or chunk_timeout is not None
+        or max_attempts is not None
+        or quarantine_after is not None
+        or min_disk_mb is not None
+        or min_memory_mb is not None
     )
     if not wants_runner:
         return None
@@ -321,13 +374,32 @@ def runner_from_args(args: argparse.Namespace):
             rel_ci_width=stop_when_ci,
             min_chunks=getattr(args, "min_chunks", 3),
         )
+    retry_policy = None
+    if max_attempts is not None or quarantine_after is not None:
+        from repro.runner import RetryPolicy
+
+        retry_policy = RetryPolicy(
+            max_attempts=max_attempts if max_attempts is not None else 4,
+            quarantine_after=quarantine_after,
+        )
+    resource_guards = None
+    if min_disk_mb is not None or min_memory_mb is not None:
+        from repro.runner import ResourceGuards
+
+        resource_guards = ResourceGuards(
+            min_disk_mb=min_disk_mb or 0.0,
+            min_memory_mb=min_memory_mb or 0.0,
+        )
     return Runner(
         checkpoint_dir=args.checkpoint_dir,
         n_chunks=args.chunks if args.chunks is not None else 8,
         workers=args.workers,
         max_seconds=args.max_seconds,
+        chunk_timeout=chunk_timeout,
         resume=args.resume,
         convergence=convergence,
+        retry_policy=retry_policy,
+        resource_guards=resource_guards,
     )
 
 

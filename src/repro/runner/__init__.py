@@ -13,12 +13,30 @@ Public surface:
 * :class:`~repro.runner.chunking.ChunkPlan` -- deterministic chunk seeds
   (``SeedSequence.spawn``), the reason chunked == single-shot;
 * :class:`~repro.runner.faults.FaultInjector` -- staged crashes for tests;
+* :class:`~repro.runner.supervision.RetryPolicy` /
+  :class:`~repro.runner.supervision.ResourceGuards` /
+  :class:`~repro.runner.supervision.Supervisor` -- the supervision layer:
+  declarative retry with seeded backoff and a per-point circuit breaker,
+  disk/memory watermarks, and the heartbeat-driven hung-chunk watchdog;
+* :class:`~repro.runner.chaos.ChaosPlan` /
+  :func:`~repro.runner.chaos.run_chaos_matrix` -- composable fault plans
+  and the recovery matrix harness (CLI: ``repro-experiment chaos``);
 * :func:`~repro.runner.runner.trap_signals` -- SIGINT/SIGTERM -> graceful
   checkpoint-and-stop.
 
-See ``docs/runner.md`` for the checkpoint layout and resume semantics.
+See ``docs/runner.md`` for the checkpoint layout, resume semantics, and
+the failure model.
 """
 
+from repro.runner.chaos import (
+    CHAOS_KINDS,
+    ChaosCrash,
+    ChaosFault,
+    ChaosPlan,
+    PoisonTask,
+    chaos_plan,
+    run_chaos_matrix,
+)
 from repro.runner.checkpoint import (
     SCHEMA_VERSION,
     CheckpointError,
@@ -29,7 +47,7 @@ from repro.runner.checkpoint import (
 )
 from repro.runner.chunking import ChunkPlan, clamp_chunks
 from repro.runner.faults import MODES as FAULT_MODES
-from repro.runner.faults import FaultInjected, FaultInjector, arm
+from repro.runner.faults import ArmedFault, FaultInjected, FaultInjector, arm
 from repro.runner.runner import (
     ChunkFailedError,
     Job,
@@ -38,10 +56,23 @@ from repro.runner.runner import (
     stop_requested,
     trap_signals,
 )
+from repro.runner.supervision import (
+    CorruptPayloadError,
+    ResourceGuards,
+    ResourceMonitor,
+    RetryPolicy,
+    Supervisor,
+    WorkerHeartbeat,
+)
 from repro.runner.tasks import CCRWTask, ForagingTask, HittingTimeTask, fingerprint
 
 __all__ = [
     "SCHEMA_VERSION",
+    "ArmedFault",
+    "CHAOS_KINDS",
+    "ChaosCrash",
+    "ChaosFault",
+    "ChaosPlan",
     "CheckpointError",
     "CheckpointExistsError",
     "CheckpointMismatchError",
@@ -49,18 +80,27 @@ __all__ = [
     "CheckpointStore",
     "ChunkFailedError",
     "ChunkPlan",
+    "CorruptPayloadError",
     "FAULT_MODES",
     "FaultInjected",
     "FaultInjector",
     "ForagingTask",
     "HittingTimeTask",
     "Job",
+    "PoisonTask",
+    "ResourceGuards",
+    "ResourceMonitor",
+    "RetryPolicy",
     "RunOutcome",
     "Runner",
     "RunnerState",
+    "Supervisor",
+    "WorkerHeartbeat",
     "arm",
+    "chaos_plan",
     "clamp_chunks",
     "fingerprint",
+    "run_chaos_matrix",
     "stop_requested",
     "trap_signals",
 ]

@@ -82,6 +82,10 @@ class CheckpointStore:
         self.quarantine_dir = self.directory / _QUARANTINE_DIR
         self.manifest_path = self.directory / _MANIFEST_NAME
         self._recorder = recorder
+        #: Degraded mode (set by the runner's resource guards): chunk
+        #: writes skip the payload and keep a manifest-only record, so a
+        #: low-disk run keeps its provenance without risking ENOSPC.
+        self.degraded = False
 
     def _rec(self):
         if self._recorder is not None:
@@ -147,9 +151,27 @@ class CheckpointStore:
             "manifest": self.chunks_dir / f"{stem}.json",
         }
 
-    def write_chunk(self, index: int, kind: str, payload, n: int) -> Path:
-        """Durably record one completed chunk (payload first, then manifest)."""
+    def write_chunk(self, index: int, kind: str, payload, n: int) -> Optional[Path]:
+        """Durably record one completed chunk (payload first, then manifest).
+
+        In degraded mode only the sidecar manifest is written (flagged
+        ``"degraded": true`` and returning ``None``): a resume sees the
+        chunk as not-yet-run and recomputes it, but the run's history
+        stays on disk for post-mortems.
+        """
         paths = self.chunk_paths(index)
+        if self.degraded:
+            atomic_write_json(
+                {
+                    "schema_version": SCHEMA_VERSION,
+                    "chunk_index": index,
+                    "n": int(n),
+                    "kind": kind,
+                    "degraded": True,
+                },
+                paths["manifest"],
+            )
+            return None
         data = payload_bytes(kind, payload)
         atomic_write_bytes(data, paths["payload"])
         atomic_write_json(
@@ -208,6 +230,12 @@ class CheckpointStore:
             payload_path = manifest_path.with_suffix(".npz")
             try:
                 chunk_meta = json.loads(manifest_path.read_text())
+                if chunk_meta.get("degraded"):
+                    # Manifest-only record from a resource-degraded run:
+                    # there is no payload to trust, so the chunk simply
+                    # counts as not-yet-run (no quarantine -- this state
+                    # is intentional, not damage).
+                    continue
                 if chunk_meta.get("schema_version") != SCHEMA_VERSION:
                     raise CorruptResultError(
                         f"stale schema version {chunk_meta.get('schema_version')!r} "

@@ -82,6 +82,12 @@ class FaultInjector:
         if self.mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
 
+    # ---------------------------------------------------------------- arming
+
+    def arm(self) -> "ArmedFault":
+        """Arm this injector; see the module-level :func:`arm`."""
+        return arm(self)
+
     # ---------------------------------------------------------------- firing
 
     def _consume_arm(self, chunk_index: int) -> bool:
@@ -113,7 +119,7 @@ class FaultInjector:
 
     # ------------------------------------------------------------ hook points
 
-    def in_worker(self, chunk_index: int) -> None:
+    def in_worker(self, chunk_index: int, attempt: int = 1) -> None:
         """Called inside the worker before a chunk computes (hang/kill modes)."""
         if self.mode == "hang" and self._consume_arm(chunk_index):
             time.sleep(self.hang_seconds)
@@ -141,9 +147,52 @@ class FaultInjector:
             self._crash()
 
 
-def arm(injector: FaultInjector) -> Path:
-    """Create the injector's marker file (idempotent) and return its path."""
+class ArmedFault(os.PathLike):
+    """Handle on an armed marker file that guarantees its cleanup.
+
+    Historically :func:`arm` returned a bare :class:`~pathlib.Path`; if
+    the armed run then died before the fault fired (e.g. an unrelated
+    exception), the stale marker survived and re-fired on the *next* run
+    in the same directory.  The handle keeps that path interface
+    (``os.fspath``/``str``/``exists``) but also works as a context
+    manager whose exit -- normal or exceptional -- disarms the fault.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+
+    def disarm(self) -> None:
+        """Remove the marker file if the fault has not consumed it yet."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def __fspath__(self) -> str:
+        return str(self.path)
+
+    def __str__(self) -> str:
+        return str(self.path)
+
+    def __enter__(self) -> Path:
+        return self.path
+
+    def __exit__(self, *exc_info) -> bool:
+        self.disarm()
+        return False
+
+
+def arm(injector: FaultInjector) -> ArmedFault:
+    """Create the injector's marker file (idempotent) and return a handle.
+
+    Use the handle as a context manager (``with arm(injector): ...``) or
+    call ``.disarm()`` in a ``finally`` block so an exception between
+    arming and firing cannot leave a stale marker behind.
+    """
     path = Path(injector.arm_file)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.touch()
-    return path
+    return ArmedFault(path)

@@ -29,6 +29,7 @@ and makes each chunk durable the moment it finishes:
 from __future__ import annotations
 
 import signal as _signal
+import tempfile
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -41,6 +42,15 @@ from repro.runner import tasks as _tasks
 from repro.runner.checkpoint import SCHEMA_VERSION, CheckpointStore
 from repro.runner.chunking import ChunkPlan, clamp_chunks
 from repro.runner.faults import FaultInjector
+from repro.runner.supervision import (
+    FATAL,
+    ResourceGuards,
+    ResourceMonitor,
+    RetryPolicy,
+    Supervisor,
+    chunk_retry_key,
+    validate_payload,
+)
 from repro.telemetry.convergence import ConvergenceConfig, ConvergenceMonitor
 from repro.telemetry.recorder import get_recorder
 
@@ -93,11 +103,39 @@ def stop_requested() -> bool:
 # ----------------------------------------------------------------- execution
 
 
-def _execute_chunk(task, index: int, n: int, seed, injector: Optional[FaultInjector]):
-    """Run one chunk (in the parent or a pool worker) and return its payload."""
-    if injector is not None:
-        injector.in_worker(index)
-    return index, task(n, seed)
+def _execute_chunk(
+    task,
+    index: int,
+    n: int,
+    seed,
+    injector: Optional[FaultInjector],
+    attempt: int = 1,
+    heartbeat: Optional[Tuple[str, float]] = None,
+):
+    """Run one chunk (in the parent or a pool worker) and return its payload.
+
+    ``heartbeat`` is ``(path, interval)``: when set, a
+    :class:`~repro.runner.supervision.WorkerHeartbeat` recorder is
+    installed for the duration of the chunk so the engine round loops'
+    ``tick()`` calls touch the per-chunk heartbeat file the parent's
+    watchdog observes.  Installed *before* the injector hook runs, so an
+    injected hang is exactly what it simulates: a worker that stopped
+    heartbeating mid-chunk.
+    """
+    previous = None
+    if heartbeat is not None:
+        from repro.runner.supervision import WorkerHeartbeat
+        from repro.telemetry.recorder import set_recorder
+
+        path, interval = heartbeat
+        previous = set_recorder(WorkerHeartbeat(path, interval))
+    try:
+        if injector is not None:
+            injector.in_worker(index, attempt)
+        return index, task(n, seed)
+    finally:
+        if heartbeat is not None:
+            set_recorder(previous)
 
 
 @dataclass(frozen=True)
@@ -133,9 +171,14 @@ class _JobState:
     seeds: List[Any]
     started: float
     retries: int = 0
-    #: Per-job stop reason ("converged"); global stops are passed separately.
+    #: Per-job stop reason ("converged"/"quarantined"); global stops are
+    #: passed separately.
     reason: Optional[str] = None
     attempts: Dict[int, int] = field(default_factory=dict)
+    #: Total chunk failures (any chunk, any reason) -- feeds the per-point
+    #: circuit breaker.
+    failures: int = 0
+    quarantine_after: Optional[int] = None
 
     @property
     def stopped(self) -> bool:
@@ -157,6 +200,11 @@ class RunOutcome:
     quarantined: List[str] = field(default_factory=list)
     retries: int = 0
     notes: List[str] = field(default_factory=list)
+    #: The per-point circuit breaker tripped: this job was abandoned as
+    #: poison and its payload merges only the chunks that did complete.
+    quarantined_point: bool = False
+    #: Resource watermarks degraded checkpointing to manifest-only writes.
+    storage_degraded: bool = False
 
     @property
     def complete(self) -> bool:
@@ -186,12 +234,26 @@ class Runner:
         Walltime budget shared across all ``run()`` calls of this Runner
         (the clock starts at the first call).  Expiry degrades, never raises.
     chunk_timeout:
-        Per-chunk walltime (pool mode only); a chunk exceeding it is
-        killed and retried.
+        Per-chunk *liveness* walltime (pool mode only): workers heartbeat
+        from inside the engine round loop, and a chunk silent for longer
+        than this is declared hung by the watchdog, its pool killed, and
+        the chunk retried (a slow-but-heartbeating straggler is left
+        alone).
     max_retries:
-        Retry budget per chunk for worker death / timeout / task errors.
+        Retry budget per chunk for worker death / timeout / task errors
+        (shorthand for ``retry_policy.max_attempts = max_retries + 1``).
     backoff_base:
         First retry sleeps this many seconds, doubling per attempt.
+    retry_policy:
+        Full declarative control over retry behaviour
+        (:class:`~repro.runner.supervision.RetryPolicy`): attempt budget,
+        backoff shape, deterministic jitter, error classification, and
+        the per-point circuit breaker (``quarantine_after``).  When given
+        it supersedes ``max_retries``/``backoff_base``.
+    resource_guards:
+        Optional :class:`~repro.runner.supervision.ResourceGuards`
+        disk/memory watermarks; tripping one degrades checkpointing to
+        manifest-only writes (``incident`` events, never a crash).
     resume:
         Allow continuing an existing checkpoint directory.  Without it, a
         populated directory raises (no silent mixing of runs).
@@ -226,6 +288,9 @@ class Runner:
         fault_injector: Optional[FaultInjector] = None,
         convergence: Optional[ConvergenceConfig] = None,
         recorder=None,
+        retry_policy: Optional[RetryPolicy] = None,
+        resource_guards: Optional[ResourceGuards] = None,
+        heartbeat_interval: Optional[float] = None,
     ) -> None:
         if n_chunks < 1:
             raise ValueError(f"n_chunks must be positive, got {n_chunks}")
@@ -238,6 +303,15 @@ class Runner:
         self.chunk_timeout = chunk_timeout
         self.max_retries = int(max_retries)
         self.backoff_base = float(backoff_base)
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy(
+                max_attempts=self.max_retries + 1, backoff_base=self.backoff_base
+            )
+        )
+        self.resource_guards = resource_guards
+        self.heartbeat_interval = heartbeat_interval
         self.resume = bool(resume)
         self.fault_injector = fault_injector
         self.convergence = convergence
@@ -248,6 +322,8 @@ class Runner:
         self.degraded = False
         self.interrupted = False
         self.converged = False
+        self.quarantined_points = 0
+        self.storage_degraded = False
 
     # ----------------------------------------------------------- small utils
 
@@ -279,6 +355,89 @@ class Runner:
             rec.metrics.counter("runner.checkpoints_written").add()
         if injector is not None:
             injector.after_write(index, path)
+
+    def _screen_payload(self, state: "_JobState", index: int, attempt: int, payload):
+        """Validate a chunk's return value before it is trusted.
+
+        Runs the injector's ``on_return`` hook first (the chaos harness's
+        corrupted-return fault lives there), then checks the payload's
+        sample size against the chunk plan.  A bad payload raises
+        :class:`~repro.runner.supervision.CorruptPayloadError`, which the
+        callers route through the normal (transient) retry path.
+        """
+        injector = self.fault_injector
+        hook = getattr(injector, "on_return", None) if injector is not None else None
+        if hook is not None:
+            payload = hook(index, attempt, payload)
+        return validate_payload(payload, state.sizes[index], index)
+
+    def _handle_failure(
+        self, state: "_JobState", index: int, reason: str, rec, error=None
+    ) -> str:
+        """Classify one chunk failure; returns ``"retry"``/``"quarantined"``.
+
+        Bumps the chunk's attempt count and the job's failure total, then
+        applies the :class:`RetryPolicy`: a transient failure inside the
+        attempt budget retries (the *caller* requeues and sleeps the
+        policy backoff); an exhausted or fatal one either trips the
+        per-point circuit breaker (job quarantined, siblings continue) or
+        -- with no breaker configured -- raises :class:`ChunkFailedError`.
+        """
+        policy = self.retry_policy
+        state.attempts[index] = state.attempts.get(index, 0) + 1
+        state.failures += 1
+        attempts = state.attempts[index]
+        fatal = error is not None and policy.classify(error) == FATAL
+        exhausted = fatal or attempts >= policy.max_attempts
+        breaker = state.quarantine_after
+        if exhausted or (breaker is not None and state.failures >= breaker):
+            if breaker is not None:
+                self._quarantine_point(state, index, reason, rec)
+                return "quarantined"
+            raise ChunkFailedError(
+                f"chunk {index} failed {attempts} times (last: {reason})"
+            )
+        state.retries += 1
+        state.notes.append(f"retrying chunk {index} (attempt {attempts}: {reason})")
+        rec.event(
+            "retry", label=state.label, chunk=index, attempt=attempts, reason=reason
+        )
+        rec.metrics.counter("runner.retries").add()
+        return "retry"
+
+    def _quarantine_point(self, state: "_JobState", index: int, reason: str, rec) -> None:
+        """Trip the circuit breaker: abandon this job, keep its siblings."""
+        state.reason = "quarantined"
+        state.notes.append(
+            f"point quarantined after {state.failures} chunk failure(s) "
+            f"(last: chunk {index}: {reason})"
+        )
+        rec.event(
+            "quarantine",
+            scope="point",
+            label=state.label,
+            chunk=index,
+            failures=state.failures,
+            reason=reason,
+            completed=len(state.completed),
+            total=state.plan.n_chunks,
+        )
+        rec.metrics.counter("runner.points_quarantined").add()
+
+    def _check_resources(
+        self, monitor: Optional[ResourceMonitor], states, rec, force: bool = False
+    ) -> None:
+        """Probe the disk/memory watermarks; degrade checkpointing once."""
+        if monitor is None or not monitor.check(rec, force=force):
+            return
+        self.storage_degraded = True
+        detail = "; ".join(monitor.reasons)
+        for state in states:
+            if state.store is not None and not state.store.degraded:
+                state.store.degraded = True
+                state.notes.append(
+                    f"checkpointing degraded to manifests only ({detail})"
+                )
 
     def _stop_reason(self, rec, label: str, completed: int, total: int) -> Optional[str]:
         """Check the two between-chunk stop conditions, emitting the event.
@@ -400,8 +559,13 @@ class Runner:
         plan, completed, notes = state.plan, state.completed, state.notes
         reason = state.reason or global_reason
         converged = reason == "converged"
-        interrupted = reason is not None and not converged and stop_requested()
-        degraded = len(completed) < plan.n_chunks and not interrupted and not converged
+        quarantined_point = reason == "quarantined"
+        resolved = converged or quarantined_point
+        interrupted = reason is not None and not resolved and stop_requested()
+        degraded = (
+            len(completed) < plan.n_chunks and not interrupted and not resolved
+        )
+        storage_degraded = bool(state.store is not None and state.store.degraded)
         if converged and len(completed) < plan.n_chunks:
             notes.append(
                 f"converged after {len(completed)}/{plan.n_chunks} chunks: "
@@ -420,6 +584,8 @@ class Runner:
         self.degraded = self.degraded or degraded
         self.interrupted = self.interrupted or interrupted
         self.converged = self.converged or converged
+        self.quarantined_points += int(quarantined_point)
+        self.storage_degraded = self.storage_degraded or storage_degraded
         run_seconds = time.monotonic() - state.started
         rec.event(
             "run_end",
@@ -432,6 +598,8 @@ class Runner:
             degraded=degraded,
             interrupted=interrupted,
             converged=converged,
+            point_quarantined=quarantined_point,
+            storage_degraded=storage_degraded,
             seconds=round(run_seconds, 6),
         )
         if rec.enabled:
@@ -454,6 +622,8 @@ class Runner:
             quarantined=state.quarantined,
             retries=state.retries,
             notes=notes,
+            quarantined_point=quarantined_point,
+            storage_degraded=storage_degraded,
         )
 
     # ------------------------------------------------------------------- run
@@ -469,7 +639,9 @@ class Runner:
         job = Job(task=task, n_total=int(n_total), seed=int(seed), label=label)
         return self.run_many([job])[0]
 
-    def run_many(self, jobs: Sequence[Job]) -> List[RunOutcome]:
+    def run_many(
+        self, jobs: Sequence[Job], quarantine_after: Optional[int] = None
+    ) -> List[RunOutcome]:
         """Execute several jobs over one shared pool, deadline, and stream.
 
         This is the grid scheduler behind :mod:`repro.sweep`: all jobs'
@@ -483,19 +655,41 @@ class Runner:
         ``(seed, n_total, n_chunks)``), serial or pooled: every chunk's
         seed is a pure function of its own job's plan, never of the
         scheduling order.
+
+        ``quarantine_after`` arms the per-point circuit breaker for this
+        call (overriding ``retry_policy.quarantine_after``): a job that
+        accumulates that many chunk failures is abandoned as poison --
+        ``RunOutcome.quarantined_point`` -- while its siblings complete.
         """
         jobs = list(jobs)
         if not jobs:
             return []
         self._start_clock()
         rec = self._recorder if self._recorder is not None else get_recorder()
+        breaker = (
+            quarantine_after
+            if quarantine_after is not None
+            else self.retry_policy.quarantine_after
+        )
+        if breaker is not None and breaker < 1:
+            breaker = None
         states = [self._prepare(job, rec) for job in jobs]
+        for state in states:
+            state.quarantine_after = breaker
+        resources = None
+        if self.resource_guards is not None and self.resource_guards.enabled:
+            resources = ResourceMonitor(
+                self.resource_guards, self.checkpoint_dir or Path(".")
+            )
+            # Preflight: a disk already below the watermark degrades the
+            # run's checkpointing before the first chunk is attempted.
+            self._check_resources(resources, states, rec, force=True)
         global_reason: Optional[str] = None
         if any(len(s.completed) < s.plan.n_chunks for s in states):
             if self.workers >= 1:
-                global_reason = self._run_pooled(states, rec)
+                global_reason = self._run_pooled(states, rec, resources)
             else:
-                global_reason = self._run_serial(states, rec)
+                global_reason = self._run_serial(states, rec, resources)
         return [self._finalize(state, rec, global_reason) for state in states]
 
     # ------------------------------------------------------------ scheduling
@@ -511,7 +705,9 @@ class Runner:
                     queue.append((state, chunk))
         return queue
 
-    def _run_serial(self, states: Sequence[_JobState], rec) -> Optional[str]:
+    def _run_serial(
+        self, states: Sequence[_JobState], rec, resources: Optional[ResourceMonitor] = None
+    ) -> Optional[str]:
         """Run all pending chunks in-process; returns a global stop reason."""
         for state, index in self._interleaved(states):
             if state.stopped:
@@ -527,25 +723,48 @@ class Runner:
                     len(state.completed), state.plan.n_chunks,
                 )
                 continue
-            rec.event(
-                "chunk_start", label=state.label, chunk=index,
-                n=state.sizes[index], attempt=1,
-            )
-            chunk_started = time.monotonic()
-            _, payload = _execute_chunk(
-                state.task, index, state.sizes[index], state.seeds[index], None
-            )
-            self._write_checkpoint(
-                state.store, state.task, index, payload, state.sizes[index],
-                rec, state.label,
-            )
-            state.completed[index] = payload
-            chunk_seconds = time.monotonic() - chunk_started
-            self._record_chunk_end(
-                rec, state.label, index, state.sizes[index], chunk_seconds, 1
-            )
-            if state.monitor is not None:
-                state.monitor.observe_chunk(index, payload, chunk_seconds)
+            self._check_resources(resources, states, rec)
+            while True:
+                attempt = state.attempts.get(index, 0) + 1
+                rec.event(
+                    "chunk_start", label=state.label, chunk=index,
+                    n=state.sizes[index], attempt=attempt,
+                )
+                chunk_started = time.monotonic()
+                try:
+                    _, payload = _execute_chunk(
+                        state.task, index, state.sizes[index], state.seeds[index],
+                        self.fault_injector, attempt,
+                    )
+                    payload = self._screen_payload(state, index, attempt, payload)
+                except Exception as exc:
+                    verdict = self._handle_failure(
+                        state, index, f"{type(exc).__name__}: {exc}", rec, exc
+                    )
+                    if verdict == "quarantined":
+                        break
+                    time.sleep(
+                        self.retry_policy.backoff(
+                            state.attempts[index],
+                            chunk_retry_key(state.label, index),
+                        )
+                    )
+                    continue
+                # Outside the retry guard on purpose: a checkpoint-hook
+                # fault (FaultInjected) simulates parent death and must
+                # propagate, not be retried.
+                self._write_checkpoint(
+                    state.store, state.task, index, payload, state.sizes[index],
+                    rec, state.label,
+                )
+                state.completed[index] = payload
+                chunk_seconds = time.monotonic() - chunk_started
+                self._record_chunk_end(
+                    rec, state.label, index, state.sizes[index], chunk_seconds, attempt
+                )
+                if state.monitor is not None:
+                    state.monitor.observe_chunk(index, payload, chunk_seconds)
+                break
         return "signal" if stop_requested() else None
 
     def _record_chunk_end(
@@ -572,47 +791,64 @@ class Runner:
             process.kill()
         executor.shutdown(wait=False, cancel_futures=True)
 
-    def _run_pooled(self, states: Sequence[_JobState], rec) -> Optional[str]:
+    def _run_pooled(
+        self, states: Sequence[_JobState], rec, resources: Optional[ResourceMonitor] = None
+    ) -> Optional[str]:
         """Run all pending chunks over one shared process pool.
 
         Returns a global stop reason ("deadline"/"signal") or None; per-job
         convergence stops are recorded on each job's ``_JobState.reason``
         and simply release that job's queued chunks back to the pool.
+
+        With ``chunk_timeout`` set, a :class:`Supervisor` watchdog watches
+        per-chunk heartbeat files that workers touch from inside the
+        engine round loops; a chunk silent past the timeout gets its pool
+        killed and is rescheduled from its original seed (bit-identical),
+        while a slow-but-heartbeating straggler is left alone.
         """
         queue = self._interleaved(states)
         executor: Optional[ProcessPoolExecutor] = None
         # future -> (job state, chunk index, submit time)
         inflight: Dict[Any, Tuple[_JobState, int, float]] = {}
         poll = 0.05 if self.chunk_timeout is None else min(0.05, self.chunk_timeout / 4)
+        supervisor: Optional[Supervisor] = None
+        hb_interval = 0.0
+        if self.chunk_timeout is not None:
+            supervisor = Supervisor(
+                tempfile.mkdtemp(prefix="repro-hb-"), float(self.chunk_timeout)
+            ).start()
+            hb_interval = (
+                float(self.heartbeat_interval)
+                if self.heartbeat_interval is not None
+                else max(0.02, min(0.5, float(self.chunk_timeout) / 5.0))
+            )
 
-        def requeue(entries, reason: str) -> None:
-            """Re-queue failed (job, chunk) pairs; raises past the budget."""
-            max_attempt = 1
-            for state, index in entries:
+        def requeue(entries) -> None:
+            """Handle failed (job, chunk, reason, error) tuples.
+
+            Retryable chunks go back to the queue head and the policy
+            backoff is slept once (the longest of the batch); exhausted
+            ones quarantine their point or raise per the policy.
+            """
+            delay = 0.0
+            for state, index, reason, error in entries:
                 if state.stopped:
                     continue
-                state.attempts[index] = state.attempts.get(index, 0) + 1
-                if state.attempts[index] > self.max_retries:
-                    raise ChunkFailedError(
-                        f"chunk {index} failed {state.attempts[index]} times "
-                        f"(last: {reason})"
-                    )
-                state.retries += 1
-                state.notes.append(
-                    f"retrying chunk {index} (attempt {state.attempts[index]}: {reason})"
-                )
-                rec.event(
-                    "retry",
-                    label=state.label,
-                    chunk=index,
-                    attempt=state.attempts[index],
-                    reason=reason,
-                )
-                rec.metrics.counter("runner.retries").add()
+                verdict = self._handle_failure(state, index, reason, rec, error)
+                if verdict == "quarantined":
+                    continue
                 queue.insert(0, (state, index))
-                max_attempt = max(max_attempt, state.attempts[index])
-            backoff = self.backoff_base * (2 ** (max_attempt - 1))
-            time.sleep(min(backoff, 5.0))
+                delay = max(
+                    delay,
+                    self.retry_policy.backoff(
+                        state.attempts[index], chunk_retry_key(state.label, index)
+                    ),
+                )
+            # A quarantined point's remaining chunks are dropped so its
+            # slots go to healthy jobs.
+            queue[:] = [(s, i) for s, i in queue if not s.stopped]
+            if delay > 0:
+                time.sleep(delay)
 
         def rebuild_pool(label: str, reason: str) -> None:
             rec.event("pool_rebuild", label=label, reason=reason)
@@ -646,10 +882,17 @@ class Runner:
                     # finally block kills the pool); completed chunks are
                     # checkpointed.
                     return None
+                self._check_resources(resources, states, rec)
                 if executor is None:
                     executor = ProcessPoolExecutor(max_workers=self.workers)
                 while queue and len(inflight) < self.workers:
                     state, index = queue.pop(0)
+                    attempt = state.attempts.get(index, 0) + 1
+                    heartbeat = None
+                    if supervisor is not None:
+                        heartbeat = (
+                            supervisor.register(state.label, index), hb_interval
+                        )
                     future = executor.submit(
                         _execute_chunk,
                         state.task,
@@ -657,6 +900,8 @@ class Runner:
                         state.sizes[index],
                         state.seeds[index],
                         self.fault_injector,
+                        attempt,
+                        heartbeat,
                     )
                     inflight[future] = (state, index, time.monotonic())
                     rec.event(
@@ -664,19 +909,23 @@ class Runner:
                         label=state.label,
                         chunk=index,
                         n=state.sizes[index],
-                        attempt=state.attempts.get(index, 0) + 1,
+                        attempt=attempt,
                     )
                 done, _ = wait(list(inflight), timeout=poll, return_when=FIRST_COMPLETED)
                 broken: List[Tuple[_JobState, int]] = []
                 for future in done:
                     state, index, _submitted = inflight.pop(future)
+                    if supervisor is not None:
+                        supervisor.unregister(state.label, index)
+                    attempt = state.attempts.get(index, 0) + 1
                     try:
                         _, payload = future.result()
+                        payload = self._screen_payload(state, index, attempt, payload)
                     except BrokenProcessPool:
                         broken.append((state, index))
                         continue
                     except Exception as exc:  # task error inside the worker
-                        requeue([(state, index)], f"{type(exc).__name__}: {exc}")
+                        requeue([(state, index, f"{type(exc).__name__}: {exc}", exc)])
                         continue
                     self._write_checkpoint(
                         state.store, state.task, index, payload,
@@ -686,7 +935,7 @@ class Runner:
                     chunk_seconds = time.monotonic() - _submitted
                     self._record_chunk_end(
                         rec, state.label, index, state.sizes[index], chunk_seconds,
-                        state.attempts.get(index, 0) + 1,
+                        attempt,
                     )
                     if state.monitor is not None:
                         state.monitor.observe_chunk(index, payload, chunk_seconds)
@@ -696,6 +945,9 @@ class Runner:
                     broken.extend(
                         (state, index) for state, index, _ in inflight.values()
                     )
+                    for state, index, _ in inflight.values():
+                        if supervisor is not None:
+                            supervisor.unregister(state.label, index)
                     inflight.clear()
                     self._kill_pool(executor)
                     executor = None
@@ -704,32 +956,48 @@ class Runner:
                     for state, index in broken:
                         if (id(state), index) not in seen:
                             seen.add((id(state), index))
-                            lost.append((state, index))
-                    requeue(lost, "worker process died")
+                            lost.append((state, index, "worker process died", None))
+                    requeue(lost)
                     continue
-                if self.chunk_timeout is not None:
-                    now = time.monotonic()
-                    timed_out = any(
-                        now - submitted > self.chunk_timeout
-                        for _, _, submitted in inflight.values()
-                    )
-                    if timed_out:
-                        # A hung worker takes the whole pool with it: retry
-                        # every in-flight chunk against a fresh pool.
-                        hung = [
-                            (state, index)
-                            for state, index, _ in inflight.values()
-                        ]
-                        inflight.clear()
-                        self._kill_pool(executor)
-                        executor = None
-                        rebuild_pool(
-                            probe.label,
-                            f"chunk exceeded {self.chunk_timeout}s timeout",
+                hung = supervisor.take_hung() if supervisor is not None else {}
+                if hung:
+                    # The watchdog flagged silent chunks.  A hung worker
+                    # takes the whole pool with it: retry every in-flight
+                    # chunk against a fresh pool (completed-but-unprocessed
+                    # futures were drained above, so nothing is lost twice).
+                    for (label, chunk), silent in sorted(hung.items()):
+                        rec.event(
+                            "heartbeat",
+                            label=label,
+                            chunk=chunk,
+                            status="hung",
+                            silent=round(silent, 3),
+                            timeout=self.chunk_timeout,
                         )
-                        requeue(hung, f"chunk exceeded {self.chunk_timeout}s timeout")
+                        rec.metrics.counter("runner.hung_chunks").add()
+                    lost = []
+                    for state, index, _ in inflight.values():
+                        supervisor.unregister(state.label, index)
+                        if (state.label, index) in hung:
+                            reason = (
+                                f"no heartbeat for {hung[(state.label, index)]:.1f}s "
+                                f"(timeout {self.chunk_timeout}s)"
+                            )
+                        else:
+                            reason = "pool killed to recover a hung chunk"
+                        lost.append((state, index, reason, None))
+                    inflight.clear()
+                    self._kill_pool(executor)
+                    executor = None
+                    rebuild_pool(
+                        probe.label,
+                        f"hung-chunk watchdog ({self.chunk_timeout}s timeout)",
+                    )
+                    requeue(lost)
             return "signal" if stop_requested() else None
         finally:
+            if supervisor is not None:
+                supervisor.stop()
             if executor is not None:
                 if inflight:
                     self._kill_pool(executor)

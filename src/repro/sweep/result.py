@@ -94,6 +94,11 @@ class SweepResult:
         """Number of points that stopped early on their CI target."""
         return sum(1 for r in self.results if r.outcome.converged)
 
+    @property
+    def quarantined_points(self) -> int:
+        """Number of poison points the circuit breaker quarantined."""
+        return sum(1 for r in self.results if r.outcome.quarantined_point)
+
     def select(self, **fixed: Any) -> List[PointResult]:
         """Points whose params match every ``fixed`` item, in grid order."""
         return [
@@ -130,6 +135,8 @@ class SweepResult:
             out = r.outcome
             if out.interrupted:
                 status = "interrupted"
+            elif out.quarantined_point:
+                status = "quarantined"
             elif out.converged:
                 status = "converged"
             elif out.degraded:
@@ -171,6 +178,7 @@ class SweepResult:
                     "degraded": r.outcome.degraded,
                     "interrupted": r.outcome.interrupted,
                     "converged": r.outcome.converged,
+                    "quarantined": r.outcome.quarantined_point,
                     "retries": r.outcome.retries,
                 }
             )

@@ -54,6 +54,7 @@ def run_sweep(
     seed: int = 0,
     runner: Optional[Runner] = None,
     label: str = "sweep",
+    quarantine_after: Optional[int] = None,
 ) -> SweepResult:
     """Execute every grid point of ``spec`` and aggregate the results.
 
@@ -63,11 +64,24 @@ def run_sweep(
     shared deadline and per-point sequential stopping, without changing
     any point's sample (complete runs are bit-identical; see the module
     docstring).
+
+    Sweeps always run with the per-point circuit breaker armed: a poison
+    grid point (a task that keeps failing) is quarantined after
+    ``quarantine_after`` chunk failures (default: the retry policy's own
+    setting, else its attempt budget) and the rest of the grid completes
+    -- the point comes back with ``outcome.quarantined_point`` set and an
+    empty censored sample instead of sinking the whole sweep.
     """
     points = spec.expand()
     rec = get_recorder()
     if runner is None:
         runner = Runner()
+    if quarantine_after is None:
+        quarantine_after = (
+            runner.retry_policy.quarantine_after
+            if runner.retry_policy.quarantine_after is not None
+            else runner.retry_policy.max_attempts
+        )
     rec.event(
         "sweep_start",
         label=label,
@@ -88,7 +102,7 @@ def run_sweep(
         )
         for point, (sim_seed, _) in zip(points, seeds)
     ]
-    outcomes = runner.run_many(jobs)
+    outcomes = runner.run_many(jobs, quarantine_after=quarantine_after)
     results = []
     for point, (_, analysis_seed), outcome in zip(points, seeds, outcomes):
         sample = outcome.payload
@@ -123,5 +137,6 @@ def run_sweep(
         converged=sum(1 for r in results if r.outcome.converged),
         degraded=sum(1 for r in results if r.outcome.degraded),
         interrupted=sum(1 for r in results if r.outcome.interrupted),
+        quarantined=sum(1 for r in results if r.outcome.quarantined_point),
     )
     return SweepResult(seed=int(seed), label=label, results=results)

@@ -62,6 +62,13 @@ class NullRecorder:
     def event(self, type_: str, **fields) -> None:
         pass
 
+    def tick(self) -> None:
+        """Liveness pulse from engine round loops; no-op by default.
+
+        :class:`~repro.runner.supervision.WorkerHeartbeat` overrides this
+        to touch a per-chunk heartbeat file inside pool workers.
+        """
+
     def span(self, name: str, **fields) -> _NullSpan:
         return _NULL_SPAN
 
@@ -88,6 +95,7 @@ _PROGRESS_TYPES = frozenset(
         "retry",
         "pool_rebuild",
         "quarantine",
+        "heartbeat",
         "deadline",
         "signal",
         "incident",
@@ -116,6 +124,7 @@ _FLUSH_TYPES = frozenset(
         "retry",
         "pool_rebuild",
         "quarantine",
+        "heartbeat",
         "fault_injected",
         "deadline",
         "signal",
@@ -200,6 +209,14 @@ class TelemetryRecorder:
                     self.context[name] = value
 
     # --------------------------------------------------------------- events
+
+    def tick(self) -> None:
+        """Liveness pulse from engine round loops; nothing to do live.
+
+        The seam exists for :class:`~repro.runner.supervision.WorkerHeartbeat`
+        (installed inside pool workers); the parent-side live recorder has
+        no per-round obligations.
+        """
 
     def event(self, type_: str, **fields) -> None:
         """Emit one structured event (and maybe a heartbeat line)."""

@@ -17,10 +17,13 @@ from typing import Dict, List, Optional, Sequence
 from repro.reporting.table import Table
 from repro.reporting.text_plots import ascii_bars
 
-#: Event types surfaced in the incident table ("incident" is the
-#: convergence monitor's anomaly kind: slow_chunk / success_drift).
+#: Event types surfaced in the incident table ("incident" covers the
+#: convergence monitor's anomalies -- slow_chunk / success_drift -- and
+#: the resource monitor's low_disk / low_memory degradations;
+#: "heartbeat" is the hung-chunk watchdog firing).
 _INCIDENT_TYPES = (
-    "deadline", "signal", "quarantine", "fault_injected", "pool_rebuild", "incident",
+    "deadline", "signal", "quarantine", "fault_injected", "pool_rebuild",
+    "incident", "heartbeat",
 )
 
 #: Cap on bars in the chunk-duration chart (longest chunks win).
@@ -57,6 +60,8 @@ class RunSummary:
             return "unfinished"
         if self.end_event.get("interrupted"):
             return "interrupted"
+        if self.end_event.get("point_quarantined"):
+            return "quarantined"
         if self.end_event.get("converged"):
             return "converged"
         if self.end_event.get("degraded"):
@@ -91,6 +96,7 @@ def summarize_events(events: Sequence[Dict]) -> Dict[str, object]:
     chunks: List[Dict] = []
     retries: List[Dict] = []
     incidents: List[Dict] = []
+    quarantined_points: List[Dict] = []
     experiments: List[str] = []
     for event in events:
         type_ = event.get("type")
@@ -123,6 +129,8 @@ def summarize_events(events: Sequence[Dict]) -> Dict[str, object]:
                 runs[key].retries += 1
         elif type_ in _INCIDENT_TYPES:
             incidents.append(dict(event, run=key))
+            if type_ == "quarantine" and event.get("scope") == "point":
+                quarantined_points.append(dict(event, run=key))
         elif type_ == "estimate" and key in runs:
             runs[key].last_estimate = event
             runs[key].n_estimates += 1
@@ -137,6 +145,7 @@ def summarize_events(events: Sequence[Dict]) -> Dict[str, object]:
         "chunks": chunks,
         "retries": retries,
         "incidents": incidents,
+        "quarantined_points": quarantined_points,
         "experiments": experiments,
         "n_events": len(events),
         "elapsed": max((float(e.get("t", 0.0)) for e in events), default=0.0),
@@ -197,6 +206,53 @@ def _retries_table(retries: Sequence[Dict]) -> Table:
             retry.get("chunk"),
             retry.get("attempt"),
             retry.get("reason"),
+        )
+    return table
+
+
+def _retry_timeline_table(retries: Sequence[Dict]) -> Table:
+    """Per-chunk retry history: how often each chunk struggled, and why."""
+    table = Table(
+        ["run", "chunk", "attempts", "first t", "last t", "reasons"],
+        title="retry timeline (per chunk)",
+    )
+    grouped: Dict[tuple, List[Dict]] = {}
+    for retry in retries:
+        grouped.setdefault((retry["run"], retry.get("chunk")), []).append(retry)
+    for (run, chunk), rows in sorted(grouped.items(), key=lambda kv: (kv[0][0], kv[0][1] or 0)):
+        reasons = []
+        for row in rows:
+            reason = str(row.get("reason", "?"))
+            if reason not in reasons:
+                reasons.append(reason)
+        times = [float(r.get("t", 0.0)) for r in rows]
+        table.add_row(
+            run,
+            chunk,
+            len(rows),
+            round(min(times), 3),
+            round(max(times), 3),
+            "; ".join(reasons),
+        )
+    return table
+
+
+def _quarantined_table(points: Sequence[Dict]) -> Table:
+    """One row per poison point the circuit breaker fenced off."""
+    table = Table(
+        ["t", "run", "chunk", "failures", "chunks done", "last error"],
+        title="quarantined points (circuit breaker)",
+    )
+    for point in points:
+        completed = point.get("completed")
+        total = point.get("total")
+        table.add_row(
+            point.get("t"),
+            point["run"],
+            point.get("chunk"),
+            point.get("failures"),
+            f"{completed}/{total}" if completed is not None else None,
+            point.get("reason"),
         )
     return table
 
@@ -277,6 +333,9 @@ def render_report(events: Sequence[Dict], width: int = 48) -> str:
         )
     if summary["retries"]:
         sections.append(_retries_table(summary["retries"]).render())  # type: ignore[arg-type]
+        sections.append(_retry_timeline_table(summary["retries"]).render())  # type: ignore[arg-type]
+    if summary["quarantined_points"]:
+        sections.append(_quarantined_table(summary["quarantined_points"]).render())  # type: ignore[arg-type]
     if summary["incidents"]:
         sections.append(_incidents_table(summary["incidents"]).render())  # type: ignore[arg-type]
     if not runs and not chunks:

@@ -33,10 +33,11 @@ from typing import Dict, List, Optional
 from repro.reporting.table import Table
 from repro.reporting.text_plots import ascii_bars, sparkline
 
-#: Incident-ish event types surfaced in the "recent incidents" section.
+#: Incident-ish event types surfaced in the "recent incidents" section
+#: ("heartbeat" = the hung-chunk watchdog fired on a silent worker).
 _WATCH_INCIDENTS = (
     "incident", "deadline", "signal", "quarantine", "fault_injected",
-    "pool_rebuild", "retry",
+    "pool_rebuild", "retry", "heartbeat",
 )
 
 #: How many recent incidents the console keeps on screen.
@@ -112,6 +113,8 @@ class WatchState:
         self.opens = 0
         self.closes = 0
         self.converged: List[str] = []
+        #: run keys whose point was quarantined by the circuit breaker.
+        self.quarantined: List[str] = []
 
     def consume(self, events: List[Dict]) -> None:
         for event in events:
@@ -135,6 +138,10 @@ class WatchState:
                 key = _run_key(event)
                 if key not in self.converged:
                     self.converged.append(key)
+            elif type_ == "quarantine" and event.get("scope") == "point":
+                key = _run_key(event)
+                if key not in self.quarantined:
+                    self.quarantined.append(key)
             if type_ in _WATCH_INCIDENTS:
                 self.incidents.append(event)
                 del self.incidents[:-_MAX_INCIDENTS]
@@ -167,7 +174,11 @@ def render_watch(state: WatchState, width: int = 40) -> str:
         for key in sorted(state.estimates):
             estimate = state.estimates[key]
             rel = estimate.get("rel_half_width")
-            name = key + (" *converged*" if key in state.converged else "")
+            name = key
+            if key in state.converged:
+                name += " *converged*"
+            if key in state.quarantined:
+                name += " *quarantined*"
             table.add_row(
                 name,
                 estimate.get("successes"),
@@ -207,6 +218,10 @@ def render_watch(state: WatchState, width: int = 40) -> str:
                 " ".join(f"{k}={v}" for k, v in sorted(detail.items())),
             )
         sections.append(table.render())
+    if state.quarantined:
+        sections.append(
+            "quarantined points (circuit breaker): " + ", ".join(state.quarantined)
+        )
     if state.finished:
         sections.append("log closed -- all writers finished")
     return "\n\n".join(sections)
