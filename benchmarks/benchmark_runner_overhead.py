@@ -20,7 +20,12 @@ Two numbers are recorded:
   heartbeat/watchdog armed (``chunk_timeout``) vs the identical pooled run
   without.  Heartbeats ride the engines' existing per-round ``tick()``
   seam and the watchdog is one mtime scan per poll in the parent, so the
-  supervised path must stay within noise of the unsupervised one.
+  supervised path must stay within noise of the unsupervised one;
+* **profiler overhead** (guarded, target <= 10%): the telemetry-enabled
+  run with engine phase timers (the default) vs the identical run with
+  ``configure(profile=False)``.  The timers are a handful of
+  ``perf_counter_ns`` laps per engine *round* (thousands of walks each),
+  drained once per chunk, so they must stay near noise.
 
 All timings are persisted to ``BENCH_runner.json`` at the repo root (see
 benchmarks/bench_utils.py) so perf trajectories are diffable per commit.
@@ -47,6 +52,8 @@ _MAX_CHECKPOINT_OVERHEAD = 0.25
 #: CI guard on the heartbeat + watchdog path (ISSUE target: <= 5%, with
 #: headroom for shared-runner noise on pool scheduling).
 _MAX_SUPERVISION_OVERHEAD = 0.25
+#: CI guard on the engine phase timers (profiled vs unprofiled telemetry).
+_MAX_PROFILER_OVERHEAD = 0.10
 
 
 def _single_shot() -> None:
@@ -81,10 +88,14 @@ def _timed(fn, *args) -> float:
     return float(np.median(samples))
 
 
-def _chunked_with_telemetry(checkpoint_dir, log_path) -> float:
-    """Time one checkpointed run with a live recorder (events + metrics)."""
+def _chunked_with_telemetry(checkpoint_dir, log_path, profile: bool = True) -> float:
+    """Time one checkpointed run with a live recorder (events + metrics).
+
+    ``profile=False`` disables the engine phase timers; the difference
+    between the two modes is exactly the profiler's cost.
+    """
     previous = telemetry.get_recorder()
-    recorder = telemetry.configure(log_path=log_path)
+    recorder = telemetry.configure(log_path=log_path, profile=profile)
     try:
         return _timed(_chunked, checkpoint_dir)
     finally:
@@ -106,6 +117,10 @@ def test_runner_checkpoint_overhead(benchmark, tmp_path):
     telemetry_seconds = _chunked_with_telemetry(
         tmp_path / "bench-telemetry", tmp_path / "events.jsonl"
     )
+    telemetry_noprofile_seconds = _chunked_with_telemetry(
+        tmp_path / "bench-noprofile", tmp_path / "events-noprofile.jsonl",
+        profile=False,
+    )
     _pooled(None)  # warm-up: process pool spawn, worker imports
     pooled_seconds = _timed(_pooled, None)
     supervised_seconds = _timed(_pooled, 300.0)
@@ -114,6 +129,9 @@ def test_runner_checkpoint_overhead(benchmark, tmp_path):
     checkpoint_overhead = max(0.0, checkpointed_seconds / chunked_seconds - 1.0)
     chunking_overhead = max(0.0, chunked_seconds / single_seconds - 1.0)
     telemetry_overhead = max(0.0, telemetry_seconds / checkpointed_seconds - 1.0)
+    profiler_overhead = max(
+        0.0, telemetry_seconds / telemetry_noprofile_seconds - 1.0
+    )
     supervision_overhead = max(0.0, supervised_seconds / pooled_seconds - 1.0)
     print(
         f"\nsingle-shot {single_seconds:.3f}s | chunked x{_N_CHUNKS} "
@@ -121,7 +139,9 @@ def test_runner_checkpoint_overhead(benchmark, tmp_path):
         f"economics) | +checkpointing {checkpointed_seconds:.3f}s "
         f"({100 * checkpoint_overhead:+.1f}% checkpoint path, target < 5%) | "
         f"+telemetry {telemetry_seconds:.3f}s "
-        f"({100 * telemetry_overhead:+.1f}%) | pooled {pooled_seconds:.3f}s "
+        f"({100 * telemetry_overhead:+.1f}%; phase profiler "
+        f"{100 * profiler_overhead:+.1f}% of that, target <= 10%) | "
+        f"pooled {pooled_seconds:.3f}s "
         f"-> supervised {supervised_seconds:.3f}s "
         f"({100 * supervision_overhead:+.1f}% heartbeat+watchdog, target < 5%)"
     )
@@ -132,11 +152,13 @@ def test_runner_checkpoint_overhead(benchmark, tmp_path):
             "chunked_seconds": chunked_seconds,
             "checkpointed_seconds": checkpointed_seconds,
             "telemetry_seconds": telemetry_seconds,
+            "telemetry_noprofile_seconds": telemetry_noprofile_seconds,
             "pooled_seconds": pooled_seconds,
             "supervised_seconds": supervised_seconds,
             "chunking_overhead": chunking_overhead,
             "checkpoint_overhead": checkpoint_overhead,
             "telemetry_overhead": telemetry_overhead,
+            "profiler_overhead": profiler_overhead,
             "supervision_overhead": supervision_overhead,
             "n_walks": _N_WALKS,
             "n_chunks": _N_CHUNKS,
@@ -149,4 +171,8 @@ def test_runner_checkpoint_overhead(benchmark, tmp_path):
     assert supervision_overhead < _MAX_SUPERVISION_OVERHEAD, (
         f"supervision overhead {100 * supervision_overhead:.1f}% exceeds "
         f"{100 * _MAX_SUPERVISION_OVERHEAD:.0f}% guard"
+    )
+    assert profiler_overhead <= _MAX_PROFILER_OVERHEAD, (
+        f"phase profiler overhead {100 * profiler_overhead:.1f}% exceeds "
+        f"{100 * _MAX_PROFILER_OVERHEAD:.0f}% guard"
     )

@@ -68,10 +68,10 @@ def test_sweep_pool_is_deterministic_and_timed(benchmark):
         {
             "serial_seconds": serial_seconds,
             "pooled_seconds": pooled_seconds,
-            # A string on purpose: bench-history compares *_seconds
-            # relatively and flags other numerics as config drift; the
-            # ratio is for humans, the seconds are the tracked pair.
-            "pool_speedup": f"{speedup:.2f}x",
+            # A float: bench-history's *_speedup kind compares it
+            # absolutely with inverted direction (a drop past the
+            # threshold regresses, a rise never does).
+            "pool_speedup": round(speedup, 4),
             "workers_requested": _REQUESTED_WORKERS,
             "workers": _WORKERS,
             "host_cpus": os.cpu_count(),

@@ -96,20 +96,29 @@ def ball_hitting_times(
     recorder = get_recorder()
     track = recorder.enabled
     tick = recorder.tick
+    prof = recorder.profile
     steps_simulated = 0
     started = time.perf_counter() if track else 0.0
 
     while idx.size:
         tick()
+        if prof is not None:
+            prof.start()
         k = idx.size
         uniforms = u_buf[: 2 * k]
         rng.random(out=uniforms)
+        if prof is not None:
+            prof.lap("rng")
         d = sampler.sample(rng, idx, u=uniforms[:k], out=d_buf[:k])
         d[~alive] = 0  # dead rows are carried until the next compaction
         if track:
             steps_simulated += int(np.maximum(d, 1)[alive].sum())
+        if prof is not None:
+            prof.lap("cdf_lookup")
         off = sample_ring_offsets(d, rng, u=uniforms[k:], out=off_buf[:k])
         v = np.add(pos, off, out=end_buf[:k])
+        if prof is not None:
+            prof.lap("state_update")
         m = np.abs(cx - pos[:, 0]) + np.abs(cy - pos[:, 1])
         if detect_during_jump:
             hit = np.zeros(k, dtype=bool)
@@ -161,6 +170,8 @@ def ball_hitting_times(
         success = hit & (hit_step <= horizon)
         if np.any(success):
             times[idx[success]] = hit_step[success]
+        if prof is not None:
+            prof.lap("target_check")
         elapsed += np.maximum(d, 1)
         pos_buf, end_buf = end_buf, pos_buf
         pos = v
@@ -176,10 +187,14 @@ def ball_hitting_times(
                 elapsed = elapsed[alive]
                 alive = np.ones(idx.size, dtype=bool)
                 n_dead = 0
+        if prof is not None:
+            prof.lap("compaction")
 
     if track:
         sampler.flush_jump_accounting()
         _record_engine_sample(
             "ball", n_walks, steps_simulated, time.perf_counter() - started
         )
+    if prof is not None:
+        prof.finish("ball")
     return HittingTimeSample(times=times, horizon=horizon)

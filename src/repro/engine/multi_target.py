@@ -159,26 +159,38 @@ def multi_target_search(
     recorder = get_recorder()
     track = recorder.enabled
     tick = recorder.tick
+    prof = recorder.profile
     steps_simulated = 0
     started = time.perf_counter() if track else 0.0
 
     while idx.size:
         tick()
+        if prof is not None:
+            prof.start()
         # An item is contestable while some live walk might still cross
         # it earlier than the recorded time.
         frontier = int(elapsed[alive].min())
         contestable = np.flatnonzero(best_time > frontier)
         if contestable.size == 0:
             break
+        if prof is not None:
+            # The contestable-pruning scan is part of target bookkeeping.
+            prof.lap("target_check")
         k = idx.size
         uniforms = u_buf[: 2 * k]
         rng.random(out=uniforms)
+        if prof is not None:
+            prof.lap("rng")
         d = sampler.sample(rng, idx, u=uniforms[:k], out=d_buf[:k])
         d[~alive] = 0  # dead rows are carried until the next compaction
         if track:
             steps_simulated += int(np.maximum(d, 1)[alive].sum())
+        if prof is not None:
+            prof.lap("cdf_lookup")
         off = sample_ring_offsets(d, rng, u=uniforms[k:], out=off_buf[:k])
         v = np.add(pos, off, out=end_buf[:k])
+        if prof is not None:
+            prof.lap("state_update")
         tx = target_array[contestable, 0]
         ty = target_array[contestable, 1]
         m = np.abs(tx[None, :] - pos[:, 0:1]) + np.abs(ty[None, :] - pos[:, 1:2])
@@ -220,6 +232,8 @@ def multi_target_search(
                     w_items = w_items[better]
                     best_time[w_items] = cand_steps[winners][better]
                     best_walk[w_items] = cand_walks[winners][better]
+        if prof is not None:
+            prof.lap("target_check")
         elapsed += np.maximum(d, 1)
         pos_buf, end_buf = end_buf, pos_buf
         pos = v
@@ -235,6 +249,8 @@ def multi_target_search(
                 elapsed = elapsed[alive]
                 alive = np.ones(idx.size, dtype=bool)
                 n_dead = 0
+        if prof is not None:
+            prof.lap("compaction")
 
     times = np.where(best_time == never, CENSORED, best_time)
     if track:
@@ -242,6 +258,8 @@ def multi_target_search(
         _record_engine_sample(
             "multi_target", n_walks, steps_simulated, time.perf_counter() - started
         )
+    if prof is not None:
+        prof.finish("multi_target")
     return ForagingResult(
         targets=target_array,
         discovery_times=times,

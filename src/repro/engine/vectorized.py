@@ -141,24 +141,36 @@ def walk_hitting_times(
     # Telemetry: one flag check per call when disabled; step accounting
     # only accumulates when a live recorder is installed.  `tick` is the
     # per-round liveness pulse -- a no-op everywhere except inside pool
-    # workers, where it touches the chunk's heartbeat file.
+    # workers, where it touches the chunk's heartbeat file.  `prof` is
+    # the phase accumulator (or None): each round is tiled into laps
+    # charged to the named hot-loop stages, at the cost of one `is None`
+    # test per stage per *round* when profiling is off.
     recorder = get_recorder()
     track = recorder.enabled
     tick = recorder.tick
+    prof = recorder.profile
     steps_simulated = 0
     started = time.perf_counter() if track else 0.0
 
     while idx.size:
         tick()
+        if prof is not None:
+            prof.start()
         k = idx.size
         u = u_buf[: 2 * k]
         rng.random(out=u)
+        if prof is not None:
+            prof.lap("rng")
         d = sampler.sample(rng, idx, u=u[:k], out=d_buf[:k])
         d[~alive] = 0  # dead rows are carried until the next compaction
         if track:
             steps_simulated += int(np.maximum(d, 1)[alive].sum())
+        if prof is not None:
+            prof.lap("cdf_lookup")
         off = sample_ring_offsets(d, rng, u=u[k:], out=off_buf[:k])
         v = np.add(pos, off, out=end_buf[:k])
+        if prof is not None:
+            prof.lap("state_update")
         m = np.abs(tx - pos[:, 0]) + np.abs(ty - pos[:, 1])
         if detect_during_jump:
             reach = alive & (m <= d)
@@ -173,6 +185,8 @@ def walk_hitting_times(
         success = hit & (hit_step <= horizon)
         if np.any(success):
             times[idx[success]] = hit_step[success]
+        if prof is not None:
+            prof.lap("target_check")
         elapsed += np.maximum(d, 1)
         pos_buf, end_buf = end_buf, pos_buf
         pos = v
@@ -188,12 +202,16 @@ def walk_hitting_times(
                 elapsed = elapsed[alive]
                 alive = np.ones(idx.size, dtype=bool)
                 n_dead = 0
+        if prof is not None:
+            prof.lap("compaction")
 
     if track:
         sampler.flush_jump_accounting()
         _record_engine_sample(
             "walk", n_walks, steps_simulated, time.perf_counter() - started
         )
+    if prof is not None:
+        prof.finish("walk")
     return HittingTimeSample(times=times, horizon=horizon)
 
 
@@ -246,24 +264,35 @@ def flight_hitting_times(
     recorder = get_recorder()
     track = recorder.enabled
     tick = recorder.tick
+    prof = recorder.profile
     jumps_simulated = 0
     started = time.perf_counter() if track else 0.0
     for jump_index in range(1, horizon_jumps + 1):
         if not idx.size:
             break
         tick()
+        if prof is not None:
+            prof.start()
         k = idx.size
         u = u_buf[: 2 * k]
         rng.random(out=u)
+        if prof is not None:
+            prof.lap("rng")
         d = sampler.sample(rng, idx, u=u[:k], out=d_buf[:k])
         d[~alive] = 0  # dead rows are carried until the next compaction
         if track:
             jumps_simulated += int(alive.sum())
+        if prof is not None:
+            prof.lap("cdf_lookup")
         off = sample_ring_offsets(d, rng, u=u[k:], out=off_buf[:k])
         pos += off
+        if prof is not None:
+            prof.lap("state_update")
         # A dead row sits on the target with d = 0; mask by `alive` so it
         # is not re-detected.
         hit = alive & (pos[:, 0] == tx) & (pos[:, 1] == ty)
+        if prof is not None:
+            prof.lap("target_check")
         if np.any(hit):
             times[idx[hit]] = jump_index
             alive &= ~hit
@@ -273,9 +302,13 @@ def flight_hitting_times(
                 pos = pos[alive]
                 alive = np.ones(idx.size, dtype=bool)
                 n_dead = 0
+        if prof is not None:
+            prof.lap("compaction")
     if track:
         sampler.flush_jump_accounting()
         _record_engine_sample(
             "flight", n_flights, jumps_simulated, time.perf_counter() - started
         )
+    if prof is not None:
+        prof.finish("flight")
     return HittingTimeSample(times=times, horizon=horizon_jumps)

@@ -28,6 +28,8 @@ and makes each chunk durable the moment it finishes:
 
 from __future__ import annotations
 
+import os
+import pickle
 import signal as _signal
 import tempfile
 import time
@@ -111,8 +113,17 @@ def _execute_chunk(
     injector: Optional[FaultInjector],
     attempt: int = 1,
     heartbeat: Optional[Tuple[str, float]] = None,
+    profile: bool = False,
 ):
-    """Run one chunk (in the parent or a pool worker) and return its payload.
+    """Run one chunk (in the parent or a pool worker).
+
+    Returns ``(index, payload, meta)`` where ``meta`` always carries the
+    executing process's pid as ``worker_id`` and -- when ``profile`` is
+    set -- the chunk's drained engine phase timings (``phases`` seconds
+    per stage, ``engines`` call counts).  The parent turns the meta into
+    the ``chunk_end``/``phase_profile`` events, which is how phase
+    profiles escape pool workers whose recorder is a null
+    :class:`WorkerHeartbeat` with no event log of its own.
 
     ``heartbeat`` is ``(path, interval)``: when set, a
     :class:`~repro.runner.supervision.WorkerHeartbeat` recorder is
@@ -122,6 +133,8 @@ def _execute_chunk(
     injected hang is exactly what it simulates: a worker that stopped
     heartbeating mid-chunk.
     """
+    from repro.telemetry.recorder import get_recorder as _get_recorder
+
     previous = None
     if heartbeat is not None:
         from repro.runner.supervision import WorkerHeartbeat
@@ -130,9 +143,28 @@ def _execute_chunk(
         path, interval = heartbeat
         previous = set_recorder(WorkerHeartbeat(path, interval))
     try:
+        recorder = _get_recorder()
+        if (
+            profile
+            and not recorder.enabled
+            and getattr(recorder, "profile", None) is None
+        ):
+            # Pool worker: its (null) recorder has no accumulator of its
+            # own.  Attach one so the engines time their phases; it stays
+            # for the worker's lifetime and drain() resets it per chunk.
+            from repro.telemetry.profile import PhaseAccumulator
+
+            recorder.profile = PhaseAccumulator()
         if injector is not None:
             injector.in_worker(index, attempt)
-        return index, task(n, seed)
+        payload = task(n, seed)
+        meta: Dict[str, Any] = {"worker_id": os.getpid()}
+        if profile:
+            accumulator = getattr(_get_recorder(), "profile", None)
+            drained = accumulator.drain() if accumulator is not None else None
+            if drained is not None:
+                meta["phases"], meta["engines"] = drained
+        return index, payload, meta
     finally:
         if heartbeat is not None:
             set_recorder(previous)
@@ -705,10 +737,16 @@ class Runner:
                     queue.append((state, chunk))
         return queue
 
+    @staticmethod
+    def _profiling(rec) -> bool:
+        """True when the parent recorder wants engine phase profiles."""
+        return rec.enabled and getattr(rec, "profile", None) is not None
+
     def _run_serial(
         self, states: Sequence[_JobState], rec, resources: Optional[ResourceMonitor] = None
     ) -> Optional[str]:
         """Run all pending chunks in-process; returns a global stop reason."""
+        profile = self._profiling(rec)
         for state, index in self._interleaved(states):
             if state.stopped:
                 continue
@@ -726,15 +764,17 @@ class Runner:
             self._check_resources(resources, states, rec)
             while True:
                 attempt = state.attempts.get(index, 0) + 1
+                # worker_id on chunk_start is serial-only: a pooled
+                # chunk's worker is unknown until its result comes back.
                 rec.event(
                     "chunk_start", label=state.label, chunk=index,
-                    n=state.sizes[index], attempt=attempt,
+                    n=state.sizes[index], attempt=attempt, worker_id=os.getpid(),
                 )
                 chunk_started = time.monotonic()
                 try:
-                    _, payload = _execute_chunk(
+                    _, payload, meta = _execute_chunk(
                         state.task, index, state.sizes[index], state.seeds[index],
-                        self.fault_injector, attempt,
+                        self.fault_injector, attempt, None, profile,
                     )
                     payload = self._screen_payload(state, index, attempt, payload)
                 except Exception as exc:
@@ -760,7 +800,8 @@ class Runner:
                 state.completed[index] = payload
                 chunk_seconds = time.monotonic() - chunk_started
                 self._record_chunk_end(
-                    rec, state.label, index, state.sizes[index], chunk_seconds, attempt
+                    rec, state.label, index, state.sizes[index], chunk_seconds,
+                    attempt, meta=meta,
                 )
                 if state.monitor is not None:
                     state.monitor.observe_chunk(index, payload, chunk_seconds)
@@ -768,8 +809,38 @@ class Runner:
         return "signal" if stop_requested() else None
 
     def _record_chunk_end(
-        self, rec, label: str, index: int, n: int, seconds: float, attempt: int
+        self,
+        rec,
+        label: str,
+        index: int,
+        n: int,
+        seconds: float,
+        attempt: int,
+        meta: Optional[Dict[str, Any]] = None,
+        ipc: Optional[Dict[str, Any]] = None,
     ) -> None:
+        """Emit the chunk's phase_profile (if any) and chunk_end events.
+
+        ``meta`` is :func:`_execute_chunk`'s third return value
+        (``worker_id`` plus drained phase timings); ``ipc`` is the
+        parent-side serialization accounting for pooled results.  The
+        phase_profile goes first so the chunk_end flush makes both
+        durable together.
+        """
+        meta = meta or {}
+        worker_id = meta.get("worker_id")
+        worker_fields = {} if worker_id is None else {"worker_id": worker_id}
+        phases = meta.get("phases")
+        if phases:
+            rec.event(
+                "phase_profile",
+                label=label,
+                chunk=index,
+                attempt=attempt,
+                phases=phases,
+                engines=meta.get("engines") or {},
+                **worker_fields,
+            )
         rec.event(
             "chunk_end",
             label=label,
@@ -777,10 +848,24 @@ class Runner:
             n=n,
             seconds=round(seconds, 6),
             attempt=attempt,
+            **worker_fields,
+            **(ipc or {}),
         )
         if rec.enabled:
             rec.metrics.counter("runner.chunks_completed").add()
             rec.metrics.histogram("runner.chunk_seconds").observe(seconds)
+            for phase, phase_seconds in (phases or {}).items():
+                rec.metrics.counter(f"engine.phase_seconds.{phase}").add(
+                    phase_seconds
+                )
+            if ipc:
+                rec.metrics.counter("runner.ipc_bytes").add(ipc["ipc_bytes"])
+                rec.metrics.counter("runner.pickle_seconds").add(
+                    ipc["pickle_seconds"]
+                )
+                rec.metrics.counter("runner.unpickle_seconds").add(
+                    ipc["unpickle_seconds"]
+                )
 
     # -------------------------------------------------------------- pool mode
 
@@ -807,6 +892,7 @@ class Runner:
         while a slow-but-heartbeating straggler is left alone.
         """
         queue = self._interleaved(states)
+        profile = self._profiling(rec)
         executor: Optional[ProcessPoolExecutor] = None
         # future -> (job state, chunk index, submit time)
         inflight: Dict[Any, Tuple[_JobState, int, float]] = {}
@@ -902,6 +988,7 @@ class Runner:
                         self.fault_injector,
                         attempt,
                         heartbeat,
+                        profile,
                     )
                     inflight[future] = (state, index, time.monotonic())
                     rec.event(
@@ -919,7 +1006,7 @@ class Runner:
                         supervisor.unregister(state.label, index)
                     attempt = state.attempts.get(index, 0) + 1
                     try:
-                        _, payload = future.result()
+                        _, payload, meta = future.result()
                         payload = self._screen_payload(state, index, attempt, payload)
                     except BrokenProcessPool:
                         broken.append((state, index))
@@ -933,9 +1020,31 @@ class Runner:
                     )
                     state.completed[index] = payload
                     chunk_seconds = time.monotonic() - _submitted
+                    ipc = None
+                    if rec.enabled:
+                        # Pool IPC accounting: the executor already paid
+                        # one pickle/unpickle moving this payload across
+                        # the process boundary; re-serializing it here
+                        # measures that cost directly (enabled-path only,
+                        # once per chunk).
+                        pickle_started = time.perf_counter()
+                        blob = pickle.dumps(
+                            payload, protocol=pickle.HIGHEST_PROTOCOL
+                        )
+                        pickled_at = time.perf_counter()
+                        pickle.loads(blob)
+                        ipc = {
+                            "ipc_bytes": len(blob),
+                            "pickle_seconds": round(
+                                pickled_at - pickle_started, 6
+                            ),
+                            "unpickle_seconds": round(
+                                time.perf_counter() - pickled_at, 6
+                            ),
+                        }
                     self._record_chunk_end(
                         rec, state.label, index, state.sizes[index], chunk_seconds,
-                        attempt,
+                        attempt, meta=meta, ipc=ipc,
                     )
                     if state.monitor is not None:
                         state.monitor.observe_chunk(index, payload, chunk_seconds)
@@ -966,6 +1075,10 @@ class Runner:
                     # chunk against a fresh pool (completed-but-unprocessed
                     # futures were drained above, so nothing is lost twice).
                     for (label, chunk), silent in sorted(hung.items()):
+                        # The worker wrote its pid into the heartbeat file
+                        # on first touch, so even a hung chunk can be
+                        # attributed to a specific worker process.
+                        pid = supervisor.worker_pid(label, chunk)
                         rec.event(
                             "heartbeat",
                             label=label,
@@ -973,6 +1086,7 @@ class Runner:
                             status="hung",
                             silent=round(silent, 3),
                             timeout=self.chunk_timeout,
+                            **({} if pid is None else {"worker_id": pid}),
                         )
                         rec.metrics.counter("runner.hung_chunks").add()
                     lost = []

@@ -109,8 +109,15 @@ class WorkerHeartbeat(NullRecorder):
             return
         self._last = now
         try:
-            with open(self.path, "ab"):
-                pass
+            if self.beats == 0:
+                # First touch stamps the worker's pid into the file, so
+                # the parent can attribute a hung chunk to a specific
+                # worker process (Supervisor.worker_pid).
+                with open(self.path, "wb") as fh:
+                    fh.write(str(os.getpid()).encode("ascii"))
+            else:
+                with open(self.path, "ab"):
+                    pass
             os.utime(self.path)
         except OSError:  # a vanished tmpdir must never kill the worker
             return
@@ -187,6 +194,21 @@ class Supervisor:
         with self._lock:
             self._watch.pop((label, chunk), None)
             self._hung.pop((label, chunk), None)
+
+    def worker_pid(self, label: str, chunk: int) -> Optional[int]:
+        """Pid the worker stamped into its heartbeat file, if readable.
+
+        None when the worker died before its first touch, the file was
+        cleaned up, or the contents are not a pid (pre-stamp files were
+        empty -- absence degrades to unattributed, never an error).
+        """
+        try:
+            text = Path(self.heartbeat_path(label, chunk)).read_text(
+                encoding="ascii", errors="replace"
+            ).strip()
+            return int(text) if text else None
+        except (OSError, ValueError):
+            return None
 
     def watched(self) -> int:
         with self._lock:

@@ -16,7 +16,12 @@ The subsystem has four pieces (see docs/observability.md):
   counters, gauges and fixed-bucket histograms with JSON snapshot export;
 * **report** (:mod:`~repro.telemetry.report`) -- renders an event log
   into chunk timelines, retry and incident summaries, and throughput
-  (CLI: ``repro-experiment report events.jsonl``).
+  (CLI: ``repro-experiment report events.jsonl``);
+* **profile** (:mod:`~repro.telemetry.profile`) -- phase-level engine
+  timers (the :class:`PhaseAccumulator` the engines drive through
+  ``recorder.profile``) plus the pure-log analysis behind
+  ``repro-experiment profile events.jsonl``: phase breakdown, per-worker
+  utilization/effective parallelism, IPC accounting, ``--diff``.
 
 Import-cycle note: this ``__init__`` eagerly imports only the stdlib-only
 ``metrics`` and ``recorder`` modules (the engines import the recorder
@@ -58,6 +63,11 @@ _LAZY = {
     "render_watch": "repro.telemetry.watch",
     "compare_snapshots": "repro.telemetry.bench_history",
     "parse_threshold": "repro.telemetry.bench_history",
+    "PHASES": "repro.telemetry.profile",
+    "PhaseAccumulator": "repro.telemetry.profile",
+    "summarize_profile": "repro.telemetry.profile",
+    "render_profile": "repro.telemetry.profile",
+    "render_profile_diff": "repro.telemetry.profile",
 }
 
 __all__ = [
@@ -73,6 +83,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NullRecorder",
+    "PHASES",
+    "PhaseAccumulator",
     "SCHEMA_VERSION",
     "TelemetryRecorder",
     "compare_snapshots",
@@ -82,10 +94,13 @@ __all__ = [
     "parse_threshold",
     "read_events",
     "render_file",
+    "render_profile",
+    "render_profile_diff",
     "render_report",
     "render_watch",
     "set_recorder",
     "summarize_events",
+    "summarize_profile",
     "use_recorder",
 ]
 

@@ -15,6 +15,11 @@ Comparison semantics, by metric-name suffix:
   means 0.33); compared **absolutely**: a regression is
   ``current - baseline > threshold`` (a 25% threshold tolerates the
   overhead growing by up to 25 *percentage points* of the base time);
+* ``*_speedup`` -- absolute ratios where **bigger is better** (e.g. the
+  sweep's pool speedup): compared absolutely with the regression
+  direction inverted -- a regression is
+  ``baseline - current > threshold`` (the speedup *fell* by more than
+  ``threshold``); a rising speedup never regresses;
 * everything else (``n_walks``, ``n_chunks``, ``meta``) is
   configuration: differing values make every timing comparison
   apples-to-oranges, so they are reported as config drift (never a
@@ -72,7 +77,8 @@ class MetricDelta:
     name: str
     baseline: Optional[float]
     current: Optional[float]
-    #: "seconds" (relative), "overhead" (absolute) or "config".
+    #: "seconds" (relative), "overhead" (absolute), "speedup" (absolute,
+    #: regression = decrease) or "config".
     kind: str
     #: Signed change: ratio-1 for seconds, difference for overhead.
     delta: Optional[float]
@@ -95,6 +101,8 @@ def _kind(name: str) -> str:
         return "seconds"
     if name.endswith("_overhead"):
         return "overhead"
+    if name.endswith("_speedup"):
+        return "speedup"
     return "config"
 
 
@@ -124,6 +132,10 @@ def compare_snapshots(
             delta = c - b
             regressed = delta > threshold
             note = f"{delta:+.3f} (absolute)"
+        elif kind == "speedup":
+            delta = c - b
+            regressed = -delta > threshold
+            note = f"{delta:+.3f} (absolute, higher is better)"
         else:
             delta = c - b
             regressed = False

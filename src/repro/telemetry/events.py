@@ -33,9 +33,12 @@ from repro.io_utils import CorruptResultError, append_text, open_append
 
 #: Stamped into the header event of every log this writer opens.
 #: Version 2 (PR 3) added the ``estimate``/``incident``/``converged``
-#: event types and the ``log_close`` trailer; readers that ignore
-#: unknown types can consume either version.
-SCHEMA_VERSION = 2
+#: event types and the ``log_close`` trailer; version 3 (PR 7) added the
+#: ``phase_profile`` event type plus ``worker_id`` and IPC fields
+#: (``ipc_bytes``/``pickle_seconds``/``unpickle_seconds``) on chunk
+#: events.  Readers that ignore unknown types and fields can consume any
+#: of these versions.
+SCHEMA_VERSION = 3
 
 
 def _encode(record: Dict) -> str:

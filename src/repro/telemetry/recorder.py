@@ -29,6 +29,7 @@ from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.profile import PhaseAccumulator
 
 
 class _NullSpan:
@@ -52,9 +53,17 @@ class NullRecorder:
     ``metrics`` is still a real registry so code may unconditionally do
     ``rec.metrics.counter(...)`` in cold paths; hot paths must guard with
     ``rec.enabled`` instead.
+
+    ``profile`` is the phase-profiling seam, deliberately decoupled from
+    ``enabled``: pool workers run a (null) :class:`WorkerHeartbeat`
+    recorder, yet still profile by having the runner attach a
+    :class:`~repro.telemetry.profile.PhaseAccumulator` here and drain it
+    into the chunk result.  ``None`` means "don't time phases", which the
+    engines test once per stage per round.
     """
 
     enabled = False
+    profile: Optional[PhaseAccumulator] = None
 
     def __init__(self) -> None:
         self.metrics = MetricsRegistry()
@@ -131,6 +140,7 @@ _FLUSH_TYPES = frozenset(
         "incident",
         "estimate",
         "converged",
+        "phase_profile",
         "run_end",
         "experiment_start",
         "experiment_end",
@@ -156,6 +166,13 @@ class TelemetryRecorder:
     context:
         Initial bound fields stamped onto every event (seed, experiment
         id, scale, ...).
+    profile:
+        When true (the default), a
+        :class:`~repro.telemetry.profile.PhaseAccumulator` is attached
+        so the engines time their hot-loop stages; the Runner drains it
+        once per chunk into ``phase_profile`` events.  ``False`` leaves
+        ``self.profile`` as ``None`` and the engines skip every timer
+        (the path the ``profiler_overhead`` benchmark isolates).
 
     Spans are tracked on a plain instance stack: the runner and the
     experiment harnesses emit from the parent process's single thread
@@ -171,10 +188,14 @@ class TelemetryRecorder:
         metrics: Optional[MetricsRegistry] = None,
         progress=None,
         context: Optional[Dict] = None,
+        profile: bool = True,
     ) -> None:
         self.writer = writer
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.progress = progress
+        self.profile: Optional[PhaseAccumulator] = (
+            PhaseAccumulator() if profile else None
+        )
         self.context: Dict = dict(context or {})
         self._t0 = time.monotonic()
         self._span_stack = []  # span ids, innermost last
@@ -264,6 +285,20 @@ class TelemetryRecorder:
             self.event("span_end", span=span_id, name=name, **end_fields)
 
     def close(self) -> None:
+        # Engine calls made outside any runner chunk (analysis helpers,
+        # direct API use) accumulate phase time nobody drains; flush them
+        # as one residual phase_profile so the log's phase totals stay
+        # consistent with the engine.phase_seconds.* counters.
+        accumulator = self.profile
+        if accumulator is not None and not accumulator.empty:
+            drained = accumulator.drain()
+            if drained is not None:
+                phases, engines = drained
+                for phase, seconds in phases.items():
+                    self.metrics.counter(f"engine.phase_seconds.{phase}").add(seconds)
+                self.event(
+                    "phase_profile", scope="residual", phases=phases, engines=engines
+                )
         if self.writer is not None:
             self.writer.close()
 
@@ -356,12 +391,15 @@ def configure(
     metrics: Optional[MetricsRegistry] = None,
     progress=None,
     context: Optional[Dict] = None,
+    profile: bool = True,
 ) -> TelemetryRecorder:
     """Build a :class:`TelemetryRecorder` and install it globally.
 
-    ``log_path`` enables the append-only JSONL event log.  Returns the
-    recorder; callers should ``set_recorder(previous)`` (or use
-    :func:`use_recorder`) and ``recorder.close()`` when done.
+    ``log_path`` enables the append-only JSONL event log.  ``profile``
+    controls the engine phase timers (on by default; the accumulators
+    cost nanoseconds per round).  Returns the recorder; callers should
+    ``set_recorder(previous)`` (or use :func:`use_recorder`) and
+    ``recorder.close()`` when done.
     """
     writer = None
     if log_path is not None:
@@ -370,7 +408,11 @@ def configure(
 
         writer = EventLogWriter(log_path)
     recorder = TelemetryRecorder(
-        writer=writer, metrics=metrics, progress=progress, context=context
+        writer=writer,
+        metrics=metrics,
+        progress=progress,
+        context=context,
+        profile=profile,
     )
     set_recorder(recorder)
     return recorder

@@ -94,6 +94,8 @@ def summarize_events(events: Sequence[Dict]) -> Dict[str, object]:
     order: List[str] = []
     chunk_starts: Dict[tuple, Dict] = {}
     chunks: List[Dict] = []
+    phase_seconds: Dict[str, float] = {}
+    n_phase_profiles = 0
     retries: List[Dict] = []
     incidents: List[Dict] = []
     quarantined_points: List[Dict] = []
@@ -123,6 +125,10 @@ def summarize_events(events: Sequence[Dict]) -> Dict[str, object]:
             chunks.append(row)
             if key in runs:
                 runs[key].chunk_ends.append(event)
+        elif type_ == "phase_profile":
+            n_phase_profiles += 1
+            for phase, seconds in (event.get("phases") or {}).items():
+                phase_seconds[phase] = phase_seconds.get(phase, 0.0) + float(seconds)
         elif type_ == "retry":
             retries.append(dict(event, run=key))
             if key in runs:
@@ -143,6 +149,8 @@ def summarize_events(events: Sequence[Dict]) -> Dict[str, object]:
     return {
         "runs": [runs[key] for key in order],
         "chunks": chunks,
+        "phase_seconds": phase_seconds,
+        "n_phase_profiles": n_phase_profiles,
         "retries": retries,
         "incidents": incidents,
         "quarantined_points": quarantined_points,
@@ -182,7 +190,7 @@ def _runs_table(runs: Sequence[RunSummary]) -> Table:
 
 def _chunks_table(chunks: Sequence[Dict]) -> Table:
     table = Table(
-        ["run", "chunk", "walks", "attempt", "t_start", "seconds"],
+        ["run", "chunk", "walks", "attempt", "worker", "t_start", "seconds"],
         title="chunk timeline (completion order)",
     )
     for chunk in chunks:
@@ -191,6 +199,7 @@ def _chunks_table(chunks: Sequence[Dict]) -> Table:
             chunk.get("chunk"),
             chunk.get("n"),
             chunk.get("attempt", 1),
+            chunk.get("worker_id"),
             chunk.get("t_start"),
             chunk.get("seconds"),
         )
@@ -330,6 +339,19 @@ def render_report(events: Sequence[Dict], width: int = 48) -> str:
         ]
         sections.append(
             ascii_bars(bars, width=width, title="slowest chunks (walltime)", unit="s")
+        )
+    phase_seconds: Dict[str, float] = summary["phase_seconds"]  # type: ignore[assignment]
+    if phase_seconds:
+        total_phase = sum(phase_seconds.values())
+        bars = [
+            (f"{phase} {100 * seconds / total_phase:5.1f}%", seconds)
+            for phase, seconds in sorted(
+                phase_seconds.items(), key=lambda kv: kv[1], reverse=True
+            )
+        ]
+        sections.append(
+            ascii_bars(bars, width=width, title="engine phase breakdown", unit="s")
+            + "\n(full phase/worker/IPC analysis: repro-experiment profile)"
         )
     if summary["retries"]:
         sections.append(_retries_table(summary["retries"]).render())  # type: ignore[arg-type]

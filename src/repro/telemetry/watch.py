@@ -43,6 +43,9 @@ _WATCH_INCIDENTS = (
 #: How many recent incidents the console keeps on screen.
 _MAX_INCIDENTS = 8
 
+#: Window (seconds of log time) for the live effective-parallelism line.
+_PARALLELISM_WINDOW = 30.0
+
 
 class LogFollower:
     """Incremental JSONL reader, tolerant of a file still being written.
@@ -108,6 +111,12 @@ class WatchState:
         self.incidents: List[Dict] = []
         self.walks_computed = 0
         self.compute_seconds = 0.0
+        #: Recent (start t, end t) busy intervals from chunk_end events,
+        #: trimmed to the parallelism window; feeds the live
+        #: effective-parallelism line.
+        self.busy_intervals: List[tuple] = []
+        #: Distinct worker_id values seen on chunk events.
+        self.workers: set = set()
         self.elapsed = 0.0
         self.n_events = 0
         self.opens = 0
@@ -133,7 +142,17 @@ class WatchState:
                     self.rel_history.setdefault(key, []).append(float(rel))
             elif type_ == "chunk_end":
                 self.walks_computed += int(event.get("n", 0))
-                self.compute_seconds += float(event.get("seconds", 0.0))
+                seconds = float(event.get("seconds", 0.0))
+                self.compute_seconds += seconds
+                end_t = float(event.get("t", 0.0))
+                self.busy_intervals.append((max(end_t - seconds, 0.0), end_t))
+                cutoff = self.elapsed - _PARALLELISM_WINDOW
+                self.busy_intervals = [
+                    iv for iv in self.busy_intervals if iv[1] >= cutoff
+                ]
+                worker = event.get("worker_id")
+                if worker is not None:
+                    self.workers.add(worker)
             elif type_ == "converged":
                 key = _run_key(event)
                 if key not in self.converged:
@@ -151,6 +170,29 @@ class WatchState:
         """True once every opener of the log has appended its trailer."""
         return self.opens > 0 and self.closes >= self.opens
 
+    def effective_parallelism(self) -> Optional[float]:
+        """Busy-worker ratio over the recent window: sum busy / walltime.
+
+        1.0 means one chunk in flight at all times; N workers fully busy
+        read N.  The number that explains a pool speedup -- chunk
+        intervals come from completed chunk_end events, so a chunk still
+        in flight is not counted yet.
+        """
+        if not self.busy_intervals:
+            return None
+        lo = max(
+            self.elapsed - _PARALLELISM_WINDOW,
+            min(start for start, _ in self.busy_intervals),
+        )
+        span = self.elapsed - lo
+        if span <= 0:
+            return None
+        busy = sum(
+            max(0.0, min(end, self.elapsed) - max(start, lo))
+            for start, end in self.busy_intervals
+        )
+        return busy / span
+
 
 def render_watch(state: WatchState, width: int = 40) -> str:
     """One full console frame for the current state."""
@@ -165,6 +207,14 @@ def render_watch(state: WatchState, width: int = 40) -> str:
             f"{state.compute_seconds:.2f}s of chunk time "
             f"({state.walks_computed / state.compute_seconds:.0f} walks/sec)"
         )
+    parallelism = state.effective_parallelism()
+    if parallelism is not None:
+        header += (
+            f"\neffective parallelism: {parallelism:.2f}x over the last "
+            f"{min(_PARALLELISM_WINDOW, state.elapsed):.0f}s"
+        )
+        if state.workers:
+            header += f" ({len(state.workers)} worker(s) seen)"
     sections.append(header)
     if state.estimates:
         table = Table(

@@ -1,0 +1,399 @@
+"""Tests for the phase profiler and the ``profile`` analysis command.
+
+The acceptance bar (observability ISSUE 7): a pooled run with telemetry
+enabled yields an event log from which ``repro-experiment profile``
+reports per-phase engine seconds (summing to a meaningful share of
+chunk time), per-worker utilization with effective parallelism, and IPC
+byte/serialization accounting -- and the command degrades gracefully on
+torn, killed, and pre-v3 logs with no ``phase_profile`` events.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.distributions.zeta import ZetaJumpDistribution
+from repro.engine.ball_targets import ball_hitting_times
+from repro.engine.multi_target import multi_target_search
+from repro.engine.vectorized import flight_hitting_times, walk_hitting_times
+from repro.runner import HittingTimeTask, Runner
+from repro.telemetry import (
+    PHASES,
+    PhaseAccumulator,
+    TelemetryRecorder,
+    read_events,
+    render_profile,
+    render_profile_diff,
+    summarize_profile,
+    use_recorder,
+)
+from repro.telemetry.bench_history import _kind, compare_snapshots
+
+LAW = ZetaJumpDistribution(2.5)
+
+
+def make_task() -> HittingTimeTask:
+    return HittingTimeTask(jumps=LAW, target=(5, 3), horizon=150)
+
+
+# ---------------------------------------------------------------- accumulator
+
+
+def test_accumulator_laps_tile_and_drain_resets():
+    acc = PhaseAccumulator()
+    assert acc.empty and acc.drain() is None
+    acc.start()
+    acc.lap("rng")
+    acc.lap("cdf_lookup")
+    acc.finish("walk")
+    acc.start()
+    acc.lap("rng")
+    drained = acc.drain()
+    assert drained is not None
+    phases, engines = drained
+    assert set(phases) == {"rng", "cdf_lookup"}
+    assert all(seconds >= 0.0 for seconds in phases.values())
+    assert engines == {"walk": 1}
+    # Drain resets: the accumulator is reusable for the next chunk.
+    assert acc.empty and acc.drain() is None
+
+
+def test_accumulator_accumulates_across_rounds():
+    acc = PhaseAccumulator()
+    acc.start()
+    acc.lap("rng")
+    first, _ = acc.drain()
+    for _ in range(10):
+        acc.start()
+        acc.lap("rng")
+    phases, _ = acc.drain()
+    # Ten laps charge at least as much as one; nanos only accumulate.
+    assert phases["rng"] >= first["rng"] > 0.0
+
+
+# -------------------------------------------------------------- engine wiring
+
+
+@pytest.mark.parametrize(
+    "run_engine,engine_name",
+    [
+        (
+            lambda rng: walk_hitting_times(LAW, (5, 3), horizon=100, n=200, rng=rng),
+            "walk",
+        ),
+        (
+            lambda rng: flight_hitting_times(LAW, (5, 3), horizon=50, n=200, rng=rng),
+            "flight",
+        ),
+        (
+            lambda rng: ball_hitting_times(
+                LAW, (8, 6), radius=2, horizon=100, n=200, rng=rng
+            ),
+            "ball",
+        ),
+        (
+            lambda rng: multi_target_search(
+                LAW, [(5, 3), (9, 2)], horizon=100, n=200, rng=rng
+            ),
+            "multi_target",
+        ),
+    ],
+)
+def test_engines_charge_every_phase(run_engine, engine_name):
+    with use_recorder(TelemetryRecorder()) as recorder:
+        run_engine(np.random.default_rng(0))
+        drained = recorder.profile.drain()
+    assert drained is not None
+    phases, engines = drained
+    assert engines == {engine_name: 1}
+    assert set(phases) == set(PHASES)
+    assert all(seconds > 0.0 for seconds in phases.values())
+
+
+def test_profile_disabled_leaves_accumulator_none():
+    with use_recorder(TelemetryRecorder(profile=False)) as recorder:
+        assert recorder.profile is None
+        walk_hitting_times(
+            LAW, (5, 3), horizon=100, n=200, rng=np.random.default_rng(0)
+        )  # must not raise with the timers off
+
+
+def test_profiling_does_not_perturb_results():
+    baseline = walk_hitting_times(
+        LAW, (5, 3), horizon=150, n=300, rng=np.random.default_rng(7)
+    )
+    with use_recorder(TelemetryRecorder()):
+        traced = walk_hitting_times(
+            LAW, (5, 3), horizon=150, n=300, rng=np.random.default_rng(7)
+        )
+    np.testing.assert_array_equal(baseline.times, traced.times)
+
+
+def test_recorder_close_drains_residual_profile(tmp_path):
+    """Engine calls outside any chunk surface as a residual event."""
+    path = tmp_path / "events.jsonl"
+    recorder = telemetry.configure(log_path=path)
+    try:
+        with use_recorder(recorder):
+            walk_hitting_times(
+                LAW, (5, 3), horizon=100, n=200, rng=np.random.default_rng(0)
+            )
+    finally:
+        recorder.close()
+        telemetry.set_recorder(None)
+    residual = [
+        e for e in read_events(path) if e["type"] == "phase_profile"
+    ]
+    assert len(residual) == 1 and residual[0]["scope"] == "residual"
+    assert set(residual[0]["phases"]) == set(PHASES)
+    snapshot = recorder.metrics.snapshot()
+    assert snapshot["engine.phase_seconds.rng"]["value"] > 0.0
+
+
+# -------------------------------------------------------------- runner wiring
+
+
+def _run_logged(tmp_path, workers: int, **kwargs):
+    path = tmp_path / "events.jsonl"
+    recorder = telemetry.configure(log_path=path, **kwargs)
+    try:
+        with use_recorder(recorder):
+            Runner(n_chunks=4, workers=workers).run(
+                make_task(), 400, seed=0, label="t1"
+            )
+    finally:
+        recorder.close()
+        telemetry.set_recorder(None)
+    return read_events(path)
+
+
+def test_serial_run_emits_per_chunk_profiles(tmp_path):
+    events = _run_logged(tmp_path, workers=0)
+    profiles = [
+        e for e in events if e["type"] == "phase_profile" and "chunk" in e
+    ]
+    ends = [e for e in events if e["type"] == "chunk_end"]
+    assert len(profiles) == 4 and len(ends) == 4
+    for event in profiles:
+        assert set(event["phases"]) == set(PHASES)
+        assert event["worker_id"] == os.getpid()
+    for event in ends:
+        assert event["worker_id"] == os.getpid()
+    starts = [e for e in events if e["type"] == "chunk_start"]
+    assert all(e["worker_id"] == os.getpid() for e in starts)
+    # Phase seconds are bounded by the chunk walltime they tile.
+    total_phase = sum(sum(e["phases"].values()) for e in profiles)
+    total_chunk = sum(e["seconds"] for e in ends)
+    assert 0.0 < total_phase <= total_chunk * 1.05
+
+
+def test_pooled_run_profiles_across_the_process_boundary(tmp_path):
+    events = _run_logged(tmp_path, workers=1)
+    profiles = [
+        e for e in events if e["type"] == "phase_profile" and "chunk" in e
+    ]
+    ends = [e for e in events if e["type"] == "chunk_end"]
+    assert len(profiles) == 4 and len(ends) == 4
+    for event in profiles:
+        assert set(event["phases"]) == set(PHASES)
+        assert isinstance(event["worker_id"], int)
+    # Worker pid, not the parent's: the chunk ran in a pool process.
+    for event in ends:
+        assert isinstance(event["worker_id"], int)
+        assert event["ipc_bytes"] > 0
+        assert event["pickle_seconds"] >= 0.0
+        assert event["unpickle_seconds"] >= 0.0
+
+
+def test_pooled_run_respects_profile_false(tmp_path):
+    events = _run_logged(tmp_path, workers=1, profile=False)
+    assert [e for e in events if e["type"] == "phase_profile"] == []
+    assert len([e for e in events if e["type"] == "chunk_end"]) == 4
+
+
+def test_profile_metrics_counters(tmp_path):
+    path = tmp_path / "events.jsonl"
+    recorder = telemetry.configure(log_path=path)
+    try:
+        with use_recorder(recorder):
+            Runner(n_chunks=2, workers=1).run(make_task(), 200, seed=0, label="t1")
+    finally:
+        recorder.close()
+        telemetry.set_recorder(None)
+    snapshot = recorder.metrics.snapshot()
+    for phase in PHASES:
+        assert snapshot[f"engine.phase_seconds.{phase}"]["value"] > 0.0
+    assert snapshot["runner.ipc_bytes"]["value"] > 0
+    assert snapshot["runner.pickle_seconds"]["value"] >= 0.0
+    assert snapshot["runner.unpickle_seconds"]["value"] >= 0.0
+
+
+def test_profiling_preserves_determinism(tmp_path):
+    reference = Runner(n_chunks=4).run(make_task(), 400, seed=0, label="ref")
+    recorder = telemetry.configure(log_path=tmp_path / "events.jsonl")
+    try:
+        with use_recorder(recorder):
+            profiled = Runner(n_chunks=4).run(make_task(), 400, seed=0, label="t1")
+    finally:
+        recorder.close()
+        telemetry.set_recorder(None)
+    np.testing.assert_array_equal(reference.payload.times, profiled.payload.times)
+
+
+# ------------------------------------------------------------------- analysis
+
+
+def test_summarize_profile_aggregates(tmp_path):
+    events = _run_logged(tmp_path, workers=0)
+    summary = summarize_profile(events)
+    assert summary.profile_events >= 4
+    assert set(summary.phase_seconds) == set(PHASES)
+    assert summary.engine_calls.get("walk", 0) >= 4
+    assert len(summary.chunks) == 4
+    assert summary.walks == 400
+    assert str(os.getpid()) in summary.workers
+    # Every chunk row got its phase attribution joined on.
+    assert all(row["phases"] for row in summary.chunks)
+    parallelism = summary.effective_parallelism
+    assert parallelism is not None and parallelism > 0.0
+
+
+def test_render_profile_full_log(tmp_path):
+    events = _run_logged(tmp_path, workers=1)
+    text = render_profile(events)
+    assert "engine phase breakdown" in text
+    assert "cdf_lookup" in text
+    assert "worker utilization" in text
+    assert "effective parallelism" in text
+    assert "IPC:" in text
+    assert "slowest" in text
+
+
+def test_render_profile_degrades_without_phase_events(tmp_path):
+    """A pre-v3 log (no phase_profile) still gets worker/chunk analysis."""
+    events = [
+        e for e in _run_logged(tmp_path, workers=0) if e["type"] != "phase_profile"
+    ]
+    text = render_profile(events)
+    assert "phase breakdown unavailable" in text
+    assert "worker utilization" in text
+    assert "slowest" in text
+
+
+def test_render_profile_on_torn_and_killed_log(tmp_path):
+    """A kill mid-run leaves a torn tail and no run_end; profile survives."""
+    _run_logged(tmp_path, workers=0)
+    path = tmp_path / "events.jsonl"
+    lines = path.read_text(encoding="utf-8").splitlines()
+    # Drop the clean trailer and tear the final line, the kill signature.
+    kept = [line for line in lines if '"log_close"' not in line]
+    path.write_text("\n".join(kept[:-1]) + "\n" + kept[-1][: len(kept[-1]) // 2])
+    events = read_events(path)
+    text = render_profile(events)
+    assert "worker utilization" in text
+
+
+def test_render_profile_empty_log():
+    text = render_profile([])
+    assert "no chunk_end events found" in text
+    assert "phase breakdown unavailable" in text
+
+
+def test_render_profile_diff(tmp_path):
+    events = _run_logged(tmp_path / "a", workers=0)
+    baseline = _run_logged(tmp_path / "b", workers=0)
+    text = render_profile_diff(events, baseline)
+    assert "phase breakdown vs baseline" in text
+    assert "chunk seconds" in text
+    assert "walks/sec" in text
+    diff_no_phases = render_profile_diff(
+        [e for e in events if e["type"] != "phase_profile"],
+        [e for e in baseline if e["type"] != "phase_profile"],
+    )
+    assert "comparing chunk timings only" in diff_no_phases
+
+
+# ------------------------------------------------------------------ heartbeat
+
+
+def test_heartbeat_file_carries_worker_pid(tmp_path):
+    from repro.runner.supervision import Supervisor, WorkerHeartbeat
+
+    supervisor = Supervisor(tmp_path, timeout=60.0)
+    WorkerHeartbeat(supervisor.heartbeat_path("t1", 0))  # first touch stamps pid
+    assert supervisor.worker_pid("t1", 0) == os.getpid()
+    assert supervisor.worker_pid("t1", 99) is None  # no file -> no pid
+
+
+# ------------------------------------------------------------ speedup history
+
+
+def test_bench_history_speedup_kind():
+    assert _kind("pool_speedup") == "speedup"
+    threshold = 0.25
+    fell = compare_snapshots(
+        {"pool_speedup": 1.5}, {"pool_speedup": 1.2}, threshold
+    )
+    assert fell[0].kind == "speedup" and fell[0].regressed
+    wobble = compare_snapshots(
+        {"pool_speedup": 1.5}, {"pool_speedup": 1.4}, threshold
+    )
+    assert not wobble[0].regressed
+    rose = compare_snapshots(
+        {"pool_speedup": 1.5}, {"pool_speedup": 2.0}, threshold
+    )
+    assert not rose[0].regressed  # a rising speedup never regresses
+
+
+# ------------------------------------------------------------------ watch/CLI
+
+
+def test_watch_state_effective_parallelism():
+    from repro.telemetry.watch import WatchState, render_watch
+
+    state = WatchState()
+    state.consume(
+        [
+            {"type": "log_open", "t": 0.0, "schema": 3},
+            {
+                "type": "chunk_end", "t": 1.0, "chunk": 0, "n": 100,
+                "seconds": 1.0, "worker_id": 11, "label": "t1",
+            },
+            {
+                "type": "chunk_end", "t": 1.0, "chunk": 1, "n": 100,
+                "seconds": 1.0, "worker_id": 12, "label": "t1",
+            },
+        ]
+    )
+    parallelism = state.effective_parallelism()
+    assert parallelism == pytest.approx(2.0)
+    frame = render_watch(state)
+    assert "effective parallelism: 2.00x" in frame
+    assert "2 worker(s) seen" in frame
+
+
+def test_cli_profile_command(tmp_path, capsys):
+    from repro.cli import EXIT_OK, EXIT_USAGE, main
+
+    events = _run_logged(tmp_path, workers=0)
+    log = tmp_path / "events.jsonl"
+    assert main(["profile", str(log)]) == EXIT_OK
+    out = capsys.readouterr().out
+    assert "engine phase breakdown" in out
+    assert main(["profile", str(log), "--diff", str(log)]) == EXIT_OK
+    assert "phase breakdown vs baseline" in capsys.readouterr().out
+    assert main(["profile", str(tmp_path / "nope.jsonl")]) == EXIT_USAGE
+
+
+def test_report_includes_phase_breakdown(tmp_path):
+    from repro.telemetry import render_report, summarize_events
+
+    events = _run_logged(tmp_path, workers=0)
+    summary = summarize_events(events)
+    assert set(summary["phase_seconds"]) == set(PHASES)
+    text = render_report(events)
+    assert "engine phase breakdown" in text
+    assert "repro-experiment profile" in text
