@@ -57,9 +57,11 @@ from typing import Optional, Sequence
 
 from repro.experiments.common import (
     SCALES,
+    add_registry_arguments,
     add_runner_arguments,
     add_telemetry_arguments,
     finish_telemetry,
+    register_run,
     run_accepts_runner,
     runner_from_args,
     telemetry_from_args,
@@ -97,6 +99,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     add_runner_arguments(runner)
     add_telemetry_arguments(runner)
+    add_registry_arguments(runner)
     sweeper = subparsers.add_parser(
         "sweep",
         help="run a declarative parameter grid over one shared runner pool",
@@ -175,6 +178,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     add_runner_arguments(sweeper)
     add_telemetry_arguments(sweeper)
+    add_registry_arguments(sweeper)
     reporter = subparsers.add_parser(
         "report", help="render a --log-json event log into text tables"
     )
@@ -249,8 +253,41 @@ def _build_parser() -> argparse.ArgumentParser:
         "bench-history",
         help="diff two BENCH_*.json benchmark snapshots and fail on regressions",
     )
-    bench.add_argument("baseline", type=Path, help="committed snapshot (the reference)")
-    bench.add_argument("current", type=Path, help="freshly generated snapshot")
+    bench.add_argument(
+        "baseline",
+        type=Path,
+        nargs="?",
+        default=None,
+        help="committed snapshot (the reference); omit with --from-registry",
+    )
+    bench.add_argument(
+        "current",
+        type=Path,
+        nargs="?",
+        default=None,
+        help="freshly generated snapshot; omit with --from-registry",
+    )
+    bench.add_argument(
+        "--from-registry",
+        action="store_true",
+        dest="from_registry",
+        help="render walltime/estimate/parallelism trend sparklines over "
+        "the last registered runs instead of diffing two snapshot files",
+    )
+    bench.add_argument(
+        "--registry-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="registry to read with --from-registry (default .repro-registry/)",
+    )
+    bench.add_argument(
+        "--last",
+        type=int,
+        default=10,
+        metavar="N",
+        help="how many registered runs to trend with --from-registry (default 10)",
+    )
     bench.add_argument(
         "--max-regression",
         default="25%",
@@ -317,6 +354,100 @@ def _build_parser() -> argparse.ArgumentParser:
         help="walks per scenario run (default 400)",
     )
     chaos.add_argument("--seed", type=int, default=42)
+
+    runs = subparsers.add_parser(
+        "runs",
+        help="inspect the run registry: list, show, compare (drift), gc",
+        description=(
+            "Every run/sweep/experiment invocation appends a RunRecord "
+            "(provenance, outcome, Wilson-CI estimates, phase profile, "
+            "incidents) to the append-only registry.  'compare' performs "
+            "CI-aware statistical drift detection between two runs: "
+            "disjoint 95% Wilson intervals on the same grid point flag "
+            "DRIFT (non-zero exit under --strict)."
+        ),
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+
+    def _registry_dir_flag(p):
+        p.add_argument(
+            "--registry-dir",
+            type=Path,
+            default=None,
+            metavar="DIR",
+            help="registry directory (default .repro-registry/)",
+        )
+
+    runs_list = runs_sub.add_parser("list", help="list registered runs")
+    _registry_dir_flag(runs_list)
+    runs_list.add_argument(
+        "--last", type=int, default=None, metavar="N",
+        help="only the newest N records",
+    )
+    runs_list.add_argument(
+        "--command", default=None, dest="runs_filter_command",
+        metavar="CMD", help="only records of this command (run/sweep/experiment)",
+    )
+    runs_show = runs_sub.add_parser("show", help="show one run record in full")
+    _registry_dir_flag(runs_show)
+    runs_show.add_argument(
+        "run", help="run id, unique id prefix, or 'last'/'prev'"
+    )
+    runs_compare = runs_sub.add_parser(
+        "compare",
+        help="CI-aware drift detection between two registered runs",
+    )
+    _registry_dir_flag(runs_compare)
+    runs_compare.add_argument("run_a", help="baseline run (id/prefix/'prev')")
+    runs_compare.add_argument("run_b", help="candidate run (id/prefix/'last')")
+    runs_compare.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when any grid point's Wilson CIs are disjoint",
+    )
+    runs_gc = runs_sub.add_parser(
+        "gc", help="compact the registry, keeping recent records"
+    )
+    _registry_dir_flag(runs_gc)
+    runs_gc.add_argument(
+        "--keep", type=int, default=50, metavar="N",
+        help="newest records to keep (default 50)",
+    )
+    runs_gc.add_argument(
+        "--max-age-days", type=float, default=None, dest="max_age_days",
+        metavar="D", help="additionally drop kept-range records older than D days",
+    )
+    runs_gc.add_argument(
+        "--dry-run", action="store_true", dest="dry_run",
+        help="report what would be dropped without rewriting the registry",
+    )
+
+    dashboard = subparsers.add_parser(
+        "dashboard",
+        help="render the run registry as one self-contained HTML file",
+        description=(
+            "Emit a single static HTML document (inline CSS + SVG, zero "
+            "JavaScript, no external assets) with estimate trajectories "
+            "per grid point across runs (95% Wilson CIs as whiskers), "
+            "walltime and convergence trends, phase-seconds stacked "
+            "bars, and the incident/quarantine ledger."
+        ),
+    )
+    dashboard.add_argument("output", type=Path, help="HTML file to write")
+    dashboard.add_argument(
+        "--registry-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="registry directory (default .repro-registry/)",
+    )
+    dashboard.add_argument(
+        "--last", type=int, default=None, metavar="N",
+        help="only render the newest N records",
+    )
+    dashboard.add_argument(
+        "--title", default="Run registry dashboard", help="page title"
+    )
     return parser
 
 
@@ -426,15 +557,20 @@ def _sweep_grid(args) -> int:
         k=args.k,
         n_groups=args.n_groups,
     )
+    from repro.telemetry.registry import estimates_from_sweep, new_run_id
+
+    run_id = new_run_id()
     runner = runner_from_args(args)
-    recorder, previous = telemetry_from_args(args)
+    recorder, previous = telemetry_from_args(args, run_id=run_id)
     if recorder is not None:
         recorder.bind(seed=args.seed)
+    started = time.monotonic()
     try:
         with trap_signals():
             result = run_sweep(spec, seed=args.seed, runner=runner, label=args.label)
     finally:
-        finish_telemetry(args, recorder, previous)
+        finish_telemetry(args, recorder, previous, run_id=run_id)
+    walltime = time.monotonic() - started
     print(result.summary_table().render())
     if result.converged:
         print(f"{result.converged} point(s) stopped early on their CI target")
@@ -442,19 +578,39 @@ def _sweep_grid(args) -> int:
         atomic_write_json(result.to_dict(), args.json_out)
     if result.interrupted:
         print("interrupted; completed chunks are checkpointed", file=sys.stderr)
-        return EXIT_INTERRUPTED
-    if result.quarantined_points:
+        code = EXIT_INTERRUPTED
+    elif result.quarantined_points:
         print(
             f"{result.quarantined_points} poison point(s) quarantined by the "
             "retry circuit breaker; the rest of the grid completed",
             file=sys.stderr,
         )
-        return EXIT_QUARANTINED
-    if result.degraded:
+        code = EXIT_QUARANTINED
+    elif result.degraded:
         print("walltime budget expired; some points are partial (degraded)",
               file=sys.stderr)
-        return EXIT_DEGRADED
-    return EXIT_OK
+        code = EXIT_DEGRADED
+    else:
+        code = EXIT_OK
+    register_run(
+        args,
+        command="sweep",
+        label=args.label,
+        run_id=run_id,
+        exit_code=code,
+        recorder=recorder,
+        estimates=estimates_from_sweep(result),
+        walltime_seconds=walltime,
+        config={
+            "axes": {name: list(values) for name, values in axes.items()},
+            "n_walks": args.n_walks,
+            "horizon": args.horizon,
+            "k": args.k,
+            "n_groups": args.n_groups,
+            "seed": args.seed,
+        },
+    )
+    return code
 
 
 def _report(args) -> int:
@@ -519,6 +675,22 @@ def _watch(args) -> int:
 def _bench_history(args) -> int:
     from repro.telemetry.bench_history import compare_files, parse_threshold
 
+    if args.from_registry:
+        from repro.telemetry.bench_history import render_registry_trends
+        from repro.telemetry.registry import DEFAULT_REGISTRY_DIR, RunRegistry
+
+        registry = RunRegistry(args.registry_dir or DEFAULT_REGISTRY_DIR)
+        records = registry.latest(args.last)
+        if not records:
+            print(f"warning: no registered runs in {registry.path}",
+                  file=sys.stderr)
+            return EXIT_OK
+        print(render_registry_trends(records))
+        return EXIT_OK
+    if args.baseline is None or args.current is None:
+        print("error: bench-history needs BASELINE and CURRENT snapshots "
+              "(or --from-registry)", file=sys.stderr)
+        return EXIT_USAGE
     try:
         threshold = parse_threshold(args.max_regression)
     except ValueError as exc:
@@ -587,6 +759,93 @@ def _chaos(args) -> int:
     return EXIT_OK
 
 
+def _open_registry(args):
+    from repro.telemetry.registry import DEFAULT_REGISTRY_DIR, RunRegistry
+
+    return RunRegistry(args.registry_dir or DEFAULT_REGISTRY_DIR)
+
+
+def _runs(args) -> int:
+    """The ``runs`` subcommand group: list / show / compare / gc."""
+    from repro.io_utils import CorruptResultError
+    from repro.telemetry.registry import (
+        compare_records,
+        render_record,
+        render_runs_table,
+    )
+
+    registry = _open_registry(args)
+    try:
+        if args.runs_command == "list":
+            records = registry.latest(
+                args.last, command=args.runs_filter_command
+            )
+            if not records:
+                print(f"no registered runs in {registry.path}")
+                return EXIT_OK
+            print(render_runs_table(records))
+            return EXIT_OK
+        if args.runs_command == "show":
+            print(render_record(registry.resolve(args.run)))
+            return EXIT_OK
+        if args.runs_command == "compare":
+            a = registry.resolve(args.run_a)
+            b = registry.resolve(args.run_b)
+            text, drifted, warned = compare_records(a, b)
+            print(text)
+            if drifted and args.strict:
+                return EXIT_FAILED
+            return EXIT_OK
+        # gc
+        kept, dropped = registry.gc(
+            keep=args.keep,
+            max_age_days=args.max_age_days,
+            dry_run=args.dry_run,
+        )
+        verb = "would drop" if args.dry_run else "dropped"
+        print(
+            f"{verb} {len(dropped)} record(s), kept {len(kept)} in "
+            f"{registry.path}"
+        )
+        protected = [
+            r.run_id
+            for r in kept
+            if r.artifacts.get("checkpoint_dir")
+            and Path(r.artifacts["checkpoint_dir"]).exists()
+        ]
+        if protected:
+            print(
+                f"{len(protected)} record(s) kept regardless of age: their "
+                "checkpoint directories still exist"
+            )
+        return EXIT_OK
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return EXIT_USAGE
+    except CorruptResultError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FAILED
+    except BrokenPipeError:
+        _swallow_broken_pipe()
+        return EXIT_OK
+
+
+def _dashboard(args) -> int:
+    from repro.reporting.dashboard import write_dashboard
+
+    registry = _open_registry(args)
+    records = registry.latest(args.last)
+    path = write_dashboard(records, args.output, title=args.title)
+    print(f"wrote {path} ({len(records)} run(s))")
+    if not records:
+        print(
+            f"note: the registry at {registry.path} is empty; run a sweep "
+            "or experiment first",
+            file=sys.stderr,
+        )
+    return EXIT_OK
+
+
 def _swallow_broken_pipe() -> None:
     """Piped into ``head``/``less -F`` which closed stdout early; redirect
     the remaining flush to devnull so no traceback leaks on exit."""
@@ -616,6 +875,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _bench_history(args)
     if args.command == "chaos":
         return _chaos(args)
+    if args.command == "runs":
+        return _runs(args)
+    if args.command == "dashboard":
+        return _dashboard(args)
 
     known = experiment_ids()
     if args.experiment == "all":
@@ -630,11 +893,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return EXIT_USAGE
 
+    from repro.telemetry.registry import new_run_id
+
+    run_id = new_run_id()
     checkpoint_root = args.checkpoint_dir
     statuses = []  # (experiment id, status, detail, seconds)
     any_degraded = False
     interrupted = False
-    recorder, previous_recorder = telemetry_from_args(args)
+    recorder, previous_recorder = telemetry_from_args(args, run_id=run_id)
     if recorder is not None:
         recorder.bind(scale=args.scale, seed=args.seed)
 
@@ -662,12 +928,43 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         finally:
             recorder.unbind("experiment")
 
+    started = time.monotonic()
     try:
-        return _run_sweep(
+        code = _run_sweep(
             args, targets, statuses, run_with_telemetry, any_degraded, interrupted
         )
     finally:
-        finish_telemetry(args, recorder, previous_recorder)
+        finish_telemetry(args, recorder, previous_recorder, run_id=run_id)
+    # Headline estimates: the convergence monitor's final per-label Wilson
+    # CIs, recoverable from the (now closed) event log when one was kept.
+    estimates = []
+    if args.log_json is not None and args.log_json.exists():
+        from repro.telemetry.events import read_events
+        from repro.telemetry.registry import estimates_from_events
+
+        try:
+            estimates = estimates_from_events(read_events(args.log_json))
+        except (OSError, ValueError):
+            pass
+    failed = [
+        f"{experiment_id}: {status.lower()}"
+        for experiment_id, status, _, _ in statuses
+        if status in ("FAIL", "ERROR")
+    ]
+    register_run(
+        args,
+        command="run",
+        label=args.experiment,
+        run_id=run_id,
+        exit_code=code,
+        recorder=recorder,
+        estimates=estimates,
+        walltime_seconds=time.monotonic() - started,
+        config={"experiment": args.experiment, "scale": args.scale,
+                "seed": args.seed},
+        notes=failed,
+    )
+    return code
 
 
 def _run_sweep(args, targets, statuses, run_one, any_degraded, interrupted) -> int:

@@ -299,12 +299,52 @@ def add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def telemetry_from_args(args: argparse.Namespace):
+def add_registry_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the run-registry CLI flags (see docs/observability.md)."""
+    from repro.telemetry.registry import DEFAULT_REGISTRY_DIR
+
+    parser.add_argument(
+        "--registry-dir",
+        type=Path,
+        default=Path(DEFAULT_REGISTRY_DIR),
+        metavar="DIR",
+        help="run-registry directory; every run appends a RunRecord to "
+        f"DIR/runs.jsonl (default {DEFAULT_REGISTRY_DIR}/); inspect with "
+        "'repro-experiment runs list'",
+    )
+    parser.add_argument(
+        "--no-registry",
+        action="store_true",
+        dest="no_registry",
+        help="do not register this run in the run registry",
+    )
+
+
+def registry_from_args(args: argparse.Namespace):
+    """The :class:`~repro.telemetry.registry.RunRegistry` for this run.
+
+    Returns ``None`` when registration is disabled (``--no-registry``)
+    or the parser never grew the registry flags.
+    """
+    if getattr(args, "no_registry", False):
+        return None
+    registry_dir = getattr(args, "registry_dir", None)
+    if registry_dir is None:
+        return None
+    from repro.telemetry.registry import RunRegistry
+
+    return RunRegistry(registry_dir)
+
+
+def telemetry_from_args(args: argparse.Namespace, run_id: Optional[str] = None):
     """Install a live recorder from parsed telemetry flags.
 
     Returns ``(recorder, previous)`` -- ``(None, None)`` when no
     telemetry flag was used, so plain runs keep the no-op recorder.  The
     caller must call :func:`finish_telemetry` with the pair when done.
+    ``run_id`` is stamped into the event log's ``log_open`` header and
+    the ``--metrics-out`` snapshot, joining both artifacts to the run's
+    registry record.
     """
     wants = (
         args.log_json is not None
@@ -319,11 +359,17 @@ def telemetry_from_args(args: argparse.Namespace):
     recorder = telemetry.configure(
         log_path=args.log_json,
         progress=sys.stderr if args.progress else None,
+        run_id=run_id,
     )
     return recorder, previous
 
 
-def finish_telemetry(args: argparse.Namespace, recorder, previous) -> None:
+def finish_telemetry(
+    args: argparse.Namespace,
+    recorder,
+    previous,
+    run_id: Optional[str] = None,
+) -> None:
     """Export the metrics snapshot, close the event log, restore the seam."""
     if recorder is None:
         return
@@ -331,7 +377,12 @@ def finish_telemetry(args: argparse.Namespace, recorder, previous) -> None:
 
     try:
         if args.metrics_out is not None:
-            recorder.metrics.write_json(args.metrics_out)
+            meta = None
+            if run_id is not None:
+                from repro.telemetry.registry import utc_now_iso
+
+                meta = {"run_id": run_id, "created_at": utc_now_iso()}
+            recorder.metrics.write_json(args.metrics_out, meta=meta)
     finally:
         recorder.close()
         telemetry.set_recorder(previous)
@@ -413,17 +464,98 @@ def run_accepts_runner(run) -> bool:
         return False
 
 
+def register_run(
+    args: argparse.Namespace,
+    *,
+    command: str,
+    label: str,
+    run_id: str,
+    exit_code: int,
+    recorder=None,
+    estimates: Sequence = (),
+    walltime_seconds: Optional[float] = None,
+    config: Optional[dict] = None,
+    notes: Sequence[str] = (),
+) -> None:
+    """Append this run's :class:`RunRecord` to the configured registry.
+
+    Registration is best-effort bookkeeping: a full disk or read-only
+    registry directory must never turn a finished run into a failure, so
+    every OSError is reported as a warning and swallowed.
+    """
+    registry = registry_from_args(args)
+    if registry is None:
+        return
+    from repro.telemetry.registry import build_run_record
+
+    artifacts = {
+        "events": getattr(args, "log_json", None),
+        "metrics": getattr(args, "metrics_out", None),
+        "checkpoint_dir": getattr(args, "checkpoint_dir", None),
+        "json": getattr(args, "json_out", None),
+    }
+    # Pool effectiveness comes from the closed event log's worker
+    # intervals (the same analysis `profile` renders); no log, no number.
+    pool = {}
+    log_path = getattr(args, "log_json", None)
+    if log_path is not None and Path(log_path).exists():
+        try:
+            from repro.telemetry.events import read_events
+            from repro.telemetry.profile import summarize_profile
+
+            profile = summarize_profile(read_events(log_path))
+            if profile.effective_parallelism is not None:
+                pool["effective_parallelism"] = round(
+                    profile.effective_parallelism, 3
+                )
+                workers = getattr(args, "workers", 0) or 0
+                if workers > 0:
+                    pool["pool_speedup"] = round(
+                        profile.effective_parallelism, 3
+                    )
+        except (OSError, ValueError):
+            pass
+    record = build_run_record(
+        command=command,
+        label=label,
+        run_id=run_id,
+        seed=getattr(args, "seed", None),
+        scale=getattr(args, "scale", None),
+        config=config,
+        exit_code=exit_code,
+        estimates=estimates,
+        recorder=recorder,
+        walltime_seconds=walltime_seconds,
+        workers=getattr(args, "workers", None) or None,
+        pool=pool,
+        artifacts=artifacts,
+        notes=notes,
+    )
+    try:
+        registry.register(record)
+    except OSError as exc:
+        print(f"warning: could not register run in {registry.path}: {exc}",
+              file=sys.stderr)
+
+
 def experiment_main(run, argv: Optional[Sequence[str]] = None) -> int:
     """Standard CLI wrapper used by every experiment's ``main``."""
+    import time
+
+    from repro.telemetry.registry import new_run_id
+
     parser = argparse.ArgumentParser(description=run.__doc__)
     parser.add_argument("--scale", choices=SCALES, default="small")
     parser.add_argument("--seed", type=int, default=0)
     add_runner_arguments(parser)
     add_telemetry_arguments(parser)
+    add_registry_arguments(parser)
     args = parser.parse_args(argv)
-    recorder, previous = telemetry_from_args(args)
+    run_id = new_run_id()
+    recorder, previous = telemetry_from_args(args, run_id=run_id)
     if recorder is not None:
         recorder.bind(scale=args.scale, seed=args.seed)
+    started = time.monotonic()
     try:
         runner = runner_from_args(args)
         if runner is not None and run_accepts_runner(run):
@@ -438,7 +570,19 @@ def experiment_main(run, argv: Optional[Sequence[str]] = None) -> int:
                     file=sys.stderr,
                 )
             result = run(scale=args.scale, seed=args.seed)
+        exit_code = 0 if result.passed else 1
+        register_run(
+            args,
+            command="experiment",
+            label=result.experiment_id,
+            run_id=run_id,
+            exit_code=exit_code,
+            recorder=recorder,
+            walltime_seconds=time.monotonic() - started,
+            config={"scale": args.scale, "seed": args.seed},
+            notes=[c.description for c in result.checks if not c.passed],
+        )
     finally:
-        finish_telemetry(args, recorder, previous)
+        finish_telemetry(args, recorder, previous, run_id=run_id)
     print(result.render())
-    return 0 if result.passed else 1
+    return exit_code

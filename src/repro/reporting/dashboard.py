@@ -1,0 +1,519 @@
+"""``repro-experiment dashboard``: the registry as one static HTML file.
+
+The run registry (:mod:`repro.telemetry.registry`) remembers every run's
+headline estimates, phase profile and incident counters; this module
+renders that memory as a *single self-contained* HTML document -- inline
+CSS, inline SVG, **zero** JavaScript, no external assets -- so the file
+can be committed, attached to a CI build, or opened from a mail client
+and still work in twenty years.  The same zero-dependency ethos as the
+text tables, one rung up the presentation ladder.
+
+Sections, in order:
+
+* **Overview** -- one table row per registered run (id, command, git
+  revision, outcome, points, walltime, incidents);
+* **Estimate trajectories** -- per grid-point key (law, l, k, ...), an
+  SVG chart of the Wilson point estimate across runs in registration
+  order, each point wearing its 95% CI as a whisker; drift is visible as
+  a marker stepping outside its neighbours' whiskers;
+* **Walltime & convergence trends** -- SVG sparklines of run walltime
+  and of converged/total points per run;
+* **Phase seconds** -- one stacked horizontal bar per run, phases
+  colour-coded with a shared legend: where the engine time went, run
+  over run;
+* **Incident ledger** -- every run with non-zero incident counters
+  (retries, quarantined points, hung chunks, ...), newest last.
+
+Everything is computed from :class:`~repro.telemetry.registry.RunRecord`
+objects alone -- no event-log access -- so rendering is fast and works
+after ``runs gc`` removed the underlying artifacts.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Fixed colour wheel for phase bars (dark-on-light friendly).  Phases
+#: are assigned colours by first appearance across the run sequence, so
+#: the same phase keeps its colour in every bar.
+PHASE_COLORS = (
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2",
+    "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+)
+
+_OUTCOME_COLORS = {
+    "ok": "#2e7d32",
+    "degraded": "#f9a825",
+    "quarantined": "#ef6c00",
+    "failed": "#c62828",
+    "interrupted": "#6a1b9a",
+}
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, 'Helvetica Neue',
+       Arial, sans-serif; margin: 2rem auto; max-width: 72rem;
+       color: #212121; background: #fafafa; padding: 0 1rem; }
+h1 { font-size: 1.5rem; border-bottom: 2px solid #4e79a7; padding-bottom: .3rem; }
+h2 { font-size: 1.15rem; margin-top: 2rem; }
+h3 { font-size: .95rem; margin: 1rem 0 .25rem; font-weight: 600; }
+table { border-collapse: collapse; font-size: .85rem; width: 100%; }
+th, td { border: 1px solid #ddd; padding: .3rem .55rem; text-align: left; }
+th { background: #eceff1; }
+tr:nth-child(even) td { background: #f5f5f5; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+code { background: #eceff1; padding: .05rem .3rem; border-radius: 3px;
+       font-size: .85em; }
+.meta { color: #616161; font-size: .8rem; }
+.chart { background: #fff; border: 1px solid #e0e0e0; border-radius: 4px;
+         padding: .5rem; margin: .5rem 0 1rem; }
+.legend { font-size: .8rem; margin: .25rem 0 .75rem; }
+.legend span.swatch { display: inline-block; width: .8em; height: .8em;
+                      margin: 0 .3em 0 1em; vertical-align: -0.05em;
+                      border-radius: 2px; }
+.outcome { font-weight: 600; }
+.empty { color: #757575; font-style: italic; }
+"""
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt(value: Optional[float], digits: int = 4) -> str:
+    if value is None:
+        return "-"
+    return format(float(value), f".{digits}g")
+
+
+def _outcome_cell(outcome: str) -> str:
+    color = _OUTCOME_COLORS.get(outcome, "#212121")
+    return f'<span class="outcome" style="color:{color}">{_esc(outcome)}</span>'
+
+
+def _short_id(run_id: str) -> str:
+    # 20260808T101500Z-a1b2c3 -> a1b2c3 (the date half is in its own column)
+    return run_id.rsplit("-", 1)[-1] if "-" in run_id else run_id
+
+
+# ------------------------------------------------------------------ SVG bits
+
+
+def _svg_open(width: int, height: int) -> str:
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'role="img" font-family="inherit">'
+    )
+
+
+def _scale(
+    value: float, lo: float, hi: float, pixel_lo: float, pixel_hi: float
+) -> float:
+    if hi <= lo:
+        return (pixel_lo + pixel_hi) / 2.0
+    frac = (value - lo) / (hi - lo)
+    return pixel_lo + frac * (pixel_hi - pixel_lo)
+
+
+def estimate_trajectory_svg(
+    points: Sequence[Mapping[str, Any]],
+    width: int = 520,
+    height: int = 150,
+) -> str:
+    """One grid-point key's estimate across runs, CIs as whiskers.
+
+    ``points`` is a chronological list of ``{"run_id", "p", "low",
+    "high"}`` dicts (``p`` may be None for runs where the point had an
+    empty sample: those runs leave a visible gap).
+    """
+    pad_l, pad_r, pad_t, pad_b = 46, 10, 8, 22
+    xs = list(range(len(points)))
+    values = [
+        v
+        for point in points
+        for v in (point.get("p"), point.get("low"), point.get("high"))
+        if isinstance(v, (int, float))
+    ]
+    parts = [_svg_open(width, height)]
+    if not values:
+        parts.append(
+            f'<text x="{width // 2}" y="{height // 2}" text-anchor="middle" '
+            f'font-size="12" fill="#757575">no data</text></svg>'
+        )
+        return "".join(parts)
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    lo -= 0.08 * span or 0.01
+    hi += 0.08 * span or 0.01
+    plot_l, plot_r = pad_l, width - pad_r
+    plot_t, plot_b = pad_t, height - pad_b
+
+    def x_at(i: int) -> float:
+        if len(xs) == 1:
+            return (plot_l + plot_r) / 2.0
+        return _scale(i, 0, len(xs) - 1, plot_l, plot_r)
+
+    def y_at(v: float) -> float:
+        return _scale(v, lo, hi, plot_b, plot_t)  # flipped: SVG y grows down
+
+    # Axis frame and y tick labels.
+    parts.append(
+        f'<rect x="{plot_l}" y="{plot_t}" width="{plot_r - plot_l}" '
+        f'height="{plot_b - plot_t}" fill="none" stroke="#e0e0e0"/>'
+    )
+    for tick in (lo, (lo + hi) / 2.0, hi):
+        y = y_at(tick)
+        parts.append(
+            f'<text x="{plot_l - 4}" y="{y + 3:.1f}" text-anchor="end" '
+            f'font-size="9" fill="#757575">{tick:.3g}</text>'
+        )
+        parts.append(
+            f'<line x1="{plot_l}" y1="{y:.1f}" x2="{plot_r}" y2="{y:.1f}" '
+            f'stroke="#eeeeee"/>'
+        )
+    # Connect consecutive runs that both have estimates.
+    previous: Optional[Tuple[float, float]] = None
+    for i, point in enumerate(points):
+        p = point.get("p")
+        if not isinstance(p, (int, float)):
+            previous = None
+            continue
+        x, y = x_at(i), y_at(float(p))
+        if previous is not None:
+            parts.append(
+                f'<line x1="{previous[0]:.1f}" y1="{previous[1]:.1f}" '
+                f'x2="{x:.1f}" y2="{y:.1f}" stroke="#4e79a7" stroke-width="1.5"/>'
+            )
+        previous = (x, y)
+    # CI whiskers, then markers on top.
+    for i, point in enumerate(points):
+        p, low, high = point.get("p"), point.get("low"), point.get("high")
+        x = x_at(i)
+        if isinstance(low, (int, float)) and isinstance(high, (int, float)):
+            y_low, y_high = y_at(float(low)), y_at(float(high))
+            parts.append(
+                f'<line x1="{x:.1f}" y1="{y_low:.1f}" x2="{x:.1f}" '
+                f'y2="{y_high:.1f}" stroke="#9ab5d4" stroke-width="3" '
+                f'stroke-linecap="round" opacity="0.7"/>'
+            )
+        if isinstance(p, (int, float)):
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y_at(float(p)):.1f}" r="3" '
+                f'fill="#4e79a7"><title>{_esc(point.get("run_id", "?"))}: '
+                f'p={float(p):.4g}</title></circle>'
+            )
+        label = _short_id(str(point.get("run_id", "")))
+        parts.append(
+            f'<text x="{x:.1f}" y="{height - 8}" text-anchor="middle" '
+            f'font-size="8" fill="#757575">{_esc(label)}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def trend_svg(
+    values: Sequence[Optional[float]],
+    labels: Sequence[str],
+    width: int = 520,
+    height: int = 90,
+    color: str = "#59a14f",
+    unit: str = "",
+) -> str:
+    """A compact polyline sparkline of one scalar across runs."""
+    pad_l, pad_r, pad_t, pad_b = 46, 10, 6, 18
+    numeric = [v for v in values if isinstance(v, (int, float))]
+    parts = [_svg_open(width, height)]
+    if not numeric:
+        parts.append(
+            f'<text x="{width // 2}" y="{height // 2}" text-anchor="middle" '
+            f'font-size="12" fill="#757575">no data</text></svg>'
+        )
+        return "".join(parts)
+    lo, hi = min(numeric), max(numeric)
+    span = hi - lo
+    lo -= 0.1 * span or 0.01
+    hi += 0.1 * span or 0.01
+    plot_l, plot_r = pad_l, width - pad_r
+    plot_t, plot_b = pad_t, height - pad_b
+
+    def x_at(i: int) -> float:
+        if len(values) == 1:
+            return (plot_l + plot_r) / 2.0
+        return _scale(i, 0, len(values) - 1, plot_l, plot_r)
+
+    def y_at(v: float) -> float:
+        return _scale(v, lo, hi, plot_b, plot_t)
+
+    for tick in (min(numeric), max(numeric)):
+        parts.append(
+            f'<text x="{plot_l - 4}" y="{y_at(tick) + 3:.1f}" text-anchor="end" '
+            f'font-size="9" fill="#757575">{tick:.3g}{_esc(unit)}</text>'
+        )
+    previous: Optional[Tuple[float, float]] = None
+    for i, value in enumerate(values):
+        if not isinstance(value, (int, float)):
+            previous = None
+            continue
+        x, y = x_at(i), y_at(float(value))
+        if previous is not None:
+            parts.append(
+                f'<line x1="{previous[0]:.1f}" y1="{previous[1]:.1f}" '
+                f'x2="{x:.1f}" y2="{y:.1f}" stroke="{color}" stroke-width="1.5"/>'
+            )
+        parts.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="2.5" fill="{color}">'
+            f"<title>{_esc(labels[i])}: {float(value):.4g}{_esc(unit)}</title>"
+            f"</circle>"
+        )
+        previous = (x, y)
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def phase_bars_svg(
+    runs: Sequence[Tuple[str, Mapping[str, float]]],
+    colors: Mapping[str, str],
+    width: int = 640,
+    bar_height: int = 16,
+    gap: int = 6,
+) -> str:
+    """One stacked horizontal bar of phase seconds per run."""
+    pad_l, pad_r = 120, 60
+    height = len(runs) * (bar_height + gap) + gap
+    totals = [sum(phases.values()) for _, phases in runs]
+    max_total = max(totals) if totals else 0.0
+    parts = [_svg_open(width, height)]
+    plot_w = width - pad_l - pad_r
+    for row, ((label, phases), total) in enumerate(zip(runs, totals)):
+        y = gap + row * (bar_height + gap)
+        parts.append(
+            f'<text x="{pad_l - 6}" y="{y + bar_height - 4}" text-anchor="end" '
+            f'font-size="10" fill="#424242">{_esc(label)}</text>'
+        )
+        x = float(pad_l)
+        for name in sorted(phases, key=phases.get, reverse=True):
+            seconds = phases[name]
+            if seconds <= 0 or max_total <= 0:
+                continue
+            segment = plot_w * seconds / max_total
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y}" width="{max(segment, 0.5):.1f}" '
+                f'height="{bar_height}" fill="{colors.get(name, "#bab0ac")}">'
+                f"<title>{_esc(name)}: {seconds:.3g}s</title></rect>"
+            )
+            x += segment
+        parts.append(
+            f'<text x="{x + 5:.1f}" y="{y + bar_height - 4}" font-size="9" '
+            f'fill="#757575">{total:.3g}s</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+# ----------------------------------------------------------------- assembly
+
+
+def _trajectories(records: Sequence) -> Dict[str, List[Dict[str, Any]]]:
+    """Per estimate key, the chronological (run, p, CI) series."""
+    series: Dict[str, List[Dict[str, Any]]] = {}
+    for record in records:
+        for estimate in record.estimates:
+            key = str(estimate.get("key", "?"))
+            series.setdefault(key, []).append(
+                {
+                    "run_id": record.run_id,
+                    "p": estimate.get("p"),
+                    "low": estimate.get("low"),
+                    "high": estimate.get("high"),
+                    "trials": estimate.get("trials"),
+                    "status": estimate.get("status"),
+                }
+            )
+    return series
+
+
+def _phase_colors(records: Sequence) -> Dict[str, str]:
+    colors: Dict[str, str] = {}
+    for record in records:
+        for name in sorted(record.phases, key=record.phases.get, reverse=True):
+            if name not in colors:
+                colors[name] = PHASE_COLORS[len(colors) % len(PHASE_COLORS)]
+    return colors
+
+
+def render_dashboard(records: Sequence, title: str = "Run registry dashboard") -> str:
+    """The full single-file HTML document for a record sequence.
+
+    ``records`` must be chronological (oldest first), exactly as
+    :meth:`RunRegistry.records` returns them.  An empty sequence renders
+    a valid empty-state page rather than failing, so the CI step works
+    on a fresh registry too.
+    """
+    generated = max((r.created_at for r in records), default="-")
+    out: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{_esc(title)}</title>",
+        f"<style>{_CSS}</style>",
+        "</head><body>",
+        f"<h1>{_esc(title)}</h1>",
+        f'<p class="meta">{len(records)} registered run(s)'
+        f" &middot; newest {_esc(generated)}"
+        " &middot; rendered by <code>repro-experiment dashboard</code>"
+        " (self-contained, no scripts)</p>",
+    ]
+    if not records:
+        out.append(
+            '<p class="empty">The registry is empty. Runs register themselves '
+            "automatically; see <code>repro-experiment sweep --help</code> "
+            "(<code>--registry-dir</code>).</p>"
+        )
+        out.append("</body></html>")
+        return "\n".join(out)
+
+    # ------------------------------------------------------------ overview
+    out.append("<h2>Overview</h2>")
+    out.append(
+        "<table><tr><th>run id</th><th>created (UTC)</th><th>command</th>"
+        "<th>label</th><th>git</th><th>scale</th><th>outcome</th>"
+        "<th>points</th><th>converged</th><th>walltime</th>"
+        "<th>incidents</th></tr>"
+    )
+    for record in records:
+        converged = sum(
+            1 for e in record.estimates if e.get("status") == "converged"
+        )
+        incident_total = sum(record.incidents.values())
+        out.append(
+            "<tr>"
+            f"<td><code>{_esc(record.run_id)}</code></td>"
+            f"<td>{_esc(record.created_at)}</td>"
+            f"<td>{_esc(record.command)}</td>"
+            f"<td>{_esc(record.label or '-')}</td>"
+            f"<td><code>{_esc(record.git_rev or '?')}</code></td>"
+            f"<td>{_esc(record.scale or '-')}</td>"
+            f"<td>{_outcome_cell(record.outcome)}</td>"
+            f'<td class="num">{len(record.estimates)}</td>'
+            f'<td class="num">{converged}</td>'
+            f'<td class="num">{_fmt(record.walltime_seconds)}s</td>'
+            f'<td class="num">{incident_total or "-"}</td>'
+            "</tr>"
+        )
+    out.append("</table>")
+
+    # ------------------------------------------------- estimate trajectories
+    out.append("<h2>Estimate trajectories</h2>")
+    out.append(
+        '<p class="meta">Wilson point estimates per grid point across runs, '
+        "95% CIs as whiskers. A marker stepping outside its neighbours' "
+        "whiskers is statistical drift (<code>runs compare</code> flags "
+        "it).</p>"
+    )
+    series = _trajectories(records)
+    if series:
+        for key in sorted(series):
+            out.append(f"<h3><code>{_esc(key)}</code></h3>")
+            out.append(
+                f'<div class="chart">{estimate_trajectory_svg(series[key])}</div>'
+            )
+    else:
+        out.append('<p class="empty">No estimates registered yet.</p>')
+
+    # ----------------------------------------------------------- trends
+    out.append("<h2>Walltime &amp; convergence trends</h2>")
+    labels = [record.run_id for record in records]
+    out.append("<h3>walltime (seconds)</h3>")
+    out.append(
+        '<div class="chart">'
+        + trend_svg(
+            [record.walltime_seconds for record in records], labels, unit="s"
+        )
+        + "</div>"
+    )
+    converged_fracs: List[Optional[float]] = []
+    for record in records:
+        if record.estimates:
+            converged_fracs.append(
+                sum(1 for e in record.estimates if e.get("status") == "converged")
+                / len(record.estimates)
+            )
+        else:
+            converged_fracs.append(None)
+    out.append("<h3>converged points (fraction of grid)</h3>")
+    out.append(
+        '<div class="chart">'
+        + trend_svg(converged_fracs, labels, color="#b07aa1")
+        + "</div>"
+    )
+
+    # ------------------------------------------------------- phase bars
+    out.append("<h2>Phase seconds</h2>")
+    phase_runs = [
+        (_short_id(record.run_id), record.phases)
+        for record in records
+        if record.phases
+    ]
+    if phase_runs:
+        colors = _phase_colors(records)
+        legend = "".join(
+            f'<span class="swatch" style="background:{color}"></span>{_esc(name)}'
+            for name, color in colors.items()
+        )
+        out.append(f'<div class="legend">{legend}</div>')
+        out.append(f'<div class="chart">{phase_bars_svg(phase_runs, colors)}</div>')
+    else:
+        out.append(
+            '<p class="empty">No phase profiles registered (runs without '
+            "telemetry record no phases).</p>"
+        )
+
+    # --------------------------------------------------- incident ledger
+    out.append("<h2>Incident &amp; quarantine ledger</h2>")
+    incident_rows = [
+        record
+        for record in records
+        if record.incidents or record.outcome not in ("ok",)
+    ]
+    if incident_rows:
+        out.append(
+            "<table><tr><th>run id</th><th>created (UTC)</th><th>outcome</th>"
+            "<th>counters</th><th>notes</th></tr>"
+        )
+        for record in incident_rows:
+            counters = (
+                ", ".join(
+                    f"{name}={value}"
+                    for name, value in sorted(record.incidents.items())
+                    if value
+                )
+                or "-"
+            )
+            out.append(
+                "<tr>"
+                f"<td><code>{_esc(record.run_id)}</code></td>"
+                f"<td>{_esc(record.created_at)}</td>"
+                f"<td>{_outcome_cell(record.outcome)}</td>"
+                f"<td>{_esc(counters)}</td>"
+                f"<td>{_esc('; '.join(record.notes) or '-')}</td>"
+                "</tr>"
+            )
+        out.append("</table>")
+    else:
+        out.append(
+            '<p class="empty">No incidents: every registered run finished '
+            "clean.</p>"
+        )
+
+    out.append("</body></html>")
+    return "\n".join(out)
+
+
+def write_dashboard(records: Sequence, path, title: str = "Run registry dashboard"):
+    """Render and atomically write the dashboard file; returns the Path."""
+    from pathlib import Path
+
+    from repro.io_utils import atomic_write_bytes
+
+    text = render_dashboard(records, title=title)
+    return atomic_write_bytes(text.encode("utf-8"), Path(path))

@@ -21,7 +21,13 @@ The subsystem has four pieces (see docs/observability.md):
   timers (the :class:`PhaseAccumulator` the engines drive through
   ``recorder.profile``) plus the pure-log analysis behind
   ``repro-experiment profile events.jsonl``: phase breakdown, per-worker
-  utilization/effective parallelism, IPC accounting, ``--diff``.
+  utilization/effective parallelism, IPC accounting, ``--diff``;
+* **registry** (:mod:`~repro.telemetry.registry`) -- the cross-run
+  layer: every run appends a :class:`RunRecord` (provenance, outcome,
+  Wilson-CI estimates, phase/IPC summary) to an append-only JSONL
+  registry; ``runs compare`` flags statistical drift between runs and
+  ``repro-experiment dashboard`` renders the whole history as one
+  static HTML file (:mod:`repro.reporting.dashboard`).
 
 Import-cycle note: this ``__init__`` eagerly imports only the stdlib-only
 ``metrics`` and ``recorder`` modules (the engines import the recorder
@@ -68,15 +74,27 @@ _LAZY = {
     "summarize_profile": "repro.telemetry.profile",
     "render_profile": "repro.telemetry.profile",
     "render_profile_diff": "repro.telemetry.profile",
+    "DEFAULT_REGISTRY_DIR": "repro.telemetry.registry",
+    "RunRecord": "repro.telemetry.registry",
+    "RunRegistry": "repro.telemetry.registry",
+    "build_run_record": "repro.telemetry.registry",
+    "compare_records": "repro.telemetry.registry",
+    "new_run_id": "repro.telemetry.registry",
 }
 
 __all__ = [
     "ConvergenceConfig",
     "ConvergenceMonitor",
     "DECADE_BOUNDS",
+    "DEFAULT_REGISTRY_DIR",
     "DURATION_BOUNDS",
     "Counter",
     "EventLogWriter",
+    "RunRecord",
+    "RunRegistry",
+    "build_run_record",
+    "compare_records",
+    "new_run_id",
     "LogFollower",
     "WatchState",
     "Gauge",

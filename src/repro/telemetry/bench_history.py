@@ -232,6 +232,65 @@ def render_comparison(
     return "\n".join(lines), regressed
 
 
+def render_registry_trends(records) -> str:
+    """``bench-history --from-registry``: trend sparklines across runs.
+
+    Instead of a pairwise snapshot diff, render how the registered runs'
+    headline numbers moved over time: walltime, effective parallelism,
+    incident totals, and the Wilson point estimate per grid-point key.
+    Pure rendering -- no thresholds, no exit-code policy -- because a
+    trend is a thing to *look at*; ``runs compare`` is the gate.
+    """
+    from repro.reporting.text_plots import sparkline
+
+    def _row(table: Table, name: str, values: List[Optional[float]]) -> None:
+        numeric = [v for v in values if v is not None]
+        table.add_row(
+            name,
+            sparkline([v if v is not None else 0.0 for v in values]),
+            numeric[0] if numeric else None,
+            numeric[-1] if numeric else None,
+        )
+
+    lines = [
+        f"registry trends over {len(records)} run(s) "
+        f"({records[0].run_id} .. {records[-1].run_id})"
+    ]
+    table = Table(["metric", "trend (old -> new)", "first", "last"])
+    _row(table, "walltime_seconds", [r.walltime_seconds for r in records])
+    _row(
+        table,
+        "effective_parallelism",
+        [r.pool.get("effective_parallelism") for r in records],
+    )
+    _row(
+        table,
+        "incidents_total",
+        [float(sum(r.incidents.values())) if r.incidents else 0.0 for r in records],
+    )
+    estimate_keys: List[str] = []
+    for record in records:
+        for estimate in record.estimates:
+            key = str(estimate.get("key", "?"))
+            if key not in estimate_keys:
+                estimate_keys.append(key)
+    for key in estimate_keys:
+        values: List[Optional[float]] = []
+        for record in records:
+            match = next(
+                (e for e in record.estimates if str(e.get("key")) == key), None
+            )
+            p = match.get("p") if match else None
+            values.append(float(p) if isinstance(p, (int, float)) else None)
+        _row(table, f"p[{key}]", values)
+    lines.append(table.render())
+    lines.append(
+        "gaps render as 0 in the sparkline (run missing that metric/point); "
+        "use 'repro-experiment runs compare' for CI-aware drift verdicts"
+    )
+    return "\n".join(lines)
+
+
 def load_snapshot(path) -> Dict:
     """Load one ``BENCH_*.json`` file (ValueError on a non-object)."""
     path = Path(path)

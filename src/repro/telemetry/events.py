@@ -36,9 +36,11 @@ from repro.io_utils import CorruptResultError, append_text, open_append
 #: event types and the ``log_close`` trailer; version 3 (PR 7) added the
 #: ``phase_profile`` event type plus ``worker_id`` and IPC fields
 #: (``ipc_bytes``/``pickle_seconds``/``unpickle_seconds``) on chunk
-#: events.  Readers that ignore unknown types and fields can consume any
-#: of these versions.
-SCHEMA_VERSION = 3
+#: events; version 4 (PR 8) added ``run_id`` and ``created_at`` to the
+#: ``log_open`` header so a log joins its run-registry record
+#: unambiguously.  Readers that ignore unknown types and fields can
+#: consume any of these versions.
+SCHEMA_VERSION = 4
 
 
 def _encode(record: Dict) -> str:
@@ -60,13 +62,29 @@ class EventLogWriter:
     ``auto_flush_bytes``, and go to disk as a single O_APPEND write.
     """
 
-    def __init__(self, path, auto_flush_bytes: int = 64 * 1024) -> None:
+    def __init__(
+        self,
+        path,
+        auto_flush_bytes: int = 64 * 1024,
+        run_id: Optional[str] = None,
+    ) -> None:
         self.path = Path(path)
+        self.run_id = run_id
         self._buffer: List[str] = []
         self._buffered_bytes = 0
         self._auto_flush_bytes = int(auto_flush_bytes)
         self._fd: Optional[int] = open_append(self.path)
-        self.write({"type": "log_open", "schema": SCHEMA_VERSION})
+        header = {"type": "log_open", "schema": SCHEMA_VERSION}
+        if run_id is not None:
+            # Join key into the run registry: the record with this run_id
+            # (see repro.telemetry.registry) summarizes exactly this log.
+            from datetime import datetime, timezone
+
+            header["run_id"] = run_id
+            header["created_at"] = datetime.now(timezone.utc).strftime(
+                "%Y-%m-%dT%H:%M:%SZ"
+            )
+        self.write(header)
         self.flush()
 
     def write(self, record: Dict) -> None:

@@ -181,11 +181,21 @@ class MetricsRegistry:
         """One JSON-ready dict: metric name -> typed snapshot."""
         return {name: self._metrics[name].snapshot() for name in self.names()}
 
-    def write_json(self, path) -> None:
-        """Atomically export :meth:`snapshot` as pretty JSON."""
+    def write_json(self, path, meta: Optional[Dict] = None) -> None:
+        """Atomically export :meth:`snapshot` as pretty JSON.
+
+        ``meta`` (e.g. ``{"run_id": ..., "created_at": ...}``) is stored
+        under the reserved ``"_meta"`` key -- underscore-prefixed so it
+        can never collide with a dotted metric name, and shaped like a
+        typed snapshot (``"type": "meta"``) so readers that iterate the
+        document's typed entries need no special case.
+        """
         # Local import: io_utils pulls in the engine stack, which itself
         # imports the telemetry recorder -- a module-level import here
         # would create a cycle.
         from repro.io_utils import atomic_write_json
 
-        atomic_write_json(self.snapshot(), path)
+        snapshot = self.snapshot()
+        if meta:
+            snapshot["_meta"] = {"type": "meta", **meta}
+        atomic_write_json(snapshot, path)

@@ -392,21 +392,24 @@ def configure(
     progress=None,
     context: Optional[Dict] = None,
     profile: bool = True,
+    run_id: Optional[str] = None,
 ) -> TelemetryRecorder:
     """Build a :class:`TelemetryRecorder` and install it globally.
 
     ``log_path`` enables the append-only JSONL event log.  ``profile``
     controls the engine phase timers (on by default; the accumulators
-    cost nanoseconds per round).  Returns the recorder; callers should
-    ``set_recorder(previous)`` (or use :func:`use_recorder`) and
-    ``recorder.close()`` when done.
+    cost nanoseconds per round).  ``run_id`` -- normally the run
+    registry's id for this run -- is stamped into the log's ``log_open``
+    header so the log and its registry record join unambiguously.
+    Returns the recorder; callers should ``set_recorder(previous)`` (or
+    use :func:`use_recorder`) and ``recorder.close()`` when done.
     """
     writer = None
     if log_path is not None:
         # Lazy import: events -> io_utils -> engine -> (this module).
         from repro.telemetry.events import EventLogWriter
 
-        writer = EventLogWriter(log_path)
+        writer = EventLogWriter(log_path, run_id=run_id)
     recorder = TelemetryRecorder(
         writer=writer,
         metrics=metrics,

@@ -1,0 +1,175 @@
+"""Tests for the static HTML run-registry dashboard.
+
+The contract under test: one self-contained file (inline CSS + SVG,
+zero JavaScript, no external assets), a valid empty state, estimate
+trajectories with CI whiskers per grid-point key, phase bars, the
+incident ledger — and the acceptance bar: rendered from >= 3 registered
+smoke runs via the CLI, the page shows estimate and phase trends.
+"""
+
+import pytest
+
+from repro.cli import EXIT_OK, main
+from repro.reporting.dashboard import (
+    estimate_trajectory_svg,
+    render_dashboard,
+    trend_svg,
+    write_dashboard,
+)
+from repro.telemetry.registry import RunRegistry, build_run_record
+
+
+def _record(index, p=0.05, phases=None, incidents=None, outcome="ok"):
+    return build_run_record(
+        command="sweep",
+        label="dash",
+        run_id=f"20260101T00000{index}Z-{index:06d}",
+        created_at=f"2026-01-01T00:00:0{index}Z",
+        seed=index,
+        scale="smoke",
+        estimates=[
+            {
+                "key": "alpha=2.2 l=24",
+                "law": "alpha=2.2",
+                "params": {"alpha": 2.2, "l": 24},
+                "trials": 2000,
+                "successes": int(2000 * p),
+                "p": p,
+                "low": p - 0.01,
+                "high": p + 0.01,
+                "half_width": 0.01,
+                "status": "converged" if index % 2 else "complete",
+            }
+        ],
+        walltime_seconds=1.0 + 0.1 * index,
+        outcome=outcome,
+        exit_code=0 if outcome == "ok" else 3,
+    )
+
+
+def _patched(record, **overrides):
+    data = record.to_dict()
+    data.update(overrides)
+    from repro.telemetry.registry import RunRecord
+
+    return RunRecord.from_dict(data)
+
+
+def _three_records():
+    records = [_record(i, p=0.05 + 0.005 * i) for i in range(3)]
+    records[1] = _patched(
+        records[1], phases={"rng": 0.4, "cdf_lookup": 0.2, "target_check": 0.1}
+    )
+    records[2] = _patched(
+        records[2],
+        incidents={"retries": 2, "incidents": 1},
+        outcome="degraded",
+        notes=["deadline hit at chunk 7"],
+    )
+    return records
+
+
+def test_dashboard_is_single_file_with_inline_svg_and_no_scripts():
+    html = render_dashboard(_three_records(), title="T & T")
+    assert html.startswith("<!DOCTYPE html>")
+    assert "<script" not in html
+    # No external assets: the only URL is the SVG namespace declaration.
+    assert "<link" not in html and "<img" not in html
+    for url in ("http://", "https://"):
+        assert html.count(url) == html.count(f'xmlns="{url}www.w3.org')
+    assert "<style>" in html and "<svg" in html
+    assert "T &amp; T" in html  # titles are escaped
+
+
+def test_dashboard_sections_cover_the_registered_history():
+    html = render_dashboard(_three_records())
+    assert "Overview" in html
+    assert "Estimate trajectories" in html
+    assert "alpha=2.2 l=24" in html
+    assert "Walltime &amp; convergence trends" in html
+    assert "Phase seconds" in html
+    for phase in ("rng", "cdf_lookup", "target_check"):
+        assert phase in html
+    assert "Incident &amp; quarantine ledger" in html
+    assert "retries=2" in html
+    assert "deadline hit at chunk 7" in html
+    for index in range(3):  # every run appears in the overview
+        assert f"20260101T00000{index}Z" in html
+
+
+def test_empty_registry_renders_a_valid_empty_state():
+    html = render_dashboard([])
+    assert html.startswith("<!DOCTYPE html>")
+    assert html.rstrip().endswith("</html>")
+    assert "The registry is empty" in html
+    assert "<script" not in html
+
+
+def test_trajectory_svg_draws_whiskers_and_tolerates_gaps():
+    points = [
+        {"run_id": "r-1", "p": 0.05, "low": 0.04, "high": 0.06},
+        {"run_id": "r-2", "p": None, "low": None, "high": None},  # gap
+        {"run_id": "r-3", "p": 0.07, "low": 0.06, "high": 0.08},
+    ]
+    svg = estimate_trajectory_svg(points)
+    assert svg.startswith("<svg") and svg.endswith("</svg>")
+    assert "<circle" in svg  # point markers
+    assert "<line" in svg  # CI whiskers / frame
+    assert "<title>" in svg  # hover tooltips
+
+
+def test_trend_svg_handles_all_none_series():
+    svg = trend_svg([None, None], ["a", "b"])
+    assert svg.startswith("<svg") and svg.endswith("</svg>")
+
+
+def test_write_dashboard_is_atomic_and_returns_the_path(tmp_path):
+    target = tmp_path / "out" / "dashboard.html"
+    target.parent.mkdir()
+    path = write_dashboard(_three_records(), target)
+    assert path == target
+    assert target.read_text(encoding="utf-8").startswith("<!DOCTYPE html>")
+    assert not list(target.parent.glob("*.tmp*"))  # no temp litter
+
+
+def test_dashboard_cli_renders_three_registered_smoke_runs(tmp_path, capsys):
+    """Acceptance: >= 3 registered smoke runs -> estimate + phase trends."""
+    registry_dir = str(tmp_path / "registry")
+    for seed in range(3):
+        code = main(
+            [
+                "sweep",
+                "--alpha", "2.2",
+                "--l", "8",
+                "--n-walks", "200",
+                "--seed", str(seed),
+                "--registry-dir", registry_dir,
+                "--log-json", str(tmp_path / f"events-{seed}.jsonl"),
+            ]
+        )
+        assert code == EXIT_OK
+    capsys.readouterr()
+    output = tmp_path / "dashboard.html"
+    assert main(["dashboard", str(output), "--registry-dir", registry_dir]) == EXIT_OK
+    assert "3 run(s)" in capsys.readouterr().out
+
+    html = output.read_text(encoding="utf-8")
+    assert "<script" not in html
+    assert html.count("<svg") >= 3  # trajectory + walltime + convergence
+    assert "alpha=2.2 l=8" in html  # the grid point's trajectory heading
+    records = RunRegistry(registry_dir).records(strict=True)
+    assert len(records) == 3
+    for record in records:  # every registered run is on the page
+        assert record.run_id in html
+
+
+def test_dashboard_cli_on_empty_registry_still_writes_a_page(tmp_path, capsys):
+    output = tmp_path / "dashboard.html"
+    code = main(
+        ["dashboard", str(output), "--registry-dir", str(tmp_path / "none")]
+    )
+    captured = capsys.readouterr()
+    assert code == EXIT_OK
+    assert "0 run(s)" in captured.out
+    assert "empty" in captured.err
+    assert output.read_text(encoding="utf-8").startswith("<!DOCTYPE html>")

@@ -1,0 +1,445 @@
+"""Tests for the persistent run registry and cross-run drift detection.
+
+Covers the durability contract (torn-tail tolerance and self-healing,
+concurrent registration, strict interior-damage detection), gc's
+checkpoint protection, the lookup warm-start seam, the CI-aware
+DRIFT/WARN/ok verdicts, and the ``runs`` CLI — including the acceptance
+bar: ``runs compare A B --strict`` exits non-zero on an injected
+disjoint-CI shift, and auto-registered sweep records join their event
+log and metrics snapshot on ``run_id``.
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.cli import EXIT_FAILED, EXIT_OK, EXIT_USAGE, main
+from repro.io_utils import CorruptResultError
+from repro.telemetry.registry import (
+    OVERLAP_WARN_FRACTION,
+    RunRecord,
+    RunRegistry,
+    build_run_record,
+    compare_estimates,
+    compare_records,
+    config_hash,
+    estimate_key,
+    new_run_id,
+    outcome_for_exit_code,
+)
+
+
+def _estimate(key="alpha=2.2 l=24", p=0.05, half=0.01, trials=2000, **extra):
+    row = {
+        "key": key,
+        "label": key,
+        "law": "alpha=2.2",
+        "params": {"alpha": 2.2, "l": 24},
+        "trials": trials,
+        "successes": int(round(p * trials)),
+        "p": p,
+        "low": p - half,
+        "high": p + half,
+        "half_width": half,
+        "horizon": 576,
+        "status": "complete",
+    }
+    row.update(extra)
+    return row
+
+
+def _record(registry=None, run_id=None, **kwargs):
+    kwargs.setdefault("command", "sweep")
+    kwargs.setdefault("label", "test")
+    record = build_run_record(run_id=run_id or new_run_id(), **kwargs)
+    if registry is not None:
+        registry.register(record)
+    return record
+
+
+# ---------------------------------------------------------------- the record
+
+
+def test_record_round_trips_through_json(tmp_path):
+    registry = RunRegistry(tmp_path)
+    original = _record(
+        registry,
+        seed=7,
+        scale="smoke",
+        config={"alpha": [2.2], "seed": 7},
+        exit_code=3,
+        estimates=[_estimate()],
+        walltime_seconds=1.234567,
+        workers=4,
+        pool={"effective_parallelism": 3.2, "pool_speedup": 2.9},
+        artifacts={"events": "events.jsonl", "checkpoint_dir": "ckpt"},
+        notes=["deadline hit"],
+    )
+    (loaded,) = registry.records(strict=True)
+    assert loaded.run_id == original.run_id
+    assert loaded.seed == 7
+    assert loaded.scale == "smoke"
+    assert loaded.outcome == "degraded"
+    assert loaded.exit_code == 3
+    assert loaded.config_hash == config_hash({"seed": 7, "alpha": [2.2]})
+    assert loaded.estimates == [_estimate()]
+    assert loaded.walltime_seconds == pytest.approx(1.235)
+    assert loaded.pool == {"effective_parallelism": 3.2, "pool_speedup": 2.9}
+    assert loaded.artifacts["checkpoint_dir"] == "ckpt"
+    assert loaded.notes == ["deadline hit"]
+
+
+def test_from_dict_tolerates_unknown_and_missing_fields():
+    loaded = RunRecord.from_dict(
+        {"run_id": "r1", "command": "sweep", "from_the_future": {"x": 1}}
+    )
+    assert loaded.run_id == "r1"
+    assert loaded.outcome == "ok"
+    assert loaded.estimates == []
+
+
+def test_from_dict_requires_run_id():
+    with pytest.raises(CorruptResultError):
+        RunRecord.from_dict({"command": "sweep"})
+
+
+def test_outcome_classification_matches_documented_exit_codes():
+    assert outcome_for_exit_code(0) == "ok"
+    assert outcome_for_exit_code(3) == "degraded"
+    assert outcome_for_exit_code(4) == "quarantined"
+    assert outcome_for_exit_code(130) == "interrupted"
+    assert outcome_for_exit_code(99) == "exit-99"
+
+
+def test_estimate_key_is_order_independent_and_canonical():
+    assert estimate_key({"l": 24, "alpha": 2.2}) == estimate_key(
+        {"alpha": 2.2, "l": 24}
+    )
+    assert estimate_key({"alpha": 2.20, "l": 24}) == "alpha=2.2 l=24"
+
+
+def test_config_hash_ignores_key_order_but_not_values():
+    assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+    assert config_hash({"a": 1}) != config_hash({"a": 2})
+
+
+# ------------------------------------------------------------------ durability
+
+
+def test_reader_tolerates_torn_final_line(tmp_path):
+    registry = RunRegistry(tmp_path)
+    first = _record(registry)
+    second = _record(registry)
+    with open(registry.path, "ab") as handle:
+        handle.write(b'{"run_id": "torn-')  # kill-mid-register signature
+    loaded = registry.records(strict=True)
+    assert [r.run_id for r in loaded] == [first.run_id, second.run_id]
+
+
+def test_register_heals_a_torn_tail(tmp_path):
+    registry = RunRegistry(tmp_path)
+    first = _record(registry)
+    with open(registry.path, "ab") as handle:
+        handle.write(b'{"run_id": "torn-')
+    third = _record(registry)  # must NOT glue onto the fragment
+    loaded = registry.records()
+    assert [r.run_id for r in loaded] == [first.run_id, third.run_id]
+
+
+def test_interior_damage_skipped_by_default_raised_under_strict(tmp_path):
+    registry = RunRegistry(tmp_path)
+    _record(registry)
+    _record(registry)
+    last = _record(registry)
+    lines = registry.path.read_text().splitlines()
+    lines[1] = lines[1][: len(lines[1]) // 2]  # damage an interior record
+    registry.path.write_text("\n".join(lines) + "\n")
+    loaded = registry.records()
+    assert len(loaded) == 2
+    assert loaded[-1].run_id == last.run_id
+    with pytest.raises(CorruptResultError):
+        registry.records(strict=True)
+
+
+def _register_batch(directory, worker, count):
+    registry = RunRegistry(directory)
+    for index in range(count):
+        registry.register(
+            build_run_record(
+                command="sweep", label=f"w{worker}-{index}", run_id=f"r-{worker}-{index}"
+            )
+        )
+
+
+def test_concurrent_registration_never_interleaves(tmp_path):
+    """4 processes x 10 records: every line must parse, none may be lost."""
+    ctx = multiprocessing.get_context("spawn")
+    workers = [
+        ctx.Process(target=_register_batch, args=(str(tmp_path), w, 10))
+        for w in range(4)
+    ]
+    for proc in workers:
+        proc.start()
+    for proc in workers:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+    registry = RunRegistry(tmp_path)
+    loaded = registry.records(strict=True)  # strict: any tearing would raise
+    assert len(loaded) == 40
+    assert {r.run_id for r in loaded} == {
+        f"r-{w}-{i}" for w in range(4) for i in range(10)
+    }
+
+
+# ------------------------------------------------------------------------- gc
+
+
+def test_gc_keeps_newest_and_protects_checkpointed_records(tmp_path):
+    registry = RunRegistry(tmp_path / "reg")
+    checkpoint_dir = tmp_path / "ckpt"
+    checkpoint_dir.mkdir()
+    protected = _record(registry, artifacts={"checkpoint_dir": checkpoint_dir})
+    stale = _record(registry, artifacts={"checkpoint_dir": tmp_path / "gone"})
+    newest = _record(registry)
+    kept, dropped = registry.gc(keep=1)
+    assert {r.run_id for r in kept} == {protected.run_id, newest.run_id}
+    assert [r.run_id for r in dropped] == [stale.run_id]
+    # The rewrite is durable: a fresh reader sees the same survivors.
+    assert {r.run_id for r in RunRegistry(tmp_path / "reg").records(strict=True)} == {
+        protected.run_id,
+        newest.run_id,
+    }
+
+
+def test_gc_dry_run_reports_without_rewriting(tmp_path):
+    registry = RunRegistry(tmp_path)
+    for _ in range(3):
+        _record(registry)
+    kept, dropped = registry.gc(keep=1, dry_run=True)
+    assert len(kept) == 1 and len(dropped) == 2
+    assert len(registry.records()) == 3
+
+
+# --------------------------------------------------------------- resolve/lookup
+
+
+def test_resolve_accepts_id_prefix_last_and_prev(tmp_path):
+    registry = RunRegistry(tmp_path)
+    first = _record(registry, run_id="20260101T000000Z-aaaaaa")
+    second = _record(registry, run_id="20260102T000000Z-bbbbbb")
+    assert registry.resolve("last").run_id == second.run_id
+    assert registry.resolve("prev").run_id == first.run_id
+    assert registry.resolve("20260101").run_id == first.run_id
+    with pytest.raises(KeyError, match="ambiguous"):
+        registry.resolve("2026")
+    with pytest.raises(KeyError, match="no run matching"):
+        registry.resolve("nope")
+
+
+def test_lookup_returns_freshest_adequate_estimate(tmp_path):
+    registry = RunRegistry(tmp_path)
+    wide = _record(registry, estimates=[_estimate(half=0.05)])
+    tight = _record(registry, estimates=[_estimate(half=0.004)])
+    empty = {
+        "key": "alpha=2.2 l=24",
+        "law": "alpha=2.2",
+        "params": {"alpha": 2.2, "l": 24},
+        "trials": 0,
+        "status": "quarantined",
+    }
+    _record(registry, estimates=[empty])
+    found = registry.lookup(law="alpha=2.2", geometry={"l": 24}, max_ci=0.01)
+    assert found is not None and found.run_id == tight.run_id
+    # Without the CI requirement the freshest *non-empty* record wins,
+    # and an unmatched geometry or law returns nothing.
+    assert registry.lookup(law="alpha=2.2").run_id == tight.run_id
+    assert registry.lookup(law="alpha=2.2", geometry={"l": 999}) is None
+    assert registry.lookup(law="alpha=9") is None
+    assert registry.lookup(law="alpha=2.2", max_ci=0.001) is None
+    assert wide.run_id != tight.run_id
+
+
+# ------------------------------------------------------------- drift detection
+
+
+def test_compare_flags_disjoint_intervals_as_drift():
+    a = [_estimate(p=0.05, half=0.01)]
+    b = [_estimate(p=0.09, half=0.01)]  # [0.08, 0.10] vs [0.04, 0.06]: disjoint
+    (delta,) = compare_estimates(a, b)
+    assert delta.verdict == "drift"
+    assert "disjoint" in delta.detail
+
+
+def test_compare_warns_on_shrunken_overlap_and_accepts_stability():
+    a = [_estimate(p=0.05, half=0.01)]
+    warn = [_estimate(p=0.0655, half=0.01)]  # overlap 0.0045/0.02 < 1/2
+    ok = [_estimate(p=0.051, half=0.01)]
+    (delta,) = compare_estimates(a, warn)
+    assert delta.verdict == "warn"
+    (delta,) = compare_estimates(a, ok)
+    assert delta.verdict == "ok"
+    assert 0 < OVERLAP_WARN_FRACTION < 1
+
+
+def test_compare_reports_one_sided_points_as_coverage_not_drift():
+    a = [_estimate(key="alpha=2.2 l=24")]
+    b = [_estimate(key="alpha=2.8 l=24")]
+    deltas = compare_estimates(a, b)
+    assert [d.verdict for d in deltas] == ["n/a", "n/a"]
+    assert {d.detail for d in deltas} == {"only in A", "only in B"}
+
+
+def test_compare_records_renders_drift_and_config_warning():
+    a = build_run_record(
+        command="sweep", config={"seed": 0}, estimates=[_estimate(p=0.05, half=0.01)]
+    )
+    b = build_run_record(
+        command="sweep", config={"seed": 1}, estimates=[_estimate(p=0.09, half=0.01)]
+    )
+    text, drifted, warned = compare_records(a, b)
+    assert drifted == ["alpha=2.2 l=24"]
+    assert warned == []
+    assert "DRIFT" in text
+    assert "config hashes differ" in text
+
+
+# -------------------------------------------------------------------- the CLI
+
+
+def _sweep_args(tmp_path, seed=0, extra=()):
+    return [
+        "sweep",
+        "--alpha", "2.2",
+        "--l", "8",
+        "--n-walks", "400",
+        "--seed", str(seed),
+        "--label", "regtest",
+        "--registry-dir", str(tmp_path / "registry"),
+        *extra,
+    ]
+
+
+def test_sweep_auto_registers_and_artifacts_join_on_run_id(tmp_path, capsys):
+    log = tmp_path / "events.jsonl"
+    metrics = tmp_path / "metrics.json"
+    code = main(
+        _sweep_args(
+            tmp_path,
+            extra=["--log-json", str(log), "--metrics-out", str(metrics)],
+        )
+    )
+    capsys.readouterr()
+    assert code == EXIT_OK
+    (record,) = RunRegistry(tmp_path / "registry").records(strict=True)
+    assert record.command == "sweep"
+    assert record.outcome == "ok"
+    assert record.estimates and record.estimates[0]["trials"] == 400
+    assert record.walltime_seconds is not None
+
+    # satellite: the event log's log_open header and the metrics
+    # snapshot's _meta entry both carry the registry record's run_id.
+    from repro.telemetry.events import read_events
+
+    header = read_events(log)[0]
+    assert header["type"] == "log_open"
+    assert header["run_id"] == record.run_id
+    assert header["created_at"]
+    snapshot = json.loads(metrics.read_text())
+    assert snapshot["_meta"]["run_id"] == record.run_id
+
+
+def test_sweep_no_registry_opts_out(tmp_path, capsys):
+    code = main(_sweep_args(tmp_path, extra=["--no-registry"]))
+    capsys.readouterr()
+    assert code == EXIT_OK
+    assert not (tmp_path / "registry").exists()
+
+
+def test_runs_list_show_compare_gc_cli(tmp_path, capsys):
+    registry_dir = str(tmp_path / "registry")
+    for seed in (0, 1):
+        assert main(_sweep_args(tmp_path, seed=seed)) == EXIT_OK
+    capsys.readouterr()
+
+    assert main(["runs", "list", "--registry-dir", registry_dir]) == EXIT_OK
+    out = capsys.readouterr().out
+    assert "2 record(s)" in out
+    assert "sweep" in out
+
+    assert main(["runs", "show", "last", "--registry-dir", registry_dir]) == EXIT_OK
+    out = capsys.readouterr().out
+    assert "headline estimates" in out
+    assert "alpha=2.2" in out
+
+    code = main(["runs", "compare", "prev", "last", "--registry-dir", registry_dir])
+    out = capsys.readouterr().out
+    assert code == EXIT_OK  # non-strict compare never gates
+    assert "estimate drift" in out
+    assert "config hashes differ" in out  # seeds differ
+
+    code = main(
+        ["runs", "gc", "--keep", "1", "--dry-run", "--registry-dir", registry_dir]
+    )
+    out = capsys.readouterr().out
+    assert code == EXIT_OK
+    assert "would drop 1 record(s), kept 1" in out
+    assert len(RunRegistry(registry_dir).records()) == 2
+
+
+def test_runs_show_unknown_token_is_usage_error(tmp_path, capsys):
+    registry_dir = tmp_path / "registry"
+    RunRegistry(registry_dir).register(build_run_record(command="sweep"))
+    code = main(["runs", "show", "bogus", "--registry-dir", str(registry_dir)])
+    err = capsys.readouterr().err
+    assert code == EXIT_USAGE
+    assert "no run matching" in err
+
+
+def test_runs_compare_strict_fails_on_injected_disjoint_shift(tmp_path, capsys):
+    """Acceptance: --strict exits non-zero on a disjoint-CI shift."""
+    registry_dir = str(tmp_path / "registry")
+    assert main(_sweep_args(tmp_path)) == EXIT_OK
+    capsys.readouterr()
+    registry = RunRegistry(registry_dir)
+    baseline = registry.records()[-1]
+    # Inject a statistically shifted twin: same keys, intervals moved
+    # far enough that every Wilson CI is disjoint from the baseline's.
+    shifted = [
+        {**dict(e), "p": e["high"] + 0.2, "low": e["high"] + 0.1, "high": e["high"] + 0.3}
+        for e in baseline.estimates
+    ]
+    registry.register(build_run_record(command="sweep", estimates=shifted))
+
+    strict = ["runs", "compare", "prev", "last", "--strict",
+              "--registry-dir", registry_dir]
+    assert main(strict) == EXIT_FAILED
+    out = capsys.readouterr().out
+    assert "DRIFT" in out
+    # The same comparison without --strict reports but does not gate.
+    assert main(strict[:-3] + ["--registry-dir", registry_dir]) == EXIT_OK
+    capsys.readouterr()
+
+
+def test_bench_history_from_registry_renders_trends(tmp_path, capsys):
+    registry_dir = str(tmp_path / "registry")
+    registry = RunRegistry(registry_dir)
+    for p in (0.05, 0.06, 0.07):
+        registry.register(
+            build_run_record(
+                command="sweep",
+                estimates=[_estimate(p=p)],
+                walltime_seconds=1.0 + p,
+            )
+        )
+    code = main(["bench-history", "--from-registry", "--registry-dir", registry_dir])
+    out = capsys.readouterr().out
+    assert code == EXIT_OK
+    assert "walltime_seconds" in out
+    assert "p[alpha=2.2 l=24]" in out
+
+
+def test_bench_history_without_snapshots_or_registry_flag_is_usage_error(capsys):
+    assert main(["bench-history"]) == EXIT_USAGE
+    capsys.readouterr()
