@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""CI smoke test for the estimation daemon (docs/serve.md).
+
+Starts ``repro-experiment serve`` as a real subprocess, then asserts the
+acceptance bars end to end:
+
+1. a query streams a theory-tier answer first, then >= 1 progressive
+   CI-tightening simulation response, then a converged final;
+2. two concurrent identical queries share exactly ONE engine call,
+   proven by the daemon's own ``serve.engine_calls`` /
+   ``serve.batch_coalesced`` counters;
+3. a repeated query is served from the persistent result cache with no
+   further engine call;
+4. SIGTERM stops the daemon cleanly (exit 0) and removes the socket.
+
+Exit 0 on success, 1 with a diagnostic on any failed assertion.
+"""
+
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.api.query import EstimateRequest
+from repro.serve.client import ServeClient
+
+
+def fail(message):
+    print(f"serve-smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    workdir = Path(tempfile.mkdtemp(prefix="serve-smoke-"))
+    socket_path = workdir / "serve.sock"
+    daemon = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--socket", str(socket_path),
+            "--cache-dir", str(workdir / "cache"),
+            "--registry-dir", str(workdir / "registry"),
+            "--round-walks", "200", "--max-walks", "4000",
+            "--batch-window", "0.4",
+        ],
+    )
+    try:
+        deadline = time.monotonic() + 30
+        while not socket_path.exists():
+            if daemon.poll() is not None:
+                fail(f"daemon died during startup (exit {daemon.returncode})")
+            if time.monotonic() > deadline:
+                fail("daemon never bound its socket")
+            time.sleep(0.05)
+
+        # --- bar 1: tiered streaming ---------------------------------------
+        request = EstimateRequest(alpha=2.2, l=6, max_ci=0.06)
+        with ServeClient(socket_path) as client:
+            started = time.monotonic()
+            responses = list(client.estimate(request))
+        if responses[0].tier != "theory" or not responses[0].approximate:
+            fail(f"first response is not a theory surrogate: {responses[0]}")
+        progressive = [
+            r for r in responses[1:-1] if r.tier == "simulation" and not r.final
+        ]
+        if not progressive:
+            fail("no progressive simulation responses streamed")
+        final = responses[-1]
+        if not (final.final and final.converged and final.half_width <= 0.06):
+            fail(f"final response did not converge: {final}")
+        print(
+            f"serve-smoke: tiers ok ({len(responses)} responses, "
+            f"final CI half-width {final.half_width:.4f} after {final.trials} "
+            f"walks, {time.monotonic() - started:.1f}s)"
+        )
+
+        # --- bar 2: coalescing ---------------------------------------------
+        duplicate = EstimateRequest(alpha=2.4, l=6, max_ci=0.06)
+        results = {}
+
+        def query(name):
+            with ServeClient(socket_path) as c:
+                results[name] = c.query(duplicate)
+
+        threads = [
+            threading.Thread(target=query, args=(name,)) for name in ("a", "b")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        if "a" not in results or "b" not in results:
+            fail("concurrent duplicate queries did not both complete")
+        if (results["a"].p, results["a"].trials) != (
+            results["b"].p,
+            results["b"].trials,
+        ):
+            fail("coalesced duplicates returned different answers")
+
+        with ServeClient(socket_path) as client:
+            counters = client.stats()["counters"]
+        engine_calls = counters.get("serve.engine_calls", 0)
+        coalesced = counters.get("serve.batch_coalesced", 0)
+        # one call for bar 1's query + exactly one SHARED call for the pair
+        if engine_calls != 2:
+            fail(f"expected 2 engine calls total, counted {engine_calls}")
+        if coalesced < 1:
+            fail(f"expected >= 1 coalesced request, counted {coalesced}")
+        print(
+            f"serve-smoke: coalescing ok (2 concurrent duplicates -> "
+            f"1 shared engine call, batch_coalesced={coalesced})"
+        )
+
+        # --- bar 3: persistent cache ---------------------------------------
+        with ServeClient(socket_path) as client:
+            repeat = client.query(request)
+            counters = client.stats()["counters"]
+        if repeat.tier != "cache":
+            fail(f"repeated query was not a cache hit: tier={repeat.tier}")
+        if counters.get("serve.engine_calls", 0) != 2:
+            fail("the repeated query ran the engine again")
+        print("serve-smoke: persistent cache ok (repeat served without engine)")
+
+        # --- bar 4: clean SIGTERM ------------------------------------------
+        daemon.send_signal(signal.SIGTERM)
+        try:
+            code = daemon.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            fail("daemon did not exit within 30s of SIGTERM")
+        if code != 0:
+            fail(f"daemon exited {code} on SIGTERM (expected 0)")
+        if socket_path.exists():
+            fail("daemon left its socket behind")
+        print("serve-smoke: clean shutdown ok (SIGTERM -> exit 0, socket removed)")
+        print("serve-smoke: PASS")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+
+
+if __name__ == "__main__":
+    main()

@@ -15,7 +15,12 @@ groups the five layers a study touches:
   picklable tasks;
 * **sweeps** -- declarative grids (:class:`SweepSpec`) scheduled over
   one shared runner pool (:func:`run_sweep`);
-* **search** -- the paper's headline parallel-search objects.
+* **search** -- the paper's headline parallel-search objects;
+* **queries** -- the v2 typed estimation contract
+  (:class:`EstimateRequest` -> :class:`EstimateResponse` via
+  :func:`estimate`, cached/theory/simulation tiers, shared with the
+  ``repro-experiment serve`` daemon; :func:`warm_estimates` surfaces
+  already-known answers from the result cache and run registry).
 
 Typical use::
 
@@ -32,6 +37,12 @@ Typical use::
     print(result.summary_table().render())
 """
 
+from repro.api.query import (
+    EstimateRequest,
+    EstimateResponse,
+    estimate,
+    warm_estimates,
+)
 from repro.core.ants import universal_lower_bound
 from repro.core.exponents import optimal_exponent
 from repro.core.search import ParallelLevySearch, SearchResult
@@ -113,4 +124,9 @@ __all__ = [
     "UniformRandomExponentStrategy",
     "optimal_exponent",
     "universal_lower_bound",
+    # queries
+    "EstimateRequest",
+    "EstimateResponse",
+    "estimate",
+    "warm_estimates",
 ]

@@ -448,6 +448,134 @@ def _build_parser() -> argparse.ArgumentParser:
     dashboard.add_argument(
         "--title", default="Run registry dashboard", help="page title"
     )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the long-lived estimation daemon (docs/serve.md)",
+        description=(
+            "Answer typed hitting-probability queries over a unix or TCP "
+            "socket (newline-delimited JSON) in three tiers: persistent "
+            "result-cache hit, instant theory surrogate, background "
+            "Monte-Carlo refinement streaming progressive responses.  "
+            "Concurrent queries for the same canonical (law, geometry, "
+            "horizon) key coalesce into one shared engine call.  On "
+            "startup the run registry's estimates warm the cache, so "
+            "prior sweeps answer queries without re-simulating.  SIGTERM "
+            "or a client 'shutdown' op stops the daemon cleanly."
+        ),
+    )
+    serve.add_argument(
+        "--socket",
+        default=None,
+        metavar="ADDR",
+        help="unix-socket path, or host:port for TCP "
+        "(default .repro-serve.sock)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="persistent result-cache directory (default .repro-cache/)",
+    )
+    serve.add_argument(
+        "--registry-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="run registry to warm-start from (default .repro-registry/)",
+    )
+    serve.add_argument(
+        "--no-warm-start",
+        action="store_true",
+        help="skip the registry entirely (no warm start, no warm lookups)",
+    )
+    serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="how long a fresh refinement job waits for duplicate queries "
+        "to join it before calling the engine (default 0.05)",
+    )
+    serve.add_argument(
+        "--round-walks", type=int, default=2_000, metavar="N",
+        help="walks in the first refinement round (rounds double; default 2000)",
+    )
+    serve.add_argument(
+        "--max-walks", type=int, default=200_000, metavar="N",
+        help="per-query walk budget (default 200000)",
+    )
+    serve.add_argument(
+        "--chunks", type=int, default=8, metavar="N",
+        help="runner chunks per refinement round (default 8)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=None,
+        help="override the per-key deterministic refinement seed",
+    )
+    add_telemetry_arguments(serve)
+
+    query = subparsers.add_parser(
+        "query",
+        help="ask a running estimation daemon one typed question",
+        description=(
+            "Client for 'serve': sends one EstimateRequest and prints "
+            "each response line as it streams back (theory surrogate "
+            "first, then progressive CI-tightening simulation responses, "
+            "then the final answer).  Also exposes the daemon's ping/"
+            "stats/shutdown ops."
+        ),
+    )
+    query.add_argument(
+        "--socket",
+        default=None,
+        metavar="ADDR",
+        help="daemon address: unix-socket path or host:port "
+        "(default .repro-serve.sock)",
+    )
+    query.add_argument("--alpha", type=float, default=None, help="Levy exponent (> 1)")
+    query.add_argument(
+        "--l", type=int, default=None, dest="l",
+        help="target distance from the origin (>= 1)",
+    )
+    query.add_argument(
+        "--k", type=int, default=1, help="parallel walkers (default 1)"
+    )
+    query.add_argument(
+        "--horizon", type=int, default=None, metavar="T",
+        help="step budget (default l**2, the paper's)",
+    )
+    query.add_argument(
+        "--max-ci", type=float, default=None, dest="max_ci", metavar="W",
+        help="target absolute 95%% Wilson half-width; omitting it accepts "
+        "an instant theory surrogate",
+    )
+    query.add_argument(
+        "--no-detect", action="store_true",
+        help="endpoint-only detection (the paper's model detects mid-jump)",
+    )
+    query.add_argument(
+        "--final-only", action="store_true",
+        help="suppress progressive lines; print only the final answer",
+    )
+    query.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print raw response JSON lines instead of the human form",
+    )
+    query.add_argument(
+        "--timeout", type=float, default=600.0, metavar="SECONDS",
+        help="socket timeout (default 600)",
+    )
+    query.add_argument(
+        "--stats", action="store_true", help="print daemon stats and exit"
+    )
+    query.add_argument(
+        "--ping", action="store_true", help="liveness probe: exit 0 if alive"
+    )
+    query.add_argument(
+        "--shutdown", action="store_true", help="stop the daemon cleanly"
+    )
     return parser
 
 
@@ -846,6 +974,124 @@ def _dashboard(args) -> int:
     return EXIT_OK
 
 
+def _serve(args) -> int:
+    """The ``serve`` subcommand: run the estimation daemon until stopped."""
+    import asyncio
+
+    from repro.serve import (
+        DEFAULT_SOCKET,
+        EstimationService,
+        ResultCache,
+        parse_address,
+        serve_forever,
+    )
+    from repro.serve.daemon import DEFAULT_BATCH_WINDOW
+    from repro.telemetry.registry import (
+        DEFAULT_REGISTRY_DIR,
+        RunRegistry,
+        new_run_id,
+    )
+
+    run_id = new_run_id()
+    recorder, previous = telemetry_from_args(args, run_id=run_id)
+    address = parse_address(args.socket or DEFAULT_SOCKET)
+    cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+    registry = None
+    if not args.no_warm_start:
+        registry = RunRegistry(args.registry_dir or DEFAULT_REGISTRY_DIR)
+    service = EstimationService(
+        cache,
+        registry,
+        recorder=recorder,
+        batch_window=(
+            args.batch_window if args.batch_window is not None else DEFAULT_BATCH_WINDOW
+        ),
+        round_walks=args.round_walks,
+        max_walks=args.max_walks,
+        chunks=args.chunks,
+        seed=args.seed,
+    )
+    if registry is not None:
+        imported = service.warm_start()
+        print(
+            f"warm start: {imported} estimate(s) from {registry.path}",
+            file=sys.stderr,
+        )
+    print(f"serving on {address}", file=sys.stderr)
+    try:
+        asyncio.run(serve_forever(address, service))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        finish_telemetry(args, recorder, previous, run_id=run_id)
+    return EXIT_OK
+
+
+def _query(args) -> int:
+    """The ``query`` subcommand: one request against a running daemon."""
+    import json
+
+    from repro.api.query import EstimateRequest
+    from repro.serve import DEFAULT_SOCKET, parse_address
+    from repro.serve.client import ServeClient
+
+    address = parse_address(args.socket or DEFAULT_SOCKET)
+    try:
+        client = ServeClient(address, timeout=args.timeout)
+    except (OSError, ConnectionError) as exc:
+        print(f"error: no daemon at {address}: {exc}", file=sys.stderr)
+        return EXIT_FAILED
+    with client:
+        if args.ping:
+            print("alive")
+            return EXIT_OK
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return EXIT_OK
+        if args.shutdown:
+            client.shutdown()
+            print("daemon stopped", file=sys.stderr)
+            return EXIT_OK
+        if args.alpha is None or args.l is None:
+            print(
+                "error: query needs --alpha and --l "
+                "(or one of --ping/--stats/--shutdown)",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        try:
+            request = EstimateRequest(
+                alpha=args.alpha,
+                l=args.l,
+                k=args.k,
+                horizon=args.horizon,
+                max_ci=args.max_ci,
+                detect=not args.no_detect,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        try:
+            for response in client.estimate(request, stream=not args.final_only):
+                if args.as_json:
+                    print(json.dumps(response.to_dict()), flush=True)
+                else:
+                    marker = "~" if response.approximate else ""
+                    state = "final" if response.final else f"#{response.seq}"
+                    print(
+                        f"[{response.tier}{marker} {state}] "
+                        f"p={response.p:.6f} "
+                        f"95% CI [{response.low:.6f}, {response.high:.6f}] "
+                        f"half={response.half_width:.6f} "
+                        f"trials={response.trials}",
+                        flush=True,
+                    )
+        except (ConnectionError, RuntimeError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_FAILED
+    return EXIT_OK
+
+
 def _swallow_broken_pipe() -> None:
     """Piped into ``head``/``less -F`` which closed stdout early; redirect
     the remaining flush to devnull so no traceback leaks on exit."""
@@ -879,6 +1125,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _runs(args)
     if args.command == "dashboard":
         return _dashboard(args)
+    if args.command == "serve":
+        return _serve(args)
+    if args.command == "query":
+        return _query(args)
 
     known = experiment_ids()
     if args.experiment == "all":

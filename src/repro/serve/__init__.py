@@ -1,0 +1,40 @@
+"""The estimation service: daemon, result cache, batching, client.
+
+``repro-experiment serve`` runs a long-lived asyncio daemon that
+answers typed ``P(hit by t)?`` queries (:class:`~repro.api.query
+.EstimateRequest`) over a unix or TCP socket, newline-delimited JSON,
+in three tiers: persistent result-cache hit, instant theory surrogate,
+and background Monte-Carlo refinement streaming progressive responses.
+Concurrent requests for the same canonical key coalesce into one
+shared engine call.  See docs/serve.md for the protocol and tiers.
+
+Layering: this package imports :mod:`repro.api.query` (the shared
+typed contract) and the runner/telemetry stack; nothing outside it
+imports it at module level (the facade's :func:`repro.api.estimate`
+pulls the cache and refinement lazily).
+"""
+
+from repro.serve.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.serve.daemon import DEFAULT_SOCKET, EstimationService, serve_forever
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    EstimateRequest,
+    EstimateResponse,
+    decode_line,
+    encode_line,
+    parse_address,
+)
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "DEFAULT_SOCKET",
+    "EstimateRequest",
+    "EstimateResponse",
+    "EstimationService",
+    "PROTOCOL_VERSION",
+    "ResultCache",
+    "decode_line",
+    "encode_line",
+    "parse_address",
+    "serve_forever",
+]

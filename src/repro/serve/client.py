@@ -1,0 +1,104 @@
+"""A blocking NDJSON client for the estimation daemon.
+
+Used by the ``repro-experiment query`` subcommand and by tests/CI
+(`scripts/serve_smoke.py`); deliberately dependency-free and
+synchronous -- a caller that wants async can speak the protocol
+directly (it is one JSON object per line, see
+:mod:`repro.serve.protocol`).
+"""
+
+from __future__ import annotations
+
+import socket
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+from repro.api.query import EstimateRequest, EstimateResponse
+from repro.serve.protocol import Address, decode_line, encode_line
+
+
+class ServeClient:
+    """One connection to a running daemon; context-manager friendly."""
+
+    def __init__(self, address: Address, timeout: Optional[float] = 60.0) -> None:
+        self.address = address
+        if isinstance(address, Path):
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(str(address))
+        else:
+            self._sock = socket.create_connection(address, timeout=timeout)
+        self._buffer = b""
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------- plumbing
+
+    def _send(self, payload: Dict) -> None:
+        self._sock.sendall(encode_line(payload))
+
+    def _read_line(self) -> Dict:
+        while b"\n" not in self._buffer:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("daemon closed the connection")
+            self._buffer += chunk
+        line, _, self._buffer = self._buffer.partition(b"\n")
+        return decode_line(line)
+
+    def _roundtrip(self, payload: Dict) -> Dict:
+        self._send(payload)
+        reply = self._read_line()
+        if not reply.get("ok", False):
+            raise RuntimeError(reply.get("error", "daemon error"))
+        return reply
+
+    # ------------------------------------------------------------------ ops
+
+    def ping(self) -> bool:
+        return bool(self._roundtrip({"op": "ping"}).get("ok"))
+
+    def stats(self) -> Dict:
+        return self._roundtrip({"op": "stats"})
+
+    def shutdown(self) -> bool:
+        return bool(self._roundtrip({"op": "shutdown"}).get("ok"))
+
+    def estimate(
+        self, request: EstimateRequest, stream: bool = True
+    ) -> Iterator[EstimateResponse]:
+        """Issue one query; yields responses until the final one.
+
+        With ``stream=False`` the daemon suppresses progressive lines
+        and exactly one (final) response is yielded.
+        """
+        payload = {"op": "estimate", "stream": stream, **request.to_dict()}
+        self._send(payload)
+        while True:
+            reply = self._read_line()
+            if not reply.get("ok", False):
+                raise RuntimeError(reply.get("error", "daemon error"))
+            response = EstimateResponse.from_dict(reply)
+            yield response
+            if response.final:
+                return
+
+    def query(
+        self, request: EstimateRequest, stream: bool = True
+    ) -> EstimateResponse:
+        """Like :meth:`estimate` but returns only the final response."""
+        final = None
+        for final in self.estimate(request, stream=stream):
+            pass
+        assert final is not None  # estimate() always ends with a final line
+        return final

@@ -1,0 +1,67 @@
+"""The serve wire protocol: newline-delimited JSON over a socket.
+
+One request per line, one or more response lines per request (a
+streaming query yields progressive lines, the last with
+``"final": true``).  The typed contract is *re-exported* from
+:mod:`repro.api.query` -- daemon, client, and the in-process
+:func:`repro.api.estimate` path share one schema by construction.
+
+Request lines are objects with an ``op``:
+
+* ``{"op": "estimate", "alpha": 2.5, "l": 24, ...}`` -- the
+  :class:`EstimateRequest` fields, plus optional ``"stream": false``
+  to suppress progressive lines (only the final answer comes back);
+* ``{"op": "stats"}`` -- daemon counters, cache size, uptime;
+* ``{"op": "ping"}`` -- liveness probe;
+* ``{"op": "shutdown"}`` -- graceful stop (same path as SIGTERM).
+
+Response lines always carry ``"ok"``; an estimate response embeds the
+:class:`EstimateResponse` fields.  Unknown fields are ignored on both
+sides, so old clients survive new daemons and vice versa.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Tuple, Union
+
+from repro.api.query import (  # noqa: F401  (re-exported schema)
+    QUERY_SCHEMA_VERSION,
+    EstimateRequest,
+    EstimateResponse,
+)
+
+#: Bumped when the framing (not the payload schema) changes.
+PROTOCOL_VERSION = 1
+
+#: An address is a unix-socket path or a ``(host, port)`` pair.
+Address = Union[Path, Tuple[str, int]]
+
+
+def encode_line(payload: Dict[str, Any]) -> bytes:
+    """One protocol line: compact JSON + newline, UTF-8."""
+    return (
+        json.dumps(payload, separators=(",", ":"), default=str) + "\n"
+    ).encode("utf-8")
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one protocol line; raises ValueError on non-object payloads."""
+    payload = json.loads(line.decode("utf-8"))
+    if not isinstance(payload, dict):
+        raise ValueError(f"protocol line is not an object: {payload!r}")
+    return payload
+
+
+def parse_address(text: Union[str, Path]) -> Address:
+    """``"host:port"`` -> a TCP pair; anything else -> a unix-socket path.
+
+    A lone ``":8123"`` binds/connects on localhost.  Windows-style
+    drive letters are not a concern on the supported platforms.
+    """
+    text = str(text)
+    if ":" in text and "/" not in text:
+        host, _, port = text.rpartition(":")
+        return (host or "127.0.0.1", int(port))
+    return Path(text)

@@ -1,0 +1,166 @@
+"""Monte-Carlo refinement for the estimation service.
+
+The simulation tier: when neither the result cache nor the theory
+surrogate can meet a request's CI target, this module drives the
+existing fault-tolerant :class:`~repro.runner.Runner` in rounds of
+walks until the k-walker Wilson half-width drops below ``max_ci`` (or
+a walk budget runs out).  Progressive answers stream off the runner's
+v4 ``estimate`` events: a private :class:`~repro.telemetry.recorder
+.TelemetryRecorder` with an event *tap* as its writer is handed to the
+runner, so every per-chunk convergence event becomes one progressive
+:class:`~repro.api.query.EstimateResponse` without touching the
+process-global recorder seam (the daemon's own telemetry keeps
+flowing through :func:`repro.telemetry.get_recorder` untouched).
+
+Rounds double in size (bounded by the remaining budget), so the total
+overshoot past the CI target is at most 2x, while early rounds stay
+cheap for easy queries.  Seeds derive deterministically from the
+request's canonical key, so the same query refined twice produces the
+same sample path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.api.query import EstimateRequest, EstimateResponse, parallel_interval
+from repro.telemetry.convergence import ConvergenceConfig
+from repro.telemetry.recorder import TelemetryRecorder
+
+#: Walks in the first refinement round (rounds double after that).
+DEFAULT_ROUND_WALKS = 2_000
+
+#: Hard per-query walk budget; a query that cannot converge within it
+#: returns its best (non-converged) estimate rather than running forever.
+DEFAULT_MAX_WALKS = 200_000
+
+#: Chunks per round: enough that the convergence monitor streams several
+#: progressive ``estimate`` events per round.
+DEFAULT_CHUNKS = 8
+
+
+def request_seed(request: EstimateRequest) -> int:
+    """A deterministic 63-bit seed derived from the canonical key."""
+    digest = hashlib.sha256(request.key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+class _EstimateTap:
+    """An event-log *writer* that forwards ``estimate`` events to a callback.
+
+    Duck-types :class:`repro.telemetry.events.EventLogWriter` (``write``
+    / ``flush`` / ``close``) so a :class:`TelemetryRecorder` accepts it;
+    every other event type is dropped.
+    """
+
+    def __init__(self, on_estimate: Callable[[dict], None]) -> None:
+        self._on_estimate = on_estimate
+
+    def write(self, record: dict) -> None:
+        if record.get("type") == "estimate":
+            self._on_estimate(record)
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+@dataclass
+class _Progress:
+    """Cumulative counts across rounds (estimate events are per-round)."""
+
+    successes: int = 0
+    trials: int = 0
+    seq: int = 0
+
+
+def refine_estimate(
+    request: EstimateRequest,
+    publish: Optional[Callable[[EstimateResponse], None]] = None,
+    *,
+    seed: Optional[int] = None,
+    round_walks: int = DEFAULT_ROUND_WALKS,
+    max_walks: int = DEFAULT_MAX_WALKS,
+    chunks: int = DEFAULT_CHUNKS,
+    first_seq: int = 1,
+) -> EstimateResponse:
+    """Simulate until the request's CI target is met; returns the final answer.
+
+    Blocking -- the daemon calls it from a worker thread, the in-process
+    :func:`repro.api.estimate` directly.  ``publish`` (when given)
+    receives one progressive non-final :class:`EstimateResponse` per
+    runner ``estimate`` event, cumulative across rounds and already
+    lifted to k-walker space.
+    """
+    from repro.distributions.zeta import ZetaJumpDistribution
+    from repro.experiments.common import default_target
+    from repro.runner import Runner
+    from repro.runner.tasks import HittingTimeTask
+
+    if seed is None:
+        seed = request_seed(request)
+    target_ci = request.max_ci
+    progress = _Progress(seq=int(first_seq))
+
+    def _response(successes: int, trials: int, final: bool) -> EstimateResponse:
+        interval = parallel_interval(successes, trials, request.k)
+        half = 0.5 * (interval["high"] - interval["low"])
+        response = EstimateResponse(
+            key=request.key,
+            tier="simulation",
+            trials=trials,
+            successes=successes,
+            final=final,
+            converged=target_ci is not None and half <= target_ci,
+            seq=progress.seq,
+            source="monte-carlo",
+            **interval,
+        )
+        progress.seq += 1
+        return response
+
+    def _on_estimate(event: dict) -> None:
+        if publish is None:
+            return
+        # Event counts are cumulative within the current round only.
+        successes = progress.successes + int(event.get("successes", 0))
+        trials = progress.trials + int(event.get("trials", 0))
+        publish(_response(successes, trials, final=False))
+
+    recorder = TelemetryRecorder(writer=_EstimateTap(_on_estimate), profile=False)
+    task = HittingTimeTask(
+        jumps=ZetaJumpDistribution(request.alpha),
+        target=default_target(request.l),
+        horizon=request.resolved_horizon,
+        detect_during_jump=request.detect,
+    )
+    runner = Runner(
+        n_chunks=int(chunks),
+        convergence=ConvergenceConfig(),
+        recorder=recorder,
+    )
+
+    n_round = max(1, int(round_walks))
+    round_index = 0
+    while True:
+        n_this = min(n_round, max(1, int(max_walks) - progress.trials))
+        outcome = runner.run(
+            task,
+            n_this,
+            seed + round_index,
+            label=f"serve-{round_index}",
+        )
+        payload = outcome.payload
+        progress.successes += int(payload.n_hits)
+        progress.trials += int(payload.n)
+        interval = parallel_interval(progress.successes, progress.trials, request.k)
+        half = 0.5 * (interval["high"] - interval["low"])
+        round_index += 1
+        if target_ci is None or half <= target_ci or progress.trials >= max_walks:
+            break
+        n_round *= 2
+    return _response(progress.successes, progress.trials, final=True)

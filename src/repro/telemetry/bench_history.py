@@ -19,7 +19,15 @@ Comparison semantics, by metric-name suffix:
   sweep's pool speedup): compared absolutely with the regression
   direction inverted -- a regression is
   ``baseline - current > threshold`` (the speedup *fell* by more than
-  ``threshold``); a rising speedup never regresses;
+  ``threshold``); a rising speedup never regresses.  Speedup verdicts
+  are annotated with the snapshots' *effective vs requested* worker
+  counts (``workers`` / ``workers_requested``): a pool speedup measured
+  with 1 effective worker on a clamped CI host is ~1.0 by construction,
+  so comparing it against a 4-worker baseline would either fake a
+  regression or -- worse -- mask a real one behind "not comparable"
+  noise.  Differing effective worker counts make the speedup DRIFT
+  (never a regression verdict either way); a clamped host (effective <
+  requested on either side) is called out loudly;
 * everything else (``n_walks``, ``n_chunks``, ``meta``) is
   configuration: differing values make every timing comparison
   apples-to-oranges, so they are reported as config drift (never a
@@ -86,6 +94,10 @@ class MetricDelta:
     note: str = ""
     #: Gated metrics (``*_fused_mean_seconds``) fail even with --warn-only.
     gated: bool = False
+    #: False when the two measurements describe different workloads (e.g.
+    #: speedups from different effective worker counts): rendered DRIFT,
+    #: never a regression verdict.
+    comparable: bool = True
 
 
 def _numeric_metrics(snapshot: Dict) -> Dict[str, float]:
@@ -94,6 +106,25 @@ def _numeric_metrics(snapshot: Dict) -> Dict[str, float]:
         for name, value in snapshot.items()
         if isinstance(value, (int, float)) and not isinstance(value, bool)
     }
+
+
+def _worker_context(snapshot: Dict) -> Tuple[Optional[int], Optional[int]]:
+    """``(effective, requested)`` worker counts from a snapshot, if recorded.
+
+    ``BENCH_sweep.json`` records both: ``workers`` is what the pool
+    actually ran with after host clamping, ``workers_requested`` what the
+    benchmark asked for.  Older snapshots may carry neither.
+    """
+
+    def _int(name: str) -> Optional[int]:
+        value = snapshot.get(name)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return int(value)
+        return None
+
+    effective = _int("workers")
+    requested = _int("workers_requested")
+    return effective, requested if requested is not None else effective
 
 
 def _kind(name: str) -> str:
@@ -112,10 +143,13 @@ def compare_snapshots(
     """Compare two flat snapshot dicts; one :class:`MetricDelta` per metric."""
     base = _numeric_metrics(baseline)
     cur = _numeric_metrics(current)
+    base_workers, base_requested = _worker_context(baseline)
+    cur_workers, cur_requested = _worker_context(current)
     deltas: List[MetricDelta] = []
     for name in sorted(set(base) | set(cur)):
         kind = _kind(name)
         b, c = base.get(name), cur.get(name)
+        comparable = True
         if b is None or c is None:
             deltas.append(
                 MetricDelta(
@@ -136,6 +170,20 @@ def compare_snapshots(
             delta = c - b
             regressed = -delta > threshold
             note = f"{delta:+.3f} (absolute, higher is better)"
+            workers_note = _speedup_workers_note(
+                base_workers, base_requested, cur_workers, cur_requested
+            )
+            if workers_note:
+                note = f"{note} {workers_note}"
+            if (
+                base_workers is not None
+                and cur_workers is not None
+                and base_workers != cur_workers
+            ):
+                # A speedup from N effective workers says nothing about
+                # one from M: neither a regression nor a pass.
+                comparable = False
+                regressed = False
         else:
             delta = c - b
             regressed = False
@@ -144,9 +192,31 @@ def compare_snapshots(
             MetricDelta(
                 name, b, c, kind, delta, regressed, note,
                 gated=name.endswith(FUSED_SUFFIX),
+                comparable=comparable,
             )
         )
     return deltas
+
+
+def _speedup_workers_note(
+    base_workers: Optional[int],
+    base_requested: Optional[int],
+    cur_workers: Optional[int],
+    cur_requested: Optional[int],
+) -> str:
+    """The ``[workers ...]`` annotation on a speedup delta, or ``""``."""
+
+    def _one(effective: Optional[int], requested: Optional[int]) -> str:
+        if effective is None:
+            return "?"
+        if requested is not None and requested != effective:
+            return f"{effective} (of {requested} requested)"
+        return str(effective)
+
+    if base_workers is None and cur_workers is None:
+        return ""
+    return f"[workers: {_one(base_workers, base_requested)} -> " \
+        f"{_one(cur_workers, cur_requested)}]"
 
 
 def fused_speedup_warnings(
@@ -187,12 +257,18 @@ def render_comparison(
     )
     regressed: List[str] = []
     drifted = False
+    clamped: List[str] = []
     for delta in deltas:
+        if delta.kind == "speedup" and "(of " in delta.note:
+            clamped.append(delta.name)
         if delta.regressed:
             regressed.append(delta.name)
             # Gated (fused-kernel) metrics stay hard failures even in
             # warn-only mode.
             verdict = "WARN" if warn_only and not delta.gated else "REGRESSED"
+        elif not delta.comparable:
+            verdict = "DRIFT"
+            drifted = True
         elif delta.kind == "config" and delta.note:
             verdict = "DRIFT"
             drifted = True
@@ -208,6 +284,12 @@ def render_comparison(
         lines.append(
             "warning: benchmark configuration drifted between snapshots; "
             "timing verdicts compare different workloads"
+        )
+    if clamped:
+        lines.append(
+            "warning: speedup(s) measured on a clamped host (fewer effective "
+            f"than requested workers): {', '.join(clamped)}; a flat speedup "
+            "here does NOT clear the pool of a real regression"
         )
     hard = [d.name for d in deltas if d.regressed and d.gated]
     soft = [name for name in regressed if name not in hard]

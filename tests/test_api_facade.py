@@ -26,6 +26,9 @@ def test_all_names_resolve():
 
 
 def test_facade_matches_home_modules():
+    from repro.api.query import EstimateRequest as home_request
+    from repro.api.query import estimate as home_estimate
+    from repro.api.query import warm_estimates as home_warm
     from repro.engine.vectorized import walk_hitting_times as home_engine
     from repro.runner import Runner as home_runner
     from repro.sweep import run_sweep as home_sweep
@@ -33,6 +36,22 @@ def test_facade_matches_home_modules():
     assert api.walk_hitting_times is home_engine
     assert api.Runner is home_runner
     assert api.run_sweep is home_sweep
+    assert api.estimate is home_estimate
+    assert api.EstimateRequest is home_request
+    assert api.warm_estimates is home_warm
+
+
+def test_query_names_are_in_the_inventory():
+    for name in ("EstimateRequest", "EstimateResponse", "estimate", "warm_estimates"):
+        assert name in api.__all__
+
+
+def test_serve_protocol_reexports_the_same_schema():
+    from repro.serve.protocol import EstimateRequest as wire_request
+    from repro.serve.protocol import EstimateResponse as wire_response
+
+    assert wire_request is api.EstimateRequest
+    assert wire_response is api.EstimateResponse
 
 
 JUMPS = ZetaJumpDistribution(2.5)

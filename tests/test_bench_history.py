@@ -89,6 +89,77 @@ def test_render_comparison_verdicts_and_warn_only():
     assert "WARN" in warn_text and "FAIL" not in warn_text
 
 
+# ------------------------------------------------------------ worker context
+
+
+def test_speedup_annotated_with_effective_and_requested_workers():
+    deltas = compare_snapshots(
+        {"pool_speedup": 3.1, "workers": 4, "workers_requested": 4},
+        {"pool_speedup": 3.0, "workers": 4, "workers_requested": 4},
+        threshold=0.25,
+    )
+    by_name = {d.name: d for d in deltas}
+    assert "[workers: 4 -> 4]" in by_name["pool_speedup"].note
+    assert by_name["pool_speedup"].comparable
+    assert not by_name["pool_speedup"].regressed
+
+
+def test_speedup_across_different_effective_workers_is_drift_not_regression():
+    """A 4-worker baseline vs a clamped 1-worker current: the huge speedup
+    drop is a workload change, not a pool regression -- and vice versa, a
+    flat ~1.0 speedup on the clamped host must not read as a pass."""
+    deltas = compare_snapshots(
+        {"pool_speedup": 3.2, "workers": 4, "workers_requested": 4},
+        {"pool_speedup": 1.05, "workers": 1, "workers_requested": 4},
+        threshold=0.25,
+    )
+    by_name = {d.name: d for d in deltas}
+    speedup = by_name["pool_speedup"]
+    assert not speedup.comparable
+    assert not speedup.regressed  # never a regression verdict either way
+    assert "1 (of 4 requested)" in speedup.note
+    text, regressed = render_comparison(deltas, 0.25)
+    assert regressed == []
+    assert "DRIFT" in text
+    assert "clamped host" in text
+    assert "does NOT clear the pool" in text
+
+
+def test_clamped_host_speedup_warns_even_when_values_match():
+    """BENCH_sweep.json's real shape: workers 1 of 4 requested on both
+    sides.  The comparison itself is fine, but the render must say the
+    speedup came from a clamped host."""
+    snapshot = {"pool_speedup": 1.13, "workers": 1, "workers_requested": 4}
+    deltas = compare_snapshots(snapshot, dict(snapshot), threshold=0.25)
+    by_name = {d.name: d for d in deltas}
+    assert by_name["pool_speedup"].comparable
+    text, regressed = render_comparison(deltas, 0.25)
+    assert regressed == []
+    assert "clamped host" in text
+    assert "1 (of 4 requested)" in by_name["pool_speedup"].note
+
+
+def test_genuine_speedup_regression_still_fails_at_full_workers():
+    deltas = compare_snapshots(
+        {"pool_speedup": 3.2, "workers": 4, "workers_requested": 4},
+        {"pool_speedup": 2.0, "workers": 4, "workers_requested": 4},
+        threshold=0.25,
+    )
+    by_name = {d.name: d for d in deltas}
+    assert by_name["pool_speedup"].regressed
+    text, regressed = render_comparison(deltas, 0.25)
+    assert regressed == ["pool_speedup"]
+    assert "clamped host" not in text
+
+
+def test_speedup_without_worker_keys_keeps_old_behavior():
+    (delta,) = compare_snapshots(
+        {"pool_speedup": 3.0}, {"pool_speedup": 2.0}, threshold=0.25
+    )
+    assert delta.regressed and delta.comparable
+    assert "[workers" not in delta.note
+
+
 # ----------------------------------------------------------------------- CLI
 
 

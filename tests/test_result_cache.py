@@ -1,0 +1,146 @@
+"""The persistent result cache (:mod:`repro.serve.cache`).
+
+Covers the lookup contract (key + CI-tightness), persistence across
+instances (a daemon restart), the JSONL durability contract shared with
+the run registry -- kill-mid-write leaves a torn tail which readers
+skip and the next put heals -- LRU bounding, newest-vs-tightest entry
+resolution, registry warm starts, and atomic gc compaction.
+"""
+
+import json
+
+from repro.api.query import EstimateResponse, canonical_key
+from repro.serve.cache import ResultCache
+from repro.telemetry.registry import RunRegistry, build_run_record, new_run_id
+
+
+def _response(key="k1", p=0.1, half=0.02, trials=1000, **extra):
+    return EstimateResponse(
+        key=key, tier="simulation", p=p, low=p - half, high=p + half,
+        trials=trials, successes=int(round(p * trials)),
+        source="monte-carlo", **extra,
+    )
+
+
+def test_put_get_and_ci_tightness(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(_response(half=0.02))
+    assert cache.get("k1").p == 0.1
+    assert cache.get("missing") is None
+    assert cache.get("k1", max_ci=0.05) is not None
+    assert cache.get("k1", max_ci=0.01) is None  # too loose for the ask
+
+
+def test_persists_across_instances(tmp_path):
+    ResultCache(tmp_path).put(_response())
+    reopened = ResultCache(tmp_path)  # a daemon restart
+    assert len(reopened) == 1
+    assert reopened.get("k1").trials == 1000
+
+
+def test_tighter_entry_wins_on_duplicate_key(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(_response(half=0.01, trials=4000))
+    cache.put(_response(half=0.05, trials=500))  # looser: must not clobber
+    assert cache.get("k1").trials == 4000
+    # and the same resolution holds after a reload of the append-only log
+    assert ResultCache(tmp_path).get("k1").trials == 4000
+
+
+# ------------------------------------------------------------------ durability
+
+
+def test_reader_skips_a_torn_tail(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(_response("k1"))
+    cache.put(_response("k2"))
+    with open(cache.path, "ab") as handle:
+        handle.write(b'{"key": "torn-')  # kill-mid-write signature
+    reopened = ResultCache(tmp_path)
+    assert sorted(e.key for e in reopened.entries()) == ["k1", "k2"]
+
+
+def test_put_heals_a_torn_tail(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(_response("k1"))
+    with open(cache.path, "ab") as handle:
+        handle.write(b'{"key": "torn-')
+    healed = ResultCache(tmp_path)
+    healed.put(_response("k3"))  # must NOT glue onto the fragment
+    assert sorted(e.key for e in ResultCache(tmp_path).entries()) == ["k1", "k3"]
+    # every complete line in the file is valid JSON again
+    lines = [l for l in cache.path.read_text().split("\n") if l.strip()]
+    parsed = []
+    for line in lines:
+        try:
+            parsed.append(json.loads(line))
+        except json.JSONDecodeError:
+            pass
+    assert {entry["key"] for entry in parsed} == {"k1", "k3"}
+
+
+def test_interior_damage_is_skipped(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(_response("k1"))
+    cache.put(_response("k2"))
+    cache.put(_response("k3"))
+    lines = cache.path.read_text().splitlines()
+    lines[1] = lines[1][: len(lines[1]) // 2]  # damage an interior record
+    cache.path.write_text("\n".join(lines) + "\n")
+    reopened = ResultCache(tmp_path)
+    assert sorted(e.key for e in reopened.entries()) == ["k1", "k3"]
+
+
+# ------------------------------------------------------------------- bounding
+
+
+def test_lru_eviction_bounds_the_index(tmp_path):
+    cache = ResultCache(tmp_path, max_entries=3)
+    for i in range(5):
+        cache.put(_response(f"k{i}"))
+    assert len(cache) == 3
+    assert cache.get("k0") is None  # oldest evicted
+    assert cache.get("k4") is not None
+
+
+def test_gc_compacts_to_the_index(tmp_path):
+    cache = ResultCache(tmp_path, max_entries=2)
+    for i in range(6):
+        cache.put(_response(f"k{i}"))
+    assert len(cache.path.read_text().splitlines()) == 6  # append-only log
+    kept = cache.gc()
+    assert kept == 2
+    assert len(cache.path.read_text().splitlines()) == 2
+    assert len(ResultCache(tmp_path)) == 2
+
+
+# ----------------------------------------------------------------- warm start
+
+
+def test_warm_start_imports_registry_estimates_in_memory_only(tmp_path):
+    registry = RunRegistry(tmp_path / "registry")
+    row = {
+        "key": "alpha=2.2 l=24",
+        "label": "alpha=2.2 l=24",
+        "law": "alpha=2.2",
+        "params": {"alpha": 2.2, "l": 24},
+        "trials": 2000,
+        "successes": 100,
+        "p": 0.05,
+        "low": 0.04,
+        "high": 0.06,
+        "half_width": 0.01,
+        "horizon": 576,
+        "status": "complete",
+    }
+    registry.register(
+        build_run_record(
+            run_id=new_run_id(), command="sweep", label="t", estimates=[row]
+        )
+    )
+    cache = ResultCache(tmp_path / "cache")
+    imported = cache.warm_start(registry)
+    assert imported == 1
+    hit = cache.get(canonical_key(2.2, 24))
+    assert hit is not None and hit.trials == 2000
+    assert not cache.path.exists()  # in-memory only: the registry persists it

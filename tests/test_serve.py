@@ -1,0 +1,238 @@
+"""The estimation daemon (:mod:`repro.serve.daemon`) end to end.
+
+Each test runs the real asyncio server over a unix socket in
+``tmp_path`` on a background-thread event loop, with a private
+:class:`NullRecorder` so the ``serve.*`` counters are per-test.
+Covers the acceptance bars: a theory-tier answer streams back before
+refinement with >= 1 progressive CI-tightening response; two concurrent
+identical queries share exactly one engine call (proven by
+``serve.engine_calls`` / ``serve.batch_coalesced``); a repeated query
+after a daemon restart is served from the persistent cache without
+simulation; the ``shutdown`` op (the SIGTERM path) stops the server
+cleanly and removes the socket.
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.api.query import EstimateRequest
+from repro.serve import EstimationService, ResultCache, serve_forever
+from repro.serve.client import ServeClient
+from repro.telemetry.recorder import NullRecorder
+
+#: Small refinement sizes so every test's simulation tier runs in
+#: well under a second.
+FAST = dict(round_walks=200, max_walks=4_000, chunks=4)
+
+
+class _Daemon:
+    """One real daemon on a background thread, torn down via shutdown op."""
+
+    def __init__(self, tmp_path, **service_kwargs):
+        self.socket = tmp_path / "serve.sock"
+        cache = service_kwargs.pop("cache", None)
+        if cache is None:
+            cache = ResultCache(tmp_path / "cache")
+        self.recorder = service_kwargs.pop("recorder", None) or NullRecorder()
+        self.service = EstimationService(
+            cache,
+            service_kwargs.pop("registry", None),
+            recorder=self.recorder,
+            **{**FAST, **service_kwargs},
+        )
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        deadline = time.monotonic() + 10
+        while not self.socket.exists():
+            if time.monotonic() > deadline:  # pragma: no cover
+                raise RuntimeError("daemon never bound its socket")
+            time.sleep(0.01)
+
+    def _run(self):
+        asyncio.run(serve_forever(self.socket, self.service))
+
+    def counter(self, name):
+        snap = self.recorder.metrics.snapshot().get(name)
+        return snap["value"] if snap else 0
+
+    def stop(self):
+        if not self.thread.is_alive():
+            return
+        try:
+            with ServeClient(self.socket, timeout=10) as client:
+                client.shutdown()
+        except (OSError, ConnectionError):
+            pass
+        self.thread.join(timeout=10)
+
+
+@pytest.fixture
+def daemon_factory(tmp_path):
+    started = []
+
+    def _make(**kwargs):
+        daemon = _Daemon(tmp_path, **kwargs)
+        started.append(daemon)
+        return daemon
+
+    yield _make
+    for daemon in started:
+        daemon.stop()
+
+
+def test_theory_first_then_progressive_then_final(daemon_factory):
+    daemon = daemon_factory(batch_window=0.0)
+    with ServeClient(daemon.socket) as client:
+        started = time.monotonic()
+        responses = list(
+            client.estimate(EstimateRequest(alpha=2.2, l=6, max_ci=0.06))
+        )
+        first_latency = time.monotonic() - started
+    assert responses[0].tier == "theory"
+    assert responses[0].approximate and not responses[0].final
+    progressive = [r for r in responses[1:-1] if r.tier == "simulation"]
+    assert len(progressive) >= 1  # the CI visibly tightened mid-stream
+    final = responses[-1]
+    assert final.tier == "simulation" and final.final and final.converged
+    assert final.half_width <= 0.06
+    # seq strictly orders the stream
+    assert [r.seq for r in responses] == sorted(r.seq for r in responses)
+    assert first_latency < 30  # the whole refinement, not just theory
+
+
+def test_no_ci_request_is_answered_by_theory_alone(daemon_factory):
+    daemon = daemon_factory()
+    with ServeClient(daemon.socket) as client:
+        responses = list(client.estimate(EstimateRequest(alpha=2.5, l=32)))
+    assert [r.tier for r in responses] == ["theory"]
+    assert responses[0].final
+    assert daemon.counter("serve.engine_calls") == 0
+
+
+def test_concurrent_duplicates_share_one_engine_call(daemon_factory):
+    daemon = daemon_factory(batch_window=0.3)
+    request = EstimateRequest(alpha=2.4, l=6, max_ci=0.06)
+    results = {}
+
+    def _query(name):
+        with ServeClient(daemon.socket) as client:
+            results[name] = client.query(request)
+
+    threads = [
+        threading.Thread(target=_query, args=(name,)) for name in ("a", "b")
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert results["a"].final and results["b"].final
+    # the coalescing proof: one engine call answered both queries
+    assert daemon.counter("serve.engine_calls") == 1
+    assert daemon.counter("serve.batch_coalesced") >= 1
+    assert daemon.counter("serve.requests") == 2
+    assert (results["a"].p, results["a"].trials) == (
+        results["b"].p,
+        results["b"].trials,
+    )
+
+
+def test_restart_serves_from_persistent_cache_without_simulation(
+    tmp_path, daemon_factory
+):
+    request = EstimateRequest(alpha=2.2, l=6, max_ci=0.06)
+    first = daemon_factory(batch_window=0.0)
+    with ServeClient(first.socket) as client:
+        original = client.query(request)
+    assert first.counter("serve.engine_calls") == 1
+    first.stop()
+
+    # a fresh daemon over the same cache directory: no engine call
+    second = daemon_factory(cache=ResultCache(tmp_path / "cache"))
+    with ServeClient(second.socket) as client:
+        served = client.query(request)
+    assert served.tier == "cache"
+    assert (served.p, served.trials) == (original.p, original.trials)
+    assert second.counter("serve.engine_calls") == 0
+    assert second.counter("serve.cache_hits") == 1
+
+
+def test_warm_start_answers_from_registry_history(tmp_path, daemon_factory):
+    from repro.telemetry.registry import RunRegistry, build_run_record, new_run_id
+
+    registry = RunRegistry(tmp_path / "registry")
+    row = {
+        "key": "alpha=2.2 l=24",
+        "label": "alpha=2.2 l=24",
+        "law": "alpha=2.2",
+        "params": {"alpha": 2.2, "l": 24},
+        "trials": 2000,
+        "successes": 100,
+        "p": 0.05,
+        "low": 0.04,
+        "high": 0.06,
+        "half_width": 0.01,
+        "horizon": 576,
+        "status": "complete",
+    }
+    registry.register(
+        build_run_record(
+            run_id=new_run_id(), command="sweep", label="t", estimates=[row]
+        )
+    )
+    daemon = daemon_factory(registry=registry)
+    assert daemon.service.warm_start() == 1
+    with ServeClient(daemon.socket) as client:
+        served = client.query(EstimateRequest(alpha=2.2, l=24, max_ci=0.05))
+    assert served.tier == "cache"
+    assert served.trials == 2000
+    assert daemon.counter("serve.engine_calls") == 0
+
+
+def test_ping_stats_and_error_handling(daemon_factory):
+    daemon = daemon_factory()
+    with ServeClient(daemon.socket) as client:
+        assert client.ping()
+        client.query(EstimateRequest(alpha=2.5, l=16))
+        stats = client.stats()
+        assert stats["counters"]["serve.requests"] == 1
+        assert stats["cache_entries"] == 0
+    # malformed payloads: an error line each, and the connection survives
+    with ServeClient(daemon.socket) as client:
+        client._send({"op": "estimate", "l": 8})  # no alpha
+        reply = client._read_line()
+        assert reply["ok"] is False and "alpha" in reply["error"]
+        client._send({"op": "no-such-op"})
+        reply = client._read_line()
+        assert reply["ok"] is False
+        assert client.ping()  # the connection survived both errors
+
+
+def test_shutdown_op_stops_the_daemon_and_removes_the_socket(daemon_factory):
+    daemon = daemon_factory()
+    with ServeClient(daemon.socket) as client:
+        assert client.shutdown()
+    daemon.thread.join(timeout=10)
+    assert not daemon.thread.is_alive()
+    assert not daemon.socket.exists()
+
+
+def test_cli_query_against_a_live_daemon(daemon_factory, capsys):
+    from repro.cli import EXIT_OK, main
+
+    daemon = daemon_factory(batch_window=0.0)
+    code = main(
+        [
+            "query",
+            "--socket", str(daemon.socket),
+            "--alpha", "2.2", "--l", "6", "--max-ci", "0.06",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == EXIT_OK
+    lines = [line for line in out.splitlines() if line.strip()]
+    assert lines[0].startswith("[theory~")
+    assert lines[-1].startswith("[simulation final]")
+    assert len(lines) >= 3  # theory + >=1 progressive + final
