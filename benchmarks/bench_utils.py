@@ -31,8 +31,11 @@ def record_bench(group: str, metrics: dict) -> Path:
 
     Existing metrics not named in ``metrics`` are preserved, so per-test
     recorders (one call per pytest-benchmark test) accumulate into one
-    snapshot per group.  A corrupt or hand-edited snapshot is replaced
-    rather than crashing the benchmark run.
+    snapshot per group.  A metric valued ``None`` is a *tombstone*: it
+    deletes the key from the snapshot instead of writing ``null``, so a
+    benchmark can scrub a stale value a differently-shaped host left
+    behind (e.g. ``pool_speedup`` on a clamped CI box).  A corrupt or
+    hand-edited snapshot is replaced rather than crashing the run.
     """
     path = bench_path(group)
     snapshot: dict = {}
@@ -42,7 +45,11 @@ def record_bench(group: str, metrics: dict) -> Path:
             snapshot = {}
     except (FileNotFoundError, json.JSONDecodeError):
         snapshot = {}
-    snapshot.update({key: _round(value) for key, value in metrics.items()})
+    for key, value in metrics.items():
+        if value is None:
+            snapshot.pop(key, None)
+        else:
+            snapshot[key] = _round(value)
     snapshot["meta"] = {
         "generated_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "scale": os.environ.get("REPRO_BENCH_SCALE", "smoke"),

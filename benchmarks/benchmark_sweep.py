@@ -1,18 +1,25 @@
 """Throughput and determinism of the declarative sweep scheduler.
 
-One smoke-size grid (8 points) runs twice -- serially (``workers=0``)
-and through the shared worker pool -- and the benchmark:
+One smoke-size grid (8 points) runs three times -- serially
+(``workers=0``), through the shared worker pool over the shared-memory
+transport, and through the same pool over the classic pickle transport
+-- and the benchmark:
 
-* **asserts bit-identity**: every point's sample and parallel estimates
-  must match element-for-element across the two executions.  This is the
-  sweep's determinism contract (docs/sweep.md): seeds derive from the
-  grid-point *index*, never from worker scheduling order;
-* **records the honest speedup** ``serial_seconds / pooled_seconds`` to
-  ``BENCH_sweep.json``.  The pool size is the *requested* worker count
-  clamped to ``os.cpu_count()`` -- oversubscribing a small CI container
-  once produced a fictitious 1.49x "speedup" on a single CPU -- and both
-  the requested and effective counts are recorded, with the host's CPU
-  count alongside, so the trajectory is interpretable per machine.
+* **asserts three-way bit-identity**: every point's sample and parallel
+  estimates must match element-for-element across all executions.  This
+  is the sweep's determinism contract (docs/sweep.md): seeds derive from
+  the grid-point *index*, never from worker scheduling order, and the
+  transport only moves bytes, it never touches the RNG stream;
+* **records the paired transport timings** ``sweep_shm_seconds`` /
+  ``sweep_pickle_seconds`` so bench-history can track the shm win as a
+  same-host ratio (absolute times are noisy on CI; the pair is not);
+* **records the honest speedup** ``serial_seconds / pooled_seconds``
+  only when the host can grant the requested parallelism.  The pool size
+  is the *requested* worker count clamped to ``os.cpu_count()`` --
+  oversubscribing a small CI container once produced a fictitious 1.49x
+  "speedup" on a single CPU -- so on a clamped host the snapshot carries
+  ``"clamped": true`` and *no* ``pool_speedup`` key at all (see
+  :func:`repro.telemetry.bench_history.pool_speedup_record`).
 """
 
 import os
@@ -23,6 +30,7 @@ import numpy as np
 from bench_utils import record_bench
 from repro.runner import Runner
 from repro.sweep import SweepSpec, run_sweep
+from repro.telemetry.bench_history import pool_speedup_record
 
 _SEED = 0
 _REQUESTED_WORKERS = 4
@@ -39,42 +47,56 @@ def _spec() -> SweepSpec:
     )
 
 
-def _run(workers: int):
+def _run(workers: int, transport: str = "auto"):
     started = time.perf_counter()
-    result = run_sweep(_spec(), seed=_SEED, runner=Runner(workers=workers))
+    result = run_sweep(
+        _spec(),
+        seed=_SEED,
+        runner=Runner(workers=workers, pool_transport=transport),
+    )
     return result, time.perf_counter() - started
 
 
 def test_sweep_pool_is_deterministic_and_timed(benchmark):
-    """Pooled grid matches serial bit-for-bit; persist the speedup."""
+    """Pooled grid matches serial bit-for-bit on both transports."""
     serial, serial_seconds = _run(workers=0)  # also warms imports/tables
 
-    benchmark.pedantic(_run, args=(_WORKERS,), rounds=1, iterations=1)
-    pooled, pooled_seconds = _run(workers=_WORKERS)
+    benchmark.pedantic(_run, args=(_WORKERS, "shm"), rounds=1, iterations=1)
+    pooled_shm, shm_seconds = _run(_WORKERS, "shm")
+    pooled_pickle, pickle_seconds = _run(_WORKERS, "pickle")
 
-    assert len(serial) == len(pooled) == 8
-    for a, b in zip(serial, pooled):
+    assert len(serial) == len(pooled_shm) == len(pooled_pickle) == 8
+    for a, b, c in zip(serial, pooled_shm, pooled_pickle):
         np.testing.assert_array_equal(a.sample.times, b.sample.times)
+        np.testing.assert_array_equal(a.sample.times, c.sample.times)
         np.testing.assert_array_equal(a.parallel, b.parallel)
+        np.testing.assert_array_equal(a.parallel, c.parallel)
 
-    speedup = serial_seconds / pooled_seconds
+    pooled_seconds = shm_seconds
+    record = pool_speedup_record(
+        serial_seconds,
+        pooled_seconds,
+        workers_requested=_REQUESTED_WORKERS,
+        workers=_WORKERS,
+        host_cpus=os.cpu_count(),
+    )
+    speedup = record.get("pool_speedup")
+    verdict = (
+        f"speedup {speedup:.2f}x" if speedup is not None
+        else "clamped host -- no speedup verdict"
+    )
     print(
         f"\nsweep 8 points x 2000 walks: serial {serial_seconds:.3f}s | "
-        f"pooled x{_WORKERS} {pooled_seconds:.3f}s | speedup {speedup:.2f}x "
+        f"pooled x{_WORKERS} shm {shm_seconds:.3f}s / pickle "
+        f"{pickle_seconds:.3f}s | {verdict} "
         f"on {os.cpu_count()} CPU(s) | bit-identical: yes"
     )
     record_bench(
         "sweep",
         {
-            "serial_seconds": serial_seconds,
-            "pooled_seconds": pooled_seconds,
-            # A float: bench-history's *_speedup kind compares it
-            # absolutely with inverted direction (a drop past the
-            # threshold regresses, a rise never does).
-            "pool_speedup": round(speedup, 4),
-            "workers_requested": _REQUESTED_WORKERS,
-            "workers": _WORKERS,
-            "host_cpus": os.cpu_count(),
+            **record,
+            "sweep_shm_seconds": shm_seconds,
+            "sweep_pickle_seconds": pickle_seconds,
             "n_points": len(serial),
             "n_walks_per_point": 2_000,
             "bit_identical": True,

@@ -120,6 +120,29 @@ class JumpCdfTable:
         #: Covered conditional mass; draws with ``v > top`` use the tail.
         self.top = float(cdf[-1])
 
+    @classmethod
+    def from_cdf(
+        cls,
+        alpha: float,
+        lazy_probability: float,
+        cap: Optional[int],
+        cdf: np.ndarray,
+    ) -> "JumpCdfTable":
+        """Wrap an already-computed CDF array (no zeta sums re-derived).
+
+        The shared-memory transport uses this to install tables whose
+        data lives in a segment published by the parent process
+        (:mod:`repro.engine.shm`); ``cdf`` may be a read-only view into
+        that segment -- :meth:`sample` never writes to it.
+        """
+        table = cls.__new__(cls)
+        table.alpha = float(alpha)
+        table.lazy_probability = float(lazy_probability)
+        table.cap = cap
+        table.cdf = cdf
+        table.top = float(cdf[-1])
+        return table
+
     @property
     def length(self) -> int:
         """Number of table entries (largest distance drawable in-table)."""
@@ -244,6 +267,16 @@ class _TableCache:
                 self.evictions += 1
         return table
 
+    def install(self, table: JumpCdfTable) -> None:
+        """Insert a prebuilt table under its own key (shared-memory path)."""
+        key: _Key = (table.alpha, table.lazy_probability, table.cap)
+        with self._lock:
+            self._tables[key] = table
+            self._tables.move_to_end(key)
+            while len(self._tables) > self.max_tables:
+                self._tables.popitem(last=False)
+                self.evictions += 1
+
     def stats(self) -> Dict[str, int]:
         with self._lock:
             tables = [t for t in self._tables.values() if t is not None]
@@ -277,6 +310,15 @@ def get_table(
     if not _TABLES_ENABLED:
         return None
     return _CACHE.get(alpha, lazy_probability, cap)
+
+
+def install_table(table: JumpCdfTable) -> None:
+    """Install a prebuilt (e.g. shared-memory-backed) table in the cache.
+
+    Eviction of an installed table is harmless: the next ``get_table``
+    for the law rebuilds it locally, exactly as on the non-shared path.
+    """
+    _CACHE.install(table)
 
 
 def cache_stats() -> Dict[str, int]:

@@ -31,6 +31,7 @@ import numpy as np
 from repro.distributions.base import JumpDistribution
 from repro.engine._compat import legacy_api
 from repro.engine.results import CENSORED, HittingTimeSample
+from repro.engine.ring import ball_hitting_times_ring, ring_rounds
 from repro.engine.samplers import BatchJumpSampler
 from repro.engine.vectorized import _as_sampler, _record_engine_sample
 from repro.lattice.direct_path import sample_direct_path_nodes
@@ -76,6 +77,19 @@ def ball_hitting_times(
     start_distance = abs(cx - start[0]) + abs(cy - start[1])
     if start_distance <= radius:
         return HittingTimeSample(times=np.zeros(n_walks, np.int64), horizon=horizon)
+    rounds = ring_rounds()
+    if rounds > 1:
+        return ball_hitting_times_ring(
+            sampler,
+            (cx, cy),
+            radius=radius,
+            horizon=horizon,
+            n=n_walks,
+            rng=rng,
+            start=(int(start[0]), int(start[1])),
+            detect_during_jump=detect_during_jump,
+            rounds=rounds,
+        )
 
     # Same compacted state machine and preallocated round buffers as
     # `walk_hitting_times`: row j belongs to walk idx[j], dead rows jump

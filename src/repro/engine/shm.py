@@ -1,0 +1,424 @@
+"""Zero-copy shared-memory transport for the pooled Runner.
+
+Two independent costs gate pool scaling (BENCH_sweep.json records a
+near-1x pool speedup): every worker re-derives the inverse-CDF jump
+tables of :mod:`repro.distributions.cdf_table` per process, and every
+chunk result crosses the pool boundary as a pickle.  This module removes
+both with ``multiprocessing.shared_memory``:
+
+* a :class:`SharedTableRegistry` (parent side) publishes each
+  ``(alpha, lazy_probability, cap)`` table -- the same key as the
+  process-global LRU cache -- into a named segment once per run.  Workers
+  :func:`attach_tables` zero-copy at pool-initializer time and install
+  read-only shared-backed :class:`~repro.distributions.cdf_table.JumpCdfTable`
+  objects into their local cache, so a pool rebuild after a hung chunk
+  re-attaches the *same* segments instead of re-deriving zeta sums;
+* chunk results encode into fixed-layout *slabs*
+  (:func:`encode_payload` / :func:`decode_slab`): a 32-byte header, the
+  int64 hitting times, and the uint8 hit flags.  The parent attaches,
+  copies out, and unlinks -- no pickling of the payload arrays in either
+  direction.  Payload kinds without a slab layout (e.g. foraging results)
+  return ``None`` from :func:`encode_payload` and fall back to the pickle
+  transport, which stays fully supported (``--pool-transport pickle``).
+
+Both directions are bit-exact: a slab round-trip reproduces the payload
+arrays exactly, so the Runner's determinism contracts (workers=0 vs N,
+resume) are unchanged by transport choice.
+
+Lifetime rules (who unlinks what):
+
+* table segments: created and unlinked by the parent registry
+  (:meth:`SharedTableRegistry.close`); workers only ever attach;
+* result slabs: created by the worker under a parent-chosen name,
+  unlinked by the parent after decoding -- or by the parent's cleanup
+  path (:func:`unlink_if_exists` / :func:`cleanup_segments`) when the
+  worker died before the slab could be consumed (SIGKILL, hung-chunk
+  watchdog, broken pool).
+
+Resource-tracker note (CPython < 3.13, python/cpython#82300): attaching
+a segment registers it with the ``resource_tracker`` as if the attacher
+owned it.  Within one multiprocessing family -- which is the only way
+this module is used: pool workers inherit the parent's tracker fd under
+both fork and spawn -- the tracker's per-name cache is a *set*, so the
+duplicate registrations from attaches are idempotent and the single
+``unlink()`` (which unregisters internally) balances them all.  We
+therefore deliberately do **not** call ``resource_tracker.unregister``
+by hand: doing so would clobber the creator's registration and make the
+eventual unlink's unregister fail.  Anything still registered when the
+whole family exits is unlinked by the tracker -- a last-ditch backstop
+behind :func:`cleanup_segments`, not a leak.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.distributions.cdf_table import JumpCdfTable, get_table, install_table
+from repro.engine.results import CENSORED, HittingTimeSample
+
+_Key = Tuple[float, float, Optional[int]]
+
+#: Slab header magic ("RPRS" little-endian) -- catches a decode of a
+#: foreign or torn segment before any array is interpreted.
+SLAB_MAGIC = 0x53525052
+
+#: Slab payload kinds.
+KIND_HITTING = 1
+
+#: Header layout: ``int64[4] = (magic, kind, n, horizon)`` = 32 bytes.
+_HEADER_WORDS = 4
+_HEADER_BYTES = _HEADER_WORDS * 8
+
+_SAFE_NAME = re.compile(r"[^A-Za-z0-9_.-]+")
+
+_availability_lock = threading.Lock()
+_availability: Optional[bool] = None
+
+#: Worker-side handles of attached table segments.  Kept for the process
+#: lifetime so the numpy views into their buffers stay valid.
+_ATTACHED: List[shared_memory.SharedMemory] = []
+_ATTACHED_KEYS: set = set()
+
+
+def shm_available() -> bool:
+    """True when named shared memory works on this host (cached probe)."""
+    global _availability
+    with _availability_lock:
+        if _availability is None:
+            try:
+                probe = shared_memory.SharedMemory(create=True, size=8)
+                probe.close()
+                probe.unlink()
+                _availability = True
+            except Exception:
+                _availability = False
+        return _availability
+
+
+def segment_prefix() -> str:
+    """A fresh per-run segment-name prefix (parent pid + random token)."""
+    return f"repro-{os.getpid()}-{os.urandom(4).hex()}"
+
+
+def slab_name(prefix: str, label: str, chunk: int, attempt: int) -> str:
+    """Deterministic slab name for a chunk attempt, chosen by the parent.
+
+    The parent picks the name *before* submitting the chunk, so it can
+    always unlink the slab of a worker that died mid-write.
+    """
+    safe = _SAFE_NAME.sub("_", str(label))[:80]
+    return f"{prefix}-s-{safe}-{chunk}-{attempt}"
+
+
+@dataclass(frozen=True)
+class TableSegment:
+    """Picklable descriptor of one published CDF-table segment."""
+
+    alpha: float
+    lazy_probability: float
+    cap: Optional[int]
+    name: str
+    length: int
+    top: float
+
+    @property
+    def key(self) -> _Key:
+        return (float(self.alpha), float(self.lazy_probability), self.cap)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.length) * 8
+
+
+@dataclass(frozen=True)
+class SlabRef:
+    """Picklable handle to a result slab (what actually crosses the pipe)."""
+
+    name: str
+    nbytes: int
+    kind: int = KIND_HITTING
+
+
+class SharedTableRegistry:
+    """Parent-side owner of the published CDF-table segments.
+
+    Keyed exactly like the process-global LRU
+    (``(alpha, lazy_probability, cap)``); publishing the same law twice
+    reuses the existing segment.  ``close()`` unlinks everything; the
+    registry is also a context manager.  Instances are fork- and
+    spawn-safe because workers never receive the registry itself -- only
+    the picklable :class:`TableSegment` descriptors.
+    """
+
+    def __init__(self, prefix: Optional[str] = None) -> None:
+        self.prefix = prefix or segment_prefix()
+        self._segments: Dict[_Key, shared_memory.SharedMemory] = {}
+        self._descriptors: Dict[_Key, TableSegment] = {}
+        self._closed = False
+
+    def publish(
+        self,
+        alpha: float,
+        lazy_probability: float = 0.5,
+        cap: Optional[int] = None,
+    ) -> Optional[TableSegment]:
+        """Publish one law's table; ``None`` if the law is untabulated."""
+        key: _Key = (float(alpha), float(lazy_probability), cap)
+        if key in self._descriptors:
+            return self._descriptors[key]
+        table = get_table(alpha, lazy_probability, cap)
+        if table is None:
+            return None
+        name = f"{self.prefix}-t{len(self._segments)}"
+        cdf = np.ascontiguousarray(table.cdf, dtype=np.float64)
+        segment = shared_memory.SharedMemory(
+            create=True, size=int(cdf.nbytes), name=name
+        )
+        np.frombuffer(segment.buf, dtype=np.float64, count=cdf.shape[0])[:] = cdf
+        descriptor = TableSegment(
+            alpha=float(alpha),
+            lazy_probability=float(lazy_probability),
+            cap=cap,
+            name=name,
+            length=int(cdf.shape[0]),
+            top=float(table.top),
+        )
+        self._segments[key] = segment
+        self._descriptors[key] = descriptor
+        return descriptor
+
+    def publish_for_tasks(self, tasks: Sequence[object]) -> List[TableSegment]:
+        """Publish the tables of every tabulable jump law used by ``tasks``.
+
+        Duck-typed on the ``jumps`` attribute carrying ``alpha`` /
+        ``lazy_probability`` / ``cap`` (i.e.
+        :class:`~repro.distributions.zeta.ZetaJumpDistribution`); tasks
+        with other laws simply publish nothing and their workers derive
+        tables locally as before.
+        """
+        published: List[TableSegment] = []
+        for task in tasks:
+            law = getattr(task, "jumps", None)
+            alpha = getattr(law, "alpha", None)
+            lazy = getattr(law, "lazy_probability", None)
+            if alpha is None or lazy is None:
+                continue
+            descriptor = self.publish(float(alpha), float(lazy), getattr(law, "cap", None))
+            if descriptor is not None:
+                published.append(descriptor)
+        return published
+
+    def descriptors(self) -> Tuple[TableSegment, ...]:
+        return tuple(self._descriptors.values())
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes of table data currently published."""
+        return sum(d.nbytes for d in self._descriptors.values())
+
+    def close(self) -> None:
+        """Close and unlink every published segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for segment in self._segments.values():
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+            except Exception:
+                pass
+        self._segments.clear()
+        self._descriptors.clear()
+
+    def __enter__(self) -> "SharedTableRegistry":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def attach_tables(descriptors: Sequence[TableSegment]) -> int:
+    """Worker side: attach published tables and install them in the cache.
+
+    Returns the number of tables newly attached.  A descriptor whose
+    segment has vanished (parent already cleaned up -- e.g. a straggler
+    worker of a rebuilt pool) is skipped silently: the worker then
+    derives that table locally exactly as on the pickle path, so the
+    result is unchanged either way.
+    """
+    attached = 0
+    for descriptor in descriptors:
+        if descriptor.key in _ATTACHED_KEYS:
+            continue
+        try:
+            segment = shared_memory.SharedMemory(name=descriptor.name)
+        except (FileNotFoundError, OSError, ValueError):
+            continue
+        cdf = np.frombuffer(
+            segment.buf, dtype=np.float64, count=descriptor.length
+        )
+        cdf.flags.writeable = False
+        # The mapping must outlive every view (the installed table keeps
+        # one), so closing is the OS's job at process exit.  Shadow the
+        # bound method so ``__del__``'s courtesy close() cannot raise
+        # BufferError("exported pointers exist") during teardown.
+        segment.close = lambda: None  # type: ignore[method-assign]
+        table = JumpCdfTable.from_cdf(
+            descriptor.alpha, descriptor.lazy_probability, descriptor.cap, cdf
+        )
+        install_table(table)
+        _ATTACHED.append(segment)
+        _ATTACHED_KEYS.add(descriptor.key)
+        attached += 1
+    return attached
+
+
+def attached_table_count() -> int:
+    """How many shared tables this process has attached (tests)."""
+    return len(_ATTACHED_KEYS)
+
+
+def encode_payload(payload: object, name: str) -> Optional[SlabRef]:
+    """Worker side: write a chunk payload into a named slab.
+
+    Returns ``None`` (caller falls back to pickle) when the payload kind
+    has no slab layout or the segment cannot be created (exhausted
+    ``/dev/shm``, unsupported platform).  Layout for
+    :class:`HittingTimeSample` (``kind == KIND_HITTING``)::
+
+        int64[4]  header   (magic, kind, n, horizon)
+        int64[n]  times    (CENSORED where the walk missed)
+        uint8[n]  hits     (redundant flags; decode validates them)
+    """
+    if not isinstance(payload, HittingTimeSample):
+        return None
+    times = np.ascontiguousarray(payload.times, dtype=np.int64)
+    n = int(times.shape[0])
+    size = _HEADER_BYTES + 8 * n + n
+    try:
+        segment = shared_memory.SharedMemory(create=True, size=size, name=name)
+    except Exception:
+        return None
+    try:
+        header = np.frombuffer(segment.buf, dtype=np.int64, count=_HEADER_WORDS)
+        header[:] = (SLAB_MAGIC, KIND_HITTING, n, int(payload.horizon))
+        np.frombuffer(
+            segment.buf, dtype=np.int64, count=n, offset=_HEADER_BYTES
+        )[:] = times
+        np.frombuffer(
+            segment.buf, dtype=np.uint8, count=n, offset=_HEADER_BYTES + 8 * n
+        )[:] = (times != CENSORED).view(np.uint8)
+        del header
+    except Exception:
+        segment.close()
+        try:
+            segment.unlink()
+        except Exception:
+            pass
+        return None
+    # Ownership transfers to the parent: drop this process's mapping but
+    # do NOT unlink -- the parent decodes and unlinks.
+    segment.close()
+    return SlabRef(name=name, nbytes=size, kind=KIND_HITTING)
+
+
+def decode_slab(ref: SlabRef) -> HittingTimeSample:
+    """Parent side: copy a slab out into a payload, then unlink it."""
+    segment = shared_memory.SharedMemory(name=ref.name)
+    try:
+        # Copy, never view: a raised exception would pin any live view of
+        # segment.buf in its traceback frame and make the close() below
+        # fail with "cannot close exported pointers exist".
+        header = np.frombuffer(
+            bytes(segment.buf[:_HEADER_BYTES]), dtype=np.int64
+        )
+        magic, kind, n, horizon = (int(x) for x in header)
+        if magic != SLAB_MAGIC:
+            raise ValueError(f"slab {ref.name}: bad magic 0x{magic:x}")
+        if kind != KIND_HITTING:
+            raise ValueError(f"slab {ref.name}: unsupported kind {kind}")
+        times = np.frombuffer(
+            bytes(segment.buf[_HEADER_BYTES:_HEADER_BYTES + 8 * n]),
+            dtype=np.int64,
+        ).copy()  # frombuffer(bytes) is read-only; payloads must be writable
+        hits = np.frombuffer(
+            bytes(
+                segment.buf[_HEADER_BYTES + 8 * n:_HEADER_BYTES + 9 * n]
+            ),
+            dtype=np.uint8,
+        )
+        if not np.array_equal(hits.astype(bool), times != CENSORED):
+            raise ValueError(f"slab {ref.name}: hit flags disagree with times")
+    finally:
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+    return HittingTimeSample(times=times, horizon=horizon)
+
+
+def unlink_if_exists(name: str) -> bool:
+    """Best-effort unlink of one segment; True if it existed."""
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except (FileNotFoundError, OSError):
+        return False
+    except ValueError:
+        # The creator won the O_CREX race but has not ftruncated yet:
+        # the file exists with size 0 and cannot be mapped.  Remove the
+        # backing file directly -- the (dying) creator's own handle
+        # stays valid, and the resource tracker tolerates a vanished
+        # name at family exit.
+        return _unlink_backing_file(name)
+    segment.close()
+    try:
+        segment.unlink()
+    except FileNotFoundError:
+        return False
+    return True
+
+
+def _unlink_backing_file(name: str) -> bool:
+    path = os.path.join("/dev/shm", name)
+    try:
+        os.unlink(path)
+    except OSError:
+        return False
+    return True
+
+
+def list_segments(prefix: str) -> List[str]:
+    """Names of live ``/dev/shm`` segments under ``prefix`` (Linux only;
+    other platforms report none and rely on per-name unlinks)."""
+    root = "/dev/shm"
+    if not os.path.isdir(root):
+        return []
+    try:
+        entries = os.listdir(root)
+    except OSError:
+        return []
+    return sorted(e for e in entries if e.startswith(prefix))
+
+
+def cleanup_segments(prefix: str) -> List[str]:
+    """Unlink every leftover segment under ``prefix``; returns the names.
+
+    The Runner calls this after a pooled run as a belt-and-braces sweep:
+    anything still live here belonged to a worker that died before its
+    slab was consumed (and was already counted failed/retried).
+    """
+    removed: List[str] = []
+    for name in list_segments(prefix):
+        if unlink_if_exists(name):
+            removed.append(name)
+    return removed

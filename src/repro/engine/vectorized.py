@@ -33,6 +33,11 @@ import numpy as np
 from repro.distributions.base import JumpDistribution
 from repro.engine._compat import legacy_api
 from repro.engine.results import CENSORED, HittingTimeSample
+from repro.engine.ring import (
+    flight_hitting_times_ring,
+    ring_rounds,
+    walk_hitting_times_ring,
+)
 from repro.engine.samplers import BatchJumpSampler, HomogeneousSampler
 from repro.lattice.direct_path import sample_direct_path_nodes
 from repro.lattice.rings import sample_ring_offsets
@@ -116,6 +121,21 @@ def walk_hitting_times(
         # Definition 3.7: the hitting time is the first step t >= 0 with
         # J_t = u*, so starting on the target means tau = 0.
         return HittingTimeSample(times=np.zeros(n_walks, dtype=np.int64), horizon=horizon)
+    rounds = ring_rounds()
+    if rounds > 1:
+        # Interleaved walker-ring mode (see repro.engine.ring): staged
+        # blocks of `rounds` rounds, statistically equivalent to the
+        # loop below but with a different RNG consumption order.
+        return walk_hitting_times_ring(
+            sampler,
+            (tx, ty),
+            horizon=horizon,
+            n=n_walks,
+            rng=rng,
+            start=(int(start[0]), int(start[1])),
+            detect_during_jump=detect_during_jump,
+            rounds=rounds,
+        )
 
     # Compacted state: row j of `pos`/`elapsed` belongs to walk `idx[j]`.
     # Finished walks are dropped lazily (only when >= 1/8 of rows died),
@@ -248,6 +268,17 @@ def flight_hitting_times(
     if (int(start[0]), int(start[1])) == (tx, ty):
         return HittingTimeSample(
             times=np.zeros(n_flights, dtype=np.int64), horizon=horizon_jumps
+        )
+    rounds = ring_rounds()
+    if rounds > 1:
+        return flight_hitting_times_ring(
+            sampler,
+            (tx, ty),
+            horizon=horizon_jumps,
+            n=n_flights,
+            rng=rng,
+            start=(int(start[0]), int(start[1])),
+            rounds=rounds,
         )
     # Same compacted state machine and preallocated round buffers as
     # `walk_hitting_times`: dead rows jump with d = 0 (so their position

@@ -272,6 +272,27 @@ def add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         help="degrade checkpointing to manifest-only mode when available "
         "memory drops below MB",
     )
+    parser.add_argument(
+        "--pool-transport",
+        choices=("shm", "pickle", "auto"),
+        default="auto",
+        dest="pool_transport",
+        help="how pooled chunks move data: 'shm' publishes CDF tables and "
+        "result slabs through POSIX shared memory (zero-copy, falls back "
+        "per-chunk for non-slab payloads), 'pickle' forces the classic "
+        "pipe transport, 'auto' (default) uses shm when /dev/shm works",
+    )
+    parser.add_argument(
+        "--ring-rounds",
+        type=int,
+        default=0,
+        dest="ring_rounds",
+        metavar="R",
+        help="run engines with the interleaved walker-ring loop staging R "
+        "rounds per pass (0 = legacy per-round loop; ring mode changes "
+        "RNG consumption order, so samples are equivalent in law but not "
+        "bit-identical to the legacy loop)",
+    )
 
 
 def add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
@@ -400,6 +421,8 @@ def runner_from_args(args: argparse.Namespace):
     quarantine_after = getattr(args, "quarantine_after", None)
     min_disk_mb = getattr(args, "min_disk_mb", None)
     min_memory_mb = getattr(args, "min_memory_mb", None)
+    pool_transport = getattr(args, "pool_transport", "auto")
+    ring_rounds = getattr(args, "ring_rounds", 0)
     wants_runner = (
         args.checkpoint_dir is not None
         or args.resume
@@ -412,6 +435,8 @@ def runner_from_args(args: argparse.Namespace):
         or quarantine_after is not None
         or min_disk_mb is not None
         or min_memory_mb is not None
+        or pool_transport != "auto"
+        or ring_rounds
     )
     if not wants_runner:
         return None
@@ -451,6 +476,8 @@ def runner_from_args(args: argparse.Namespace):
         convergence=convergence,
         retry_policy=retry_policy,
         resource_guards=resource_guards,
+        pool_transport=pool_transport,
+        ring_rounds=ring_rounds,
     )
 
 

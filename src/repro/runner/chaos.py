@@ -489,21 +489,46 @@ def run_chaos_matrix(
             )
 
         if kind == "worker-kill":
+            # Run this scenario over the shared-memory transport when the
+            # host supports it: a SIGKILLed worker is exactly the case
+            # where a result slab can be orphaned mid-write, so the row
+            # also asserts the runner left nothing behind in /dev/shm.
+            from repro.engine import shm as _shm
+
+            use_shm = _shm.shm_available()
             row = ChaosOutcome(
                 kind, "", expected="completed",
                 detection="BrokenProcessPool from the dead worker",
-                recovery="rebuild pool, retry all in-flight chunks",
+                recovery="rebuild pool, retry in-flight chunks, unlink "
+                "the dead worker's shm slabs",
             )
             with ChaosPlan((ChaosFault("worker-kill", chunk=1),), arm_dir) as plan:
                 runner = Runner(
                     workers=pooled, n_chunks=n_chunks, retry_policy=policy,
                     fault_injector=plan,
+                    pool_transport="shm" if use_shm else "pickle",
                 )
                 outcome = runner.run(task, n_walks, seed, label=kind)
-            return finish(
+            leaked = (
+                _shm.list_segments(runner.shm_prefix)
+                if runner.shm_prefix else []
+            )
+            row = finish(
                 row, outcome, identical(outcome.payload),
                 lambda o: o.complete and o.retries >= 1,
             )
+            if use_shm:
+                if leaked:
+                    row.ok = False
+                    row.notes.append(
+                        f"LEAK: {len(leaked)} shm segment(s) survived the "
+                        f"kill: {', '.join(sorted(leaked))}"
+                    )
+                else:
+                    row.notes.append(
+                        "shm transport: 0 segments leaked after worker kill"
+                    )
+            return row
 
         if kind == "crash":
             row = ChaosOutcome(

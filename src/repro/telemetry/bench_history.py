@@ -66,6 +66,48 @@ LEGACY_SUFFIX = "_legacy_mean_seconds"
 MIN_FUSED_SPEEDUP = 1.3
 
 
+def pool_speedup_record(
+    serial_seconds: float,
+    pooled_seconds: float,
+    *,
+    workers_requested: int,
+    workers: int,
+    host_cpus: Optional[int],
+) -> Dict:
+    """The speedup portion of a pool-benchmark snapshot, honestly clamped.
+
+    A ``pool_speedup`` measured where the host cannot grant the requested
+    parallelism (``host_cpus < workers_requested``) is ~1.0 by
+    construction -- recording it would either fake a regression against a
+    wide-host baseline or teach the history that 1.0 is normal.  On such
+    hosts the key is *omitted* entirely (no verdict is possible) and
+    ``"clamped": true`` is recorded in its place so the snapshot says why.
+
+    Whichever of ``pool_speedup`` / ``clamped`` does not apply is set to
+    ``None``: benchmark snapshots are *merged* per run (see
+    ``benchmarks/bench_utils.record_bench``), and ``None`` is the merge's
+    tombstone -- it scrubs a stale value left by an earlier run on a
+    differently-shaped host.
+    """
+    record: Dict = {
+        "serial_seconds": serial_seconds,
+        "pooled_seconds": pooled_seconds,
+        "workers_requested": workers_requested,
+        "workers": workers,
+        "host_cpus": host_cpus,
+    }
+    if host_cpus is None or host_cpus < workers_requested:
+        record["clamped"] = True
+        record["pool_speedup"] = None
+    else:
+        # A float: bench-history's *_speedup kind compares it absolutely
+        # with inverted direction (a drop past the threshold regresses,
+        # a rise never does).
+        record["pool_speedup"] = round(serial_seconds / pooled_seconds, 4)
+        record["clamped"] = None
+    return record
+
+
 def parse_threshold(text: str) -> float:
     """``"25%"`` -> 0.25; ``"0.25"`` -> 0.25.  Raises ValueError otherwise."""
     text = str(text).strip()

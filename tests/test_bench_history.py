@@ -8,8 +8,46 @@ from repro.cli import main
 from repro.telemetry.bench_history import (
     compare_snapshots,
     parse_threshold,
+    pool_speedup_record,
     render_comparison,
 )
+
+
+def test_pool_speedup_record_emits_verdict_on_capable_host():
+    record = pool_speedup_record(
+        8.0, 2.0, workers_requested=4, workers=4, host_cpus=8
+    )
+    assert record["pool_speedup"] == pytest.approx(4.0)
+    assert record["clamped"] is None  # tombstone scrubs a stale flag
+
+
+def test_pool_speedup_record_refuses_verdict_on_clamped_host():
+    record = pool_speedup_record(
+        8.0, 8.5, workers_requested=4, workers=1, host_cpus=1
+    )
+    assert record["clamped"] is True
+    assert record["pool_speedup"] is None  # tombstone, not a value
+    # Unknown CPU count is treated as clamped too: no verdict is honest.
+    assert pool_speedup_record(
+        8.0, 2.0, workers_requested=4, workers=4, host_cpus=None
+    )["clamped"] is True
+
+
+def test_record_bench_none_values_delete_snapshot_keys(tmp_path, monkeypatch):
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "bench_utils", "benchmarks/bench_utils.py"
+    )
+    bench_utils = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(bench_utils)
+    monkeypatch.setattr(bench_utils, "_ROOT", tmp_path)
+    bench_utils.record_bench("t", {"pool_speedup": 3.1, "serial_seconds": 2.0})
+    bench_utils.record_bench("t", {"pool_speedup": None, "clamped": True})
+    snapshot = json.loads((tmp_path / "BENCH_t.json").read_text())
+    assert "pool_speedup" not in snapshot
+    assert snapshot["clamped"] is True
+    assert snapshot["serial_seconds"] == 2.0
 
 
 def test_parse_threshold_accepts_percent_and_fraction():

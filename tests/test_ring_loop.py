@@ -1,0 +1,155 @@
+"""Interleaved walker-ring hot loop: scope plumbing, determinism, law.
+
+The ring loop stages several rounds per pass (all RNG draws, then all
+CDF lookups, then all state updates), which *reorders RNG consumption*
+relative to the legacy per-round loop.  The contract is therefore
+equivalence in law, not bit-identity: ring samples must pass a
+chi-square homogeneity gate against legacy samples, while within one
+ring setting everything stays exactly deterministic and identical
+across serial/pooled execution (covered by the runner suite).
+"""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.distributions.zeta import ZetaJumpDistribution
+from repro.engine.ball_targets import ball_hitting_times
+from repro.engine.results import CENSORED
+from repro.engine.ring import (
+    DEFAULT_RING_ROUNDS,
+    ring_rounds,
+    ring_scope,
+    set_ring_rounds,
+)
+from repro.engine.vectorized import flight_hitting_times, walk_hitting_times
+
+LAW = ZetaJumpDistribution(2.5)
+TARGET = (5, 3)
+HORIZON = 200
+N = 4_000
+
+
+# ------------------------------------------------------------------ plumbing
+
+
+def test_ring_rounds_defaults_to_legacy_loop():
+    assert ring_rounds() == 0
+
+
+def test_set_ring_rounds_returns_previous_and_validates():
+    previous = set_ring_rounds(4)
+    try:
+        assert previous == 0
+        assert ring_rounds() == 4
+    finally:
+        set_ring_rounds(previous)
+    with pytest.raises(ValueError):
+        set_ring_rounds(-1)
+
+
+def test_ring_scope_restores_on_exit_and_on_error():
+    with ring_scope(DEFAULT_RING_ROUNDS):
+        assert ring_rounds() == DEFAULT_RING_ROUNDS
+    assert ring_rounds() == 0
+    with pytest.raises(RuntimeError):
+        with ring_scope(3):
+            raise RuntimeError("boom")
+    assert ring_rounds() == 0
+
+
+# -------------------------------------------------------------- determinism
+
+
+def _walk(seed, rounds=0, **kw):
+    with ring_scope(rounds):
+        return walk_hitting_times(
+            LAW, TARGET, horizon=HORIZON, n=N,
+            rng=np.random.default_rng(seed), **kw
+        )
+
+
+def test_ring_walk_is_deterministic_per_seed():
+    a = _walk(7, rounds=8)
+    b = _walk(7, rounds=8)
+    np.testing.assert_array_equal(a.times, b.times)
+
+
+def test_ring_walk_differs_from_legacy_stream():
+    # Different RNG consumption order: equality would mean the scope
+    # never took effect.
+    assert not np.array_equal(_walk(7, rounds=8).times, _walk(7).times)
+
+
+def test_rounds_of_one_matches_legacy_dispatch():
+    # rounds=1 stages a single round per pass: the engine keeps the
+    # legacy loop (cheaper; no tiling overhead) rather than delegating.
+    np.testing.assert_array_equal(_walk(7, rounds=1).times, _walk(7).times)
+
+
+def test_start_on_target_short_circuits_before_delegation():
+    sample = _walk(7, rounds=8, start=TARGET)
+    assert np.all(sample.times == 0)
+
+
+# ------------------------------------------------------------ law equivalence
+
+
+def _chi2_homogeneity(a: np.ndarray, b: np.ndarray, edges) -> float:
+    """p-value of the two-sample chi-square homogeneity test on ``edges``."""
+    ca, _ = np.histogram(a, bins=edges)
+    cb, _ = np.histogram(b, bins=edges)
+    keep = (ca + cb) >= 10  # merge ultra-sparse cells away
+    table = np.vstack([ca[keep], cb[keep]])
+    return float(stats.chi2_contingency(table).pvalue)
+
+
+def _edges():
+    # Geometric time bins over [1, horizon] plus a censored-mass cell.
+    bins = np.unique(np.geomspace(1, HORIZON + 1, 12).astype(int))
+    return np.concatenate([[CENSORED - 0.5], bins.astype(float)])
+
+
+@pytest.mark.parametrize("detect", [True, False])
+def test_walk_ring_matches_legacy_in_law(detect):
+    legacy = _walk(11, detect_during_jump=detect)
+    ring = _walk(12, rounds=8, detect_during_jump=detect)
+    assert _chi2_homogeneity(legacy.times, ring.times, _edges()) > 1e-3
+
+
+def test_flight_ring_matches_legacy_in_law():
+    def flights(seed, rounds):
+        with ring_scope(rounds):
+            return flight_hitting_times(
+                LAW, TARGET, horizon=60, n=N, rng=np.random.default_rng(seed)
+            )
+
+    legacy = flights(21, 0)
+    ring = flights(22, 8)
+    edges = np.concatenate([[CENSORED - 0.5], np.arange(1, 62, 6, dtype=float)])
+    assert _chi2_homogeneity(legacy.times, ring.times, edges) > 1e-3
+
+
+@pytest.mark.parametrize("detect", [True, False])
+def test_ball_ring_matches_legacy_in_law(detect):
+    def balls(seed, rounds):
+        with ring_scope(rounds):
+            return ball_hitting_times(
+                LAW, (9, 6), radius=2, horizon=HORIZON, n=N,
+                rng=np.random.default_rng(seed), detect_during_jump=detect,
+            )
+
+    legacy = balls(31, 0)
+    ring = balls(32, 8)
+    assert _chi2_homogeneity(legacy.times, ring.times, _edges()) > 1e-3
+
+
+def test_ring_hit_rate_tracks_legacy():
+    legacy = _walk(41)
+    ring = _walk(42, rounds=8)
+    p_legacy = np.mean(legacy.times != CENSORED)
+    p_ring = np.mean(ring.times != CENSORED)
+    # Two-proportion z-gate, generous: 5 sigma of the pooled std error.
+    pooled = (p_legacy + p_ring) / 2
+    sigma = np.sqrt(2 * pooled * (1 - pooled) / N)
+    assert abs(p_legacy - p_ring) < 5 * sigma + 1e-9

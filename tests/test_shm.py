@@ -1,0 +1,238 @@
+"""Shared-memory pool transport: registry, slabs, identity, cleanup.
+
+The acceptance bar (ISSUE 10): pooled samples over the shm transport are
+bit-identical to ``workers=0`` and to the pickle transport; a SIGKILLed
+worker leaves no segment behind in ``/dev/shm``; non-slab payloads fall
+back to pickle per chunk without failing the run; and the telemetry
+stream shows ``pickle_seconds == 0`` with ``shm_bytes`` populated on the
+shm path.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.distributions.cdf_table import get_table
+from repro.distributions.zeta import ZetaJumpDistribution
+from repro.engine import shm
+from repro.engine.results import CENSORED, HittingTimeSample
+from repro.runner import (
+    ChaosFault,
+    ChaosPlan,
+    ForagingTask,
+    HittingTimeTask,
+    Runner,
+    RetryPolicy,
+)
+from repro.telemetry.events import read_events
+from repro.telemetry.recorder import NullRecorder, configure, set_recorder
+
+pytestmark = pytest.mark.skipif(
+    not shm.shm_available(), reason="POSIX shared memory unavailable"
+)
+
+LAW = ZetaJumpDistribution(2.5)
+TARGET = (5, 3)
+HORIZON = 150
+N_WALKS = 400
+N_CHUNKS = 4
+SEED = 42
+
+
+def make_task() -> HittingTimeTask:
+    return HittingTimeTask(jumps=LAW, target=TARGET, horizon=HORIZON)
+
+
+def run_with(workers: int, transport: str, **kw) -> HittingTimeSample:
+    runner = Runner(workers=workers, n_chunks=N_CHUNKS,
+                    pool_transport=transport, **kw)
+    return runner.run(make_task(), N_WALKS, SEED).payload
+
+
+# ----------------------------------------------------------------- unit layer
+
+
+def test_slab_name_is_sanitized_and_unique_per_attempt():
+    a1 = shm.slab_name("repro-1-abcd", "walk l=32", 3, 1)
+    a2 = shm.slab_name("repro-1-abcd", "walk l=32", 3, 2)
+    assert a1 != a2
+    for name in (a1, a2):
+        assert "/" not in name and " " not in name
+        assert len(name) <= 64
+
+
+def test_slab_roundtrip_is_exact():
+    times = np.array([3, CENSORED, 17, 1, CENSORED], dtype=np.int64)
+    sample = HittingTimeSample(times=times, horizon=20)
+    ref = shm.encode_payload(sample, shm.slab_name("repro-t", "rt", 0, 1))
+    assert ref is not None
+    assert ref.kind == shm.KIND_HITTING
+    decoded = shm.decode_slab(ref)
+    np.testing.assert_array_equal(decoded.times, times)
+    assert decoded.horizon == 20
+    # decode unlinks: the segment must be gone afterwards.
+    assert not shm.unlink_if_exists(ref.name)
+
+
+def test_encode_payload_refuses_foreign_payloads():
+    assert shm.encode_payload({"not": "a sample"}, "repro-t-x") is None
+
+
+def test_decode_slab_validates_header():
+    from multiprocessing import shared_memory
+
+    name = shm.slab_name("repro-t", "bad", 0, 1)
+    seg = shared_memory.SharedMemory(name=name, create=True, size=64)
+    try:
+        header = np.frombuffer(seg.buf, dtype=np.int64)
+        header[:4] = [0xBAD, 1, 1, 10]
+        del header  # release the exported pointer so close() can succeed
+        with pytest.raises(ValueError):
+            shm.decode_slab(shm.SlabRef(name=name, nbytes=64,
+                                        kind=shm.KIND_HITTING))
+    finally:
+        seg.close()
+        shm.unlink_if_exists(name)
+
+
+def test_registry_publishes_tables_and_unlinks_on_close():
+    registry = shm.SharedTableRegistry()
+    registry.publish(2.5, 0.0, LAW.cap)
+    descriptors = registry.descriptors()
+    assert len(descriptors) == 1
+    assert registry.nbytes > 0
+    assert shm.list_segments(registry.prefix)
+    registry.close()
+    assert shm.list_segments(registry.prefix) == []
+    registry.close()  # idempotent
+
+
+def test_attach_tables_reconstructs_bitwise_equal_cdf():
+    registry = shm.SharedTableRegistry()
+    try:
+        local = get_table(2.5, 0.0, LAW.cap).cdf.copy()
+        registry.publish(2.5, 0.0, LAW.cap)
+        before = shm.attached_table_count()
+        assert shm.attach_tables(registry.descriptors()) == 1
+        assert shm.attached_table_count() == before + 1
+        # install_table routed the shared view into the process cache:
+        # the next lookup must serve the bitwise-identical table.
+        np.testing.assert_array_equal(get_table(2.5, 0.0, LAW.cap).cdf, local)
+        # Re-attaching the same descriptors is an idempotent no-op.
+        assert shm.attach_tables(registry.descriptors()) == 0
+    finally:
+        registry.close()
+
+
+def test_publish_for_tasks_dedupes_by_table_key():
+    registry = shm.SharedTableRegistry()
+    try:
+        registry.publish_for_tasks([make_task(), make_task()])
+        assert len(registry.descriptors()) == 1
+    finally:
+        registry.close()
+
+
+# ------------------------------------------------------------- identity layer
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    return Runner(n_chunks=N_CHUNKS).run(make_task(), N_WALKS, SEED).payload
+
+
+def test_shm_transport_bit_identical_to_serial(serial_reference):
+    pooled = run_with(2, "shm")
+    np.testing.assert_array_equal(pooled.times, serial_reference.times)
+
+
+def test_pickle_transport_bit_identical_to_serial(serial_reference):
+    pooled = run_with(2, "pickle")
+    np.testing.assert_array_equal(pooled.times, serial_reference.times)
+
+
+def test_no_segments_leak_after_clean_run():
+    runner = Runner(workers=2, n_chunks=N_CHUNKS, pool_transport="shm")
+    runner.run(make_task(), N_WALKS, SEED)
+    assert runner.shm_prefix is not None
+    assert shm.list_segments(runner.shm_prefix) == []
+
+
+# -------------------------------------------------------------- failure layer
+
+
+def test_sigkilled_worker_leaves_no_segments(tmp_path, serial_reference):
+    """The acceptance scenario: kill -9 mid-chunk, sweep /dev/shm after."""
+    plan_dir = str(tmp_path / "arm")
+    with ChaosPlan((ChaosFault("worker-kill", chunk=1),), plan_dir) as plan:
+        runner = Runner(
+            workers=2, n_chunks=N_CHUNKS, pool_transport="shm",
+            retry_policy=RetryPolicy(max_attempts=4, backoff_base=0.01),
+            fault_injector=plan,
+        )
+        outcome = runner.run(make_task(), N_WALKS, SEED)
+    assert outcome.complete
+    assert outcome.retries >= 1
+    np.testing.assert_array_equal(outcome.payload.times, serial_reference.times)
+    assert runner.shm_prefix is not None
+    assert shm.list_segments(runner.shm_prefix) == []
+
+
+def test_foraging_payload_falls_back_to_pickle(tmp_path):
+    """Non-slab payload kinds ride the pipe; the run still completes."""
+    task = ForagingTask.with_targets(
+        LAW, targets=[(4, 2), (-3, 5), (9, -1)], horizon=HORIZON
+    )
+    serial = Runner(n_chunks=N_CHUNKS).run(task, N_WALKS, SEED).payload
+    log = tmp_path / "events.jsonl"
+    rec = configure(log_path=log)
+    try:
+        runner = Runner(workers=2, n_chunks=N_CHUNKS, pool_transport="shm",
+                        recorder=rec)
+        pooled = runner.run(task, N_WALKS, SEED).payload
+    finally:
+        set_recorder(NullRecorder())
+    np.testing.assert_array_equal(
+        pooled.discovery_times, serial.discovery_times
+    )
+    events = [e for e in read_events(log) if e.get("type") == "chunk_end"]
+    assert events
+    assert all(e.get("transport") == "pickle-fallback" for e in events)
+    assert runner.shm_prefix is not None
+    assert shm.list_segments(runner.shm_prefix) == []
+
+
+# ------------------------------------------------------------ telemetry layer
+
+
+def test_shm_chunk_events_report_zero_pickle_seconds(tmp_path):
+    log = tmp_path / "events.jsonl"
+    rec = configure(log_path=log)
+    try:
+        run_with(2, "shm", recorder=rec)
+    finally:
+        set_recorder(NullRecorder())
+    events = [e for e in read_events(log) if e.get("type") == "chunk_end"]
+    assert len(events) == N_CHUNKS
+    for event in events:
+        assert event["transport"] == "shm"
+        assert event["pickle_seconds"] == 0.0
+        assert event["shm_bytes"] > 0
+        # The pipe carried a handle, not the payload: far smaller.
+        assert event["ipc_bytes"] < event["shm_bytes"]
+
+
+def test_explicit_pickle_transport_has_no_shm_fields(tmp_path):
+    log = tmp_path / "events.jsonl"
+    rec = configure(log_path=log)
+    try:
+        run_with(2, "pickle", recorder=rec)
+    finally:
+        set_recorder(NullRecorder())
+    events = [e for e in read_events(log) if e.get("type") == "chunk_end"]
+    assert len(events) == N_CHUNKS
+    for event in events:
+        assert event["transport"] == "pickle"
+        assert "shm_bytes" not in event
